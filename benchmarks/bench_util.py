@@ -1,0 +1,82 @@
+"""Shared workload builders for the benchmark suite.
+
+Workloads are generated once per size (session-scoped cache) so the
+benchmarked functions measure the *solvers*, not program generation.
+Sizes follow the paper's parameters: ``N_C`` procedures, ``E_C`` call
+sites, µ_a/µ_f argument/parameter densities, ``d_P`` nesting depth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.core.imod_plus import compute_imod_plus
+from repro.core.local import LocalAnalysis
+from repro.core.rmod import solve_rmod
+from repro.core.varsets import EffectKind, VariableUniverse
+from repro.graphs.binding import build_binding_graph
+from repro.graphs.callgraph import build_call_graph
+from repro.workloads.generator import GeneratorConfig, generate_resolved
+
+_CACHE: Dict[Tuple, object] = {}
+
+
+def flat_config(num_procs: int, seed: int = 1) -> GeneratorConfig:
+    return GeneratorConfig(
+        seed=seed,
+        num_procs=num_procs,
+        num_globals=max(8, num_procs // 10),
+        recursion_prob=0.35,
+    )
+
+
+def nested_config(num_procs: int, depth: int, seed: int = 1) -> GeneratorConfig:
+    return GeneratorConfig(
+        seed=seed,
+        num_procs=num_procs,
+        num_globals=max(8, num_procs // 10),
+        max_depth=depth,
+        nesting_prob=0.6,
+        recursion_prob=0.35,
+    )
+
+
+def build_workload(config: GeneratorConfig):
+    """Resolved program + graphs + local sets + IMOD+, cached by config."""
+    key = (
+        config.seed,
+        config.num_procs,
+        config.num_globals,
+        config.max_depth,
+        config.nesting_prob,
+        config.recursion_prob,
+        config.calls_per_proc_range,
+        config.prob_arg_formal,
+    )
+    workload = _CACHE.get(key)
+    if workload is None:
+        resolved = generate_resolved(config)
+        universe = VariableUniverse(resolved)
+        call_graph = build_call_graph(resolved)
+        binding_graph = build_binding_graph(resolved)
+        local = LocalAnalysis(resolved, universe)
+        rmod = solve_rmod(binding_graph, local, EffectKind.MOD)
+        imod_plus = compute_imod_plus(resolved, local, rmod, EffectKind.MOD)
+        workload = {
+            "resolved": resolved,
+            "universe": universe,
+            "call_graph": call_graph,
+            "binding_graph": binding_graph,
+            "local": local,
+            "rmod": rmod,
+            "imod_plus": imod_plus,
+        }
+        _CACHE[key] = workload
+    return workload
+
+
+@pytest.fixture(scope="session")
+def workload_factory():
+    return build_workload

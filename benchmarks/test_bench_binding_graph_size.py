@@ -1,0 +1,42 @@
+"""E3 — Binding multi-graph size and construction cost (Section 3.1).
+
+Paper claims: ``Nβ ≤ µ_f·N_C``, ``Eβ ≤ µ_a·E_C``, ``2·Eβ ≥ Nβ`` (for
+the incident-node accounting), and "the binding multi-graph can be
+constructed in time linearly proportional to its size by simply
+visiting each of the call sites".  Construction is benchmarked at four
+sizes; the inequalities are asserted on every run.
+"""
+
+import pytest
+
+from repro.graphs.binding import build_binding_graph
+
+from bench_util import build_workload, flat_config
+
+SIZES = [400, 800, 1600, 3200]
+
+
+@pytest.mark.parametrize("num_procs", SIZES)
+def test_binding_graph_construction(benchmark, num_procs):
+    workload = build_workload(flat_config(num_procs))
+    resolved = workload["resolved"]
+    call_graph = workload["call_graph"]
+    graph = benchmark(build_binding_graph, resolved)
+
+    total_formals = sum(len(p.formals) for p in resolved.procs)
+    total_actuals = sum(len(s.bindings) for s in resolved.call_sites)
+    mu_f = total_formals / call_graph.num_nodes
+    mu_a = total_actuals / max(call_graph.num_edges, 1)
+    assert graph.num_formals <= mu_f * call_graph.num_nodes + 1e-9
+    assert graph.num_edges <= mu_a * call_graph.num_edges + 1e-9
+    assert 2 * graph.num_edges >= graph.nodes_with_edges
+
+
+@pytest.mark.parametrize("num_procs", [1600])
+def test_call_graph_construction(benchmark, num_procs):
+    """The companion structure: C = (N_C, E_C), one sweep of the sites."""
+    from repro.graphs.callgraph import build_call_graph
+
+    workload = build_workload(flat_config(num_procs))
+    graph = benchmark(build_call_graph, workload["resolved"])
+    assert graph.num_edges == workload["resolved"].num_call_sites

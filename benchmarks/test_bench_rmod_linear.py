@@ -1,0 +1,46 @@
+"""E1 — RMOD on the binding multi-graph is linear: O(Nβ + Eβ).
+
+Paper claim (Figure 1 / Section 3.2): each of the four steps of the
+algorithm takes no more than O(Nβ + Eβ) time, so doubling the program
+size should roughly double the solve time, independent of cycle
+structure.  The pytest-benchmark rows at N = 400/800/1600/3200 exhibit
+the linear trend; ``benchmarks/run_all.py`` prints the derived
+time-per-edge table recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.core.rmod import solve_rmod
+from repro.core.varsets import EffectKind
+
+from bench_util import build_workload, flat_config
+
+SIZES = [400, 800, 1600, 3200]
+
+
+@pytest.mark.parametrize("num_procs", SIZES)
+def test_rmod_figure1_scaling(benchmark, num_procs):
+    workload = build_workload(flat_config(num_procs))
+    graph = workload["binding_graph"]
+    local = workload["local"]
+    result = benchmark(solve_rmod, graph, local, EffectKind.MOD)
+    # Sanity: the Figure 1 step bound holds on every benchmarked run.
+    assert result.counter.single_bit_steps <= 3 * graph.num_formals + graph.num_edges
+
+
+@pytest.mark.parametrize("num_procs", [800])
+def test_rmod_on_dense_cycles(benchmark, num_procs):
+    """Worst-ish case: heavy recursion -> large β SCCs; still linear."""
+    from repro.workloads.generator import GeneratorConfig
+
+    config = GeneratorConfig(
+        seed=3,
+        num_procs=num_procs,
+        num_globals=32,
+        recursion_prob=0.8,
+        prob_arg_formal=0.7,
+    )
+    workload = build_workload(config)
+    result = benchmark(solve_rmod, workload["binding_graph"], workload["local"])
+    graph = workload["binding_graph"]
+    assert result.counter.single_bit_steps <= 3 * graph.num_formals + graph.num_edges

@@ -1,0 +1,48 @@
+"""E2 — Figure 1 vs the swift algorithm vs worklist iteration.
+
+Paper claim (Section 3.2): the binding-multi-graph method does
+``O(k·E_C)`` *single-bit* steps while the swift algorithm does
+``O(E_C·α)`` operations on bit vectors of length ``Nβ`` — vectors that
+grow with the program — so the new method is "an order of magnitude
+faster".  We benchmark all three solvers on the same β at two sizes;
+who wins and how the gap *widens with size* is the reproduced shape.
+"""
+
+import pytest
+
+from repro.baselines.iterative import solve_rmod_iterative
+from repro.baselines.swift import solve_rmod_swift
+from repro.core.rmod import solve_rmod
+
+from bench_util import build_workload, flat_config
+
+SIZES = [800, 3200]
+
+
+@pytest.mark.parametrize("num_procs", SIZES)
+def test_rmod_figure1(benchmark, num_procs):
+    workload = build_workload(flat_config(num_procs))
+    benchmark(solve_rmod, workload["binding_graph"], workload["local"])
+
+
+@pytest.mark.parametrize("num_procs", SIZES)
+def test_rmod_swift_substitute(benchmark, num_procs):
+    workload = build_workload(flat_config(num_procs))
+    benchmark(solve_rmod_swift, workload["binding_graph"], workload["local"])
+
+
+@pytest.mark.parametrize("num_procs", SIZES)
+def test_rmod_iterative(benchmark, num_procs):
+    workload = build_workload(flat_config(num_procs))
+    benchmark(solve_rmod_iterative, workload["binding_graph"], workload["local"])
+
+
+@pytest.mark.parametrize("num_procs", [1600])
+def test_answers_agree(benchmark, num_procs):
+    """All three must produce the identical RMOD vector (benchmarked on
+    the Figure 1 run, asserted across all)."""
+    workload = build_workload(flat_config(num_procs))
+    graph, local = workload["binding_graph"], workload["local"]
+    fig1 = benchmark(solve_rmod, graph, local)
+    assert fig1.node_value == solve_rmod_swift(graph, local)
+    assert fig1.node_value == solve_rmod_iterative(graph, local)

@@ -1,0 +1,99 @@
+"""E9 — Sections recover parallelism that whole-array summaries lose.
+
+Paper motivation (Section 6, via Callahan-Kennedy): "the granularity of
+conventional summary information is too coarse to allow effective
+detection of parallelism in loops that contain call sites" — a call
+that writes one column is reported as writing the whole array, so every
+loop iteration conflicts.  We build column-partitioned loop workloads,
+benchmark the sectioned analysis, and assert the dependence verdicts:
+whole-array summaries say "conflict" for all iteration pairs; sections
+prove the column writes disjoint.
+"""
+
+import pytest
+
+from repro.core.varsets import EffectKind
+from repro.lang.semantic import compile_source
+from repro.sections import analyze_sections
+from repro.sections.lattice import Section, Subscript
+
+
+def column_loop_program(num_workers: int) -> str:
+    """A loop body factored into per-column worker procedures."""
+    lines = ["program colloop", "  global array grid[16][16]", ""]
+    for index in range(num_workers):
+        lines.append("  proc worker%d(t, c)" % index)
+        lines.append("    local i")
+        lines.append("  begin")
+        lines.append("    for i := 0 to 15 do")
+        lines.append("      t[i][c] := i + %d" % index)
+        lines.append("    end")
+        lines.append("  end")
+        lines.append("")
+    lines.append("begin")
+    for index in range(num_workers):
+        lines.append("  call worker%d(grid, %d)" % (index, index))
+    lines.append("end")
+    return "\n".join(lines) + "\n"
+
+
+@pytest.mark.parametrize("num_workers", [8, 32])
+def test_sectioned_analysis_of_column_loop(benchmark, num_workers):
+    resolved = compile_source(column_loop_program(num_workers))
+    analysis = benchmark(analyze_sections, resolved, EffectKind.MOD)
+    grid_uid = resolved.var_named("grid").uid
+
+    sections = [
+        analysis.site_sections[site.site_id][grid_uid]
+        for site in resolved.call_sites
+    ]
+    # Sectioned verdict: distinct constant columns -> provably disjoint.
+    for i, a in enumerate(sections):
+        for b in sections[i + 1:]:
+            assert not a.intersects(b)
+    # Whole-array verdict (what the bit-level analysis must report):
+    # every pair conflicts.
+    whole = Section.whole()
+    assert whole.intersects(whole)
+
+
+@pytest.mark.parametrize("num_workers", [8])
+def test_row_column_mix_detects_real_conflicts(benchmark, num_workers):
+    source = column_loop_program(num_workers).replace(
+        "begin\n  call worker0(grid, 0)",
+        "begin\n  call worker0(grid, 0)",  # unchanged; row writer added below
+    )
+    # Add one row-writing worker that genuinely conflicts with all.
+    source = source.replace(
+        "begin\n  call worker0",
+        "begin\n  call rowwriter(grid, 3)\n  call worker0",
+    )
+    source = source.replace(
+        "\nbegin\n  call rowwriter",
+        """
+  proc rowwriter(t, r)
+    local j
+  begin
+    for j := 0 to 15 do
+      t[r][j] := 0
+    end
+  end
+
+begin
+  call rowwriter""",
+    )
+    resolved = compile_source(source)
+    analysis = benchmark(analyze_sections, resolved, EffectKind.MOD)
+    grid_uid = resolved.var_named("grid").uid
+    row_site = [
+        s for s in resolved.call_sites if s.callee.qualified_name == "rowwriter"
+    ][0]
+    row_section = analysis.site_sections[row_site.site_id][grid_uid]
+    col_sites = [
+        s for s in resolved.call_sites if s.callee.qualified_name.startswith("worker")
+    ]
+    for site in col_sites:
+        col_section = analysis.site_sections[site.site_id][grid_uid]
+        # A row crosses every column: the dependence is real and the
+        # sectioned test must keep it.
+        assert row_section.intersects(col_section)

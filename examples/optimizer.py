@@ -1,0 +1,94 @@
+"""Redundant-load elimination across calls — the Section 2 motivation.
+
+A compiler keeping a global in a register must spill/reload it around a
+call unless it can prove the call neither modifies nor uses it.  This
+example drives :mod:`repro.extensions.regpromo` over the corpus plus a
+register-pressure-shaped ledger program and compares three call-kill
+policies:
+
+* ``worst-case``  — no interprocedural information: every call kills
+  every visible variable (the paper's "must assume" default);
+* ``mod``         — the paper's analysis: a call kills only its MOD set;
+* ``oracle``      — per-site observed effects from the tracing
+  interpreter (a dynamic lower bound, unsound as a compiler policy).
+
+Run::
+
+    python examples/optimizer.py
+"""
+
+from repro import analyze_side_effects, compile_source
+from repro.extensions.regpromo import promotion_report
+from repro.lang.interp import Interpreter
+from repro.workloads import corpus
+
+#: A register-pressure shaped workload: hot code repeatedly reads
+#: configuration globals around calls that never touch them.
+LEDGER = """
+program ledger
+  global price, taxrate, discount, total, count, errors
+
+  proc log_sale(amount)
+  begin
+    total := total + amount
+    count := count + 1
+  end
+
+  proc flag_error()
+  begin
+    errors := errors + 1
+  end
+
+  proc sell(qty)
+    local amount
+  begin
+    amount := qty * price
+    amount := amount - amount * discount / 100
+    call log_sale(amount)
+    amount := amount + amount * taxrate / 100
+    if price < 1 then
+      call flag_error()
+    end
+    amount := qty * price + taxrate - discount
+    call log_sale(amount)
+    amount := price * taxrate + discount
+  end
+
+begin
+  price := 10
+  taxrate := 8
+  discount := 5
+  call sell(3)
+  call sell(7)
+  print total, count, errors
+end
+"""
+
+
+def main() -> None:
+    programs = dict(corpus.ALL)
+    programs["ledger"] = LEDGER
+    print("%-12s %8s | %14s %14s %14s" % (
+        "program", "loads", "worst-case", "MOD analysis", "dynamic bound"))
+    print("-" * 72)
+    for name, source in sorted(programs.items()):
+        resolved = compile_source(source)
+        summary = analyze_side_effects(resolved)
+        trace = Interpreter(resolved, inputs=[3, 1, 4, 1, 5, 9, 2, 6]).run()
+        report = promotion_report(resolved, summary, trace)
+        total = report["mod"].total_loads
+        print("%-12s %8d | %8d (%3.0f%%) %8d (%3.0f%%) %8d (%3.0f%%)" % (
+            name, total,
+            report["worst-case"].eliminated, 100 * report["worst-case"].fraction,
+            report["mod"].eliminated, 100 * report["mod"].fraction,
+            report["oracle"].eliminated, 100 * report["oracle"].fraction))
+    print()
+    print("'eliminated' counts scalar loads provably redundant within a")
+    print("procedure.  Wherever hot code re-reads globals around calls")
+    print("(ledger, evaluator), the MOD-based policy recovers most of the")
+    print("dynamic bound while the worst-case assumption forgets everything")
+    print("at every call — the gap the paper's introduction is about.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Quickstart: analyse a small program and read off MOD/USE per call site.
+
+Run::
+
+    python examples/quickstart.py
+
+This walks the exact pipeline of the paper: LMOD/IMOD → RMOD over the
+binding multi-graph (Figure 1) → IMOD+ → GMOD via findgmod (Figure 2) →
+DMOD per call site (equation 2) → alias factoring → MOD.
+"""
+
+from repro import analyze_side_effects
+from repro.core.varsets import EffectKind
+
+SOURCE = """
+program payroll
+  global rate, total, errors
+
+  proc apply_raise(salary, pct)
+  begin
+    salary := salary + salary * pct / 100
+  end
+
+  proc pay_one(salary)
+  begin
+    if salary < 0 then
+      errors := errors + 1
+    else
+      total := total + salary
+    end
+  end
+
+  proc pay_roll(salary)
+  begin
+    call apply_raise(salary, rate)
+    call pay_one(salary)
+  end
+
+begin
+  rate := 5
+  total := 0
+  errors := 0
+  call pay_roll(1200)
+end
+"""
+
+
+def main() -> None:
+    summary = analyze_side_effects(SOURCE)
+    resolved = summary.resolved
+
+    print("Per-procedure summaries")
+    print("-" * 60)
+    for proc in resolved.procs:
+        rmod = [f.name for f in summary.solutions[EffectKind.MOD].rmod.formals_of(proc.pid)]
+        gmod = summary.universe.format(summary.gmod_mask(proc))
+        guse = summary.universe.format(summary.gmod_mask(proc, EffectKind.USE))
+        print("%-12s RMOD={%s}  GMOD=%s  GUSE=%s"
+              % (proc.qualified_name, ", ".join(rmod), gmod, guse))
+
+    print()
+    print("Per-call-site MOD / USE")
+    print("-" * 60)
+    for site in resolved.call_sites:
+        mod = sorted(v.qualified_name for v in summary.mod(site))
+        use = sorted(v.qualified_name for v in summary.use(site))
+        print("line %2d  call %-12s MOD={%s}  USE={%s}"
+              % (site.line, site.callee.qualified_name,
+                 ", ".join(mod), ", ".join(use)))
+
+    print()
+    print("Reading the result:")
+    print(" * apply_raise's RMOD shows its first formal is modified, so")
+    print("   pay_roll's local view of `salary` changes across that call;")
+    print(" * pay_one touches only the globals total/errors;")
+    print(" * main's call may modify total and errors but never rate —")
+    print("   a compiler can keep `rate` in a register across the call.")
+
+
+if __name__ == "__main__":
+    main()

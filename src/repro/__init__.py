@@ -1,0 +1,44 @@
+"""repro — a reproduction of Cooper & Kennedy,
+*Interprocedural Side-Effect Analysis in Linear Time* (PLDI 1988).
+
+Public API quick tour::
+
+    from repro import analyze_side_effects, compile_source
+
+    summary = analyze_side_effects(source_text)
+    for site in summary.resolved.call_sites:
+        print(site, summary.names(summary.mod_mask(site)))
+
+Packages:
+
+* :mod:`repro.lang` — the CK mini-language (parser, semantics,
+  tracing interpreter);
+* :mod:`repro.graphs` — call multi-graph, binding multi-graph, SCC/DFS;
+* :mod:`repro.core` — the paper's algorithms (Figures 1 and 2, the
+  multi-level nesting extension, DMOD/MOD assembly, alias pairs);
+* :mod:`repro.baselines` — the solvers the paper improves upon;
+* :mod:`repro.sections` — Section 6's regular section analysis;
+* :mod:`repro.workloads` — program generators and a hand-written corpus.
+"""
+
+from repro.core.pipeline import analyze_side_effects
+from repro.core.summary import SideEffectSummary
+from repro.core.varsets import EffectKind, VariableUniverse
+from repro.lang.semantic import compile_source
+from repro.lang.parser import parse_program
+from repro.lang.semantic import analyze
+from repro.lang.builder import ProgramBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analyze_side_effects",
+    "SideEffectSummary",
+    "EffectKind",
+    "VariableUniverse",
+    "compile_source",
+    "parse_program",
+    "analyze",
+    "ProgramBuilder",
+    "__version__",
+]

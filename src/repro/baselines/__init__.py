@@ -1,0 +1,31 @@
+"""Baseline solvers the paper measures itself against.
+
+* :mod:`repro.baselines.iterative` — Kam–Ullman style worklist
+  iteration, both on the *undecomposed* equation (1) (the classical
+  formulation whose direct solution "will not achieve the fast time
+  bounds") and on the decomposed equations (4) and (6);
+* :mod:`repro.baselines.swift` — a stand-in for the authors' earlier
+  *swift* algorithm: binding-summary propagation whose unit of work is
+  a length-``Nβ`` bit vector, reproducing the ``O(Nβ·E_C)``-flavoured
+  cost the paper's Section 3.2 comparison is about;
+* :mod:`repro.baselines.naive` — per-procedure reachability closure,
+  ``O(N·(N+E))``, an independent oracle for two-level programs.
+"""
+
+from repro.baselines.iterative import (
+    solve_direct_equation1,
+    solve_gmod_iterative,
+    solve_gmod_roundrobin,
+    solve_rmod_iterative,
+)
+from repro.baselines.swift import solve_rmod_swift
+from repro.baselines.naive import solve_gmod_naive
+
+__all__ = [
+    "solve_direct_equation1",
+    "solve_gmod_iterative",
+    "solve_gmod_roundrobin",
+    "solve_rmod_iterative",
+    "solve_rmod_swift",
+    "solve_gmod_naive",
+]

@@ -1,0 +1,62 @@
+"""Naive per-procedure reachability closure for the global phase.
+
+For a two-level (C/Fortran-style) program, Section 4 observes that
+``GMOD(p)`` is "simply ``IMOD+(p)`` augmented by those global variables
+that are modified in some procedure reachable by a call chain from
+``p``" — a generalised reachability problem.  The naive way to solve a
+reachability-union problem is one graph traversal **per procedure**:
+``O(N_C·(N_C + E_C))`` time, ``O(N_C + E_C)`` bit-vector steps per
+source.  ``findgmod``'s point is to do all sources in a single pass.
+
+This solver is only correct for two-level programs (it applies no
+``LOCAL`` filtering along chains); the pipeline never uses it — it is
+an independent oracle and the quadratic baseline for benchmark E4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.bitvec import OpCounter
+from repro.core.varsets import VariableUniverse
+from repro.graphs.callgraph import CallMultiGraph
+
+
+def solve_gmod_naive(
+    graph: CallMultiGraph,
+    imod_plus: Sequence[int],
+    universe: VariableUniverse,
+    counter: Optional[OpCounter] = None,
+) -> List[int]:
+    """One DFS per procedure: ``GMOD(p) = IMOD+(p) ∪
+    ∪_{q reachable from p} (IMOD+(q) ∩ GLOBAL)``.
+
+    Requires a two-level program (``max_nesting_level <= 1``).
+    """
+    if graph.resolved.max_nesting_level > 1:
+        raise ValueError(
+            "solve_gmod_naive handles two-level programs only; "
+            "use solve_equation4_reference for nested programs"
+        )
+    if counter is None:
+        counter = OpCounter()
+    num_nodes = graph.num_nodes
+    global_mask = universe.global_mask
+    gmod = [0] * num_nodes
+    for source in range(num_nodes):
+        visited = [False] * num_nodes
+        visited[source] = True
+        stack = [source]
+        value = imod_plus[source]
+        counter.bit_vector_steps += 1
+        while stack:
+            node = stack.pop()
+            if node != source:
+                value |= imod_plus[node] & global_mask
+                counter.bit_vector_steps += 1
+            for succ in graph.successors[node]:
+                if not visited[succ]:
+                    visited[succ] = True
+                    stack.append(succ)
+        gmod[source] = value
+    return gmod

@@ -1,0 +1,244 @@
+"""Command-line driver: ``ck-analyze`` (or ``python -m repro.cli``).
+
+Subcommands:
+
+* ``analyze FILE``   — run the full pipeline and print the per-procedure
+  and per-call-site summary (add ``--sections`` for Figure 3 style
+  regular sections, ``--dot-callgraph`` / ``--dot-binding`` for
+  Graphviz output);
+* ``run FILE``       — execute the program under the tracing
+  interpreter and print its output plus observed per-site effects;
+* ``gen``            — emit a random program (see
+  :mod:`repro.workloads.generator`);
+* ``constants FILE`` — interprocedural constant propagation report;
+* ``summary FILE``   — write the analysis summary as JSON (for build
+  systems / the recompilation analysis);
+* ``recompile OLD.json NEW.json --edited a,b`` — which procedures need
+  recompilation after an edit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.pipeline import GMOD_METHODS, analyze_side_effects
+from repro.core.varsets import EffectKind
+from repro.lang.errors import CkError
+from repro.lang.interp import Interpreter
+from repro.lang.pretty import pretty
+from repro.lang.semantic import compile_source
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    resolved = compile_source(source)
+    summary = analyze_side_effects(resolved, gmod_method=args.gmod_method)
+    if args.dot_callgraph:
+        print(summary.call_graph.to_dot())
+        return 0
+    if args.dot_binding:
+        print(summary.binding_graph.to_dot())
+        return 0
+    print(summary.report())
+    if args.sections:
+        from repro.sections import analyze_sections
+
+        print("\nregular sections (MOD, %s lattice):" % args.lattice)
+        section_analysis = analyze_sections(
+            resolved, EffectKind.MOD, summary.universe, summary.call_graph,
+            lattice=args.lattice,
+        )
+        for site in resolved.call_sites:
+            rendered = section_analysis.describe_site(site)
+            print(
+                "  site %d -> %s: %s"
+                % (site.site_id, site.callee.qualified_name, ", ".join(rendered) or "(none)")
+            )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    resolved = compile_source(source)
+    inputs = [int(token) for token in args.inputs.split(",")] if args.inputs else []
+    interpreter = Interpreter(
+        resolved, inputs=inputs, max_steps=args.max_steps, max_depth=args.max_depth
+    )
+    trace = interpreter.run()
+    print("status: %s (%d steps)" % (trace.reason, trace.steps))
+    if trace.output:
+        print("output: %s" % " ".join(str(v) for v in trace.output))
+    if args.trace:
+        for site in resolved.call_sites:
+            observed = trace.observed_mod.get(site.site_id)
+            if observed is None:
+                continue
+            names = sorted(v.qualified_name for v in observed)
+            print("site %d observed MOD: {%s}" % (site.site_id, ", ".join(names)))
+    return 0
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    from repro.workloads.generator import GeneratorConfig, generate_program
+
+    config = GeneratorConfig(
+        seed=args.seed,
+        num_procs=args.procs,
+        num_globals=args.globals_,
+        max_depth=args.depth,
+        allow_recursion=not args.acyclic,
+    )
+    source = pretty(generate_program(config))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(source)
+    else:
+        sys.stdout.write(source)
+    return 0
+
+
+def _cmd_constants(args: argparse.Namespace) -> int:
+    from repro.extensions.constprop import solve_constants
+
+    with open(args.file) as handle:
+        resolved = compile_source(handle.read())
+    result = solve_constants(resolved, kill_policy=args.kill_policy)
+    report = result.report()
+    print(report or "(no constant formals found)")
+    print(
+        "%d constant formals (%d substitutable) under the %s kill policy"
+        % (result.constants_found(), result.substitutable_found(), args.kill_policy)
+    )
+    return 0
+
+
+def _cmd_purity(args: argparse.Namespace) -> int:
+    from repro.extensions.purity import purity_report
+
+    with open(args.file) as handle:
+        resolved = compile_source(handle.read())
+    print(purity_report(analyze_side_effects(resolved)))
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    from repro.core.persist import summary_to_json
+
+    with open(args.file) as handle:
+        resolved = compile_source(handle.read())
+    text = summary_to_json(analyze_side_effects(resolved), indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_recompile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.extensions.recompilation import recompilation_report
+
+    with open(args.old) as handle:
+        old_payload = json.load(handle)
+    with open(args.new) as handle:
+        new_payload = json.load(handle)
+    edited = [name for name in args.edited.split(",") if name]
+    print(recompilation_report(old_payload, new_payload, edited=edited))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ck-analyze",
+        description="Interprocedural side-effect analysis (Cooper & Kennedy, PLDI 1988)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze_cmd = sub.add_parser("analyze", help="analyze a CK source file")
+    analyze_cmd.add_argument("file")
+    analyze_cmd.add_argument(
+        "--gmod-method", choices=GMOD_METHODS, default="auto",
+        help="global-phase solver (default: auto)",
+    )
+    analyze_cmd.add_argument("--sections", action="store_true",
+                             help="also print regular sections per call site")
+    analyze_cmd.add_argument("--lattice", choices=("figure3", "ranges"),
+                             default="figure3",
+                             help="section lattice instance (with --sections)")
+    analyze_cmd.add_argument("--dot-callgraph", action="store_true",
+                             help="emit the call multi-graph as Graphviz DOT")
+    analyze_cmd.add_argument("--dot-binding", action="store_true",
+                             help="emit the binding multi-graph as Graphviz DOT")
+    analyze_cmd.set_defaults(func=_cmd_analyze)
+
+    run_cmd = sub.add_parser("run", help="execute a CK source file")
+    run_cmd.add_argument("file")
+    run_cmd.add_argument("--inputs", default="", help="comma-separated read inputs")
+    run_cmd.add_argument("--max-steps", type=int, default=1_000_000)
+    run_cmd.add_argument("--max-depth", type=int, default=500)
+    run_cmd.add_argument("--trace", action="store_true",
+                         help="print observed per-site MOD sets")
+    run_cmd.set_defaults(func=_cmd_run)
+
+    gen_cmd = sub.add_parser("gen", help="generate a random CK program")
+    gen_cmd.add_argument("--seed", type=int, default=0)
+    gen_cmd.add_argument("--procs", type=int, default=20)
+    gen_cmd.add_argument("--globals", dest="globals_", type=int, default=8)
+    gen_cmd.add_argument("--depth", type=int, default=1, help="max nesting depth")
+    gen_cmd.add_argument("--acyclic", action="store_true", help="forbid recursion")
+    gen_cmd.add_argument("-o", "--output", default="")
+    gen_cmd.set_defaults(func=_cmd_gen)
+
+    constants_cmd = sub.add_parser(
+        "constants", help="interprocedural constant propagation report"
+    )
+    constants_cmd.add_argument("file")
+    constants_cmd.add_argument(
+        "--kill-policy", choices=("precise", "worstcase"), default="precise"
+    )
+    constants_cmd.set_defaults(func=_cmd_constants)
+
+    purity_cmd = sub.add_parser(
+        "purity", help="pure/observer/mutator procedure classification"
+    )
+    purity_cmd.add_argument("file")
+    purity_cmd.set_defaults(func=_cmd_purity)
+
+    summary_cmd = sub.add_parser("summary", help="write the analysis summary as JSON")
+    summary_cmd.add_argument("file")
+    summary_cmd.add_argument("-o", "--output", default="")
+    summary_cmd.set_defaults(func=_cmd_summary)
+
+    recompile_cmd = sub.add_parser(
+        "recompile", help="diff two summary JSON files for recompilation"
+    )
+    recompile_cmd.add_argument("old")
+    recompile_cmd.add_argument("new")
+    recompile_cmd.add_argument(
+        "--edited", default="", help="comma-separated edited procedure names"
+    )
+    recompile_cmd.set_defaults(func=_cmd_recompile)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CkError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    except OSError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

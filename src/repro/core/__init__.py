@@ -1,0 +1,31 @@
+"""The paper's contribution: linear-time alias-free flow-insensitive
+side-effect analysis.
+
+Modules mirror the paper's decomposition:
+
+* :mod:`repro.core.local` — ``LMOD``/``LUSE`` per statement and
+  ``IMOD``/``IUSE`` per procedure, with the Section 3.3 nesting
+  extension;
+* :mod:`repro.core.rmod` — ``RMOD``/``RUSE`` over the binding
+  multi-graph (Figure 1);
+* :mod:`repro.core.imod_plus` — equation (5);
+* :mod:`repro.core.gmod` — ``findgmod`` (Figure 2, Theorems 1 and 2);
+* :mod:`repro.core.gmod_nested` — the Section 4 multi-level nesting
+  extension;
+* :mod:`repro.core.dmod` — equation (2), per-call-site direct sets;
+* :mod:`repro.core.aliases` — Banning-style alias pairs and the
+  Section 5 ``DMOD`` → ``MOD`` step;
+* :mod:`repro.core.pipeline` — the end-to-end driver producing a
+  :class:`repro.core.summary.SideEffectSummary`.
+"""
+
+from repro.core.varsets import VariableUniverse, EffectKind
+from repro.core.pipeline import analyze_side_effects
+from repro.core.summary import SideEffectSummary
+
+__all__ = [
+    "VariableUniverse",
+    "EffectKind",
+    "analyze_side_effects",
+    "SideEffectSummary",
+]

@@ -1,0 +1,199 @@
+"""Alias-pair analysis and the final ``DMOD`` → ``MOD`` step (Section 5).
+
+The paper's algorithm is *alias-free*: aliasing is "ignored until late
+in the computation; the method assumes that simple sets of alias pairs
+are available for each procedure".  This module supplies those sets
+with the classical Banning-style flow-insensitive computation for
+languages whose only aliasing mechanism is reference-parameter passing:
+
+``ALIAS(q)`` (pairs that may hold on entry to ``q``) is the least
+fixpoint of the introduction rules over all call sites ``e = (p, q)``
+with by-reference bindings ``a_i ↦ f_i``:
+
+1. ``a_i`` and ``a_j`` are the same variable (``i ≠ j``)
+   → ``⟨f_i, f_j⟩``;
+2. ``⟨a_i, a_j⟩ ∈ ALIAS(p)``            → ``⟨f_i, f_j⟩``;
+3. ``a_i = v`` and ``v`` is still *extant* inside ``q``
+   (a global, or a variable of one of ``q``'s lexical ancestors —
+   extant rather than name-visible, because shadowing hides a name
+   without deallocating the instance) → ``⟨f_i, v⟩``;
+4. ``⟨a_i, v⟩ ∈ ALIAS(p)`` and ``v`` extant inside ``q``
+   → ``⟨f_i, v⟩``;
+5. (lexical nesting) ``ALIAS(q) ⊇ ALIAS(parent(q))`` — a pair that may
+   hold on entry to the enclosing procedure still holds, for the
+   statically-linked instances, when a nested procedure is entered.
+
+Then, per the paper's step (2)::
+
+    ∀ x ∈ DMOD(s):  if ⟨x, y⟩ ∈ ALIAS(p)  then  add y to MOD(s)
+
+one introduction step, not a transitive closure — exactly as stated.
+The cost of both phases is linear in the number of alias pairs, which
+the paper notes is unavoidable for any summary computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.bitvec import OpCounter
+from repro.core.varsets import VariableUniverse
+from repro.lang.symbols import ProcSymbol, ResolvedProgram, VarSymbol
+
+Pair = FrozenSet[int]  # A pair of variable uids (frozenset of size 2).
+
+
+def _pair(a: int, b: int) -> Pair:
+    return frozenset((a, b))
+
+
+@dataclass
+class AliasResult:
+    """``ALIAS(p)`` for every procedure, as sets of uid pairs."""
+
+    resolved: ResolvedProgram
+    pairs: List[Set[Pair]]
+    #: Per pid: uid -> mask of uids it may be aliased to on entry.
+    partner_mask: List[Dict[int, int]] = field(default_factory=list)
+
+    def pairs_of(self, proc: ProcSymbol) -> Set[Pair]:
+        return self.pairs[proc.pid]
+
+    def total_pairs(self) -> int:
+        return sum(len(pair_set) for pair_set in self.pairs)
+
+    def may_alias(self, proc: ProcSymbol, a: VarSymbol, b: VarSymbol) -> bool:
+        return _pair(a.uid, b.uid) in self.pairs[proc.pid]
+
+
+def compute_aliases(
+    resolved: ResolvedProgram,
+    universe: VariableUniverse,
+    counter: Optional[OpCounter] = None,
+    initial_pairs: Optional[List[Set[Pair]]] = None,
+    seed_pids: Optional[List[int]] = None,
+) -> AliasResult:
+    """Fixpoint of the introduction rules over the call multi-graph.
+
+    ``initial_pairs``/``seed_pids`` support warm starts for incremental
+    re-analysis: pair sets known to be final may be pre-seeded and the
+    worklist restricted to the procedures whose contributions may have
+    changed (the caller is responsible for the region argument — see
+    :mod:`repro.core.incremental`).  Pre-seeded values must be *subsets
+    or exact*: the rules only ever add pairs.
+    """
+    if counter is None:
+        counter = OpCounter()
+    num_procs = resolved.num_procs
+    if initial_pairs is not None:
+        pairs = [set(pair_set) for pair_set in initial_pairs]
+    else:
+        pairs = [set() for _ in range(num_procs)]
+    sites_by_caller: List[List] = [[] for _ in range(num_procs)]
+    for site in resolved.call_sites:
+        sites_by_caller[site.caller.pid].append(site)
+
+    extant_uid_mask: List[int] = [universe.extant_mask(p) for p in resolved.procs]
+
+    # Worklist of pids whose ALIAS set changed (all procs first: rules
+    # 1 and 3 fire without any caller pairs).
+    if seed_pids is not None:
+        worklist = list(seed_pids)
+        queued = [False] * num_procs
+        for pid in worklist:
+            queued[pid] = True
+    else:
+        worklist = list(range(num_procs))
+        queued = [True] * num_procs
+    while worklist:
+        caller_pid = worklist.pop()
+        queued[caller_pid] = False
+        # Rule 5: nested procedures inherit the enclosing procedure's
+        # pairs (every member is still extant one level down).
+        for nested in resolved.procs[caller_pid].nested:
+            new_pairs = pairs[caller_pid] - pairs[nested.pid]
+            if new_pairs:
+                pairs[nested.pid] |= new_pairs
+                if not queued[nested.pid]:
+                    queued[nested.pid] = True
+                    worklist.append(nested.pid)
+        # Snapshot: on self-recursive sites the caller's and callee's
+        # pair sets are the same object, and rule 4 iterates one while
+        # inserting into the other.  New pairs are picked up by the
+        # worklist requeue.
+        caller_pairs = set(pairs[caller_pid])
+        for site in sites_by_caller[caller_pid]:
+            callee = site.callee
+            callee_pid = callee.pid
+            callee_extant = extant_uid_mask[callee_pid]
+            ref = [
+                (callee.formals[b.position], b.base)
+                for b in site.bindings
+                if b.by_reference
+            ]
+            added = False
+            for index, (formal_i, actual_i) in enumerate(ref):
+                # Rule 3: actual still visible inside the callee.
+                if (callee_extant >> actual_i.uid) & 1:
+                    new = _pair(formal_i.uid, actual_i.uid)
+                    if len(new) == 2 and new not in pairs[callee_pid]:
+                        pairs[callee_pid].add(new)
+                        added = True
+                # Rules 1 and 2: two actuals aliased in the caller.
+                for formal_j, actual_j in ref[index + 1:]:
+                    same = actual_i is actual_j
+                    known = _pair(actual_i.uid, actual_j.uid) in caller_pairs
+                    if same or known:
+                        new = _pair(formal_i.uid, formal_j.uid)
+                        if len(new) == 2 and new not in pairs[callee_pid]:
+                            pairs[callee_pid].add(new)
+                            added = True
+                # Rule 4: actual aliased in the caller to a variable
+                # still visible inside the callee.
+                for pair in caller_pairs:
+                    if actual_i.uid in pair:
+                        other = next(iter(pair - {actual_i.uid}), None)
+                        if other is None:
+                            continue
+                        if (callee_extant >> other) & 1:
+                            new = _pair(formal_i.uid, other)
+                            if len(new) == 2 and new not in pairs[callee_pid]:
+                                pairs[callee_pid].add(new)
+                                added = True
+            if added and not queued[callee_pid]:
+                queued[callee_pid] = True
+                worklist.append(callee_pid)
+
+    partner_mask: List[Dict[int, int]] = []
+    for pid in range(num_procs):
+        partners: Dict[int, int] = {}
+        for pair in pairs[pid]:
+            a, b = tuple(pair)
+            partners[a] = partners.get(a, 0) | (1 << b)
+            partners[b] = partners.get(b, 0) | (1 << a)
+        partner_mask.append(partners)
+    return AliasResult(resolved=resolved, pairs=pairs, partner_mask=partner_mask)
+
+
+def factor_aliases_into(
+    dmod_masks: Sequence[int],
+    aliases: AliasResult,
+    resolved: ResolvedProgram,
+    counter: Optional[OpCounter] = None,
+) -> List[int]:
+    """Section 5 step (2): ``MOD(s)`` from ``DMOD(s)`` and the caller's
+    alias pairs (one expansion step, as the paper specifies)."""
+    if counter is None:
+        counter = OpCounter()
+    result: List[int] = []
+    for site in resolved.call_sites:
+        mask = dmod_masks[site.site_id]
+        partners = aliases.partner_mask[site.caller.pid]
+        expanded = mask
+        for uid, partner in partners.items():
+            if (mask >> uid) & 1:
+                expanded |= partner
+                counter.bit_vector_steps += 1
+        result.append(expanded)
+    return result

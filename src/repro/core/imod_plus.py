@@ -1,0 +1,55 @@
+"""``IMOD+`` — equation (5) of the paper.
+
+``IMOD+(p)`` extends ``IMOD(p)`` with every variable that ``p`` passes
+by reference (from any call site in ``p``) to a formal parameter the
+``RMOD`` solution marks as modified::
+
+    IMOD+(p) = IMOD(p)  ∪  ∪_{e=(p,q)} b_e(RMOD(q))
+
+where ``b_e`` is restricted to actual-to-formal reference bindings.
+After this step the global-variable phase (``findgmod``) never needs to
+reason about parameter passing again — that is the decomposition at the
+heart of the paper.
+
+A subscripted actual (``a[i]`` bound to a modified formal) contributes
+its base array ``a``: the formal is a unitary object, so modifying it
+modifies (part of) ``a``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.bitvec import OpCounter
+from repro.core.local import LocalAnalysis
+from repro.core.rmod import RmodResult
+from repro.core.varsets import EffectKind
+from repro.lang.symbols import ResolvedProgram
+
+
+def compute_imod_plus(
+    resolved: ResolvedProgram,
+    local: LocalAnalysis,
+    rmod: RmodResult,
+    kind: EffectKind = EffectKind.MOD,
+    counter: Optional[OpCounter] = None,
+) -> List[int]:
+    """Per-pid ``IMOD+`` bit masks (equation (5)).
+
+    Cost: one single-bit ``RMOD`` test per reference binding — linear
+    in the total argument count, i.e. ``O(µ_a · E_C)``.
+    """
+    if counter is None:
+        counter = OpCounter()
+    result = list(local.initial(kind))
+    for site in resolved.call_sites:
+        caller_pid = site.caller.pid
+        callee = site.callee
+        for binding in site.bindings:
+            if not binding.by_reference:
+                continue
+            formal = callee.formals[binding.position]
+            counter.single_bit_steps += 1
+            if rmod.formal_value(formal):
+                result[caller_pid] |= 1 << binding.base.uid
+    return result

@@ -1,0 +1,107 @@
+"""Summary serialization — separate-compilation support.
+
+The paper's program of research (interprocedural analysis inside the
+Rice programming environment) assumes summary information is *stored*
+between compiler runs.  This module round-trips the per-procedure and
+per-site sets through a plain-dict (JSON-safe) form keyed by qualified
+names, so a summary written by one process can be loaded against a
+freshly parsed copy of the same program — or diffed against the next
+version's summary by the recompilation analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.core.summary import SideEffectSummary
+from repro.core.varsets import EffectKind
+from repro.lang.symbols import ResolvedProgram
+
+FORMAT_VERSION = 1
+
+
+def summary_to_dict(summary: SideEffectSummary) -> Dict:
+    """A JSON-safe dictionary of every externally meaningful set."""
+    resolved = summary.resolved
+    universe = summary.universe
+    payload: Dict = {
+        "version": FORMAT_VERSION,
+        "program": resolved.program.name,
+        "procedures": {},
+        "call_sites": [],
+    }
+    for proc in resolved.procs:
+        entry: Dict = {"level": proc.level}
+        for kind, solution in summary.solutions.items():
+            tag = kind.value
+            entry["g%s" % tag] = universe.to_names(solution.gmod[proc.pid])
+            entry["r%s" % tag] = [
+                formal.name for formal in solution.rmod.formals_of(proc.pid)
+            ]
+        payload["procedures"][proc.qualified_name] = entry
+    for site in resolved.call_sites:
+        entry = {
+            "site_id": site.site_id,
+            "caller": site.caller.qualified_name,
+            "callee": site.callee.qualified_name,
+            "line": site.line,
+        }
+        for kind, solution in summary.solutions.items():
+            tag = kind.value
+            entry["d%s" % tag] = universe.to_names(solution.dmod[site.site_id])
+            entry[tag] = universe.to_names(solution.mod[site.site_id])
+        payload["call_sites"].append(entry)
+    return payload
+
+
+def summary_to_json(summary: SideEffectSummary, indent: int = None) -> str:
+    return json.dumps(summary_to_dict(summary), indent=indent, sort_keys=True)
+
+
+class LoadedSummary:
+    """A summary read back from its serialized form.
+
+    Offers the same name-level queries as a live summary (``mod_names``,
+    ``gmod_names``, …) without requiring re-analysis; mask-level APIs
+    need the live object.
+    """
+
+    def __init__(self, payload: Dict):
+        if payload.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                "unsupported summary format version %r" % payload.get("version")
+            )
+        self.payload = payload
+
+    @classmethod
+    def from_json(cls, text: str) -> "LoadedSummary":
+        return cls(json.loads(text))
+
+    @property
+    def program_name(self) -> str:
+        return self.payload["program"]
+
+    def procedures(self) -> List[str]:
+        return sorted(self.payload["procedures"])
+
+    def gmod_names(self, qualified_name: str, kind: EffectKind = EffectKind.MOD) -> List[str]:
+        return list(self.payload["procedures"][qualified_name]["g%s" % kind.value])
+
+    def rmod_names(self, qualified_name: str, kind: EffectKind = EffectKind.MOD) -> List[str]:
+        return list(self.payload["procedures"][qualified_name]["r%s" % kind.value])
+
+    def site_entries(self) -> List[Dict]:
+        return list(self.payload["call_sites"])
+
+    def mod_names(self, site_id: int, kind: EffectKind = EffectKind.MOD) -> List[str]:
+        return list(self.payload["call_sites"][site_id][kind.value])
+
+    def dmod_names(self, site_id: int, kind: EffectKind = EffectKind.MOD) -> List[str]:
+        return list(self.payload["call_sites"][site_id]["d%s" % kind.value])
+
+
+def verify_against(loaded: LoadedSummary, summary: SideEffectSummary) -> bool:
+    """Does a loaded summary match a live analysis of (supposedly) the
+    same program?  Used to validate stale summary files."""
+    return summary_to_dict(summary) == loaded.payload

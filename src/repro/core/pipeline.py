@@ -1,0 +1,123 @@
+"""End-to-end driver: source / resolved program → full side-effect summary.
+
+The pipeline follows the paper's decomposition in order:
+
+1. build the call multi-graph and the binding multi-graph;
+2. compute ``LMOD``/``IMOD`` (with the Section 3.3 nesting extension);
+3. solve ``RMOD`` on β (Figure 1);
+4. form ``IMOD+`` (equation (5));
+5. solve the global-variable problem: Figure 2's ``findgmod`` when the
+   program is two-level (no nested procedures), the Section 4
+   multi-level algorithm otherwise — or any solver the caller names;
+6. project ``DMOD`` per call site (equation (2));
+7. compute alias pairs and factor them in (Section 5, step (2)).
+
+Both ``MOD`` and ``USE`` are solved by default.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.aliases import compute_aliases, factor_aliases_into
+from repro.core.bitvec import OpCounter
+from repro.core.dmod import compute_dmod
+from repro.core.gmod import findgmod
+from repro.core.gmod_nested import (
+    findgmod_multilevel,
+    findgmod_per_level,
+    solve_equation4_reference,
+)
+from repro.core.imod_plus import compute_imod_plus
+from repro.core.local import LocalAnalysis
+from repro.core.rmod import solve_rmod
+from repro.core.summary import EffectSolution, SideEffectSummary
+from repro.core.varsets import EffectKind, VariableUniverse
+from repro.graphs.binding import build_binding_graph
+from repro.graphs.callgraph import build_call_graph
+from repro.lang.symbols import ResolvedProgram
+
+#: Selectable global-phase solvers (benchmarks exercise all of them).
+GMOD_METHODS = ("auto", "figure2", "multilevel", "per-level", "reference")
+
+
+def _solve_gmod(method: str, call_graph, imod_plus, universe, kind, counter):
+    if method == "figure2":
+        result = findgmod(call_graph, imod_plus, universe, kind, counter)
+        return result.gmod, "figure2"
+    if method == "multilevel":
+        result = findgmod_multilevel(call_graph, imod_plus, universe, kind, counter)
+        return result.gmod, "multilevel"
+    if method == "per-level":
+        result = findgmod_per_level(call_graph, imod_plus, universe, kind, counter)
+        return result.gmod, "per-level"
+    if method == "reference":
+        result = solve_equation4_reference(call_graph, imod_plus, universe, kind, counter)
+        return result.gmod, "reference"
+    raise ValueError("unknown GMOD method %r" % method)
+
+
+def analyze_side_effects(
+    program: Union[str, ResolvedProgram],
+    kinds: Iterable[EffectKind] = (EffectKind.MOD, EffectKind.USE),
+    gmod_method: str = "auto",
+) -> SideEffectSummary:
+    """Run the complete analysis.
+
+    ``program`` may be CK source text or an already-resolved program.
+    ``gmod_method`` selects the global-phase solver; ``"auto"`` picks
+    Figure 2 for two-level programs and the multi-level algorithm when
+    procedures nest deeper.
+    """
+    if isinstance(program, str):
+        from repro.lang.semantic import compile_source
+
+        resolved = compile_source(program)
+    else:
+        resolved = program
+
+    if gmod_method not in GMOD_METHODS:
+        raise ValueError(
+            "gmod_method must be one of %s, got %r" % (GMOD_METHODS, gmod_method)
+        )
+
+    counter = OpCounter()
+    universe = VariableUniverse(resolved)
+    call_graph = build_call_graph(resolved)
+    binding_graph = build_binding_graph(resolved)
+    local = LocalAnalysis(resolved, universe)
+    aliases = compute_aliases(resolved, universe, counter)
+
+    method = gmod_method
+    if method == "auto":
+        method = "figure2" if resolved.max_nesting_level <= 1 else "multilevel"
+
+    solutions: Dict[EffectKind, EffectSolution] = {}
+    for kind in kinds:
+        rmod = solve_rmod(binding_graph, local, kind, counter)
+        imod_plus = compute_imod_plus(resolved, local, rmod, kind, counter)
+        gmod, used_method = _solve_gmod(
+            method, call_graph, imod_plus, universe, kind, counter
+        )
+        dmod = compute_dmod(resolved, gmod, universe, kind, counter)
+        mod = factor_aliases_into(dmod, aliases, resolved, counter)
+        solutions[kind] = EffectSolution(
+            kind=kind,
+            rmod=rmod,
+            imod_plus=imod_plus,
+            gmod=gmod,
+            dmod=dmod,
+            mod=mod,
+            gmod_method=used_method,
+        )
+
+    return SideEffectSummary(
+        resolved=resolved,
+        universe=universe,
+        call_graph=call_graph,
+        binding_graph=binding_graph,
+        local=local,
+        aliases=aliases,
+        solutions=solutions,
+        counter=counter,
+    )

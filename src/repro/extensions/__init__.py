@@ -1,0 +1,37 @@
+"""Downstream clients and extensions of the side-effect analysis.
+
+These are the applications the paper's research program built the
+analysis *for*:
+
+* :mod:`repro.extensions.constprop` — interprocedural constant
+  propagation over the binding structure (the CCKT 86 work the binding
+  multi-graph was distilled from; Section 3.1 cites it as β's origin),
+  using MOD information for its kill tests;
+* :mod:`repro.extensions.recompilation` — which procedures must be
+  recompiled after an edit, by diffing the summary information their
+  compilations consumed (the programming-environment application);
+* :mod:`repro.extensions.purity` — pure/observer/mutator procedure
+  grades straight from the MOD/USE sets (hoisting, memoisation,
+  reordering legality).
+"""
+
+from repro.extensions.constprop import ConstLattice, solve_constants
+from repro.extensions.recompilation import recompilation_set
+from repro.extensions.purity import Purity, classify_purity, purity_report
+from repro.extensions.regpromo import (
+    PromotionCount,
+    count_redundant_loads,
+    promotion_report,
+)
+
+__all__ = [
+    "ConstLattice",
+    "solve_constants",
+    "recompilation_set",
+    "Purity",
+    "classify_purity",
+    "purity_report",
+    "PromotionCount",
+    "count_redundant_loads",
+    "promotion_report",
+]

@@ -1,0 +1,98 @@
+"""Recompilation analysis: which procedures must be recompiled?
+
+In a separate-compilation environment, each procedure was optimised
+against the summary annotations (``MOD``/``USE`` at its call sites,
+its callees' ``RMOD``) current at its last compilation.  After an edit,
+a procedure needs recompilation exactly when the information its
+compilation *consumed* has changed — not merely when something anywhere
+changed (Torczon's dissertation, cited through the paper's lineage,
+develops this discipline; we implement its summary-diff core).
+
+Inputs are the serialized summary payloads of the two versions
+(:func:`repro.core.persist.summary_to_dict`), so the analysis works
+across compiler runs without live objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+
+def _sites_by_caller(payload: Dict) -> Dict[str, List[Dict]]:
+    grouped: Dict[str, List[Dict]] = {}
+    for entry in payload["call_sites"]:
+        grouped.setdefault(entry["caller"], []).append(entry)
+    return grouped
+
+
+def _consumed_annotations(site_entries: List[Dict]) -> List[Dict]:
+    """The per-site facts a compilation of the caller depends on:
+    callee identity (in order) and the MOD/USE/DMOD/DUSE name sets."""
+    consumed = []
+    for entry in site_entries:
+        consumed.append(
+            {
+                "callee": entry["callee"],
+                "mod": sorted(entry.get("mod", [])),
+                "use": sorted(entry.get("use", [])),
+                "dmod": sorted(entry.get("dmod", [])),
+                "duse": sorted(entry.get("duse", [])),
+            }
+        )
+    return consumed
+
+
+def recompilation_set(
+    old_payload: Dict,
+    new_payload: Dict,
+    edited: Iterable[str] = (),
+) -> Set[str]:
+    """Procedures (qualified names, new version) needing recompilation.
+
+    A procedure must be recompiled when:
+
+    * it was edited (or is new in this version), or
+    * the annotation sequence at its call sites changed — different
+      callees (an edit re-routed a call) or different MOD/USE sets (an
+      edit elsewhere changed a summary it optimised against).
+
+    Everything else can keep its object code: the facts it compiled
+    against still hold.
+    """
+    result: Set[str] = set(edited)
+    old_sites = _sites_by_caller(old_payload)
+    new_sites = _sites_by_caller(new_payload)
+    old_procs = set(old_payload["procedures"])
+    for name in new_payload["procedures"]:
+        if name in result:
+            continue
+        if name not in old_procs:
+            result.add(name)
+            continue
+        old_consumed = _consumed_annotations(old_sites.get(name, []))
+        new_consumed = _consumed_annotations(new_sites.get(name, []))
+        if old_consumed != new_consumed:
+            result.add(name)
+    return result
+
+
+def recompilation_report(old_payload: Dict, new_payload: Dict,
+                         edited: Iterable[str] = ()) -> str:
+    """Human-readable breakdown of the recompilation decision."""
+    edited = set(edited)
+    needed = recompilation_set(old_payload, new_payload, edited)
+    lines = []
+    total = len(new_payload["procedures"])
+    for name in sorted(new_payload["procedures"]):
+        if name in edited:
+            reason = "edited"
+        elif name not in old_payload["procedures"]:
+            reason = "new procedure"
+        elif name in needed:
+            reason = "call-site annotations changed"
+        else:
+            reason = "up to date"
+        lines.append("%-24s %s" % (name, reason))
+    lines.append("")
+    lines.append("recompile %d of %d procedures" % (len(needed), total))
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Graph substrates: the call multi-graph, the binding multi-graph, and
+the depth-first-search / strongly-connected-component machinery both
+algorithms in the paper are built on."""
+
+from repro.graphs.scc import tarjan_scc, Condensation, condense
+from repro.graphs.dfs import (
+    EdgeKind,
+    classify_edges,
+    reachable_from,
+)
+from repro.graphs.callgraph import CallMultiGraph, build_call_graph
+from repro.graphs.binding import BindingMultiGraph, build_binding_graph
+from repro.graphs.reducibility import ReductionResult, call_graph_reducible, t1_t2_reduce
+
+__all__ = [
+    "tarjan_scc",
+    "Condensation",
+    "condense",
+    "EdgeKind",
+    "classify_edges",
+    "reachable_from",
+    "CallMultiGraph",
+    "build_call_graph",
+    "BindingMultiGraph",
+    "build_binding_graph",
+    "ReductionResult",
+    "call_graph_reducible",
+    "t1_t2_reduce",
+]

@@ -1,0 +1,95 @@
+"""Depth-first-search utilities: edge classification and reachability.
+
+``findgmod`` (Figure 2) distinguishes tree, forward, back, and cross
+edges of the call graph's DFS forest; :func:`classify_edges` reproduces
+that classification for tests and instrumentation.  Section 3.3 of the
+paper assumes unreachable procedures have been eliminated by "a
+linear-time algorithm" — :func:`reachable_from` is that algorithm.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Sequence, Set, Tuple
+
+
+class EdgeKind(enum.Enum):
+    """DFS edge classification relative to a depth-first forest."""
+
+    TREE = "tree"
+    FORWARD = "forward"
+    BACK = "back"
+    CROSS = "cross"
+
+
+def reachable_from(num_nodes: int, successors: Sequence[Sequence[int]],
+                   roots: Iterable[int]) -> List[bool]:
+    """Nodes reachable from ``roots`` (inclusive), in ``O(N + E)``."""
+    reachable = [False] * num_nodes
+    stack = []
+    for root in roots:
+        if not reachable[root]:
+            reachable[root] = True
+            stack.append(root)
+    while stack:
+        node = stack.pop()
+        for succ in successors[node]:
+            if not reachable[succ]:
+                reachable[succ] = True
+                stack.append(succ)
+    return reachable
+
+
+def classify_edges(num_nodes: int, successors: Sequence[Sequence[int]],
+                   roots: Iterable[int]) -> Tuple[List[int], List[Tuple[int, int, EdgeKind]]]:
+    """DFS from ``roots`` (then any unvisited node), classifying edges.
+
+    Returns ``(dfn, edges)`` where ``dfn[v]`` is the 1-based discovery
+    number (0 if unreachable, which cannot happen since every node is
+    eventually used as a root) and ``edges`` lists
+    ``(source, target, kind)`` for every multi-edge in DFS visit order.
+
+    Classification, matching the conventions Figure 2 relies on:
+
+    * unvisited target — TREE;
+    * visited target that is an ancestor still on the DFS spine — BACK;
+    * visited descendant (``dfn`` greater than the source's) — FORWARD;
+    * otherwise — CROSS.
+    """
+    dfn = [0] * num_nodes
+    finished = [False] * num_nodes
+    on_spine = [False] * num_nodes
+    edges: List[Tuple[int, int, EdgeKind]] = []
+    next_dfn = 1
+
+    all_roots = list(roots) + [node for node in range(num_nodes)]
+    for root in all_roots:
+        if dfn[root] != 0:
+            continue
+        dfn[root] = next_dfn
+        next_dfn += 1
+        on_spine[root] = True
+        work: List[List[object]] = [[root, iter(successors[root])]]
+        while work:
+            node, succ_iter = work[-1]
+            advanced = False
+            for succ in succ_iter:
+                if dfn[succ] == 0:
+                    edges.append((node, succ, EdgeKind.TREE))
+                    dfn[succ] = next_dfn
+                    next_dfn += 1
+                    on_spine[succ] = True
+                    work.append([succ, iter(successors[succ])])
+                    advanced = True
+                    break
+                if on_spine[succ]:
+                    edges.append((node, succ, EdgeKind.BACK))
+                elif dfn[succ] > dfn[node]:
+                    edges.append((node, succ, EdgeKind.FORWARD))
+                else:
+                    edges.append((node, succ, EdgeKind.CROSS))
+            if not advanced:
+                work.pop()
+                on_spine[node] = False
+                finished[node] = True
+    return dfn, edges

@@ -1,0 +1,125 @@
+"""T1–T2 reducibility testing for call graphs.
+
+Why this exists: the swift algorithm and the elimination frameworks it
+builds on (Tarjan's path compression, Graham–Wegman) state their fast
+bounds **for reducible graphs** — and call graphs, unlike structured
+control-flow graphs, are routinely irreducible (mutual recursion
+entered from two places).  The paper's closing claim for both new
+algorithms is that "neither algorithm relies on the assumption of
+reducibility".  This module lets the tests and benchmarks *measure*
+that: classify workloads as reducible or not, and confirm the Figure 1
+/ Figure 2 algorithms agree with the reference solvers on the
+irreducible ones.
+
+Classification is by Hecht–Ullman T1–T2 reduction over the subgraph
+reachable from the entry:
+
+* **T1**: remove a self-loop;
+* **T2**: if node ``n ≠ entry`` has exactly one predecessor ``p``,
+  collapse ``n`` into ``p``.
+
+A graph is reducible iff the transformations shrink it to the single
+entry node.  The implementation keeps predecessor/successor sets and a
+worklist of T2 candidates; each collapse is O(degree), giving the usual
+near-linear behaviour on call-graph-sized inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from repro.graphs.callgraph import CallMultiGraph
+from repro.graphs.dfs import reachable_from
+
+
+@dataclass
+class ReductionResult:
+    """Outcome of T1–T2 reduction."""
+
+    reducible: bool
+    #: Nodes remaining when no transformation applies (1 if reducible).
+    residual_nodes: int
+    #: Total T1 (self-loop) removals performed.
+    t1_count: int
+    #: Total T2 (unique-predecessor merge) collapses performed.
+    t2_count: int
+    #: The irreducible core's node ids (empty if reducible).
+    residual: List[int] = field(default_factory=list)
+
+
+def t1_t2_reduce(num_nodes: int, successors: Sequence[Sequence[int]],
+                 entry: int) -> ReductionResult:
+    """Run T1–T2 to a fixpoint over the entry-reachable subgraph."""
+    alive = reachable_from(num_nodes, successors, [entry])
+    succ: Dict[int, Set[int]] = {}
+    pred: Dict[int, Set[int]] = {}
+    for node in range(num_nodes):
+        if not alive[node]:
+            continue
+        succ.setdefault(node, set())
+        pred.setdefault(node, set())
+        for target in successors[node]:
+            if not alive[target]:
+                continue
+            succ[node].add(target)
+            pred.setdefault(target, set()).add(node)
+
+    t1_count = 0
+    t2_count = 0
+    # T1 first pass: drop self-loops.
+    for node in list(succ):
+        if node in succ[node]:
+            succ[node].discard(node)
+            pred[node].discard(node)
+            t1_count += 1
+
+    worklist = [node for node in succ if node != entry and len(pred[node]) == 1]
+    in_work = set(worklist)
+    while worklist:
+        node = worklist.pop()
+        in_work.discard(node)
+        if node not in succ or node == entry:
+            continue
+        if len(pred[node]) != 1:
+            continue
+        parent = next(iter(pred[node]))
+        # Collapse node into parent.
+        parent_succ = succ[parent]
+        parent_succ.discard(node)
+        for target in succ[node]:
+            pred[target].discard(node)
+            if target == parent:
+                # Collapsing makes this a self-loop on parent: T1.
+                t1_count += 1
+                continue
+            parent_succ.add(target)
+            pred[target].add(parent)
+            if target != entry and len(pred[target]) == 1 and target not in in_work:
+                worklist.append(target)
+                in_work.add(target)
+        del succ[node]
+        del pred[node]
+        t2_count += 1
+        # The parent may have become a T2 candidate.
+        if parent != entry and len(pred[parent]) == 1 and parent not in in_work:
+            worklist.append(parent)
+            in_work.add(parent)
+        # Targets that lost an edge may have become candidates (handled
+        # above); nothing else changes.
+
+    residual = sorted(succ)
+    return ReductionResult(
+        reducible=len(residual) == 1,
+        residual_nodes=len(residual),
+        t1_count=t1_count,
+        t2_count=t2_count,
+        residual=residual if len(residual) > 1 else [],
+    )
+
+
+def call_graph_reducible(graph: CallMultiGraph) -> ReductionResult:
+    """Reducibility of a program's call multi-graph from main."""
+    return t1_t2_reduce(
+        graph.num_nodes, graph.successors, graph.resolved.main.pid
+    )

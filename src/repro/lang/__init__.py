@@ -1,0 +1,38 @@
+"""The CK mini-language: the substrate the side-effect analysis consumes.
+
+CK is a small Pascal-flavoured procedural language with the features the
+Cooper-Kennedy analysis cares about:
+
+* procedures with **by-reference** parameters,
+* a single program-level **global** scope,
+* optional Pascal-style **nested** procedure declarations,
+* scalar integer variables and multi-dimensional integer arrays.
+
+The package provides a lexer, a recursive-descent parser, semantic
+analysis (scopes, symbols, nesting levels), a pretty-printer, a
+programmatic AST builder, and a tracing interpreter used as a dynamic
+soundness oracle for the analysis.
+"""
+
+from repro.lang.errors import CkError, LexError, ParseError, SemanticError, RuntimeCkError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_program
+from repro.lang.semantic import analyze
+from repro.lang.pretty import pretty
+from repro.lang.builder import ProgramBuilder
+from repro.lang.interp import Interpreter, TraceResult
+
+__all__ = [
+    "CkError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "RuntimeCkError",
+    "tokenize",
+    "parse_program",
+    "analyze",
+    "pretty",
+    "ProgramBuilder",
+    "Interpreter",
+    "TraceResult",
+]

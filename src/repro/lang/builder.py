@@ -1,0 +1,206 @@
+"""Fluent programmatic construction of CK programs.
+
+The random workload generator and many tests build programs directly
+rather than via source text.  :class:`ProgramBuilder` produces a raw
+:class:`~repro.lang.nodes.Program`; call
+:func:`repro.lang.semantic.analyze` (or :meth:`ProgramBuilder.resolve`)
+to obtain the resolved form the analyses consume.
+
+Example::
+
+    builder = ProgramBuilder("demo")
+    builder.add_global("g")
+    with builder.proc("p", ["x"]) as p:
+        p.assign("x", b.add(b.var("g"), b.lit(1)))
+        p.call("q", [b.var("x")])
+    with builder.proc("q", ["u"]) as q:
+        q.assign("g", b.var("u"))
+    builder.main_call("p", [b.var("g")])
+    resolved = builder.resolve()
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.lang.nodes import (
+    Assign,
+    BinOp,
+    CallStmt,
+    Expr,
+    For,
+    If,
+    IntLit,
+    Print,
+    ProcDecl,
+    Program,
+    Read,
+    Return,
+    Stmt,
+    UnOp,
+    VarDecl,
+    VarRef,
+    While,
+)
+
+ExprLike = Union[Expr, int, str]
+
+
+def _to_expr(value: ExprLike) -> Expr:
+    """Coerce ints to literals and strings to scalar variable refs."""
+    if isinstance(value, int):
+        return IntLit(value)
+    if isinstance(value, str):
+        return VarRef(value)
+    return value
+
+
+# -- expression helpers (module-level, usable without a builder) -------------
+
+
+def lit(value: int) -> IntLit:
+    return IntLit(value)
+
+
+def var(name: str, *indices: ExprLike) -> VarRef:
+    return VarRef(name, [_to_expr(i) for i in indices])
+
+
+def binop(op: str, left: ExprLike, right: ExprLike) -> BinOp:
+    return BinOp(op, _to_expr(left), _to_expr(right))
+
+
+def add(left: ExprLike, right: ExprLike) -> BinOp:
+    return binop("+", left, right)
+
+
+def sub(left: ExprLike, right: ExprLike) -> BinOp:
+    return binop("-", left, right)
+
+
+def mul(left: ExprLike, right: ExprLike) -> BinOp:
+    return binop("*", left, right)
+
+
+def lt(left: ExprLike, right: ExprLike) -> BinOp:
+    return binop("<", left, right)
+
+
+def eq(left: ExprLike, right: ExprLike) -> BinOp:
+    return binop("=", left, right)
+
+
+def neg(operand: ExprLike) -> UnOp:
+    return UnOp("-", _to_expr(operand))
+
+
+class BlockBuilder:
+    """Builds a statement list (a procedure body or a nested block)."""
+
+    def __init__(self, statements: List[Stmt]):
+        self.statements = statements
+
+    def assign(self, target: Union[str, VarRef], value: ExprLike) -> "BlockBuilder":
+        target_ref = var(target) if isinstance(target, str) else target
+        self.statements.append(Assign(target=target_ref, value=_to_expr(value)))
+        return self
+
+    def call(self, callee: str, args: Sequence[ExprLike] = ()) -> "BlockBuilder":
+        self.statements.append(CallStmt(callee=callee, args=[_to_expr(a) for a in args]))
+        return self
+
+    def if_(self, cond: ExprLike) -> "IfBuilder":
+        stmt = If(cond=_to_expr(cond))
+        self.statements.append(stmt)
+        return IfBuilder(stmt)
+
+    def while_(self, cond: ExprLike) -> "BlockBuilder":
+        stmt = While(cond=_to_expr(cond))
+        self.statements.append(stmt)
+        return BlockBuilder(stmt.body)
+
+    def for_(self, loop_var: str, lo: ExprLike, hi: ExprLike) -> "BlockBuilder":
+        stmt = For(var=var(loop_var), lo=_to_expr(lo), hi=_to_expr(hi))
+        self.statements.append(stmt)
+        return BlockBuilder(stmt.body)
+
+    def read(self, target: Union[str, VarRef]) -> "BlockBuilder":
+        target_ref = var(target) if isinstance(target, str) else target
+        self.statements.append(Read(target=target_ref))
+        return self
+
+    def print_(self, *values: ExprLike) -> "BlockBuilder":
+        self.statements.append(Print(values=[_to_expr(v) for v in values]))
+        return self
+
+    def return_(self) -> "BlockBuilder":
+        self.statements.append(Return())
+        return self
+
+
+class IfBuilder:
+    """Gives access to both arms of an ``if`` under construction."""
+
+    def __init__(self, stmt: If):
+        self._stmt = stmt
+        self.then = BlockBuilder(stmt.then_body)
+        self.otherwise = BlockBuilder(stmt.else_body)
+
+
+class ProcBuilder(BlockBuilder):
+    """Builds one procedure; supports ``with`` for readable nesting."""
+
+    def __init__(self, decl: ProcDecl):
+        super().__init__(decl.body)
+        self.decl = decl
+
+    def add_local(self, name: str, dims: Sequence[int] = ()) -> "ProcBuilder":
+        self.decl.locals.append(VarDecl(name=name, dims=tuple(dims)))
+        return self
+
+    def proc(self, name: str, params: Sequence[str] = ()) -> "ProcBuilder":
+        nested = ProcDecl(name=name, params=list(params))
+        self.decl.nested.append(nested)
+        return ProcBuilder(nested)
+
+    def __enter__(self) -> "ProcBuilder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+class ProgramBuilder:
+    """Top-level builder for a CK program."""
+
+    def __init__(self, name: str = "main"):
+        self.ast = Program(name=name)
+        self.main = BlockBuilder(self.ast.body)
+
+    def add_global(self, name: str, dims: Sequence[int] = ()) -> "ProgramBuilder":
+        self.ast.globals.append(VarDecl(name=name, dims=tuple(dims)))
+        return self
+
+    def proc(self, name: str, params: Sequence[str] = ()) -> ProcBuilder:
+        decl = ProcDecl(name=name, params=list(params))
+        self.ast.procs.append(decl)
+        return ProcBuilder(decl)
+
+    def main_call(self, callee: str, args: Sequence[ExprLike] = ()) -> "ProgramBuilder":
+        self.main.call(callee, args)
+        return self
+
+    def build(self) -> Program:
+        return self.ast
+
+    def resolve(self):
+        """Run semantic analysis and return the ResolvedProgram."""
+        from repro.lang.semantic import analyze
+
+        return analyze(self.ast)
+
+    def source(self) -> str:
+        """Render the program under construction to CK source text."""
+        from repro.lang.pretty import pretty
+
+        return pretty(self.ast)

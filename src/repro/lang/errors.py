@@ -1,0 +1,40 @@
+"""Exception hierarchy for the CK language front end and interpreter."""
+
+from __future__ import annotations
+
+
+class CkError(Exception):
+    """Base class for all CK language errors.
+
+    Carries an optional source position ``(line, column)`` so callers can
+    report precise diagnostics.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.message = message
+        self.line = line
+        self.column = column
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        if self.line:
+            return "line %d, col %d: %s" % (self.line, self.column, self.message)
+        return self.message
+
+
+class LexError(CkError):
+    """Raised when the lexer meets a character it cannot tokenize."""
+
+
+class ParseError(CkError):
+    """Raised when the parser meets an unexpected token."""
+
+
+class SemanticError(CkError):
+    """Raised by semantic analysis: undeclared names, arity mismatches,
+    duplicate declarations, misuse of arrays, and similar."""
+
+
+class RuntimeCkError(CkError):
+    """Raised by the interpreter: division by zero, subscript out of
+    range, step/recursion budget exceeded, and similar."""

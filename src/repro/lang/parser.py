@@ -1,0 +1,430 @@
+"""Recursive-descent parser for the CK language.
+
+Grammar (EBNF; ``{x}`` repetition, ``[x]`` option)::
+
+    program   = "program" IDENT {global_decl | proc_decl}
+                "begin" {stmt} "end"
+    global    = "global" var_items
+    proc      = "proc" IDENT "(" [IDENT {"," IDENT}] ")"
+                {local_decl | proc_decl} "begin" {stmt} "end"
+    local     = "local" var_items
+    var_items = var_item {"," var_item}
+    var_item  = IDENT | "array" IDENT "[" INT "]" {"[" INT "]"}
+    stmt      = assign | call | if | while | for | return | read | print
+    assign    = lvalue ":=" expr
+    lvalue    = IDENT {"[" expr "]"}
+    call      = "call" IDENT "(" [expr {"," expr}] ")"
+    if        = "if" expr "then" {stmt} ["else" {stmt}] "end"
+    while     = "while" expr "do" {stmt} "end"
+    for       = "for" IDENT ":=" expr "to" expr "do" {stmt} "end"
+    read      = "read" lvalue
+    print     = "print" expr {"," expr}
+
+Expressions use conventional precedence (``or`` < ``and`` < ``not`` <
+comparisons < additive < multiplicative < unary minus).  Optional
+semicolons may separate statements and declarations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.lang.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.nodes import (
+    Assign,
+    BinOp,
+    CallStmt,
+    Expr,
+    For,
+    If,
+    IntLit,
+    Print,
+    ProcDecl,
+    Program,
+    Read,
+    Return,
+    Stmt,
+    UnOp,
+    VarDecl,
+    VarRef,
+    While,
+)
+from repro.lang.tokens import Token, TokenKind
+
+_COMPARISON_OPS = {
+    TokenKind.EQ: "=",
+    TokenKind.NE: "!=",
+    TokenKind.LT: "<",
+    TokenKind.LE: "<=",
+    TokenKind.GT: ">",
+    TokenKind.GE: ">=",
+}
+
+_ADDITIVE_OPS = {TokenKind.PLUS: "+", TokenKind.MINUS: "-"}
+
+_MULTIPLICATIVE_OPS = {
+    TokenKind.STAR: "*",
+    TokenKind.SLASH: "/",
+    TokenKind.DIV: "div",
+    TokenKind.MOD: "mod",
+}
+
+_STATEMENT_STARTERS = {
+    TokenKind.IDENT,
+    TokenKind.CALL,
+    TokenKind.IF,
+    TokenKind.WHILE,
+    TokenKind.FOR,
+    TokenKind.RETURN,
+    TokenKind.READ,
+    TokenKind.PRINT,
+}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def check(self, kind: TokenKind) -> bool:
+        return self.peek().kind is kind
+
+    def accept(self, kind: TokenKind) -> bool:
+        if self.check(kind):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, kind: TokenKind, context: str) -> Token:
+        token = self.peek()
+        if token.kind is not kind:
+            raise ParseError(
+                "expected %s in %s, found %s" % (kind.value, context, token.kind.value),
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def skip_separators(self) -> None:
+        while self.accept(TokenKind.SEMI):
+            pass
+
+    # -- program and declarations -------------------------------------------
+
+    def parse_program(self) -> Program:
+        start = self.expect(TokenKind.PROGRAM, "program header")
+        name = self.expect(TokenKind.IDENT, "program header").value
+        globals_: List[VarDecl] = []
+        procs: List[ProcDecl] = []
+        self.skip_separators()
+        while True:
+            if self.check(TokenKind.GLOBAL):
+                globals_.extend(self.parse_var_decls(TokenKind.GLOBAL))
+            elif self.check(TokenKind.PROC):
+                procs.append(self.parse_proc())
+            else:
+                break
+            self.skip_separators()
+        self.expect(TokenKind.BEGIN, "program body")
+        body = self.parse_statements()
+        self.expect(TokenKind.END, "program body")
+        self.skip_separators()
+        eof = self.peek()
+        if eof.kind is not TokenKind.EOF:
+            raise ParseError(
+                "trailing input after program end: %s" % eof.kind.value, eof.line, eof.column
+            )
+        return Program(
+            name=name,
+            globals=globals_,
+            procs=procs,
+            body=body,
+            line=start.line,
+            column=start.column,
+        )
+
+    def parse_var_decls(self, keyword: TokenKind) -> List[VarDecl]:
+        self.expect(keyword, "variable declaration")
+        decls = [self.parse_var_item()]
+        while self.accept(TokenKind.COMMA):
+            decls.append(self.parse_var_item())
+        return decls
+
+    def parse_var_item(self) -> VarDecl:
+        if self.accept(TokenKind.ARRAY):
+            name_token = self.expect(TokenKind.IDENT, "array declaration")
+            dims: List[int] = []
+            while self.accept(TokenKind.LBRACKET):
+                size_token = self.expect(TokenKind.INT, "array dimension")
+                if size_token.value <= 0:
+                    raise ParseError(
+                        "array dimension must be positive", size_token.line, size_token.column
+                    )
+                dims.append(size_token.value)
+                self.expect(TokenKind.RBRACKET, "array dimension")
+            if not dims:
+                raise ParseError(
+                    "array declaration requires at least one dimension",
+                    name_token.line,
+                    name_token.column,
+                )
+            return VarDecl(
+                name=name_token.value,
+                dims=tuple(dims),
+                line=name_token.line,
+                column=name_token.column,
+            )
+        name_token = self.expect(TokenKind.IDENT, "variable declaration")
+        return VarDecl(name=name_token.value, line=name_token.line, column=name_token.column)
+
+    def parse_proc(self) -> ProcDecl:
+        start = self.expect(TokenKind.PROC, "procedure declaration")
+        name = self.expect(TokenKind.IDENT, "procedure declaration").value
+        self.expect(TokenKind.LPAREN, "parameter list")
+        params: List[str] = []
+        if not self.check(TokenKind.RPAREN):
+            params.append(self.expect(TokenKind.IDENT, "parameter list").value)
+            while self.accept(TokenKind.COMMA):
+                params.append(self.expect(TokenKind.IDENT, "parameter list").value)
+        self.expect(TokenKind.RPAREN, "parameter list")
+        locals_: List[VarDecl] = []
+        nested: List[ProcDecl] = []
+        self.skip_separators()
+        while True:
+            if self.check(TokenKind.LOCAL):
+                locals_.extend(self.parse_var_decls(TokenKind.LOCAL))
+            elif self.check(TokenKind.PROC):
+                nested.append(self.parse_proc())
+            else:
+                break
+            self.skip_separators()
+        self.expect(TokenKind.BEGIN, "procedure body")
+        body = self.parse_statements()
+        self.expect(TokenKind.END, "procedure body")
+        return ProcDecl(
+            name=name,
+            params=params,
+            locals=locals_,
+            nested=nested,
+            body=body,
+            line=start.line,
+            column=start.column,
+        )
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_statements(self) -> List[Stmt]:
+        statements: List[Stmt] = []
+        self.skip_separators()
+        while self.peek().kind in _STATEMENT_STARTERS:
+            statements.append(self.parse_statement())
+            self.skip_separators()
+        return statements
+
+    def parse_statement(self) -> Stmt:
+        token = self.peek()
+        if token.kind is TokenKind.IDENT:
+            return self.parse_assign()
+        if token.kind is TokenKind.CALL:
+            return self.parse_call()
+        if token.kind is TokenKind.IF:
+            return self.parse_if()
+        if token.kind is TokenKind.WHILE:
+            return self.parse_while()
+        if token.kind is TokenKind.FOR:
+            return self.parse_for()
+        if token.kind is TokenKind.RETURN:
+            self.advance()
+            return Return(line=token.line, column=token.column)
+        if token.kind is TokenKind.READ:
+            self.advance()
+            target = self.parse_lvalue()
+            return Read(target=target, line=token.line, column=token.column)
+        if token.kind is TokenKind.PRINT:
+            self.advance()
+            values = [self.parse_expr()]
+            while self.accept(TokenKind.COMMA):
+                values.append(self.parse_expr())
+            return Print(values=values, line=token.line, column=token.column)
+        raise ParseError("expected statement, found %s" % token.kind.value, token.line, token.column)
+
+    def parse_assign(self) -> Assign:
+        target = self.parse_lvalue()
+        self.expect(TokenKind.ASSIGN, "assignment")
+        value = self.parse_expr()
+        return Assign(target=target, value=value, line=target.line, column=target.column)
+
+    def parse_lvalue(self) -> VarRef:
+        name_token = self.expect(TokenKind.IDENT, "variable reference")
+        indices: List[Expr] = []
+        while self.accept(TokenKind.LBRACKET):
+            indices.append(self.parse_expr())
+            self.expect(TokenKind.RBRACKET, "subscript")
+        return VarRef(
+            name=name_token.value,
+            indices=indices,
+            line=name_token.line,
+            column=name_token.column,
+        )
+
+    def parse_call(self) -> CallStmt:
+        start = self.expect(TokenKind.CALL, "call statement")
+        callee = self.expect(TokenKind.IDENT, "call statement").value
+        self.expect(TokenKind.LPAREN, "argument list")
+        args: List[Expr] = []
+        if not self.check(TokenKind.RPAREN):
+            args.append(self.parse_expr())
+            while self.accept(TokenKind.COMMA):
+                args.append(self.parse_expr())
+        self.expect(TokenKind.RPAREN, "argument list")
+        return CallStmt(callee=callee, args=args, line=start.line, column=start.column)
+
+    def parse_if(self) -> If:
+        start = self.expect(TokenKind.IF, "if statement")
+        cond = self.parse_expr()
+        self.expect(TokenKind.THEN, "if statement")
+        then_body = self.parse_statements()
+        else_body: List[Stmt] = []
+        if self.accept(TokenKind.ELSE):
+            else_body = self.parse_statements()
+        self.expect(TokenKind.END, "if statement")
+        return If(
+            cond=cond,
+            then_body=then_body,
+            else_body=else_body,
+            line=start.line,
+            column=start.column,
+        )
+
+    def parse_while(self) -> While:
+        start = self.expect(TokenKind.WHILE, "while statement")
+        cond = self.parse_expr()
+        self.expect(TokenKind.DO, "while statement")
+        body = self.parse_statements()
+        self.expect(TokenKind.END, "while statement")
+        return While(cond=cond, body=body, line=start.line, column=start.column)
+
+    def parse_for(self) -> For:
+        start = self.expect(TokenKind.FOR, "for statement")
+        var_token = self.expect(TokenKind.IDENT, "for statement")
+        var = VarRef(name=var_token.value, line=var_token.line, column=var_token.column)
+        self.expect(TokenKind.ASSIGN, "for statement")
+        lo = self.parse_expr()
+        self.expect(TokenKind.TO, "for statement")
+        hi = self.parse_expr()
+        self.expect(TokenKind.DO, "for statement")
+        body = self.parse_statements()
+        self.expect(TokenKind.END, "for statement")
+        return For(var=var, lo=lo, hi=hi, body=body, line=start.line, column=start.column)
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.check(TokenKind.OR):
+            op_token = self.advance()
+            right = self.parse_and()
+            left = BinOp("or", left, right, line=op_token.line, column=op_token.column)
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.check(TokenKind.AND):
+            op_token = self.advance()
+            right = self.parse_not()
+            left = BinOp("and", left, right, line=op_token.line, column=op_token.column)
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.check(TokenKind.NOT):
+            op_token = self.advance()
+            operand = self.parse_not()
+            return UnOp("not", operand, line=op_token.line, column=op_token.column)
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        # Left-associative, like the arithmetic operators: a < b < c
+        # parses as (a < b) < c (comparisons yield 0/1 integers).
+        left = self.parse_additive()
+        while self.peek().kind in _COMPARISON_OPS:
+            op_token = self.advance()
+            right = self.parse_additive()
+            left = BinOp(
+                _COMPARISON_OPS[op_token.kind],
+                left,
+                right,
+                line=op_token.line,
+                column=op_token.column,
+            )
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while self.peek().kind in _ADDITIVE_OPS:
+            op_token = self.advance()
+            right = self.parse_multiplicative()
+            left = BinOp(
+                _ADDITIVE_OPS[op_token.kind],
+                left,
+                right,
+                line=op_token.line,
+                column=op_token.column,
+            )
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while self.peek().kind in _MULTIPLICATIVE_OPS:
+            op_token = self.advance()
+            right = self.parse_unary()
+            left = BinOp(
+                _MULTIPLICATIVE_OPS[op_token.kind],
+                left,
+                right,
+                line=op_token.line,
+                column=op_token.column,
+            )
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.check(TokenKind.MINUS):
+            op_token = self.advance()
+            operand = self.parse_unary()
+            return UnOp("-", operand, line=op_token.line, column=op_token.column)
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.kind is TokenKind.INT:
+            self.advance()
+            return IntLit(token.value, line=token.line, column=token.column)
+        if token.kind is TokenKind.IDENT:
+            return self.parse_lvalue()
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(TokenKind.RPAREN, "parenthesized expression")
+            return inner
+        raise ParseError(
+            "expected expression, found %s" % token.kind.value, token.line, token.column
+        )
+
+
+def parse_program(source: str) -> Program:
+    """Parse CK source text into a :class:`Program` AST (unresolved)."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,148 @@
+"""Pretty-printer (unparser) for CK ASTs.
+
+``parse_program(pretty(ast))`` is an identity up to source positions —
+the round-trip property the test suite checks, and what lets the random
+program generator emit both ASTs and source text from one description.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.nodes import (
+    Assign,
+    BinOp,
+    CallStmt,
+    Expr,
+    For,
+    If,
+    IntLit,
+    Print,
+    ProcDecl,
+    Program,
+    Read,
+    Return,
+    Stmt,
+    UnOp,
+    VarDecl,
+    VarRef,
+    While,
+)
+
+# Binding strength used to decide where parentheses are required.
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "=": 4,
+    "!=": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "div": 6,
+    "mod": 6,
+}
+
+_UNARY_PRECEDENCE = {"not": 3, "-": 7}
+
+
+def format_expr(expr: Expr, parent_precedence: int = 0) -> str:
+    """Render an expression, inserting parentheses only where needed."""
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, VarRef):
+        text = expr.name
+        for index in expr.indices:
+            text += "[%s]" % format_expr(index)
+        return text
+    if isinstance(expr, BinOp):
+        precedence = _PRECEDENCE[expr.op]
+        left = format_expr(expr.left, precedence)
+        # Right operand binds one tighter: operators are left-associative.
+        right = format_expr(expr.right, precedence + 1)
+        text = "%s %s %s" % (left, expr.op, right)
+        if precedence < parent_precedence:
+            return "(%s)" % text
+        return text
+    if isinstance(expr, UnOp):
+        precedence = _UNARY_PRECEDENCE[expr.op]
+        operand = format_expr(expr.operand, precedence)
+        text = ("%s %s" if expr.op == "not" else "%s%s") % (expr.op, operand)
+        if precedence < parent_precedence:
+            return "(%s)" % text
+        return text
+    raise TypeError("unknown expression node %r" % (expr,))
+
+
+def _format_var_decl(decl: VarDecl) -> str:
+    if decl.is_array:
+        return "array %s%s" % (decl.name, "".join("[%d]" % d for d in decl.dims))
+    return decl.name
+
+
+def _emit_statements(body: List[Stmt], out: List[str], indent: int) -> None:
+    pad = "  " * indent
+    for stmt in body:
+        if isinstance(stmt, Assign):
+            out.append("%s%s := %s" % (pad, format_expr(stmt.target), format_expr(stmt.value)))
+        elif isinstance(stmt, CallStmt):
+            args = ", ".join(format_expr(arg) for arg in stmt.args)
+            out.append("%scall %s(%s)" % (pad, stmt.callee, args))
+        elif isinstance(stmt, If):
+            out.append("%sif %s then" % (pad, format_expr(stmt.cond)))
+            _emit_statements(stmt.then_body, out, indent + 1)
+            if stmt.else_body:
+                out.append("%selse" % pad)
+                _emit_statements(stmt.else_body, out, indent + 1)
+            out.append("%send" % pad)
+        elif isinstance(stmt, While):
+            out.append("%swhile %s do" % (pad, format_expr(stmt.cond)))
+            _emit_statements(stmt.body, out, indent + 1)
+            out.append("%send" % pad)
+        elif isinstance(stmt, For):
+            out.append(
+                "%sfor %s := %s to %s do"
+                % (pad, stmt.var.name, format_expr(stmt.lo), format_expr(stmt.hi))
+            )
+            _emit_statements(stmt.body, out, indent + 1)
+            out.append("%send" % pad)
+        elif isinstance(stmt, Return):
+            out.append("%sreturn" % pad)
+        elif isinstance(stmt, Read):
+            out.append("%sread %s" % (pad, format_expr(stmt.target)))
+        elif isinstance(stmt, Print):
+            out.append("%sprint %s" % (pad, ", ".join(format_expr(v) for v in stmt.values)))
+        else:
+            raise TypeError("unknown statement node %r" % (stmt,))
+
+
+def _emit_proc(decl: ProcDecl, out: List[str], indent: int) -> None:
+    pad = "  " * indent
+    out.append("%sproc %s(%s)" % (pad, decl.name, ", ".join(decl.params)))
+    for var_decl in decl.locals:
+        out.append("%s  local %s" % (pad, _format_var_decl(var_decl)))
+    for nested in decl.nested:
+        _emit_proc(nested, out, indent + 1)
+    out.append("%sbegin" % pad)
+    _emit_statements(decl.body, out, indent + 1)
+    out.append("%send" % pad)
+
+
+def pretty(program: Program) -> str:
+    """Render a program AST back to parseable CK source text."""
+    out: List[str] = ["program %s" % program.name]
+    for decl in program.globals:
+        out.append("  global %s" % _format_var_decl(decl))
+    if program.globals:
+        out.append("")
+    for proc in program.procs:
+        _emit_proc(proc, out, 1)
+        out.append("")
+    out.append("begin")
+    _emit_statements(program.body, out, 1)
+    out.append("end")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,110 @@
+"""Token kinds and the token record for the CK language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Every distinct token kind produced by the lexer."""
+
+    # Literals and names.
+    INT = "int"
+    IDENT = "ident"
+
+    # Keywords.
+    PROGRAM = "program"
+    GLOBAL = "global"
+    LOCAL = "local"
+    ARRAY = "array"
+    PROC = "proc"
+    BEGIN = "begin"
+    END = "end"
+    CALL = "call"
+    IF = "if"
+    THEN = "then"
+    ELSE = "else"
+    WHILE = "while"
+    DO = "do"
+    FOR = "for"
+    TO = "to"
+    RETURN = "return"
+    READ = "read"
+    PRINT = "print"
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    DIV = "div"
+    MOD = "mod"
+
+    # Operators and punctuation.
+    ASSIGN = ":="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMI = ";"
+
+    # End of input.
+    EOF = "eof"
+
+
+#: Mapping from keyword spelling to its token kind.
+KEYWORDS = {
+    kind.value: kind
+    for kind in (
+        TokenKind.PROGRAM,
+        TokenKind.GLOBAL,
+        TokenKind.LOCAL,
+        TokenKind.ARRAY,
+        TokenKind.PROC,
+        TokenKind.BEGIN,
+        TokenKind.END,
+        TokenKind.CALL,
+        TokenKind.IF,
+        TokenKind.THEN,
+        TokenKind.ELSE,
+        TokenKind.WHILE,
+        TokenKind.DO,
+        TokenKind.FOR,
+        TokenKind.TO,
+        TokenKind.RETURN,
+        TokenKind.READ,
+        TokenKind.PRINT,
+        TokenKind.AND,
+        TokenKind.OR,
+        TokenKind.NOT,
+        TokenKind.DIV,
+        TokenKind.MOD,
+    )
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its source position.
+
+    ``value`` is the integer value for :data:`TokenKind.INT` tokens, the
+    identifier spelling for :data:`TokenKind.IDENT` tokens, and the fixed
+    spelling for everything else.
+    """
+
+    kind: TokenKind
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Token(%s, %r, %d:%d)" % (self.kind.name, self.value, self.line, self.column)

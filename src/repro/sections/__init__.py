@@ -1,0 +1,33 @@
+"""Regular section analysis — Section 6 of the paper.
+
+Replaces the single-bit "is this array touched?" representation with
+the Figure 3 lattice of array subsections (single elements, rows,
+columns, whole arrays, and their k-dimensional generalisations), so a
+parallelising compiler can see that a call modifies only ``A(*, J)``
+rather than all of ``A``.
+"""
+
+from repro.sections.lattice import Section, Subscript, SubKind
+from repro.sections.solver import SectionAnalysis, analyze_sections
+from repro.sections.rsd_beta import RsdBetaResult, solve_rsd_beta
+from repro.sections.dependence import Conflict, DependenceTester
+from repro.sections.ranges import Dim, RangeSection
+from repro.sections.framework import FIGURE3, LATTICES, RANGES, SectionLattice
+
+__all__ = [
+    "Section",
+    "Subscript",
+    "SubKind",
+    "SectionAnalysis",
+    "analyze_sections",
+    "RsdBetaResult",
+    "solve_rsd_beta",
+    "Conflict",
+    "DependenceTester",
+    "Dim",
+    "RangeSection",
+    "FIGURE3",
+    "RANGES",
+    "LATTICES",
+    "SectionLattice",
+]

@@ -1,0 +1,89 @@
+"""The edge functions ``g_e`` of Section 6.
+
+Each binding multi-graph edge ``e`` carries a function ``g_e`` mapping
+a regular section at its sink (the callee's formal, subscripts in the
+callee's terms) to one at its source (the caller's actual).  The same
+subscript substitution also translates sections of *global* arrays
+across a call edge, since their symbolic subscripts may name the
+callee's formals.
+
+Concretely, translating through call site ``s`` from callee ``q`` to
+caller ``p``:
+
+* a ``CONST`` subscript survives unchanged;
+* a ``FORMAL(j)`` subscript becomes whatever describes ``q``'s j-th
+  actual at ``s`` in ``p``'s terms — a constant, a formal of ``p``, or
+  ``*``;
+* the *array binding itself*: a whole-array actual keeps the section's
+  shape; a subscripted actual ``a[e1]…[ek]`` embeds a scalar (rank-0)
+  callee access at the element the subscripts describe, and widens to
+  ``WHOLE`` if the callee treated the parameter as an array
+  (rank > 0 through an element binding is the pathological case the
+  paper's footnote 10 sets aside).
+
+The paper's cycle restriction — around any binding cycle,
+``g_p(x) ∧ x = x`` (propagation never *grows* a section) — holds for
+these functions except through rank-changing bindings; the solver
+checks convergence structurally (finite lattice depth) rather than
+assuming it, and the E8 benchmark verifies the depth-independence
+claim empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.nodes import Expr, IntLit, VarRef
+from repro.lang.symbols import ArgBinding, CallSite, VarSymbol
+from repro.sections.lattice import Section, SubKind, Subscript
+
+
+def describe_actual_expr(expr: Expr, caller) -> Subscript:
+    """How a callee-formal subscript reads in the caller's terms."""
+    if isinstance(expr, IntLit):
+        return Subscript.const(expr.value)
+    if isinstance(expr, VarRef) and not expr.indices:
+        symbol: VarSymbol = expr.symbol
+        if symbol.is_formal and symbol.proc is caller:
+            return Subscript.formal(symbol.position)
+    return Subscript.unknown()
+
+
+def translate_subscripts(section: Section, site: CallSite) -> Section:
+    """Substitute callee-formal subscripts with the site's actuals."""
+    if section.bottom or section.subs is None:
+        return section
+    caller = site.caller
+    out = []
+    for sub in section.subs:
+        if sub.kind is SubKind.FORMAL:
+            if sub.value < len(site.stmt.args):
+                out.append(describe_actual_expr(site.stmt.args[sub.value], caller))
+            else:
+                out.append(Subscript.unknown())
+        else:
+            out.append(sub)
+    return Section(subs=tuple(out))
+
+
+def translate_through_binding(
+    section: Section, site: CallSite, binding: ArgBinding
+) -> Section:
+    """``g_e``: the callee-formal section mapped onto the actual's base.
+
+    ``binding`` must be a by-reference binding of this ``site``.
+    """
+    if section.bottom:
+        return section
+    if not binding.subscripted:
+        # Whole-object binding: just rename the symbolic subscripts.
+        return translate_subscripts(section, site)
+    # Element binding a[e1..ek]: a rank-0 callee access touches exactly
+    # that element; anything deeper has no precise image.
+    if section.subs is not None and len(section.subs) == 0:
+        ref = binding.expr
+        subs = tuple(
+            describe_actual_expr(index, site.caller) for index in ref.indices
+        )
+        return Section(subs=subs)
+    return Section.whole()

@@ -1,0 +1,143 @@
+"""The lattice-parametric regular-section framework.
+
+Section 6's framing is that regular section analysis is a *family* of
+algorithms over interchangeable lattices.  This module captures the
+interface a lattice instance must provide and supplies the two
+instances shipped here:
+
+* :data:`FIGURE3` — the paper's Figure 3 lattice
+  (:class:`~repro.sections.lattice.Section`);
+* :data:`RANGES` — Callahan–Kennedy-style bounded ranges
+  (:class:`~repro.sections.ranges.RangeSection`).
+
+The generic solver (:mod:`repro.sections.solver`) and local extraction
+(:mod:`repro.sections.descriptors`) are written against
+:class:`SectionLattice` only; benchmark A4 runs both instances on the
+same programs to reproduce the claim that instances "differ only in the
+cost of the representation, the meet, and the depth of the lattice".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.lang.symbols import ArgBinding, CallSite
+from repro.sections.lattice import Section, SubKind, Subscript
+from repro.sections.ranges import Dim, DimKind, RangeSection
+
+
+@dataclass(frozen=True)
+class SectionLattice:
+    """Strategy object: everything the generic machinery needs.
+
+    ``translate_subscripts(section, site)`` renames symbolic formal
+    subscripts into the caller's terms; ``element(subs)`` builds the
+    section for one access; ``widen_symbolic(section)`` erases formal
+    subscripts that are meaningless outside their procedure (the
+    nesting pull-up).
+    """
+
+    name: str
+    bottom: Callable[[], object]
+    whole: Callable[[], object]
+    scalar: Callable[[], object]
+    element: Callable[[Sequence[Subscript]], object]
+    translate_subscripts: Callable[[object, CallSite], object]
+    widen_symbolic: Callable[[object], object]
+
+
+def _describe_actual(expr, caller) -> Subscript:
+    from repro.sections.binding_fn import describe_actual_expr
+
+    return describe_actual_expr(expr, caller)
+
+
+# -- Figure 3 instance --------------------------------------------------------
+
+
+def _fig3_translate(section: Section, site: CallSite) -> Section:
+    from repro.sections.binding_fn import translate_subscripts
+
+    return translate_subscripts(section, site)
+
+
+def _fig3_widen(section: Section) -> Section:
+    from repro.sections.descriptors import widen_foreign_formals
+
+    return widen_foreign_formals(section)
+
+
+FIGURE3 = SectionLattice(
+    name="figure3",
+    bottom=Section.make_bottom,
+    whole=Section.whole,
+    scalar=Section.scalar,
+    element=lambda subs: Section.element(*subs),
+    translate_subscripts=_fig3_translate,
+    widen_symbolic=_fig3_widen,
+)
+
+
+# -- Range instance ------------------------------------------------------------
+
+
+def _ranges_translate(section: RangeSection, site: CallSite) -> RangeSection:
+    if section.is_bottom or section.dims is None:
+        return section
+    caller = site.caller
+    out: List[Dim] = []
+    for dim in section.dims:
+        if dim.kind is DimKind.POINT and dim.sub.kind is SubKind.FORMAL:
+            if dim.sub.value < len(site.stmt.args):
+                out.append(
+                    Dim.point(_describe_actual(site.stmt.args[dim.sub.value], caller))
+                )
+            else:
+                out.append(Dim.full())
+        else:
+            out.append(dim)
+    return RangeSection.of_dims(*out)
+
+
+def _ranges_widen(section: RangeSection) -> RangeSection:
+    if section.is_bottom or section.dims is None:
+        return section
+    out = tuple(
+        Dim.full()
+        if dim.kind is DimKind.POINT and dim.sub.kind is SubKind.FORMAL
+        else dim
+        for dim in section.dims
+    )
+    return RangeSection(dims=out)
+
+
+RANGES = SectionLattice(
+    name="ranges",
+    bottom=RangeSection.make_bottom,
+    whole=RangeSection.whole,
+    scalar=RangeSection.scalar,
+    element=lambda subs: RangeSection.element(*subs),
+    translate_subscripts=_ranges_translate,
+    widen_symbolic=_ranges_widen,
+)
+
+LATTICES = {"figure3": FIGURE3, "ranges": RANGES}
+
+
+def translate_through_binding_generic(
+    lattice: SectionLattice, section, site: CallSite, binding: ArgBinding
+):
+    """The lattice-generic ``g_e`` (mirrors
+    :func:`repro.sections.binding_fn.translate_through_binding`)."""
+    if section.is_bottom:
+        return section
+    if not binding.subscripted:
+        return lattice.translate_subscripts(section, site)
+    rank = getattr(section, "rank", None)
+    if rank == 0:
+        subs = [
+            _describe_actual(index, site.caller) for index in binding.expr.indices
+        ]
+        return lattice.element(subs)
+    return lattice.whole()

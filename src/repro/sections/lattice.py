@@ -1,0 +1,225 @@
+"""The regular-section lattice of Figure 3, generalised to rank k.
+
+A *regular section* describes the part of an array an effect may touch.
+Figure 3's lattice for a 2-D array ``A``::
+
+        A(I,J)   A(K,J)   A(K,L)        single elements
+             \\   /    \\   /
+            A(*,J)    A(K,*)            whole column / whole row
+                 \\    /
+                 A(*,*)                 whole array
+
+Each dimension carries a :class:`Subscript` descriptor — a known
+constant, a symbolic formal parameter of the owning procedure (the
+paper's ``I``, ``J``, ``K`` — "arbitrary symbolic input parameters to
+the call"), or ``*`` (unknown / the whole extent).  A section is a
+vector of descriptors, or one of two distinguished elements:
+
+* ``BOTTOM`` — no access at all (the identity of ``meet``);
+* ``WHOLE`` — the entire object, with unknown rank (the absorbing
+  element; also the fallback when two accesses disagree on rank).
+
+``meet`` is the lattice meet in the effect-union sense: the smallest
+representable section covering both operands (pointwise on
+subscripts; disagreeing subscripts widen to ``*``).  Precision
+decreases monotonically downward, and the lattice has depth
+``rank + 2``, so fixpoint iterations are short — the Section 6 claim
+that the framework's cost does not depend on lattice depth is
+benchmarked in E8.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class SubKind(enum.Enum):
+    """One dimension's subscript descriptor kind."""
+
+    CONST = "const"  # A known integer.
+    FORMAL = "formal"  # A formal parameter of the owning procedure.
+    UNKNOWN = "*"  # Anything / the whole extent.
+
+
+@dataclass(frozen=True)
+class Subscript:
+    """A single-dimension descriptor.  ``value`` is the integer for
+    ``CONST``, the formal's 0-based position for ``FORMAL``, and
+    unused for ``UNKNOWN``."""
+
+    kind: SubKind
+    value: int = 0
+
+    @staticmethod
+    def const(value: int) -> "Subscript":
+        return Subscript(SubKind.CONST, value)
+
+    @staticmethod
+    def formal(position: int) -> "Subscript":
+        return Subscript(SubKind.FORMAL, position)
+
+    @staticmethod
+    def unknown() -> "Subscript":
+        return _UNKNOWN
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.kind is SubKind.UNKNOWN
+
+    def meet(self, other: "Subscript") -> "Subscript":
+        """Smallest descriptor covering both: equal stays, else ``*``."""
+        if self == other:
+            return self
+        return _UNKNOWN
+
+    def render(self, formal_names: Optional[Tuple[str, ...]] = None) -> str:
+        if self.kind is SubKind.CONST:
+            return str(self.value)
+        if self.kind is SubKind.FORMAL:
+            if formal_names and self.value < len(formal_names):
+                return formal_names[self.value]
+            return "fp%d" % (self.value + 1)
+        return "*"
+
+
+_UNKNOWN = Subscript(SubKind.UNKNOWN)
+
+
+@dataclass(frozen=True)
+class Section:
+    """A regular section: ``BOTTOM``, ``WHOLE``, or a subscript vector.
+
+    ``subs is None`` with ``bottom=True`` is ``BOTTOM``; ``subs is
+    None`` with ``bottom=False`` is ``WHOLE``; otherwise ``subs`` is
+    the per-dimension descriptor tuple (``()`` for a scalar access).
+    """
+
+    subs: Optional[Tuple[Subscript, ...]] = None
+    bottom: bool = False
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def make_bottom() -> "Section":
+        return _BOTTOM
+
+    @staticmethod
+    def whole() -> "Section":
+        return _WHOLE
+
+    @staticmethod
+    def element(*subs: Subscript) -> "Section":
+        return Section(subs=tuple(subs))
+
+    @staticmethod
+    def scalar() -> "Section":
+        """Access to a whole scalar object (rank 0)."""
+        return Section(subs=())
+
+    # -- predicates ------------------------------------------------------------
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.bottom
+
+    @property
+    def is_whole(self) -> bool:
+        """The entire object: ``WHOLE`` or an all-``*`` vector."""
+        if self.bottom:
+            return False
+        if self.subs is None:
+            return True
+        return all(sub.is_unknown for sub in self.subs)
+
+    @property
+    def rank(self) -> Optional[int]:
+        if self.bottom or self.subs is None:
+            return None
+        return len(self.subs)
+
+    # -- lattice operations -------------------------------------------------------
+
+    def meet(self, other: "Section") -> "Section":
+        """The smallest representable section covering both."""
+        if self.bottom:
+            return other
+        if other.bottom:
+            return self
+        if self.subs is None or other.subs is None:
+            return _WHOLE
+        if len(self.subs) != len(other.subs):
+            # Rank disagreement (e.g. an element alias of a whole
+            # array): no precise representation — widen.
+            return _WHOLE
+        return Section(subs=tuple(a.meet(b) for a, b in zip(self.subs, other.subs)))
+
+    def contains(self, other: "Section") -> bool:
+        """Region containment: does ``self`` cover ``other``?"""
+        if other.bottom:
+            return True
+        if self.bottom:
+            return False
+        if self.subs is None:
+            return True
+        if other.subs is None:
+            return False
+        if len(self.subs) != len(other.subs):
+            return False
+        for mine, theirs in zip(self.subs, other.subs):
+            if mine.is_unknown:
+                continue
+            if mine != theirs:
+                return False
+        return True
+
+    def intersects(self, other: "Section") -> bool:
+        """May the two regions overlap?  (Used for dependence testing;
+        conservative: True unless some dimension is provably disjoint
+        — two distinct constants, or two distinct formal positions
+        assumed distinct only when ``assume_formals_distinct``.)"""
+        if self.bottom or other.bottom:
+            return False
+        if self.subs is None or other.subs is None:
+            return True
+        if len(self.subs) != len(other.subs):
+            return True
+        for mine, theirs in zip(self.subs, other.subs):
+            if (
+                mine.kind is SubKind.CONST
+                and theirs.kind is SubKind.CONST
+                and mine.value != theirs.value
+            ):
+                return False
+        return True
+
+    # -- display -----------------------------------------------------------------
+
+    def classify(self) -> str:
+        """Figure 3 terminology for 2-D sections (generalised)."""
+        if self.bottom:
+            return "none"
+        if self.is_whole:
+            return "whole"
+        unknown = sum(1 for sub in self.subs if sub.is_unknown)
+        if unknown == 0:
+            return "element"
+        if len(self.subs) == 2 and unknown == 1:
+            return "column" if self.subs[0].is_unknown else "row"
+        return "partial"
+
+    def render(self, name: str = "A",
+               formal_names: Optional[Tuple[str, ...]] = None) -> str:
+        if self.bottom:
+            return "%s(⊥)" % name
+        if self.subs is None:
+            return "%s(**)" % name
+        if not self.subs:
+            return name
+        inner = ",".join(sub.render(formal_names) for sub in self.subs)
+        return "%s(%s)" % (name, inner)
+
+
+_BOTTOM = Section(bottom=True)
+_WHOLE = Section(subs=None, bottom=False)

@@ -1,0 +1,243 @@
+"""A second regular-section lattice: bounded **range sections**.
+
+Section 6 presents regular sections as a *framework*: "a variety of
+algorithms can be accommodated … these algorithms would differ only in
+the cost of the representation of lattice elements, the cost of
+determining whether two lattice elements represent an intersecting
+subsection, the expense of the meet operation and the depth of the
+lattice."  Callahan & Kennedy's own richer instance bounds each
+dimension by a *range*.  This module implements that instance so the
+framework claim can be exercised with two lattices side by side
+(benchmark A4):
+
+Per-dimension descriptors::
+
+    POINT(sub)      exactly the Figure 3 subscript (constant / symbolic
+                    formal)
+    RANGE(lo, hi)   a known constant interval  lo..hi  (inclusive)
+    FULL            the whole extent (Figure 3's ``*``)
+
+Meets refine where Figure 3 widens: ``POINT(2) ⊓ POINT(5) = RANGE(2,5)``
+instead of ``*``, and ranges hull together.  Symbolic points still
+widen to ``FULL`` when merged with anything unequal (no symbolic
+arithmetic).  The lattice is strictly deeper than Figure 3's — per
+dimension the chain POINT < RANGE(w) < RANGE(w') < FULL grows with the
+array extent — which is exactly what makes it the right second instance
+for the depth-independence claim.
+
+:class:`RangeSection` mirrors the :class:`~repro.sections.lattice.Section`
+interface (``meet``/``contains``/``intersects``/``is_bottom``/
+``is_whole``/``classify``/``render``) so the generic solver machinery
+(:mod:`repro.sections.framework`) can drive either lattice.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.sections.lattice import SubKind, Subscript
+
+
+class DimKind(enum.Enum):
+    POINT = "point"
+    RANGE = "range"
+    FULL = "full"
+
+
+@dataclass(frozen=True)
+class Dim:
+    """One dimension's descriptor in the range lattice."""
+
+    kind: DimKind
+    sub: Optional[Subscript] = None  # For POINT.
+    lo: int = 0  # For RANGE.
+    hi: int = 0
+
+    @staticmethod
+    def point(sub: Subscript) -> "Dim":
+        return Dim(DimKind.POINT, sub=sub)
+
+    @staticmethod
+    def rng(lo: int, hi: int) -> "Dim":
+        return Dim(DimKind.RANGE, lo=lo, hi=hi)
+
+    @staticmethod
+    def full() -> "Dim":
+        return _FULL_DIM
+
+    def _as_range(self) -> Optional[Tuple[int, int]]:
+        """Constant bounds, when known."""
+        if self.kind is DimKind.RANGE:
+            return (self.lo, self.hi)
+        if self.kind is DimKind.POINT and self.sub.kind is SubKind.CONST:
+            return (self.sub.value, self.sub.value)
+        return None
+
+    def meet(self, other: "Dim") -> "Dim":
+        if self == other:
+            return self
+        mine = self._as_range()
+        theirs = other._as_range()
+        if mine is not None and theirs is not None:
+            return Dim.rng(min(mine[0], theirs[0]), max(mine[1], theirs[1]))
+        return _FULL_DIM
+
+    def contains(self, other: "Dim") -> bool:
+        if self.kind is DimKind.FULL:
+            return True
+        if self == other:
+            return True
+        mine = self._as_range()
+        theirs = other._as_range()
+        if mine is not None and theirs is not None:
+            return mine[0] <= theirs[0] and theirs[1] <= mine[1]
+        return False
+
+    def intersects(self, other: "Dim") -> bool:
+        """May the two descriptors denote a common index?  (Conservative:
+        True unless provably disjoint via constant information.)"""
+        mine = self._as_range()
+        theirs = other._as_range()
+        if mine is not None and theirs is not None:
+            return mine[0] <= theirs[1] and theirs[0] <= mine[1]
+        if (
+            self.kind is DimKind.POINT
+            and other.kind is DimKind.POINT
+            and self.sub.kind is SubKind.FORMAL
+            and other.sub.kind is SubKind.FORMAL
+            and self.sub != other.sub
+        ):
+            return True  # Distinct formals may coincide.
+        return True
+
+    def render(self, formal_names=None) -> str:
+        if self.kind is DimKind.FULL:
+            return "*"
+        if self.kind is DimKind.RANGE:
+            return "%d:%d" % (self.lo, self.hi)
+        return self.sub.render(formal_names)
+
+
+_FULL_DIM = Dim(DimKind.FULL)
+
+
+@dataclass(frozen=True)
+class RangeSection:
+    """A range-lattice section: ``BOTTOM``, ``WHOLE``, or a Dim vector."""
+
+    dims: Optional[Tuple[Dim, ...]] = None
+    bottom: bool = False
+
+    # -- constructors (mirror Section) ---------------------------------------
+
+    @staticmethod
+    def make_bottom() -> "RangeSection":
+        return _BOTTOM
+
+    @staticmethod
+    def whole() -> "RangeSection":
+        return _WHOLE
+
+    @staticmethod
+    def element(*subs: Subscript) -> "RangeSection":
+        return RangeSection(dims=tuple(Dim.point(sub) for sub in subs))
+
+    @staticmethod
+    def scalar() -> "RangeSection":
+        return RangeSection(dims=())
+
+    @staticmethod
+    def of_dims(*dims: Dim) -> "RangeSection":
+        return RangeSection(dims=tuple(dims))
+
+    # -- predicates ------------------------------------------------------------
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.bottom
+
+    @property
+    def is_whole(self) -> bool:
+        if self.bottom:
+            return False
+        if self.dims is None:
+            return True
+        return all(dim.kind is DimKind.FULL for dim in self.dims)
+
+    @property
+    def rank(self) -> Optional[int]:
+        if self.bottom or self.dims is None:
+            return None
+        return len(self.dims)
+
+    # -- lattice operations -------------------------------------------------------
+
+    def meet(self, other: "RangeSection") -> "RangeSection":
+        if self.bottom:
+            return other
+        if other.bottom:
+            return self
+        if self.dims is None or other.dims is None:
+            return _WHOLE
+        if len(self.dims) != len(other.dims):
+            return _WHOLE
+        return RangeSection(
+            dims=tuple(a.meet(b) for a, b in zip(self.dims, other.dims))
+        )
+
+    def contains(self, other: "RangeSection") -> bool:
+        if other.bottom:
+            return True
+        if self.bottom:
+            return False
+        if self.dims is None:
+            return True
+        if other.dims is None or len(self.dims) != len(other.dims):
+            return False
+        return all(a.contains(b) for a, b in zip(self.dims, other.dims))
+
+    def intersects(self, other: "RangeSection") -> bool:
+        if self.bottom or other.bottom:
+            return False
+        if self.dims is None or other.dims is None:
+            return True
+        if len(self.dims) != len(other.dims):
+            return True
+        return all(a.intersects(b) for a, b in zip(self.dims, other.dims))
+
+    # -- display -----------------------------------------------------------------
+
+    def classify(self) -> str:
+        if self.bottom:
+            return "none"
+        if self.is_whole:
+            return "whole"
+        if self.dims is None:
+            return "whole"
+        kinds = [dim.kind for dim in self.dims]
+        if all(k is DimKind.POINT for k in kinds):
+            return "element"
+        if any(k is DimKind.RANGE for k in kinds):
+            return "range"
+        if len(self.dims) == 2:
+            if kinds[0] is DimKind.FULL and kinds[1] is not DimKind.FULL:
+                return "column"
+            if kinds[1] is DimKind.FULL and kinds[0] is not DimKind.FULL:
+                return "row"
+        return "partial"
+
+    def render(self, name: str = "A", formal_names=None) -> str:
+        if self.bottom:
+            return "%s(⊥)" % name
+        if self.dims is None:
+            return "%s(**)" % name
+        if not self.dims:
+            return name
+        inner = ",".join(dim.render(formal_names) for dim in self.dims)
+        return "%s(%s)" % (name, inner)
+
+
+_BOTTOM = RangeSection(bottom=True)
+_WHOLE = RangeSection(dims=None)

@@ -1,0 +1,147 @@
+"""The Section 6 ``rsd`` equations, solved over the binding multi-graph.
+
+The paper formulates the reference-formal-parameter part of regular
+section analysis as a data-flow framework on β::
+
+    rsd(fp1) = lrsd(fp1)  ⊓  ⊓_{e=(fp1,fp2) ∈ Eβ} g_e(rsd(fp2))
+
+with three stated properties of the edge functions ``g``: they compose
+along paths, they extend to path sets by lattice meet, and around any
+binding cycle ``g_p(x) ⊓ x = x`` (propagation around a cycle never
+grows the section — the divide-and-conquer observation).
+
+This module solves exactly that system — nodes are formal parameters,
+not procedures — with a worklist whose convergence is bounded by the
+lattice depth (``rank + 2``) per node, independent of the cycle
+structure; under the cycle restriction the bound is what makes the
+framework *rapid*.  The solver also **checks** the cycle restriction
+empirically: it reports the β edges whose application strictly widened
+an already-stable value around a cycle (the pathological case the
+paper's footnote 10 sets aside).
+
+:func:`solve_rsd_beta` answers only for *formal parameters* (the β
+problem, matching the paper's equations); the full per-procedure maps
+including globals live in :mod:`repro.sections.solver`, which this
+result is cross-checked against in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.bitvec import OpCounter
+from repro.core.varsets import EffectKind, VariableUniverse
+from repro.graphs.binding import BindingMultiGraph, build_binding_graph
+from repro.lang.symbols import ResolvedProgram, VarSymbol
+from repro.sections.binding_fn import translate_through_binding
+from repro.sections.descriptors import extended_local_sections
+from repro.sections.lattice import Section
+
+
+@dataclass
+class RsdBetaResult:
+    """Per-formal regular sections from the β system."""
+
+    resolved: ResolvedProgram
+    graph: BindingMultiGraph
+    kind: EffectKind
+    #: β node id -> the formal's accessed Section.
+    node_section: List[Section]
+    counter: OpCounter = field(default_factory=OpCounter)
+    #: Worklist re-processing rounds per node (max over nodes) — the
+    #: §6 depth-independence claim says this stays ≈ lattice depth.
+    max_rounds: int = 0
+    #: (source node, target node) β edges that widened a value around a
+    #: cycle (cycle-restriction violations, paper footnote 10).
+    widening_edges: List[Tuple[int, int]] = field(default_factory=list)
+
+    def section_of(self, formal: VarSymbol) -> Section:
+        return self.node_section[self.graph.node_of(formal)]
+
+
+def solve_rsd_beta(
+    resolved: ResolvedProgram,
+    kind: EffectKind = EffectKind.MOD,
+    universe: Optional[VariableUniverse] = None,
+    graph: Optional[BindingMultiGraph] = None,
+) -> RsdBetaResult:
+    """Least solution of the ``rsd`` equations over β."""
+    if universe is None:
+        universe = VariableUniverse(resolved)
+    if graph is None:
+        graph = build_binding_graph(resolved)
+    counter = OpCounter()
+
+    local_tables = extended_local_sections(resolved, universe, kind)
+    num_nodes = graph.num_formals
+    section: List[Section] = [Section.make_bottom()] * num_nodes
+    for node, formal in enumerate(graph.formals):
+        local = local_tables[formal.proc.pid].get(formal.uid)
+        if local is not None:
+            section[node] = local
+
+    # Backward data-flow on β: a node's value depends on its edge
+    # targets, so when a target changes, re-queue its sources.
+    predecessors: List[List[int]] = [[] for _ in range(num_nodes)]
+    edges_from: List[List] = [[] for _ in range(num_nodes)]
+    for edge in graph.edges:
+        source = graph.node_of(edge.source)
+        target = graph.node_of(edge.target)
+        predecessors[target].append(source)
+        edges_from[source].append(edge)
+
+    # Detect cycles for the restriction check: a widening application
+    # matters only within a strongly connected region of β.
+    from repro.graphs.scc import tarjan_scc
+
+    component_of, _ = tarjan_scc(num_nodes, graph.successors)
+
+    rounds = [0] * num_nodes
+    widening: Set[Tuple[int, int]] = set()
+    worklist = list(range(num_nodes))
+    queued = [True] * num_nodes
+    while worklist:
+        node = worklist.pop()
+        queued[node] = False
+        rounds[node] += 1
+        value = section[node]
+        for edge in edges_from[node]:
+            target = graph.node_of(edge.target)
+            binding = None
+            for candidate in edge.site.bindings:
+                if candidate.by_reference and candidate.position == edge.position:
+                    binding = candidate
+                    break
+            translated = translate_through_binding(
+                section[target], edge.site, binding
+            )
+            counter.meet_operations += 1
+            merged = value.meet(translated)
+            if merged != value:
+                if component_of[target] == component_of[node]:
+                    widening.add((node, target))
+                value = merged
+        if value != section[node]:
+            section[node] = value
+            for pred in predecessors[node]:
+                if not queued[pred]:
+                    queued[pred] = True
+                    worklist.append(pred)
+            if not queued[node] and any(
+                component_of[s] == component_of[node]
+                for s in graph.successors[node]
+            ):
+                # Self-relevant cycles may need another pass.
+                queued[node] = True
+                worklist.append(node)
+
+    return RsdBetaResult(
+        resolved=resolved,
+        graph=graph,
+        kind=kind,
+        node_section=section,
+        counter=counter,
+        max_rounds=max(rounds) if rounds else 0,
+        widening_edges=sorted(widening),
+    )

@@ -1,0 +1,16 @@
+"""Workload generation: random CK programs with controllable structure
+(the paper's size parameters ``N_C``, ``E_C``, ``µ_a``, ``µ_f``,
+``d_P``), structured pattern families, and a hand-written corpus of
+realistic programs."""
+
+from repro.workloads.generator import GeneratorConfig, generate_program, generate_resolved
+from repro.workloads import patterns
+from repro.workloads import corpus
+
+__all__ = [
+    "GeneratorConfig",
+    "generate_program",
+    "generate_resolved",
+    "patterns",
+    "corpus",
+]

@@ -1,0 +1,494 @@
+"""A small corpus of hand-written, realistic CK programs.
+
+These model the kinds of codebases the paper's introduction motivates:
+Fortran-style numerical code with many globals, a Pascal-style nested
+utility, and library-shaped call structures.  Tests assert concrete
+analysis facts about them; examples and benchmarks reuse them as
+realistic inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Fortran-flavoured statistics package: lots of globals, a work array,
+#: helper procedures that each touch a known slice of the state.
+STATS_PACKAGE = """
+program stats
+  global n, total, mean, varsum, variance, minval, maxval, errflag
+  global array data[64]
+
+  proc load(count)
+    local i
+  begin
+    n := count
+    for i := 0 to n - 1 do
+      read data[i]
+    end
+  end
+
+  proc accumulate()
+    local i
+  begin
+    total := 0
+    for i := 0 to n - 1 do
+      total := total + data[i]
+    end
+  end
+
+  proc center()
+  begin
+    if n = 0 then
+      errflag := 1
+    else
+      mean := total / n
+    end
+  end
+
+  proc spread()
+    local i, d
+  begin
+    varsum := 0
+    for i := 0 to n - 1 do
+      d := data[i] - mean
+      varsum := varsum + d * d
+    end
+    if n > 1 then
+      variance := varsum / (n - 1)
+    else
+      errflag := 2
+    end
+  end
+
+  proc extremes()
+    local i
+  begin
+    minval := data[0]
+    maxval := data[0]
+    for i := 1 to n - 1 do
+      if data[i] < minval then
+        minval := data[i]
+      end
+      if data[i] > maxval then
+        maxval := data[i]
+      end
+    end
+  end
+
+  proc summarize()
+  begin
+    call accumulate()
+    call center()
+    call spread()
+    call extremes()
+  end
+
+begin
+  errflag := 0
+  call load(5)
+  call summarize()
+  print mean, variance, minval, maxval, errflag
+end
+"""
+
+#: Reference-parameter library: swap/sort3/clamp utilities where all
+#: data flows through formals — the RMOD showcase.
+SWAP_LIBRARY = """
+program swaplib
+  global a, b, c, lo, hi
+
+  proc swap(x, y)
+    local t
+  begin
+    t := x
+    x := y
+    y := t
+  end
+
+  proc order2(x, y)
+  begin
+    if x > y then
+      call swap(x, y)
+    end
+  end
+
+  proc sort3(x, y, z)
+  begin
+    call order2(x, y)
+    call order2(y, z)
+    call order2(x, y)
+  end
+
+  proc clamp(v, floor, ceiling)
+  begin
+    if v < floor then
+      v := floor
+    end
+    if v > ceiling then
+      v := ceiling
+    end
+  end
+
+begin
+  a := 9
+  b := 1
+  c := 5
+  lo := 2
+  hi := 7
+  call sort3(a, b, c)
+  call clamp(a, lo, hi)
+  print a, b, c
+end
+"""
+
+#: Pascal-style nested bank ledger: the transaction helpers are nested
+#: inside `session`, and they update `session`'s locals — the §3.3
+#: showcase (nested procedures modifying up-level variables, and a
+#: formal of the outer procedure passed onward from a nested call site).
+BANK_LEDGER = """
+program bank
+  global balance, fees, audit
+
+  proc log(evt)
+  begin
+    audit := audit + evt
+  end
+
+  proc session(amount)
+    local pending, count
+
+    proc deposit(v)
+    begin
+      pending := pending + v
+      count := count + 1
+      call log(1)
+    end
+
+    proc withdraw(v)
+    begin
+      if v <= pending + balance then
+        pending := pending - v
+        count := count + 1
+        call log(2)
+      else
+        call penalty(amount)
+      end
+    end
+
+    proc penalty(who)
+    begin
+      fees := fees + 1
+      who := who - 1
+      call log(3)
+    end
+
+  begin
+    pending := 0
+    count := 0
+    call deposit(amount)
+    call withdraw(amount + amount)
+    balance := balance + pending
+  end
+
+begin
+  balance := 100
+  fees := 0
+  audit := 0
+  call session(10)
+  print balance, fees, audit
+end
+"""
+
+#: Mutual recursion over a global worklist — a tiny expression
+#: evaluator shape (parse/term/factor), one call-graph SCC.
+EVALUATOR = """
+program evaluator
+  global pos, value, err
+  global array tokens[32]
+
+  proc expr(depth)
+    local left
+  begin
+    call term(depth + 1)
+    left := value
+    while tokens[pos] = 1 do
+      pos := pos + 1
+      call term(depth + 1)
+      value := left + value
+      left := value
+    end
+  end
+
+  proc term(depth)
+    local left
+  begin
+    call factor(depth + 1)
+    left := value
+    while tokens[pos] = 2 do
+      pos := pos + 1
+      call factor(depth + 1)
+      value := left * value
+      left := value
+    end
+  end
+
+  proc factor(depth)
+  begin
+    if depth > 16 then
+      err := 1
+    else
+      if tokens[pos] = 3 then
+        pos := pos + 1
+        call expr(depth + 1)
+        pos := pos + 1
+      else
+        value := tokens[pos]
+        pos := pos + 1
+      end
+    end
+  end
+
+begin
+  tokens[0] := 5
+  tokens[1] := 1
+  tokens[2] := 7
+  pos := 0
+  err := 0
+  call expr(0)
+  print value, err
+end
+"""
+
+#: Matrix helpers operating on global arrays through whole-array
+#: reference parameters — the regular-section motivation (each helper
+#: touches a row, a column, or one element).
+MATRIX_TOOLS = """
+program matrix
+  global k, acc
+  global array m[8][8]
+  global array v[8]
+
+  proc clear_row(t, r)
+    local j
+  begin
+    for j := 0 to 7 do
+      t[r][j] := 0
+    end
+  end
+
+  proc set_diag(t)
+    local i
+  begin
+    for i := 0 to 7 do
+      t[i][i] := 1
+    end
+  end
+
+  proc col_sum(t, c, out)
+    local i
+  begin
+    out := 0
+    for i := 0 to 7 do
+      out := out + t[i][c]
+    end
+  end
+
+  proc scale_vec(u, factor)
+    local i
+  begin
+    for i := 0 to 7 do
+      u[i] := u[i] * factor
+    end
+  end
+
+begin
+  k := 3
+  call clear_row(m, k)
+  call set_diag(m)
+  call col_sum(m, k, acc)
+  call scale_vec(v, 2)
+  print acc
+end
+"""
+
+#: Pascal-style task scheduler: three nesting levels, recursion that
+#: crosses levels (dispatch → run_one → dispatch), and per-level state
+#: — the multi-level GMOD stress case in realistic shape.
+SCHEDULER = """
+program scheduler
+  global clock, done
+  global array queue[16]
+
+  proc dispatch(budget)
+    local head, count
+
+    proc run_one(task)
+      local steps
+
+      proc charge(amount)
+      begin
+        steps := steps + amount
+        clock := clock + amount
+        budget := budget - amount
+      end
+
+    begin
+      steps := 0
+      call charge(task + 1)
+      if task > 2 then
+        call dispatch(budget)
+      end
+      count := count + 1
+    end
+
+  begin
+    head := 0
+    count := 0
+    while head < 4 and budget > 0 do
+      call run_one(queue[head])
+      head := head + 1
+    end
+    if count = 0 then
+      done := 1
+    end
+  end
+
+begin
+  clock := 0
+  done := 0
+  queue[0] := 1
+  queue[1] := 3
+  queue[2] := 2
+  call dispatch(10)
+  print clock, done
+end
+"""
+
+#: Text formatter over global line buffers: row/column array accesses
+#: with symbolic subscripts, plus a pure helper — sections + purity in
+#: one realistic program.
+FORMATTER = """
+program formatter
+  global width, lines, dirty
+  global array page[24][72]
+
+  proc measure(len, result)
+  begin
+    result := len
+    if result > width then
+      result := width
+    end
+  end
+
+  proc put_line(row, len)
+    local j, n
+  begin
+    call measure(len, n)
+    for j := 0 to n - 1 do
+      page[row][j] := 1
+    end
+    dirty := 1
+  end
+
+  proc clear_column(col)
+    local i
+  begin
+    for i := 0 to 23 do
+      page[i][col] := 0
+    end
+  end
+
+  proc render()
+    local r
+  begin
+    for r := 0 to lines - 1 do
+      call put_line(r, width)
+    end
+  end
+
+begin
+  width := 60
+  lines := 3
+  dirty := 0
+  call render()
+  call clear_column(71)
+  print dirty
+end
+"""
+
+#: Breadth-first search over a global adjacency matrix with an
+#: explicit queue — array-heavy USE sets, a worklist loop, and helper
+#: procedures whose effects partition cleanly.
+GRAPH_BFS = """
+program bfs
+  global n, head, tail, found, target
+  global array adj[8][8]
+  global array dist[8]
+  global array queue[16]
+
+  proc enqueue(v)
+  begin
+    queue[tail] := v
+    tail := tail + 1
+  end
+
+  proc dequeue(out)
+  begin
+    out := queue[head]
+    head := head + 1
+  end
+
+  proc visit(u)
+    local v
+  begin
+    for v := 0 to 7 do
+      if adj[u][v] = 1 and dist[v] = 0 - 1 then
+        dist[v] := dist[u] + 1
+        call enqueue(v)
+      end
+    end
+  end
+
+  proc search(src)
+    local u, i
+  begin
+    for i := 0 to 7 do
+      dist[i] := 0 - 1
+    end
+    head := 0
+    tail := 0
+    dist[src] := 0
+    call enqueue(src)
+    while head < tail do
+      call dequeue(u)
+      if u = target then
+        found := 1
+      end
+      call visit(u)
+    end
+  end
+
+begin
+  n := 8
+  adj[0][1] := 1
+  adj[1][2] := 1
+  adj[2][5] := 1
+  adj[5][7] := 1
+  target := 7
+  found := 0
+  call search(0)
+  print found, dist[7]
+end
+"""
+
+#: All corpus programs by name (used by tests, benches, and examples).
+ALL: Dict[str, str] = {
+    "stats": STATS_PACKAGE,
+    "swaplib": SWAP_LIBRARY,
+    "bank": BANK_LEDGER,
+    "evaluator": EVALUATOR,
+    "matrix": MATRIX_TOOLS,
+    "scheduler": SCHEDULER,
+    "formatter": FORMATTER,
+    "bfs": GRAPH_BFS,
+}

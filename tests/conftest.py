@@ -1,0 +1,25 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.semantic import compile_source
+from repro.workloads import corpus
+
+
+@pytest.fixture(scope="session")
+def corpus_programs():
+    """All corpus programs, compiled once per session: name -> ResolvedProgram."""
+    return {name: compile_source(source) for name, source in corpus.ALL.items()}
+
+
+@pytest.fixture()
+def compile(request):
+    """The compile_source function, as a fixture for terseness."""
+    return compile_source
+
+
+def names_of(symbols) -> set:
+    """Qualified names of a symbol collection (test assertion helper)."""
+    return {symbol.qualified_name for symbol in symbols}

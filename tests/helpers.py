@@ -1,0 +1,56 @@
+"""Assertion helpers shared across test modules."""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.core.summary import SideEffectSummary
+from repro.core.varsets import EffectKind
+from repro.lang.interp import TraceResult
+from repro.lang.symbols import ResolvedProgram
+
+
+def names(symbols) -> Set[str]:
+    """Qualified names of a collection of symbols."""
+    return {symbol.qualified_name for symbol in symbols}
+
+
+def mod_names(summary: SideEffectSummary, site_index: int,
+              kind: EffectKind = EffectKind.MOD) -> Set[str]:
+    """MOD (or USE) of the call site with the given id, as names."""
+    site = summary.resolved.call_sites[site_index]
+    return names(summary.mod(site, kind))
+
+
+def gmod_names(summary: SideEffectSummary, proc_name: str,
+               kind: EffectKind = EffectKind.MOD) -> Set[str]:
+    proc = summary.resolved.proc_named(proc_name)
+    return set(summary.universe.to_names(summary.gmod_mask(proc, kind)))
+
+
+def rmod_names(summary: SideEffectSummary, proc_name: str,
+               kind: EffectKind = EffectKind.MOD) -> Set[str]:
+    proc = summary.resolved.proc_named(proc_name)
+    return {f.name for f in summary.solutions[kind].rmod.formals_of(proc.pid)}
+
+
+def assert_trace_sound(resolved: ResolvedProgram, trace: TraceResult,
+                       summary: SideEffectSummary) -> None:
+    """Every observed per-site effect must be covered by the computed
+    MOD/USE — the paper's correctness criterion, checked dynamically."""
+    for site_id, observed in trace.observed_mod.items():
+        site = resolved.call_sites[site_id]
+        computed = summary.mod(site)
+        extra = observed - computed
+        assert not extra, (
+            "unsound MOD at %r: observed %s not in computed %s"
+            % (site, names(extra), names(computed))
+        )
+    for site_id, observed in trace.observed_use.items():
+        site = resolved.call_sites[site_id]
+        computed = summary.use(site)
+        extra = observed - computed
+        assert not extra, (
+            "unsound USE at %r: observed %s not in computed %s"
+            % (site, names(extra), names(computed))
+        )

@@ -1,0 +1,181 @@
+"""Binding multi-graph (β) construction tests — Section 3.1 and 3.3."""
+
+import pytest
+
+from repro.graphs.binding import build_binding_graph
+from repro.lang.semantic import compile_source
+from repro.workloads import patterns
+
+
+def beta_of(source):
+    resolved = compile_source(source)
+    return resolved, build_binding_graph(resolved)
+
+
+def edge_names(graph):
+    return {
+        (edge.source.qualified_name, edge.target.qualified_name)
+        for edge in graph.edges
+    }
+
+
+class TestEdges:
+    def test_formal_to_formal_creates_edge(self):
+        resolved, graph = beta_of(
+            """
+            program t
+              proc p(x) begin call q(x) end
+              proc q(y) begin y := 1 end
+            begin call p(1) end
+            """
+        )
+        assert edge_names(graph) == {("p::x", "q::y")}
+
+    def test_global_actual_creates_no_edge(self):
+        resolved, graph = beta_of(
+            """
+            program t
+              global g
+              proc q(y) begin y := 1 end
+            begin call q(g) end
+            """
+        )
+        assert graph.num_edges == 0
+
+    def test_local_actual_creates_no_edge(self):
+        resolved, graph = beta_of(
+            """
+            program t
+              proc p() local v begin call q(v) end
+              proc q(y) begin y := 1 end
+            begin call p() end
+            """
+        )
+        assert graph.num_edges == 0
+
+    def test_expression_actual_creates_no_edge(self):
+        resolved, graph = beta_of(
+            """
+            program t
+              proc p(x) begin call q(x + 1) end
+              proc q(y) begin y := 1 end
+            begin call p(1) end
+            """
+        )
+        assert graph.num_edges == 0
+
+    def test_parallel_binding_events_kept(self):
+        # The same pair bound at two call sites -> two multi-edges.
+        resolved, graph = beta_of(
+            """
+            program t
+              proc p(x) begin call q(x) call q(x) end
+              proc q(y) begin y := 1 end
+            begin call p(1) end
+            """
+        )
+        assert graph.num_edges == 2
+        assert edge_names(graph) == {("p::x", "q::y")}
+
+    def test_one_actual_to_several_positions(self):
+        resolved, graph = beta_of(
+            """
+            program t
+              proc p(x) begin call q(x, x) end
+              proc q(a, b) begin a := b end
+            begin call p(1) end
+            """
+        )
+        assert edge_names(graph) == {("p::x", "q::a"), ("p::x", "q::b")}
+
+    def test_self_recursion_self_edges(self):
+        resolved, graph = beta_of(patterns.self_recursive())
+        # f(n, acc): n-1 is by value (no edge); acc -> acc is an edge.
+        assert edge_names(graph) == {("f::acc", "f::acc")}
+
+    def test_subscripted_formal_actual_creates_edge(self):
+        # Passing f[i] where f is a formal array: still a binding event.
+        resolved, graph = beta_of(
+            """
+            program t
+              global array m[4]
+              proc p(f, i) begin call q(f[i]) end
+              proc q(y) begin y := 1 end
+            begin call p(m, 2) end
+            """
+        )
+        assert ("p::f", "q::y") in edge_names(graph)
+        edge = [e for e in graph.edges if e.source.qualified_name == "p::f"][0]
+        assert edge.subscripted
+
+    def test_nested_call_site_uses_owner_as_source(self):
+        # Section 3.3 point 2: p's formal passed at a call site inside a
+        # procedure nested in p — the edge source is p's formal.
+        resolved, graph = beta_of(
+            """
+            program t
+              proc p(x)
+                proc inner() begin call q(x) end
+              begin call inner() end
+              proc q(y) begin y := 1 end
+            begin call p(1) end
+            """
+        )
+        assert ("p::x", "q::y") in edge_names(graph)
+
+
+class TestSizes:
+    def test_node_accounting(self):
+        resolved, graph = beta_of(
+            """
+            program t
+              proc p(x, unused) begin call q(x) end
+              proc q(y) begin y := 1 end
+            begin call p(1, 2) end
+            """
+        )
+        assert graph.num_formals == 3  # x, unused, y.
+        assert graph.nodes_with_edges == 2  # 'unused' is isolated.
+
+    def test_paper_inequality_2e_ge_n(self):
+        # 2·Eβ >= Nβ for the with-edges accounting, everywhere.
+        for source in [
+            patterns.chain(8),
+            patterns.ring(5),
+            patterns.parameter_shuffle(6),
+            patterns.self_recursive(),
+        ]:
+            resolved, graph = beta_of(source)
+            assert 2 * graph.num_edges >= graph.nodes_with_edges
+
+    def test_size_bounds_against_call_graph(self):
+        # Nβ <= µ_f · N_C and Eβ <= µ_a · E_C (Section 3.1).
+        from repro.graphs.callgraph import build_call_graph
+        from repro.workloads.generator import GeneratorConfig, generate_resolved
+
+        for seed in range(5):
+            resolved = generate_resolved(GeneratorConfig(seed=seed, num_procs=30))
+            beta = build_binding_graph(resolved)
+            call_graph = build_call_graph(resolved)
+            total_formals = sum(len(p.formals) for p in resolved.procs)
+            total_actuals = sum(len(s.bindings) for s in resolved.call_sites)
+            mu_f = total_formals / call_graph.num_nodes
+            mu_a = total_actuals / max(call_graph.num_edges, 1)
+            assert beta.num_formals <= mu_f * call_graph.num_nodes + 1e-9
+            assert beta.num_edges <= mu_a * call_graph.num_edges + 1e-9
+
+    def test_chain_edge_count(self):
+        resolved, graph = beta_of(patterns.chain(10))
+        assert graph.num_edges == 9  # One binding per link.
+
+    def test_shuffle_edge_count(self):
+        resolved, graph = beta_of(patterns.parameter_shuffle(5))
+        assert graph.num_edges == 3 * 4  # Three formals per link.
+
+
+class TestDot:
+    def test_dot_node_labels_use_paper_notation(self):
+        resolved, graph = beta_of(patterns.chain(2))
+        dot = graph.to_dot()
+        assert "fp1^c1" in dot
+        assert "digraph binding" in dot

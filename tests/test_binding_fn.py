@@ -1,0 +1,149 @@
+"""Direct unit tests for the g_e edge functions and the lattice
+strategy protocol (framework.py)."""
+
+import pytest
+
+from repro.lang.semantic import compile_source
+from repro.sections.binding_fn import (
+    describe_actual_expr,
+    translate_subscripts,
+    translate_through_binding,
+)
+from repro.sections.framework import FIGURE3, RANGES, translate_through_binding_generic
+from repro.sections.lattice import Section, SubKind, Subscript
+
+
+@pytest.fixture(scope="module")
+def site_fixture():
+    resolved = compile_source(
+        """
+        program t
+          global g
+          global array m[8][8]
+          proc caller(arr, k)
+            local tmp
+          begin
+            call callee(arr, k, g, tmp + 1, arr[k])
+          end
+          proc callee(t, a, b, c, e) begin t[a][b] := e end
+        begin call caller(m, 2) end
+        """
+    )
+    site = [s for s in resolved.call_sites
+            if s.callee.qualified_name == "callee"][0]
+    return resolved, site
+
+
+class TestDescribeActual:
+    def test_literal(self, site_fixture):
+        resolved, site = site_fixture
+        sub = describe_actual_expr(site.stmt.args[1], site.caller)
+        # arg 1 is k, a formal of caller.
+        assert sub.kind is SubKind.FORMAL
+        assert sub.value == 1
+
+    def test_global_is_unknown(self, site_fixture):
+        resolved, site = site_fixture
+        sub = describe_actual_expr(site.stmt.args[2], site.caller)
+        assert sub.is_unknown
+
+    def test_expression_is_unknown(self, site_fixture):
+        resolved, site = site_fixture
+        sub = describe_actual_expr(site.stmt.args[3], site.caller)
+        assert sub.is_unknown
+
+
+class TestTranslateSubscripts:
+    def test_formal_renamed_to_actual(self, site_fixture):
+        resolved, site = site_fixture
+        # callee section t(a, b) = FORMAL(1), FORMAL(2): a <- k (caller
+        # formal position 1), b <- g (unknown).
+        section = Section.element(Subscript.formal(1), Subscript.formal(2))
+        out = translate_subscripts(section, site)
+        assert out.subs[0].kind is SubKind.FORMAL
+        assert out.subs[0].value == 1
+        assert out.subs[1].is_unknown
+
+    def test_const_and_star_pass_through(self, site_fixture):
+        resolved, site = site_fixture
+        section = Section.element(Subscript.const(5), Subscript.unknown())
+        out = translate_subscripts(section, site)
+        assert out == section
+
+    def test_bottom_and_whole_unchanged(self, site_fixture):
+        resolved, site = site_fixture
+        assert translate_subscripts(Section.make_bottom(), site).is_bottom
+        assert translate_subscripts(Section.whole(), site).is_whole
+
+    def test_out_of_range_formal_widens(self, site_fixture):
+        resolved, site = site_fixture
+        section = Section.element(Subscript.formal(99))
+        out = translate_subscripts(section, site)
+        assert out.subs[0].is_unknown
+
+
+class TestTranslateThroughBinding:
+    def binding(self, site, position):
+        return [b for b in site.bindings if b.position == position][0]
+
+    def test_whole_array_binding_renames(self, site_fixture):
+        resolved, site = site_fixture
+        section = Section.element(Subscript.formal(1), Subscript.const(0))
+        out = translate_through_binding(section, site, self.binding(site, 0))
+        assert out.subs[0].kind is SubKind.FORMAL  # a -> k.
+        assert out.subs[1].value == 0
+
+    def test_element_binding_embeds_scalar(self, site_fixture):
+        resolved, site = site_fixture
+        # arg 4 is arr[k]: a rank-0 callee access lands on element (k).
+        out = translate_through_binding(
+            Section.scalar(), site, self.binding(site, 4)
+        )
+        assert out.rank == 1
+        assert out.subs[0].kind is SubKind.FORMAL
+
+    def test_element_binding_with_array_use_widens(self, site_fixture):
+        resolved, site = site_fixture
+        section = Section.element(Subscript.const(1))
+        out = translate_through_binding(section, site, self.binding(site, 4))
+        assert out.is_whole
+
+    def test_bottom_short_circuits(self, site_fixture):
+        resolved, site = site_fixture
+        out = translate_through_binding(
+            Section.make_bottom(), site, self.binding(site, 0)
+        )
+        assert out.is_bottom
+
+
+class TestStrategyProtocol:
+    @pytest.mark.parametrize("lattice", [FIGURE3, RANGES])
+    def test_constructors(self, lattice):
+        assert lattice.bottom().is_bottom
+        assert lattice.whole().is_whole
+        assert lattice.scalar().rank == 0
+        element = lattice.element([Subscript.const(1), Subscript.formal(0)])
+        assert element.rank == 2
+        assert not element.is_bottom
+
+    @pytest.mark.parametrize("lattice", [FIGURE3, RANGES])
+    def test_widen_symbolic_erases_formals(self, lattice):
+        element = lattice.element([Subscript.formal(0), Subscript.const(2)])
+        widened = lattice.widen_symbolic(element)
+        assert widened.contains(element)
+        # The formal dimension is now unconstrained; the const stays.
+        narrower = lattice.element([Subscript.const(7), Subscript.const(2)])
+        assert widened.contains(narrower)
+
+    @pytest.mark.parametrize("lattice", [FIGURE3, RANGES])
+    def test_generic_binding_translation(self, lattice, site_fixture):
+        resolved, site = site_fixture
+        binding = [b for b in site.bindings if b.position == 0][0]
+        section = lattice.element([Subscript.formal(1), Subscript.const(3)])
+        out = translate_through_binding_generic(lattice, section, site, binding)
+        assert not out.is_bottom
+        assert out.rank == 2
+
+    def test_names(self):
+        assert FIGURE3.name == "figure3"
+        assert RANGES.name == "ranges"

@@ -1,0 +1,126 @@
+"""Call multi-graph construction tests."""
+
+import pytest
+
+from repro.graphs.callgraph import build_call_graph
+from repro.lang.semantic import compile_source
+from repro.workloads import patterns
+
+
+def graph_of(source):
+    return build_call_graph(compile_source(source))
+
+
+class TestConstruction:
+    def test_node_per_procedure_including_main(self):
+        graph = graph_of("program t proc a() begin end begin call a() end")
+        assert graph.num_nodes == 2
+
+    def test_edge_per_call_site(self):
+        graph = graph_of(
+            """
+            program t
+              proc a() begin end
+            begin
+              call a()
+              call a()
+              call a()
+            end
+            """
+        )
+        assert graph.num_edges == 3  # Parallel edges kept (multi-graph).
+
+    def test_successors_align_with_sites(self):
+        resolved = compile_source(
+            """
+            program t
+              proc a() begin call b() end
+              proc b() begin end
+            begin call a() end
+            """
+        )
+        graph = build_call_graph(resolved)
+        a = resolved.proc_named("a")
+        b = resolved.proc_named("b")
+        assert graph.successors[a.pid] == [b.pid]
+        assert graph.edge_sites[a.pid][0].callee is b
+
+    def test_predecessors(self):
+        resolved = compile_source(
+            """
+            program t
+              proc a() begin call c() end
+              proc b() begin call c() end
+              proc c() begin end
+            begin call a() call b() end
+            """
+        )
+        graph = build_call_graph(resolved)
+        c = resolved.proc_named("c")
+        assert sorted(graph.predecessors[c.pid]) == sorted(
+            [resolved.proc_named("a").pid, resolved.proc_named("b").pid]
+        )
+
+    def test_calls_inside_control_flow_counted(self):
+        graph = graph_of(
+            """
+            program t
+              global g
+              proc a() begin end
+            begin
+              if g > 0 then
+                call a()
+              else
+                call a()
+              end
+              while g > 0 do
+                call a()
+              end
+            end
+            """
+        )
+        assert graph.num_edges == 3
+
+    def test_ring_pattern_sizes(self):
+        graph = graph_of(patterns.ring(6))
+        assert graph.num_nodes == 7  # main + 6.
+        # Each ring member calls its successor once, main calls r1.
+        assert graph.num_edges == 7
+
+
+class TestReachability:
+    def test_all_reachable(self):
+        graph = graph_of("program t proc a() begin end begin call a() end")
+        assert graph.unreachable_procs() == []
+
+    def test_unreachable_detected(self):
+        graph = graph_of(
+            "program t proc used() begin end proc orphan() begin end "
+            "begin call used() end"
+        )
+        assert [p.qualified_name for p in graph.unreachable_procs()] == ["orphan"]
+
+    def test_self_recursive_orphan_detected(self):
+        graph = graph_of(
+            "program t proc orphan() begin call orphan() end begin end"
+        )
+        assert [p.qualified_name for p in graph.unreachable_procs()] == ["orphan"]
+
+    def test_custom_roots(self):
+        resolved = compile_source(
+            "program t proc a() begin call b() end proc b() begin end begin end"
+        )
+        graph = build_call_graph(resolved)
+        a = resolved.proc_named("a")
+        reachable = graph.reachable_procs(roots=[a.pid])
+        assert reachable[resolved.proc_named("b").pid]
+        assert not reachable[resolved.main.pid]
+
+
+class TestDot:
+    def test_dot_contains_nodes_and_edges(self):
+        graph = graph_of("program t proc a() begin end begin call a() end")
+        dot = graph.to_dot()
+        assert "digraph callgraph" in dot
+        assert '"a"' in dot
+        assert "->" in dot

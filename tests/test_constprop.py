@@ -1,0 +1,289 @@
+"""Interprocedural constant propagation tests."""
+
+import pytest
+
+from repro import analyze_side_effects
+from repro.extensions.constprop import ConstLattice, solve_constants
+from repro.lang.semantic import compile_source
+
+
+def constants(source, kill_policy="precise"):
+    resolved = compile_source(source)
+    result = solve_constants(resolved, kill_policy=kill_policy)
+    return resolved, result
+
+
+def entry_of(resolved, result, qualified_name):
+    return result.entry_value(resolved.var_named(qualified_name))
+
+
+class TestLattice:
+    def test_meet_top_identity(self):
+        c = ConstLattice.const(4)
+        assert ConstLattice.top().meet(c) == c
+        assert c.meet(ConstLattice.top()) == c
+
+    def test_meet_equal_constants(self):
+        assert ConstLattice.const(4).meet(ConstLattice.const(4)).is_const
+
+    def test_meet_different_constants_bottom(self):
+        assert ConstLattice.const(4).meet(ConstLattice.const(5)).is_bottom
+
+    def test_meet_bottom_absorbs(self):
+        assert ConstLattice.bottom().meet(ConstLattice.const(1)).is_bottom
+
+    def test_repr(self):
+        assert repr(ConstLattice.const(7)) == "7"
+        assert repr(ConstLattice.top()) == "⊤"
+        assert repr(ConstLattice.bottom()) == "⊥"
+
+
+class TestDirectConstants:
+    def test_literal_argument(self):
+        resolved, result = constants(
+            "program t global g proc f(a) begin g := a end begin call f(42) end"
+        )
+        value = entry_of(resolved, result, "f::a")
+        assert value.is_const and value.value == 42
+
+    def test_folded_expression_argument(self):
+        resolved, result = constants(
+            "program t global g proc f(a) begin g := a end begin call f(6 * 7) end"
+        )
+        assert entry_of(resolved, result, "f::a").value == 42
+
+    def test_negated_literal(self):
+        resolved, result = constants(
+            "program t global g proc f(a) begin g := a end begin call f(-3) end"
+        )
+        assert entry_of(resolved, result, "f::a").value == -3
+
+    def test_conflicting_sites_bottom(self):
+        resolved, result = constants(
+            "program t global g proc f(a) begin g := a end "
+            "begin call f(1) call f(2) end"
+        )
+        assert entry_of(resolved, result, "f::a").is_bottom
+
+    def test_agreeing_sites_const(self):
+        resolved, result = constants(
+            "program t global g proc f(a) begin g := a end "
+            "begin call f(5) call f(5) end"
+        )
+        assert entry_of(resolved, result, "f::a").value == 5
+
+    def test_global_argument_is_bottom(self):
+        resolved, result = constants(
+            "program t global g proc f(a) begin end begin call f(g) end"
+        )
+        assert entry_of(resolved, result, "f::a").is_bottom
+
+    def test_uncalled_procedure_stays_top(self):
+        resolved, result = constants(
+            """
+            program t
+              proc used() begin call orphanish(3) end
+              proc orphanish(a) begin end
+            begin call used() end
+            """
+        )
+        # orphanish *is* called; make one that isn't via main only.
+        resolved2, result2 = constants(
+            "program t global g proc f(a) begin end begin g := 1 end"
+        )
+        assert entry_of(resolved2, result2, "f::a").is_top
+
+
+class TestPassThrough:
+    CHAIN = """
+        program t
+          global g
+          proc top(a) begin call mid(a) end
+          proc mid(b) begin call bot(b) end
+          proc bot(c) begin g := c end
+        begin call top(9) end
+        """
+
+    def test_constant_flows_through_chain(self):
+        resolved, result = constants(self.CHAIN)
+        assert entry_of(resolved, result, "top::a").value == 9
+        assert entry_of(resolved, result, "mid::b").value == 9
+        assert entry_of(resolved, result, "bot::c").value == 9
+
+    def test_arithmetic_on_passthrough(self):
+        resolved, result = constants(
+            """
+            program t
+              global g
+              proc top(a) begin call bot(a + 1) end
+              proc bot(c) begin g := c end
+            begin call top(9) end
+            """
+        )
+        assert entry_of(resolved, result, "bot::c").value == 10
+
+    def test_modified_formal_kills_passthrough(self):
+        resolved, result = constants(
+            """
+            program t
+              global g
+              proc top(a)
+              begin
+                a := a + 1
+                call bot(a)
+              end
+              proc bot(c) begin g := c end
+            begin call top(9) end
+            """
+        )
+        assert entry_of(resolved, result, "top::a").value == 9
+        assert entry_of(resolved, result, "bot::c").is_bottom
+
+    def test_callee_side_effect_kills_passthrough(self):
+        # 'a' is passed by reference to inc, which modifies it — so the
+        # second call's pass-through must die even though top's own
+        # body never assigns a.  This is the GMOD-based kill test.
+        resolved, result = constants(
+            """
+            program t
+              global g
+              proc top(a)
+              begin
+                call inc(a)
+                call bot(a)
+              end
+              proc inc(x) begin x := x + 1 end
+              proc bot(c) begin g := c end
+            begin call top(9) end
+            """
+        )
+        assert entry_of(resolved, result, "bot::c").is_bottom
+
+    def test_harmless_call_keeps_passthrough(self):
+        # log doesn't touch its argument's storage; precise MOD keeps
+        # the pass-through alive.
+        resolved, result = constants(
+            """
+            program t
+              global g, audit
+              proc top(a)
+              begin
+                call log(a)
+                call bot(a)
+              end
+              proc log(x) begin audit := audit + x end
+              proc bot(c) begin g := c end
+            begin call top(9) end
+            """
+        )
+        assert entry_of(resolved, result, "bot::c").value == 9
+
+    def test_aliased_formal_killed(self):
+        # top's x and y share storage at the only call; modifying y
+        # also changes x, so x's pass-through must die.
+        resolved, result = constants(
+            """
+            program t
+              global g, h
+              proc top(x, y)
+              begin
+                y := 5
+                call bot(x)
+              end
+              proc bot(c) begin g := c end
+            begin
+              h := 3
+              call top(h, h)
+            end
+            """
+        )
+        assert entry_of(resolved, result, "bot::c").is_bottom
+
+    def test_nested_uplevel_passthrough(self):
+        resolved, result = constants(
+            """
+            program t
+              global g
+              proc outer(k)
+                proc inner() begin call bot(k) end
+              begin call inner() end
+              proc bot(c) begin g := c end
+            begin call outer(4) end
+            """
+        )
+        assert entry_of(resolved, result, "bot::c").value == 4
+
+    def test_recursion_with_changing_argument(self):
+        resolved, result = constants(
+            """
+            program t
+              global g
+              proc f(n)
+              begin
+                g := n
+                if n > 0 then
+                  call f(n - 1)
+                end
+              end
+            begin call f(3) end
+            """
+        )
+        assert entry_of(resolved, result, "f::n").is_bottom
+
+    def test_recursion_with_stable_argument(self):
+        resolved, result = constants(
+            """
+            program t
+              global g
+              proc f(k, n)
+              begin
+                g := k
+                if n > 0 then
+                  call f(k, n - 1)
+                end
+              end
+            begin call f(7, 3) end
+            """
+        )
+        assert entry_of(resolved, result, "f::k").value == 7
+        assert entry_of(resolved, result, "f::n").is_bottom
+
+
+class TestKillPolicies:
+    SOURCE = """
+        program t
+          global g, audit
+          proc top(a)
+          begin
+            call log(a)
+            call bot(a)
+          end
+          proc log(x) begin audit := audit + x end
+          proc bot(c) begin g := c end
+        begin call top(9) end
+        """
+
+    def test_precise_beats_worstcase(self):
+        resolved = compile_source(self.SOURCE)
+        precise = solve_constants(resolved, kill_policy="precise")
+        worst = solve_constants(resolved, kill_policy="worstcase")
+        assert precise.constants_found() > worst.constants_found()
+        c = resolved.var_named("bot::c")
+        assert precise.entry_value(c).is_const
+        assert worst.entry_value(c).is_bottom
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            solve_constants(compile_source(self.SOURCE), kill_policy="magic")
+
+    def test_report_and_counts(self):
+        resolved, result = constants(self.SOURCE)
+        assert result.constants_found() >= 2
+        assert result.substitutable_found() >= 1
+        assert "top::a = 9" in result.report()
+
+    def test_summary_reuse(self):
+        resolved = compile_source(self.SOURCE)
+        summary = analyze_side_effects(resolved)
+        result = solve_constants(resolved, summary=summary)
+        assert result.constants_found() >= 2

@@ -1,0 +1,102 @@
+"""DFS utilities: reachability and edge classification."""
+
+import pytest
+
+from repro.graphs.dfs import EdgeKind, classify_edges, reachable_from
+
+
+class TestReachability:
+    def test_empty_roots(self):
+        assert reachable_from(3, [[], [], []], []) == [False, False, False]
+
+    def test_root_reaches_itself(self):
+        assert reachable_from(1, [[]], [0]) == [True]
+
+    def test_chain(self):
+        assert reachable_from(3, [[1], [2], []], [0]) == [True, True, True]
+
+    def test_unreachable_island(self):
+        assert reachable_from(4, [[1], [], [3], []], [0]) == [True, True, False, False]
+
+    def test_cycle(self):
+        assert reachable_from(3, [[1], [2], [0]], [1]) == [True, True, True]
+
+    def test_multiple_roots(self):
+        assert reachable_from(4, [[], [], [], []], [1, 3]) == [False, True, False, True]
+
+    def test_self_recursive_orphan_is_unreachable(self):
+        # The case the paper's §3.3 elimination must catch: a procedure
+        # called only by itself.
+        assert reachable_from(2, [[], [1]], [0]) == [True, False]
+
+
+class TestEdgeClassification:
+    def classify(self, num_nodes, successors, roots=(0,)):
+        dfn, edges = classify_edges(num_nodes, successors, list(roots))
+        return dfn, {(u, v): kind for u, v, kind in edges}
+
+    def test_tree_edges(self):
+        dfn, kinds = self.classify(3, [[1], [2], []])
+        assert kinds[(0, 1)] is EdgeKind.TREE
+        assert kinds[(1, 2)] is EdgeKind.TREE
+
+    def test_back_edge(self):
+        dfn, kinds = self.classify(3, [[1], [2], [0]])
+        assert kinds[(2, 0)] is EdgeKind.BACK
+
+    def test_self_loop_is_back_edge(self):
+        dfn, kinds = self.classify(1, [[0]])
+        assert kinds[(0, 0)] is EdgeKind.BACK
+
+    def test_forward_edge(self):
+        # 0 -> 1 -> 2 and 0 -> 2 visited after the tree path.
+        dfn, edges = classify_edges(3, [[1, 2], [2], []], [0])
+        kinds = {(u, v): k for u, v, k in edges}
+        assert kinds[(0, 2)] is EdgeKind.FORWARD
+
+    def test_cross_edge(self):
+        # 0 -> 1, 0 -> 2, 2 -> 1: (2, 1) crosses between finished subtrees.
+        dfn, edges = classify_edges(3, [[1, 2], [], [1]], [0])
+        kinds = {(u, v): k for u, v, k in edges}
+        assert kinds[(2, 1)] is EdgeKind.CROSS
+
+    def test_all_nodes_numbered(self):
+        dfn, _ = classify_edges(4, [[1], [], [3], []], [0])
+        assert all(number > 0 for number in dfn)
+        assert sorted(dfn) == [1, 2, 3, 4]
+
+    def test_edge_count_preserved_for_multigraph(self):
+        dfn, edges = classify_edges(2, [[1, 1, 1], []], [0])
+        assert len(edges) == 3
+
+    def test_tree_edges_form_forest(self):
+        import random
+
+        rng = random.Random(7)
+        num_nodes = 40
+        successors = [
+            [rng.randrange(num_nodes) for _ in range(rng.randint(0, 4))]
+            for _ in range(num_nodes)
+        ]
+        dfn, edges = classify_edges(num_nodes, successors, [0])
+        tree_targets = [v for _, v, kind in edges if kind is EdgeKind.TREE]
+        # Each node is entered by at most one tree edge.
+        assert len(tree_targets) == len(set(tree_targets))
+
+    def test_classification_dfn_invariants(self):
+        import random
+
+        rng = random.Random(11)
+        num_nodes = 30
+        successors = [
+            [rng.randrange(num_nodes) for _ in range(rng.randint(0, 4))]
+            for _ in range(num_nodes)
+        ]
+        dfn, edges = classify_edges(num_nodes, successors, [0])
+        for source, target, kind in edges:
+            if kind is EdgeKind.TREE:
+                assert dfn[target] > dfn[source]
+            elif kind is EdgeKind.FORWARD:
+                assert dfn[target] > dfn[source]
+            elif kind is EdgeKind.CROSS:
+                assert dfn[target] < dfn[source]

@@ -1,0 +1,160 @@
+"""DMOD (equation (2)) projection tests."""
+
+import pytest
+
+from repro.core.pipeline import analyze_side_effects
+from repro.core.varsets import EffectKind
+from repro.lang.semantic import compile_source
+
+from tests.helpers import names
+
+
+def dmod_names(source, site_index=0, kind=EffectKind.MOD):
+    summary = analyze_side_effects(compile_source(source), kinds=(kind,))
+    site = summary.resolved.call_sites[site_index]
+    return names(summary.dmod(site, kind))
+
+
+class TestProjection:
+    def test_global_effects_pass_through(self):
+        assert dmod_names(
+            """
+            program t
+              global g
+              proc f() begin g := 1 end
+            begin call f() end
+            """
+        ) == {"g"}
+
+    def test_callee_locals_dropped(self):
+        assert dmod_names(
+            """
+            program t
+              proc f() local v begin v := 1 end
+            begin call f() end
+            """
+        ) == set()
+
+    def test_modified_formal_maps_to_actual(self):
+        assert dmod_names(
+            """
+            program t
+              global g
+              proc f(x) begin x := 1 end
+            begin call f(g) end
+            """
+        ) == {"g"}
+
+    def test_unmodified_formal_does_not_map(self):
+        assert dmod_names(
+            """
+            program t
+              global g, h
+              proc f(x, y) begin x := 1 end
+            begin call f(g, h) end
+            """
+        ) == {"g"}
+
+    def test_by_value_position_contributes_nothing(self):
+        assert dmod_names(
+            """
+            program t
+              global g
+              proc f(x) begin x := 1 end
+            begin call f(g + 0) end
+            """
+        ) == set()
+
+    def test_subscripted_actual_maps_to_base_array(self):
+        assert dmod_names(
+            """
+            program t
+              global array m[4]
+              proc f(x) begin x := 1 end
+            begin call f(m[2]) end
+            """
+        ) == {"m"}
+
+    def test_local_actual_maps_to_local(self):
+        assert dmod_names(
+            """
+            program t
+              proc p() local v begin call q(v) end
+              proc q(y) begin y := 1 end
+            begin call p() end
+            """,
+            site_index=1,
+        ) == {"p::v"}
+
+    def test_same_actual_twice_one_entry(self):
+        assert dmod_names(
+            """
+            program t
+              global g
+              proc f(x, y) begin x := 1 y := 2 end
+            begin call f(g, g) end
+            """
+        ) == {"g"}
+
+    def test_transitive_effects_projected(self):
+        assert dmod_names(
+            """
+            program t
+              global g, h
+              proc a(x) begin call b(x) h := 1 end
+              proc b(y) begin y := 2 g := 3 end
+            begin call a(g) end
+            """
+        ) == {"g", "h"}
+
+    def test_duse_mirror(self):
+        assert dmod_names(
+            """
+            program t
+              global g, h
+              proc f(x) begin h := x end
+            begin call f(g) end
+            """,
+            kind=EffectKind.USE,
+        ) == {"g"}
+
+    def test_dmod_at_each_site_differs_by_binding(self):
+        summary = analyze_side_effects(
+            compile_source(
+                """
+                program t
+                  global g, h
+                  proc f(x) begin x := 1 end
+                begin
+                  call f(g)
+                  call f(h)
+                end
+                """
+            )
+        )
+        site0, site1 = summary.resolved.call_sites
+        assert names(summary.dmod(site0)) == {"g"}
+        assert names(summary.dmod(site1)) == {"h"}
+
+    def test_uplevel_variable_passes_to_sibling_caller(self):
+        # q modifies r's local (visible in q via nesting); a call from
+        # r's other nested proc must report it.
+        summary = analyze_side_effects(
+            compile_source(
+                """
+                program t
+                  proc r()
+                    local shared
+                    proc q() begin shared := 1 end
+                    proc s() begin call q() end
+                  begin call s() end
+                begin call r() end
+                """
+            )
+        )
+        site = [
+            s
+            for s in summary.resolved.call_sites
+            if s.callee.qualified_name == "r.q"
+        ][0]
+        assert names(summary.dmod(site)) == {"r::shared"}

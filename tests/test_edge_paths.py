@@ -1,0 +1,222 @@
+"""Edge-path coverage: uid remapping across edits, rsd widening,
+deep static links, report rendering, error formatting."""
+
+import copy
+
+import pytest
+
+from repro import analyze_side_effects
+from repro.core.incremental import incremental_update
+from repro.core.varsets import EffectKind
+from repro.lang.errors import CkError, SemanticError
+from repro.lang.interp import run_program
+from repro.lang.semantic import compile_source
+from repro.workloads import patterns
+
+from tests.helpers import names
+
+
+class TestIncrementalUniverseChanges:
+    """Edits that add/remove variables force the non-identity uid
+    permutation path in the incremental updater."""
+
+    BASE = """
+        program t
+          global g, h
+          proc a() begin g := 1 call b() end
+          proc b() begin h := 2 end
+          proc c() local v begin v := 3 end
+        begin call a() call c() end
+        """
+
+    def check_incremental(self, new_source, dirty):
+        old = analyze_side_effects(compile_source(self.BASE))
+        new_resolved = compile_source(new_source)
+        incremental, stats = incremental_update(old, new_resolved,
+                                                dirty_hint=dirty)
+        scratch = analyze_side_effects(new_resolved)
+        for kind in (EffectKind.MOD, EffectKind.USE):
+            assert incremental.solutions[kind].gmod == scratch.solutions[kind].gmod
+            assert incremental.solutions[kind].mod == scratch.solutions[kind].mod
+        return incremental, stats
+
+    def test_added_global_shifts_uids(self):
+        # A new global before the others shifts every uid; reused masks
+        # must remap correctly.
+        edited = self.BASE.replace("global g, h", "global zzz, g, h").replace(
+            "proc b() begin h := 2 end", "proc b() begin h := 2 zzz := 0 end"
+        )
+        incremental, stats = self.check_incremental(edited, ["b", "t"])
+        assert stats.reused_procs >= 1  # c is unaffected and reused.
+
+    def test_added_local_in_dirty_proc(self):
+        edited = self.BASE.replace(
+            "proc b() begin h := 2 end",
+            "proc b() local w begin w := 9 h := 2 end",
+        )
+        self.check_incremental(edited, ["b"])
+
+    def test_removed_local(self):
+        edited = self.BASE.replace(
+            "proc c() local v begin v := 3 end",
+            "proc c() begin g := 3 end",
+        )
+        self.check_incremental(edited, ["c"])
+
+    def test_removed_procedure(self):
+        edited = """
+        program t
+          global g, h
+          proc a() begin g := 1 end
+          proc c() local v begin v := 3 end
+        begin call a() call c() end
+        """
+        old = analyze_side_effects(compile_source(self.BASE))
+        new_resolved = compile_source(edited)
+        incremental, stats = incremental_update(old, new_resolved,
+                                                dirty_hint=["a"])
+        scratch = analyze_side_effects(new_resolved)
+        assert incremental.solutions[EffectKind.MOD].gmod == scratch.solutions[
+            EffectKind.MOD
+        ].gmod
+
+    def test_alias_pair_remap_across_universe_change(self):
+        base = """
+        program t
+          global g
+          proc f(x, y) begin call q(x) end
+          proc q(z) begin z := 1 end
+          proc other() local v begin v := 2 end
+        begin call f(g, g) call other() end
+        """
+        # Add a global: uids shift; `other` (unaffected) keeps its alias
+        # sets (empty) and f/q recompute; MOD at the q site must still
+        # include the alias partners.
+        edited = base.replace("global g", "global zero, g").replace(
+            "proc q(z) begin z := 1 end", "proc q(z) begin z := 1 zero := 1 end"
+        )
+        old = analyze_side_effects(compile_source(base))
+        new_resolved = compile_source(edited)
+        incremental, _ = incremental_update(old, new_resolved,
+                                            dirty_hint=["q", "t"])
+        site = [s for s in new_resolved.call_sites
+                if s.callee.qualified_name == "q"][0]
+        assert {"f::x", "f::y", "g"} <= names(incremental.mod(site))
+
+
+class TestRsdWidening:
+    def test_rank_change_through_cycle_is_recorded(self):
+        # f passes an *element* of its formal array around the
+        # recursion while also using the formal as an array: the edge
+        # function is rank-changing, breaking the §6 cycle restriction
+        # (footnote 10) — the solver must widen and say so.
+        from repro.sections.rsd_beta import solve_rsd_beta
+
+        resolved = compile_source(
+            """
+            program t
+              global array m[8]
+              proc f(a, n)
+              begin
+                a[0] := n
+                if n > 0 then
+                  call f(a[1], n - 1)
+                end
+              end
+            begin call f(m, 3) end
+            """
+        )
+        result = solve_rsd_beta(resolved)
+        section = result.section_of(resolved.var_named("f::a"))
+        assert section.is_whole
+        assert result.widening_edges  # The violation is reported.
+
+
+class TestDeepStaticLinks:
+    def test_five_level_uplevel_write(self):
+        levels = 5
+        source = ["program t", "  global out", ""]
+        pad = "  "
+        for level in range(1, levels + 1):
+            indent = pad * level
+            source.append("%sproc n%d()" % (indent, level))
+            source.append("%s  local v%d" % (indent, level))
+        body = []
+        innermost = pad * levels
+        body.append("%sbegin" % innermost)
+        for level in range(1, levels + 1):
+            body.append("%s  v%d := %d" % (innermost, level, level))
+        body.append("%s  out := v1 + v5" % innermost)
+        body.append("%send" % innermost)
+        # Close outer procs: each calls its nested child.
+        for level in range(levels - 1, 0, -1):
+            indent = pad * level
+            body.append("%sbegin" % indent)
+            body.append("%s  call n%d()" % (indent, level + 1))
+            body.append("%send" % indent)
+        source += body
+        source += ["begin", "  call n1()", "  print out", "end"]
+        text = "\n".join(source) + "\n"
+        resolved = compile_source(text)
+        trace = run_program(resolved)
+        assert trace.completed
+        assert trace.output == [6]
+        summary = analyze_side_effects(resolved)
+        innermost_proc = resolved.proc_named("n1.n2.n3.n4.n5")
+        gmod = names(summary.gmod(innermost_proc))
+        assert {"out", "n1::v1", "n1.n2.n3.n4.n5::v5"} <= gmod
+
+
+class TestReportsAndErrors:
+    def test_use_only_report(self):
+        summary = analyze_side_effects(patterns.chain(2),
+                                       kinds=(EffectKind.USE,))
+        report = summary.report()
+        assert "RUSE" in report
+        assert "RMOD" not in report
+
+    def test_error_format_with_position(self):
+        error = SemanticError("boom", line=3, column=7)
+        assert "line 3, col 7: boom" in str(error)
+
+    def test_error_format_without_position(self):
+        assert str(CkError("plain")) == "plain"
+
+    def test_site_repr(self):
+        resolved = compile_source(patterns.chain(2))
+        text = repr(resolved.call_sites[0])
+        assert "site 0" in text and "->" in text
+
+    def test_var_and_proc_repr(self):
+        resolved = compile_source(patterns.chain(2))
+        assert "c1" in repr(resolved.proc_named("c1"))
+        assert "c1::x" in repr(resolved.var_named("c1::x"))
+
+    def test_var_lookup_missing_raises(self):
+        resolved = compile_source(patterns.chain(2))
+        with pytest.raises(KeyError):
+            resolved.var_named("nope")
+        with pytest.raises(KeyError):
+            resolved.proc_named("nope")
+
+
+class TestScale:
+    def test_large_flat_program_end_to_end(self):
+        from repro.workloads.generator import GeneratorConfig, generate_resolved
+
+        resolved = generate_resolved(
+            GeneratorConfig(seed=99, num_procs=1200, num_globals=120)
+        )
+        summary = analyze_side_effects(resolved, kinds=(EffectKind.MOD,))
+        assert summary.resolved.num_procs == 1201
+        # Spot soundness probe on the big program.
+        trace = run_program(resolved, max_steps=50_000, max_depth=80)
+        for site_id, observed in trace.observed_mod.items():
+            site = resolved.call_sites[site_id]
+            assert observed <= summary.mod(site)
+
+    def test_deep_recursion_analysis(self):
+        resolved = compile_source(patterns.chain(300))
+        summary = analyze_side_effects(resolved)
+        c1 = resolved.proc_named("c1")
+        assert names(summary.rmod(c1)) == {"c1::x"}

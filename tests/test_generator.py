@@ -1,0 +1,106 @@
+"""Workload generator tests: validity and structural control."""
+
+import pytest
+
+from repro.graphs.callgraph import build_call_graph
+from repro.lang.pretty import pretty
+from repro.lang.semantic import compile_source
+from repro.workloads.generator import GeneratorConfig, generate_program, generate_resolved
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_generated_programs_compile(self, seed):
+        resolved = generate_resolved(
+            GeneratorConfig(seed=seed, num_procs=25, max_depth=3, nesting_prob=0.5)
+        )
+        assert resolved.num_procs == 26
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_generated_source_text_compiles(self, seed):
+        program = generate_program(GeneratorConfig(seed=seed, num_procs=15))
+        compile_source(pretty(program))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_every_procedure_reachable(self, seed):
+        resolved = generate_resolved(
+            GeneratorConfig(
+                seed=seed, num_procs=30, max_depth=4, nesting_prob=0.6,
+                recursion_prob=0.6,
+            )
+        )
+        graph = build_call_graph(resolved)
+        assert graph.unreachable_procs() == []
+
+    def test_reachability_flag_off(self):
+        config = GeneratorConfig(seed=1, num_procs=20, ensure_reachable=True)
+        # ensure_reachable is applied inside generate(); just sanity
+        # check the attribute is honoured when off by comparing sizes.
+        with_fix = generate_resolved(config)
+        graph = build_call_graph(with_fix)
+        assert graph.unreachable_procs() == []
+
+
+class TestStructuralControl:
+    def test_flat_when_depth_one(self):
+        resolved = generate_resolved(GeneratorConfig(seed=2, num_procs=20, max_depth=1))
+        assert resolved.max_nesting_level == 1
+
+    def test_nesting_depth_respected(self):
+        resolved = generate_resolved(
+            GeneratorConfig(seed=3, num_procs=40, max_depth=3, nesting_prob=0.9)
+        )
+        assert 2 <= resolved.max_nesting_level <= 3
+
+    def test_acyclic_mode(self):
+        import networkx as nx
+
+        resolved = generate_resolved(
+            GeneratorConfig(seed=4, num_procs=30, allow_recursion=False)
+        )
+        graph = build_call_graph(resolved)
+        nx_graph = nx.DiGraph()
+        for node in range(graph.num_nodes):
+            nx_graph.add_node(node)
+            for succ in graph.successors[node]:
+                nx_graph.add_edge(node, succ)
+        assert nx.is_directed_acyclic_graph(nx_graph)
+
+    def test_formals_range(self):
+        resolved = generate_resolved(
+            GeneratorConfig(seed=5, num_procs=20, formals_range=(2, 2))
+        )
+        for proc in resolved.procs[1:]:
+            assert len(proc.formals) == 2
+
+    def test_num_globals(self):
+        resolved = generate_resolved(GeneratorConfig(seed=6, num_globals=13))
+        assert len(resolved.globals) == 13
+
+    def test_array_globals(self):
+        resolved = generate_resolved(
+            GeneratorConfig(seed=7, num_globals=10, array_global_fraction=1.0)
+        )
+        assert all(g.is_array for g in resolved.globals)
+
+    def test_calls_per_proc_drives_edges(self):
+        small = build_call_graph(
+            generate_resolved(
+                GeneratorConfig(seed=8, num_procs=30, calls_per_proc_range=(1, 1))
+            )
+        )
+        large = build_call_graph(
+            generate_resolved(
+                GeneratorConfig(seed=8, num_procs=30, calls_per_proc_range=(4, 4))
+            )
+        )
+        assert large.num_edges > small.num_edges
+
+    def test_determinism(self):
+        config = GeneratorConfig(seed=99, num_procs=20, max_depth=3)
+        assert pretty(generate_program(config)) == pretty(generate_program(config))
+
+    def test_different_seeds_differ(self):
+        a = pretty(generate_program(GeneratorConfig(seed=1, num_procs=20)))
+        b = pretty(generate_program(GeneratorConfig(seed=2, num_procs=20)))
+        assert a != b

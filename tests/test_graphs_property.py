@@ -1,0 +1,121 @@
+"""Hypothesis properties for the graph utilities, cross-checked against
+networkx where an oracle exists."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.dfs import reachable_from
+from repro.graphs.reducibility import t1_t2_reduce
+from repro.graphs.scc import condense
+
+
+def graphs(max_nodes=18, max_out=4):
+    return st.integers(min_value=1, max_value=max_nodes).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.lists(st.integers(min_value=0, max_value=n - 1),
+                         max_size=max_out),
+                min_size=n,
+                max_size=n,
+            ),
+        )
+    )
+
+
+def to_nx(num_nodes, successors):
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(num_nodes))
+    for node, targets in enumerate(successors):
+        for target in targets:
+            graph.add_edge(node, target)
+    return graph
+
+
+class TestCondensationProperties:
+    @given(graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_networkx_condensation(self, data):
+        num_nodes, successors = data
+        ours = condense(num_nodes, successors)
+        theirs = nx.condensation(to_nx(num_nodes, successors))
+        # Same component partition.
+        our_parts = {frozenset(c) for c in ours.components}
+        their_parts = {
+            frozenset(theirs.nodes[c]["members"]) for c in theirs.nodes
+        }
+        assert our_parts == their_parts
+        # Same cross-component edge relation (as member-set pairs).
+        our_edges = {
+            (frozenset(ours.components[a]), frozenset(ours.components[b]))
+            for a in range(ours.num_components)
+            for b in ours.successors[a]
+        }
+        their_edges = {
+            (
+                frozenset(theirs.nodes[a]["members"]),
+                frozenset(theirs.nodes[b]["members"]),
+            )
+            for a, b in theirs.edges
+        }
+        assert our_edges == their_edges
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_condensation_is_acyclic_and_ordered(self, data):
+        num_nodes, successors = data
+        ours = condense(num_nodes, successors)
+        for comp in range(ours.num_components):
+            for succ in ours.successors[comp]:
+                assert succ < comp  # Reverse topological emission.
+
+
+class TestReachabilityProperties:
+    @given(graphs(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_networkx_descendants(self, data, draw):
+        num_nodes, successors = data
+        root = draw.draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        ours = reachable_from(num_nodes, successors, [root])
+        theirs = nx.descendants(to_nx(num_nodes, successors), root) | {root}
+        assert {n for n in range(num_nodes) if ours[n]} == theirs
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_roots(self, data):
+        num_nodes, successors = data
+        single = reachable_from(num_nodes, successors, [0])
+        double = reachable_from(num_nodes, successors, [0, num_nodes - 1])
+        for node in range(num_nodes):
+            assert not single[node] or double[node]
+
+
+class TestReducibilityProperties:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_dags_always_reducible(self, data):
+        num_nodes, successors = data
+        # Force acyclicity: keep only forward edges.
+        dag = [[t for t in targets if t > node]
+               for node, targets in enumerate(successors)]
+        assert t1_t2_reduce(num_nodes, dag, 0).reducible
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_residual_preserves_node_identity(self, data):
+        num_nodes, successors = data
+        result = t1_t2_reduce(num_nodes, successors, 0)
+        assert all(0 <= node < num_nodes for node in result.residual)
+        if result.reducible:
+            assert result.residual == []
+        else:
+            assert len(result.residual) == result.residual_nodes >= 2
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_t2_count_bounded_by_nodes(self, data):
+        num_nodes, successors = data
+        result = t1_t2_reduce(num_nodes, successors, 0)
+        assert result.t2_count <= num_nodes

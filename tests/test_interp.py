@@ -1,0 +1,450 @@
+"""Interpreter tests: semantics, by-reference behaviour, tracing."""
+
+import pytest
+
+from repro.lang.interp import Interpreter, run_program
+from repro.lang.semantic import compile_source
+
+from tests.helpers import names
+
+
+def run_source(source, **kwargs):
+    return run_program(compile_source(source), **kwargs)
+
+
+def run_and_resolved(source, **kwargs):
+    resolved = compile_source(source)
+    return resolved, run_program(resolved, **kwargs)
+
+
+class TestExpressions:
+    def wrap(self, expr):
+        trace = run_source("program t global r begin r := %s print r end" % expr)
+        assert trace.completed, trace.reason
+        return trace.output[0]
+
+    def test_arithmetic(self):
+        assert self.wrap("2 + 3 * 4") == 14
+
+    def test_subtraction_and_unary_minus(self):
+        assert self.wrap("-5 + 2") == -3
+
+    def test_division_floors(self):
+        assert self.wrap("7 / 2") == 3
+
+    def test_div_keyword(self):
+        assert self.wrap("9 div 4") == 2
+
+    def test_mod(self):
+        assert self.wrap("9 mod 4") == 1
+
+    def test_comparisons_produce_booleans(self):
+        assert self.wrap("3 < 5") == 1
+        assert self.wrap("5 < 3") == 0
+        assert self.wrap("3 = 3") == 1
+        assert self.wrap("3 != 3") == 0
+        assert self.wrap("4 >= 4") == 1
+        assert self.wrap("4 > 4") == 0
+
+    def test_logical_operators(self):
+        assert self.wrap("1 and 2") == 1
+        assert self.wrap("0 and 1") == 0
+        assert self.wrap("0 or 3") == 1
+        assert self.wrap("not 0") == 1
+        assert self.wrap("not 7") == 0
+
+    def test_division_by_zero_halts_gracefully(self):
+        trace = run_source("program t global r begin r := 1 / 0 end")
+        assert not trace.completed
+        assert "zero" in trace.reason
+
+    def test_short_circuit_and(self):
+        # The right operand (dividing by zero) must not evaluate.
+        trace = run_source("program t global r begin r := 0 and (1 / 0) end")
+        assert trace.completed
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        trace = run_source(
+            "program t global r begin if 1 > 2 then r := 1 else r := 2 end print r end"
+        )
+        assert trace.output == [2]
+
+    def test_while_loop(self):
+        trace = run_source(
+            """
+            program t
+              global n, s
+            begin
+              n := 5
+              s := 0
+              while n > 0 do
+                s := s + n
+                n := n - 1
+              end
+              print s
+            end
+            """
+        )
+        assert trace.output == [15]
+
+    def test_for_loop(self):
+        trace = run_source(
+            "program t global s, i begin s := 0 for i := 1 to 4 do s := s + i end print s, i end"
+        )
+        assert trace.output == [10, 4]
+
+    def test_for_loop_empty_range(self):
+        trace = run_source(
+            "program t global s, i begin s := 9 for i := 3 to 2 do s := 0 end print s end"
+        )
+        assert trace.output == [9]
+
+    def test_return_exits_procedure(self):
+        trace = run_source(
+            """
+            program t
+              global r
+              proc f()
+              begin
+                r := 1
+                return
+                r := 2
+              end
+            begin call f() print r end
+            """
+        )
+        assert trace.output == [1]
+
+    def test_infinite_loop_hits_step_budget(self):
+        trace = run_source(
+            "program t global x begin while 1 > 0 do x := x + 1 end end",
+            max_steps=500,
+        )
+        assert not trace.completed
+        assert "step budget" in trace.reason
+
+    def test_runaway_recursion_hits_depth_budget(self):
+        trace = run_source(
+            "program t proc f() begin call f() end begin call f() end",
+            max_depth=10,
+        )
+        assert not trace.completed
+        assert "depth" in trace.reason
+
+
+class TestReferenceSemantics:
+    def test_by_reference_scalar(self):
+        trace = run_source(
+            """
+            program t
+              global g
+              proc bump(x) begin x := x + 1 end
+            begin
+              g := 41
+              call bump(g)
+              print g
+            end
+            """
+        )
+        assert trace.output == [42]
+
+    def test_by_value_expression_has_no_effect(self):
+        trace = run_source(
+            """
+            program t
+              global g
+              proc sink(x) begin x := 99 end
+            begin
+              g := 1
+              call sink(g + 0)
+              print g
+            end
+            """
+        )
+        assert trace.output == [1]
+
+    def test_constant_argument_is_by_value(self):
+        trace = run_source(
+            """
+            program t
+              global g
+              proc f(x) begin x := 5 g := x end
+            begin call f(1) print g end
+            """
+        )
+        assert trace.output == [5]
+
+    def test_swap_through_references(self):
+        trace = run_source(
+            """
+            program t
+              global a, b
+              proc swap(x, y)
+                local t
+              begin
+                t := x
+                x := y
+                y := t
+              end
+            begin
+              a := 1
+              b := 2
+              call swap(a, b)
+              print a, b
+            end
+            """
+        )
+        assert trace.output == [2, 1]
+
+    def test_aliased_arguments_share_storage(self):
+        trace = run_source(
+            """
+            program t
+              global g
+              proc f(x, y) begin x := x + 1 y := y + 1 end
+            begin
+              g := 0
+              call f(g, g)
+              print g
+            end
+            """
+        )
+        assert trace.output == [2]
+
+    def test_reference_chain_through_two_levels(self):
+        trace = run_source(
+            """
+            program t
+              global g
+              proc outer(x) begin call inner(x) end
+              proc inner(y) begin y := 7 end
+            begin call outer(g) print g end
+            """
+        )
+        assert trace.output == [7]
+
+    def test_array_element_reference_argument(self):
+        trace = run_source(
+            """
+            program t
+              global array m[4]
+              proc set9(x) begin x := 9 end
+            begin
+              call set9(m[2])
+              print m[0], m[2]
+            end
+            """
+        )
+        assert trace.output == [0, 9]
+
+    def test_whole_array_reference_argument(self):
+        trace = run_source(
+            """
+            program t
+              global array m[4]
+              proc fill(a)
+                local i
+              begin
+                for i := 0 to 3 do
+                  a[i] := i * i
+                end
+              end
+            begin
+              call fill(m)
+              print m[3]
+            end
+            """
+        )
+        assert trace.output == [9]
+
+    def test_nested_procedure_reads_enclosing_frame(self):
+        trace = run_source(
+            """
+            program t
+              global r
+              proc outer(x)
+                local acc
+                proc add() begin acc := acc + x end
+              begin
+                acc := 0
+                call add()
+                call add()
+                r := acc
+              end
+            begin call outer(5) print r end
+            """
+        )
+        assert trace.output == [10]
+
+    def test_recursion_gets_fresh_locals(self):
+        trace = run_source(
+            """
+            program t
+              global r
+              proc f(n, out)
+                local mine
+              begin
+                mine := n
+                if n > 1 then
+                  call f(n - 1, out)
+                end
+                out := out + mine
+              end
+            begin
+              r := 0
+              call f(3, r)
+              print r
+            end
+            """
+        )
+        assert trace.output == [6]
+
+
+class TestRuntimeFaults:
+    def test_subscript_out_of_range(self):
+        trace = run_source("program t global array m[3] begin m[5] := 1 end")
+        assert not trace.completed
+        assert "out of range" in trace.reason
+
+    def test_negative_subscript(self):
+        trace = run_source("program t global array m[3] begin m[0 - 1] := 1 end")
+        assert not trace.completed
+
+    def test_subscripting_scalar_formal(self):
+        trace = run_source(
+            "program t proc f(a) begin a[1] := 0 end begin call f(1) end"
+        )
+        assert not trace.completed
+
+    def test_whole_array_in_scalar_position_is_static_error(self):
+        from repro.lang.errors import SemanticError
+
+        with pytest.raises(SemanticError):
+            compile_source("program t global array m[3], x begin x := m end")
+
+
+class TestInputOutput:
+    def test_read_consumes_inputs(self):
+        trace = run_source(
+            "program t global a, b begin read a read b print a + b end",
+            inputs=[10, 20],
+        )
+        assert trace.output == [30]
+
+    def test_read_past_end_yields_zero(self):
+        trace = run_source(
+            "program t global a begin read a print a end", inputs=[]
+        )
+        assert trace.output == [0]
+
+    def test_read_into_array_element(self):
+        trace = run_source(
+            "program t global array m[2] begin read m[1] print m[1] end",
+            inputs=[77],
+        )
+        assert trace.output == [77]
+
+
+class TestTracing:
+    def test_observed_mod_direct(self):
+        resolved, trace = run_and_resolved(
+            """
+            program t
+              global g
+              proc f() begin g := 1 end
+            begin call f() end
+            """
+        )
+        assert names(trace.observed_mod[0]) == {"g"}
+
+    def test_observed_mod_through_reference(self):
+        resolved, trace = run_and_resolved(
+            """
+            program t
+              global g
+              proc f(x) begin x := 1 end
+            begin call f(g) end
+            """
+        )
+        assert names(trace.observed_mod[0]) == {"g"}
+
+    def test_observed_use(self):
+        resolved, trace = run_and_resolved(
+            """
+            program t
+              global g, h
+              proc f() begin h := g end
+            begin call f() end
+            """
+        )
+        assert names(trace.observed_use[0]) == {"g"}
+        assert names(trace.observed_mod[0]) == {"h"}
+
+    def test_unexecuted_branch_not_observed(self):
+        resolved, trace = run_and_resolved(
+            """
+            program t
+              global g, h
+              proc f(c)
+              begin
+                if c > 0 then
+                  g := 1
+                else
+                  h := 1
+                end
+              end
+            begin call f(1) end
+            """
+        )
+        assert names(trace.observed_mod[0]) == {"g"}
+
+    def test_argument_evaluation_not_attributed_to_callee(self):
+        resolved, trace = run_and_resolved(
+            """
+            program t
+              global g
+              proc f(x) begin end
+            begin call f(g + 1) end
+            """
+        )
+        assert 0 not in trace.observed_use or "g" not in names(trace.observed_use[0])
+
+    def test_call_counts(self):
+        resolved, trace = run_and_resolved(
+            """
+            program t
+              global i
+              proc f() begin end
+            begin
+              for i := 1 to 3 do
+                call f()
+              end
+            end
+            """
+        )
+        assert trace.call_counts[0] == 3
+
+    def test_trace_disabled(self):
+        resolved = compile_source(
+            "program t global g proc f() begin g := 1 end begin call f() end"
+        )
+        interp = Interpreter(resolved, trace_calls=False)
+        trace = interp.run()
+        assert trace.completed
+        assert trace.observed_mod == {}
+
+    def test_alias_effects_observed_on_both_names(self):
+        resolved, trace = run_and_resolved(
+            """
+            program t
+              global g
+              proc p(x, y) begin call q(y) end
+              proc q(z) begin z := 3 end
+            begin call p(g, g) end
+            """
+        )
+        # x, y, g all share one cell; modifying z hits all three names
+        # visible in p.
+        assert names(trace.observed_mod[1]) >= {"p::x", "p::y", "g"}

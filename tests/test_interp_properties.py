@@ -1,0 +1,168 @@
+"""Property-based interpreter tests: CK expression evaluation against a
+Python reference evaluator, and analysis monotonicity under edits."""
+
+import copy
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import analyze_side_effects
+from repro.core.varsets import EffectKind
+from repro.lang.interp import run_program
+from repro.lang.nodes import Assign, BinOp, Expr, IntLit, UnOp, VarRef
+from repro.lang.pretty import format_expr
+from repro.lang.semantic import analyze, compile_source
+from repro.workloads.generator import GeneratorConfig, generate_program
+
+# ---------------------------------------------------------------------------
+# Random expression trees with a matching Python reference semantics.
+# ---------------------------------------------------------------------------
+
+_BIN_OPS = ["+", "-", "*", "/", "div", "mod", "<", "<=", ">", ">=", "=", "!=",
+            "and", "or"]
+
+
+def expr_strategy(max_depth=4):
+    leaves = st.one_of(
+        st.integers(min_value=-20, max_value=20).map(IntLit),
+        st.sampled_from(["va", "vb", "vc"]).map(VarRef),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from(_BIN_OPS), children, children).map(
+                lambda t: BinOp(t[0], t[1], t[2])
+            ),
+            st.tuples(st.sampled_from(["-", "not"]), children).map(
+                lambda t: UnOp(t[0], t[1])
+            ),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+class _Reference:
+    """Python reference semantics for CK expressions."""
+
+    class Fault(Exception):
+        pass
+
+    def __init__(self, env):
+        self.env = env
+
+    def eval(self, expr: Expr) -> int:
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, VarRef):
+            return self.env[expr.name]
+        if isinstance(expr, UnOp):
+            value = self.eval(expr.operand)
+            return -value if expr.op == "-" else (1 if value == 0 else 0)
+        if isinstance(expr, BinOp):
+            if expr.op == "and":
+                left = self.eval(expr.left)
+                if left == 0:
+                    return 0
+                return 1 if self.eval(expr.right) != 0 else 0
+            if expr.op == "or":
+                left = self.eval(expr.left)
+                if left != 0:
+                    return 1
+                return 1 if self.eval(expr.right) != 0 else 0
+            left = self.eval(expr.left)
+            right = self.eval(expr.right)
+            if expr.op in ("/", "div", "mod"):
+                if right == 0:
+                    raise self.Fault()
+                return left // right if expr.op != "mod" else left % right
+            table = {
+                "+": left + right,
+                "-": left - right,
+                "*": left * right,
+                "<": 1 if left < right else 0,
+                "<=": 1 if left <= right else 0,
+                ">": 1 if left > right else 0,
+                ">=": 1 if left >= right else 0,
+                "=": 1 if left == right else 0,
+                "!=": 1 if left != right else 0,
+            }
+            return table[expr.op]
+        raise TypeError(expr)
+
+
+@given(
+    expr=expr_strategy(),
+    va=st.integers(min_value=-9, max_value=9),
+    vb=st.integers(min_value=-9, max_value=9),
+    vc=st.integers(min_value=-9, max_value=9),
+)
+@settings(max_examples=150, deadline=None)
+def test_expression_evaluation_matches_reference(expr, va, vb, vc):
+    """Render the random tree to source, run it through the whole stack
+    (lexer → parser → semantics → interpreter), and compare with the
+    Python reference evaluator."""
+    reference = _Reference({"va": va, "vb": vb, "vc": vc})
+    try:
+        expected = reference.eval(expr)
+    except _Reference.Fault:
+        expected = None
+
+    source = (
+        "program t\n  global va, vb, vc, out\nbegin\n"
+        "  va := %d\n  vb := %d\n  vc := %d\n"
+        "  out := %s\n  print out\nend\n"
+        % (va, vb, vc, format_expr(expr))
+    )
+    trace = run_program(compile_source(source))
+    if expected is None:
+        assert not trace.completed
+    else:
+        assert trace.completed, trace.reason
+        assert trace.output == [expected]
+
+
+@given(
+    expr=expr_strategy(),
+)
+@settings(max_examples=60, deadline=None)
+def test_pretty_parse_expression_round_trip(expr):
+    """format_expr output re-parses to a tree that formats identically."""
+    from repro.lang.parser import parse_program
+
+    text = format_expr(expr)
+    program = parse_program("program t begin x := %s end" % text)
+    assert format_expr(program.body[0].value) == text
+
+
+# ---------------------------------------------------------------------------
+# Monotonicity: adding a modification can only grow MOD sets.
+# ---------------------------------------------------------------------------
+
+
+@given(seed=st.integers(min_value=0, max_value=500),
+       proc_pick=st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=20, deadline=None)
+def test_adding_assignment_grows_sets_monotonically(seed, proc_pick):
+    config = GeneratorConfig(seed=seed, num_procs=12, max_depth=2,
+                             nesting_prob=0.3)
+    program = generate_program(config)
+    before = analyze_side_effects(analyze(copy.deepcopy(program)))
+
+    edited = copy.deepcopy(program)
+    target = edited.procs[proc_pick % len(edited.procs)]
+    target.body.append(Assign(target=VarRef("g0"), value=IntLit(1)))
+    after = analyze_side_effects(analyze(edited))
+
+    # The variable universes coincide (no declarations changed), so
+    # masks are directly comparable: every set may only grow.
+    assert [v.qualified_name for v in before.resolved.variables] == [
+        v.qualified_name for v in after.resolved.variables
+    ]
+    solution_before = before.solutions[EffectKind.MOD]
+    solution_after = after.solutions[EffectKind.MOD]
+    for pid in range(before.resolved.num_procs):
+        assert solution_before.gmod[pid] & ~solution_after.gmod[pid] == 0
+    for site_id in range(before.resolved.num_call_sites):
+        assert (
+            solution_before.mod[site_id] & ~solution_after.mod[site_id] == 0
+        )

@@ -1,0 +1,180 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def values(source):
+    return [token.value for token in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_whitespace_only(self):
+        assert kinds(" \t\n\r ") == [TokenKind.EOF]
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind is TokenKind.INT
+        assert tokens[0].value == 42
+
+    def test_zero(self):
+        assert tokenize("0")[0].value == 0
+
+    def test_multi_digit_integer(self):
+        assert tokenize("123456789")[0].value == 123456789
+
+    def test_identifier(self):
+        tokens = tokenize("velocity")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].value == "velocity"
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert tokenize("_x9_y")[0].value == "_x9_y"
+
+    def test_identifier_may_not_start_with_digit(self):
+        with pytest.raises(LexError):
+            tokenize("9lives")
+
+
+class TestKeywords:
+    @pytest.mark.parametrize(
+        "word,kind",
+        [
+            ("program", TokenKind.PROGRAM),
+            ("global", TokenKind.GLOBAL),
+            ("local", TokenKind.LOCAL),
+            ("array", TokenKind.ARRAY),
+            ("proc", TokenKind.PROC),
+            ("begin", TokenKind.BEGIN),
+            ("end", TokenKind.END),
+            ("call", TokenKind.CALL),
+            ("if", TokenKind.IF),
+            ("then", TokenKind.THEN),
+            ("else", TokenKind.ELSE),
+            ("while", TokenKind.WHILE),
+            ("do", TokenKind.DO),
+            ("for", TokenKind.FOR),
+            ("to", TokenKind.TO),
+            ("return", TokenKind.RETURN),
+            ("read", TokenKind.READ),
+            ("print", TokenKind.PRINT),
+            ("and", TokenKind.AND),
+            ("or", TokenKind.OR),
+            ("not", TokenKind.NOT),
+            ("div", TokenKind.DIV),
+            ("mod", TokenKind.MOD),
+        ],
+    )
+    def test_keyword(self, word, kind):
+        assert tokenize(word)[0].kind is kind
+
+    def test_keyword_prefix_is_identifier(self):
+        # "procedure" starts with "proc" but is a plain identifier.
+        token = tokenize("procedure")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.value == "procedure"
+
+    def test_keywords_are_case_sensitive(self):
+        assert tokenize("PROGRAM")[0].kind is TokenKind.IDENT
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            (":=", TokenKind.ASSIGN),
+            ("+", TokenKind.PLUS),
+            ("-", TokenKind.MINUS),
+            ("*", TokenKind.STAR),
+            ("/", TokenKind.SLASH),
+            ("=", TokenKind.EQ),
+            ("!=", TokenKind.NE),
+            ("<", TokenKind.LT),
+            ("<=", TokenKind.LE),
+            (">", TokenKind.GT),
+            (">=", TokenKind.GE),
+            ("(", TokenKind.LPAREN),
+            (")", TokenKind.RPAREN),
+            ("[", TokenKind.LBRACKET),
+            ("]", TokenKind.RBRACKET),
+            (",", TokenKind.COMMA),
+            (";", TokenKind.SEMI),
+        ],
+    )
+    def test_operator(self, text, kind):
+        assert tokenize(text)[0].kind is kind
+
+    def test_pascal_style_not_equal(self):
+        assert tokenize("<>")[0].kind is TokenKind.NE
+
+    def test_two_char_operator_greediness(self):
+        # "<=" must not lex as "<" then "=".
+        assert kinds("a<=b")[:3] == [TokenKind.IDENT, TokenKind.LE, TokenKind.IDENT]
+
+    def test_less_then_assign(self):
+        assert kinds("a < b := 1")[:5] == [
+            TokenKind.IDENT,
+            TokenKind.LT,
+            TokenKind.IDENT,
+            TokenKind.ASSIGN,
+            TokenKind.INT,
+        ]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_bare_colon_raises(self):
+        with pytest.raises(LexError):
+            tokenize("x : 3")
+
+
+class TestCommentsAndPositions:
+    def test_comment_to_end_of_line(self):
+        assert values("x # this is a comment\ny") == ["x", "y"]
+
+    def test_comment_at_end_of_input(self):
+        assert values("x # trailing") == ["x"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nbb\n  c")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_column_numbers(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].column == 1
+        assert tokens[1].column == 4
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError) as exc_info:
+            tokenize("ok\n  @")
+        assert exc_info.value.line == 2
+        assert exc_info.value.column == 3
+
+    def test_statement_stream(self):
+        source = "x := y + 1 # add\ncall f(x)"
+        assert kinds(source) == [
+            TokenKind.IDENT,
+            TokenKind.ASSIGN,
+            TokenKind.IDENT,
+            TokenKind.PLUS,
+            TokenKind.INT,
+            TokenKind.CALL,
+            TokenKind.IDENT,
+            TokenKind.LPAREN,
+            TokenKind.IDENT,
+            TokenKind.RPAREN,
+            TokenKind.EOF,
+        ]

@@ -1,0 +1,113 @@
+"""AST helper tests: walk_statements, walk_expressions, walk_procs."""
+
+import pytest
+
+from repro.lang.nodes import (
+    Assign,
+    BinOp,
+    CallStmt,
+    If,
+    IntLit,
+    Print,
+    Read,
+    VarRef,
+    walk_expressions,
+    walk_procs,
+    walk_statements,
+)
+from repro.lang.parser import parse_program
+
+
+def program_of(body_text, procs_text=""):
+    return parse_program("program t %s begin %s end" % (procs_text, body_text))
+
+
+class TestWalkStatements:
+    def test_flat_body(self):
+        program = program_of("x := 1 y := 2")
+        assert len(list(walk_statements(program.body))) == 2
+
+    def test_recurses_into_if_arms(self):
+        program = program_of("if c then a := 1 else b := 2 c := 3 end")
+        kinds = [type(s).__name__ for s in walk_statements(program.body)]
+        assert kinds == ["If", "Assign", "Assign", "Assign"]
+
+    def test_recurses_into_loops(self):
+        program = program_of(
+            "while c do for i := 1 to 2 do x := 1 end end"
+        )
+        kinds = [type(s).__name__ for s in walk_statements(program.body)]
+        assert kinds == ["While", "For", "Assign"]
+
+    def test_does_not_enter_nested_procs(self):
+        program = program_of(
+            "call f()",
+            procs_text="proc f() proc inner() begin hidden := 1 end begin end",
+        )
+        statements = list(walk_statements(program.body))
+        assert len(statements) == 1  # Only the call; inner's body is not a statement here.
+
+
+class TestWalkExpressions:
+    def expressions_of(self, body_text):
+        program = program_of(body_text)
+        stmt = program.body[0]
+        return list(walk_expressions(stmt))
+
+    def test_assign_covers_target_and_value(self):
+        expressions = self.expressions_of("m[i] := a + 1")
+        rendered = {type(e).__name__ for e in expressions}
+        assert rendered == {"VarRef", "BinOp", "IntLit"}
+        names = {e.name for e in expressions if isinstance(e, VarRef)}
+        assert names == {"m", "i", "a"}
+
+    def test_call_covers_arguments(self):
+        program = parse_program(
+            "program t proc f(p, q) begin end begin call f(a, b + 2) end"
+        )
+        expressions = list(walk_expressions(program.body[0]))
+        names = {e.name for e in expressions if isinstance(e, VarRef)}
+        assert names == {"a", "b"}
+
+    def test_condition_only_for_if(self):
+        expressions = self.expressions_of("if a < b then x := 1 end")
+        names = {e.name for e in expressions if isinstance(e, VarRef)}
+        assert names == {"a", "b"}  # Not x: nested statements excluded.
+
+    def test_for_covers_var_and_bounds(self):
+        expressions = self.expressions_of("for i := lo to hi do x := 1 end")
+        names = {e.name for e in expressions if isinstance(e, VarRef)}
+        assert names == {"i", "lo", "hi"}
+
+    def test_read_covers_subscripts(self):
+        expressions = self.expressions_of("read m[k]")
+        names = {e.name for e in expressions if isinstance(e, VarRef)}
+        assert names == {"m", "k"}
+
+    def test_print_covers_values(self):
+        expressions = self.expressions_of("print a, b * c")
+        names = {e.name for e in expressions if isinstance(e, VarRef)}
+        assert names == {"a", "b", "c"}
+
+    def test_return_yields_nothing(self):
+        assert self.expressions_of("return") == []
+
+
+class TestWalkProcs:
+    def test_outer_before_inner(self):
+        program = parse_program(
+            """
+            program t
+              proc a()
+                proc a1() begin end
+                proc a2() begin end
+              begin end
+              proc b() begin end
+            begin end
+            """
+        )
+        names = [proc.name for proc in walk_procs(program)]
+        assert names == ["a", "a1", "a2", "b"]
+
+    def test_empty_program(self):
+        assert list(walk_procs(parse_program("program t begin end"))) == []

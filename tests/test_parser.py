@@ -1,0 +1,259 @@
+"""Parser unit tests: every construct, precedence, and error paths."""
+
+import pytest
+
+from repro.lang.errors import ParseError
+from repro.lang.nodes import (
+    Assign,
+    BinOp,
+    CallStmt,
+    For,
+    If,
+    IntLit,
+    Print,
+    Read,
+    Return,
+    UnOp,
+    VarRef,
+    While,
+)
+from repro.lang.parser import parse_program
+from repro.lang.pretty import format_expr
+
+
+def parse_body(statements_text: str):
+    """Parse statements inside a minimal program wrapper."""
+    source = "program t\nbegin\n%s\nend\n" % statements_text
+    return parse_program(source).body
+
+
+def parse_expr(expr_text: str):
+    body = parse_body("x := %s" % expr_text)
+    return body[0].value
+
+
+class TestProgramStructure:
+    def test_minimal_program(self):
+        program = parse_program("program empty begin end")
+        assert program.name == "empty"
+        assert program.globals == []
+        assert program.procs == []
+        assert program.body == []
+
+    def test_globals(self):
+        program = parse_program("program t global a, b begin end")
+        assert [g.name for g in program.globals] == ["a", "b"]
+
+    def test_global_array(self):
+        program = parse_program("program t global array m[4][7] begin end")
+        assert program.globals[0].dims == (4, 7)
+        assert program.globals[0].is_array
+
+    def test_mixed_global_declaration(self):
+        program = parse_program("program t global a, array m[3], b begin end")
+        assert [(g.name, g.dims) for g in program.globals] == [
+            ("a", ()),
+            ("m", (3,)),
+            ("b", ()),
+        ]
+
+    def test_zero_size_array_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("program t global array m[0] begin end")
+
+    def test_array_without_dims_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("program t global array m begin end")
+
+    def test_proc_with_params_and_locals(self):
+        program = parse_program(
+            "program t proc f(a, b) local x, y begin end begin end"
+        )
+        proc = program.procs[0]
+        assert proc.name == "f"
+        assert proc.params == ["a", "b"]
+        assert [v.name for v in proc.locals] == ["x", "y"]
+
+    def test_proc_no_params(self):
+        program = parse_program("program t proc f() begin end begin end")
+        assert program.procs[0].params == []
+
+    def test_nested_procs(self):
+        program = parse_program(
+            """
+            program t
+              proc outer(a)
+                proc inner(b)
+                begin
+                end
+              begin
+                call inner(a)
+              end
+            begin
+              call outer(1)
+            end
+            """
+        )
+        outer = program.procs[0]
+        assert outer.nested[0].name == "inner"
+        assert isinstance(outer.body[0], CallStmt)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("program t begin end extra")
+
+    def test_missing_begin_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("program t end")
+
+    def test_semicolons_are_optional_separators(self):
+        program = parse_program("program t; global a; begin; a := 1; end;")
+        assert len(program.body) == 1
+
+
+class TestStatements:
+    def test_assignment(self):
+        stmt = parse_body("x := 1")[0]
+        assert isinstance(stmt, Assign)
+        assert stmt.target.name == "x"
+        assert stmt.value.value == 1
+
+    def test_array_element_assignment(self):
+        stmt = parse_body("m[2][j] := 0")[0]
+        assert [type(i).__name__ for i in stmt.target.indices] == ["IntLit", "VarRef"]
+
+    def test_call_statement(self):
+        stmt = parse_body("call f(a, 1, b + 2)")[0]
+        assert isinstance(stmt, CallStmt)
+        assert stmt.callee == "f"
+        assert len(stmt.args) == 3
+
+    def test_call_no_args(self):
+        assert parse_body("call f()")[0].args == []
+
+    def test_if_then(self):
+        stmt = parse_body("if x < 1 then x := 2 end")[0]
+        assert isinstance(stmt, If)
+        assert len(stmt.then_body) == 1
+        assert stmt.else_body == []
+
+    def test_if_then_else(self):
+        stmt = parse_body("if x < 1 then x := 2 else x := 3 y := 4 end")[0]
+        assert len(stmt.then_body) == 1
+        assert len(stmt.else_body) == 2
+
+    def test_nested_if(self):
+        stmt = parse_body("if a then if b then x := 1 end else x := 2 end")[0]
+        assert isinstance(stmt.then_body[0], If)
+        assert len(stmt.else_body) == 1
+
+    def test_while(self):
+        stmt = parse_body("while n > 0 do n := n - 1 end")[0]
+        assert isinstance(stmt, While)
+        assert len(stmt.body) == 1
+
+    def test_for(self):
+        stmt = parse_body("for i := 1 to 10 do s := s + i end")[0]
+        assert isinstance(stmt, For)
+        assert stmt.var.name == "i"
+        assert stmt.lo.value == 1
+        assert stmt.hi.value == 10
+
+    def test_return(self):
+        assert isinstance(parse_body("return")[0], Return)
+
+    def test_read(self):
+        stmt = parse_body("read m[3]")[0]
+        assert isinstance(stmt, Read)
+        assert stmt.target.name == "m"
+
+    def test_print_multiple(self):
+        stmt = parse_body("print a, b + 1, 3")[0]
+        assert isinstance(stmt, Print)
+        assert len(stmt.values) == 3
+
+    def test_statement_positions(self):
+        program = parse_program("program t\nbegin\n  x := 1\nend\n")
+        assert program.body[0].line == 3
+
+    def test_assignment_requires_operator(self):
+        with pytest.raises(ParseError):
+            parse_body("x = 1")  # '=' is comparison, not assignment.
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+        assert expr.right.value == 3
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_comparison_binds_below_arithmetic(self):
+        expr = parse_expr("a + 1 < b * 2")
+        assert expr.op == "<"
+        assert expr.left.op == "+"
+        assert expr.right.op == "*"
+
+    def test_and_or_precedence(self):
+        expr = parse_expr("a or b and c")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_not_binds_tighter_than_and(self):
+        expr = parse_expr("not a and b")
+        assert expr.op == "and"
+        assert expr.left.op == "not"
+
+    def test_unary_minus(self):
+        expr = parse_expr("-x + 1")
+        assert expr.op == "+"
+        assert isinstance(expr.left, UnOp)
+
+    def test_double_unary_minus(self):
+        expr = parse_expr("--x")
+        assert expr.op == "-"
+        assert expr.operand.op == "-"
+
+    def test_div_mod_keywords(self):
+        expr = parse_expr("a div 2 mod 3")
+        assert expr.op == "mod"
+        assert expr.left.op == "div"
+
+    def test_subscripted_reference_in_expression(self):
+        expr = parse_expr("m[i + 1][j]")
+        assert isinstance(expr, VarRef)
+        assert len(expr.indices) == 2
+        assert expr.indices[0].op == "+"
+
+    def test_unclosed_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("(1 + 2")
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 +")
+
+    def test_error_position_reported(self):
+        with pytest.raises(ParseError) as exc_info:
+            parse_program("program t begin x := * end")
+        assert exc_info.value.line == 1
+
+    @pytest.mark.parametrize(
+        "text",
+        ["1 + 2 * 3", "(a or b) and not c", "x[i][j] - -y", "a <= b", "a div (b mod 2)"],
+    )
+    def test_format_parse_fixpoint(self, text):
+        # format_expr(parse(text)) reparses to the same tree shape.
+        first = parse_expr(text)
+        second = parse_expr(format_expr(first))
+        assert format_expr(second) == format_expr(first)

@@ -1,0 +1,108 @@
+"""Pretty-printer round-trip tests."""
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.lang.pretty import format_expr, pretty
+from repro.lang.semantic import analyze, compile_source
+from repro.workloads import corpus, patterns
+from repro.workloads.generator import GeneratorConfig, generate_program
+
+
+def normalize(program):
+    """Structural fingerprint ignoring positions."""
+    return pretty(program)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(corpus.ALL))
+    def test_corpus_round_trip(self, name):
+        program = parse_program(corpus.ALL[name])
+        text = pretty(program)
+        reparsed = parse_program(text)
+        assert pretty(reparsed) == text
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            patterns.chain(4),
+            patterns.ring(3),
+            patterns.deep_nest(3),
+            patterns.call_tree(3, 2),
+            patterns.two_sccs_bridged(2),
+        ],
+    )
+    def test_pattern_round_trip(self, source):
+        program = parse_program(source)
+        text = pretty(program)
+        assert pretty(parse_program(text)) == text
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_generated_round_trip(self, seed):
+        program = generate_program(
+            GeneratorConfig(seed=seed, num_procs=15, max_depth=3, nesting_prob=0.5,
+                            array_global_fraction=0.3)
+        )
+        text = pretty(program)
+        reparsed = parse_program(text)
+        assert pretty(reparsed) == text
+        # And the reparsed program resolves identically.
+        original = analyze(parse_program(text))
+        again = analyze(reparsed)
+        assert [v.qualified_name for v in original.variables] == [
+            v.qualified_name for v in again.variables
+        ]
+        assert original.num_call_sites == again.num_call_sites
+
+
+class TestExpressionFormatting:
+    def parse_expr(self, text):
+        program = parse_program("program t global x begin x := %s end" % text)
+        return program.body[0].value
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1 + 2 * 3", "1 + 2 * 3"),
+            ("(1 + 2) * 3", "(1 + 2) * 3"),
+            ("1 - (2 - 3)", "1 - (2 - 3)"),
+            ("1 - 2 - 3", "1 - 2 - 3"),
+            ("-x * 2", "-x * 2"),
+            ("-(x * 2)", "-(x * 2)"),
+            ("not (a or b)", "not (a or b)"),
+            ("not a or b", "not a or b"),
+            ("a < b and c < d", "a < b and c < d"),
+            ("m[i + 1][2]", "m[i + 1][2]"),
+        ],
+    )
+    def test_minimal_parentheses(self, text, expected):
+        # Semantic checks are irrelevant here; parse only.
+        program = parse_program("program t begin x := %s end" % text)
+        assert format_expr(program.body[0].value) == expected
+
+    def test_comparison_inside_arithmetic_parenthesized(self):
+        program = parse_program("program t begin x := (a < b) + 1 end")
+        assert format_expr(program.body[0].value) == "(a < b) + 1"
+
+
+class TestDeclarations:
+    def test_array_declarations_rendered(self):
+        source = "program t\n  global array m[3][4]\n\nbegin\nend\n"
+        program = parse_program(source)
+        assert "array m[3][4]" in pretty(program)
+
+    def test_nested_proc_indentation(self):
+        source = patterns.deep_nest(3)
+        text = pretty(parse_program(source))
+        # The inner proc is indented deeper than the outer.
+        outer_indent = min(
+            len(line) - len(line.lstrip())
+            for line in text.splitlines()
+            if line.strip().startswith("proc n1")
+        )
+        inner_indent = min(
+            len(line) - len(line.lstrip())
+            for line in text.splitlines()
+            if line.strip().startswith("proc n2")
+        )
+        assert inner_indent > outer_indent

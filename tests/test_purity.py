@@ -1,0 +1,133 @@
+"""Purity classification tests."""
+
+import pytest
+
+from repro import analyze_side_effects
+from repro.extensions.purity import Purity, classify_purity, purity_report
+from repro.lang.semantic import compile_source
+
+
+SOURCE = """
+program grades
+  global state, log
+
+  proc pure_add(a, b, out)
+    local t
+  begin
+    t := a + b
+    out := t
+  end
+
+  proc truly_pure(a)
+    local t
+  begin
+    t := a * a
+  end
+
+  proc observer(a)
+    local t
+  begin
+    t := state + a
+  end
+
+  proc mutator()
+  begin
+    state := state + 1
+  end
+
+  proc transitive_mutator(a)
+  begin
+    call mutator()
+  end
+
+  proc io_proc(a)
+    local t
+  begin
+    t := a
+    print t
+  end
+
+begin
+  state := 0
+  call pure_add(1, 2, log)
+  call truly_pure(3)
+  call observer(4)
+  call mutator()
+  call transitive_mutator(5)
+  call io_proc(6)
+end
+"""
+
+
+@pytest.fixture(scope="module")
+def grades():
+    resolved = compile_source(SOURCE)
+    summary = analyze_side_effects(resolved)
+    classified = classify_purity(summary)
+    return resolved, classified
+
+
+def grade_of(grades, name):
+    resolved, classified = grades
+    return classified[resolved.proc_named(name).pid]
+
+
+class TestGrades:
+    def test_truly_pure(self, grades):
+        entry = grade_of(grades, "truly_pure")
+        assert entry.grade is Purity.PURE
+        assert not entry.performs_io
+
+    def test_reference_writer_is_mutator(self, grades):
+        # pure_add writes its third formal: visible to callers.
+        assert grade_of(grades, "pure_add").grade is Purity.MUTATOR
+
+    def test_global_reader_is_observer(self, grades):
+        assert grade_of(grades, "observer").grade is Purity.OBSERVER
+
+    def test_global_writer_is_mutator(self, grades):
+        assert grade_of(grades, "mutator").grade is Purity.MUTATOR
+
+    def test_transitive_effects_propagate(self, grades):
+        assert grade_of(grades, "transitive_mutator").grade is Purity.MUTATOR
+
+    def test_io_flag(self, grades):
+        assert grade_of(grades, "io_proc").performs_io
+        assert not grade_of(grades, "truly_pure").performs_io
+
+    def test_main_excluded(self, grades):
+        resolved, classified = grades
+        assert resolved.main.pid not in classified
+
+    def test_local_mutation_stays_pure(self, grades):
+        # io_proc writes only its local; aside from IO it is pure.
+        assert grade_of(grades, "io_proc").grade is Purity.PURE
+
+
+class TestNestedAndReport:
+    def test_uplevel_writer_is_mutator(self):
+        resolved = compile_source(
+            """
+            program t
+              proc outer()
+                local acc
+                proc bump() begin acc := acc + 1 end
+              begin call bump() end
+            begin call outer() end
+            """
+        )
+        summary = analyze_side_effects(resolved)
+        classified = classify_purity(summary)
+        bump = resolved.proc_named("outer.bump")
+        outer = resolved.proc_named("outer")
+        assert classified[bump.pid].grade is Purity.MUTATOR  # Writes up-level.
+        # outer's effect is confined to its own local: pure outside.
+        assert classified[outer.pid].grade is Purity.PURE
+
+    def test_report_renders(self):
+        resolved = compile_source(SOURCE)
+        summary = analyze_side_effects(resolved)
+        report = purity_report(summary)
+        assert "truly_pure" in report
+        assert "pure" in report and "mutator" in report
+        assert "observer" in report

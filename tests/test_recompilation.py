@@ -1,0 +1,124 @@
+"""Recompilation analysis tests (summary-diff discipline)."""
+
+import pytest
+
+from repro import analyze_side_effects
+from repro.core.persist import summary_to_dict
+from repro.extensions.recompilation import recompilation_report, recompilation_set
+from repro.lang.semantic import compile_source
+from repro.workloads import patterns
+
+
+def payload_of(source):
+    return summary_to_dict(analyze_side_effects(compile_source(source)))
+
+
+BASE = """
+program app
+  global config, state, log
+
+  proc read_config(c) begin c := 1 end
+  proc work()
+  begin
+    state := state + config
+  end
+  proc audit()
+  begin
+    log := log + 1
+  end
+  proc driver()
+  begin
+    call work()
+    call audit()
+  end
+
+begin
+  call read_config(config)
+  call driver()
+end
+"""
+
+
+class TestNoChange:
+    def test_identical_versions_recompile_nothing(self):
+        old = payload_of(BASE)
+        new = payload_of(BASE)
+        assert recompilation_set(old, new) == set()
+
+    def test_edited_procs_always_recompile(self):
+        old = payload_of(BASE)
+        new = payload_of(BASE)
+        assert recompilation_set(old, new, edited=["work"]) >= {"work"}
+
+
+class TestSummaryChanges:
+    def test_effect_change_recompiles_callers_only(self):
+        # audit now also touches state: driver's call-site annotations
+        # change, so driver recompiles; work and read_config do not.
+        edited = BASE.replace("log := log + 1", "log := log + 1\n    state := 0")
+        old = payload_of(BASE)
+        new = payload_of(edited)
+        needed = recompilation_set(old, new, edited=["audit"])
+        assert "audit" in needed  # Edited.
+        assert "driver" in needed  # Consumed audit's MOD.
+        # Main's annotation for `call driver()` already contained
+        # `state` (work modifies it), so the change is absorbed before
+        # reaching main — the precision this discipline exists for.
+        assert "app" not in needed
+        assert "work" not in needed
+        assert "read_config" not in needed
+
+    def test_local_only_edit_recompiles_nothing_else(self):
+        # Reorder audit's arithmetic without changing its effects: the
+        # summaries are identical, so only audit itself recompiles.
+        edited = BASE.replace("log := log + 1", "log := 1 + log")
+        old = payload_of(BASE)
+        new = payload_of(edited)
+        needed = recompilation_set(old, new, edited=["audit"])
+        assert needed == {"audit"}
+
+    def test_new_procedure_recompiles(self):
+        edited = BASE.replace(
+            "begin\n  call read_config(config)",
+            "proc extra() begin state := 9 end\n\nbegin\n  call extra()\n  call read_config(config)",
+        )
+        old = payload_of(BASE)
+        new = payload_of(edited)
+        needed = recompilation_set(old, new, edited=["app"])
+        assert "extra" in needed
+
+    def test_rerouted_call_recompiles_caller(self):
+        edited = BASE.replace("call work()\n    call audit()",
+                              "call audit()\n    call audit()")
+        old = payload_of(BASE)
+        new = payload_of(edited)
+        needed = recompilation_set(old, new, edited=["driver"])
+        assert "driver" in needed
+
+    def test_chain_effect_change_walks_up_but_is_absorbed_at_main(self):
+        # chain: removing the tail's formal modification changes MOD at
+        # every link's call site from {ci::x} to {g}, so all links
+        # recompile — but at main the formal was bound to g anyway, so
+        # main's annotation {g} is unchanged and it keeps its code.
+        old = payload_of(patterns.chain(5))
+        new = payload_of(patterns.chain(5).replace("x := 1", "g := 1"))
+        needed = recompilation_set(old, new, edited=["c5"])
+        assert needed == {"c1", "c2", "c3", "c4", "c5"}
+
+    def test_chain_neutral_edit_stays_local(self):
+        old = payload_of(patterns.chain(5))
+        new = payload_of(patterns.chain(5).replace("x := 1", "x := 2"))
+        needed = recompilation_set(old, new, edited=["c5"])
+        assert needed == {"c5"}
+
+
+class TestReport:
+    def test_report_renders(self):
+        old = payload_of(BASE)
+        new = payload_of(BASE.replace("log := log + 1",
+                                      "log := log + 1\n    state := 0"))
+        report = recompilation_report(old, new, edited=["audit"])
+        assert "edited" in report
+        assert "call-site annotations changed" in report
+        assert "up to date" in report
+        assert "recompile" in report

@@ -1,0 +1,141 @@
+"""Register-promotion client tests (the Section 2 motivation, counted)."""
+
+import pytest
+
+from repro import analyze_side_effects, compile_source
+from repro.extensions.regpromo import (
+    PromotionCount,
+    count_redundant_loads,
+    mod_policy,
+    oracle_policy,
+    promotion_report,
+    worst_case_policy,
+)
+from repro.lang.interp import run_program
+
+
+HOT_LOOP = """
+program hot
+  global price, tax, total
+
+  proc log_total(v)
+  begin
+    total := total + v
+  end
+
+  proc quote(q)
+    local amount
+  begin
+    amount := q * price
+    call log_total(amount)
+    amount := q * price + tax
+    call log_total(amount)
+    amount := price + tax
+  end
+
+begin
+  price := 10
+  tax := 2
+  total := 0
+  call quote(3)
+  print total
+end
+"""
+
+
+@pytest.fixture(scope="module")
+def hot():
+    resolved = compile_source(HOT_LOOP)
+    summary = analyze_side_effects(resolved)
+    trace = run_program(resolved)
+    return resolved, summary, trace
+
+
+class TestPolicies:
+    def test_worst_case_forgets_at_every_call(self, hot):
+        resolved, summary, trace = hot
+        worst = count_redundant_loads(resolved, worst_case_policy(resolved))
+        precise = count_redundant_loads(resolved, mod_policy(summary))
+        # quote re-reads price/tax after each harmless log_total call:
+        # the MOD policy keeps them, the worst-case policy loses them.
+        assert precise.eliminated > worst.eliminated
+        assert precise.total_loads == worst.total_loads
+
+    def test_mod_policy_matches_dynamic_bound_here(self, hot):
+        resolved, summary, trace = hot
+        precise = count_redundant_loads(resolved, mod_policy(summary))
+        oracle = count_redundant_loads(resolved, oracle_policy(trace))
+        assert precise.eliminated == oracle.eliminated
+
+    def test_mod_policy_never_beats_oracle(self, hot):
+        # The oracle kills a subset of what MOD kills, so it can only
+        # keep more values alive.
+        resolved, summary, trace = hot
+        precise = count_redundant_loads(resolved, mod_policy(summary))
+        oracle = count_redundant_loads(resolved, oracle_policy(trace))
+        assert oracle.eliminated >= precise.eliminated
+
+    def test_fraction_property(self):
+        count = PromotionCount(total_loads=10, eliminated=4)
+        assert count.fraction == pytest.approx(0.4)
+        assert PromotionCount(0, 0).fraction == 0.0
+
+    def test_report_structure(self, hot):
+        resolved, summary, trace = hot
+        report = promotion_report(resolved, summary, trace)
+        assert set(report) == {"worst-case", "mod", "oracle"}
+        assert (
+            report["worst-case"].eliminated
+            <= report["mod"].eliminated
+            <= report["oracle"].eliminated
+        )
+
+    def test_report_without_trace(self, hot):
+        resolved, summary, _ = hot
+        report = promotion_report(resolved, summary)
+        assert set(report) == {"worst-case", "mod"}
+
+
+class TestCountingWalk:
+    def test_assignment_makes_value_known(self):
+        resolved = compile_source(
+            "program t global a, b begin a := 1 b := a b := a end"
+        )
+        summary = analyze_side_effects(resolved)
+        count = count_redundant_loads(resolved, mod_policy(summary))
+        # Second and third loads of `a` are redundant after `a := 1`...
+        # the first load of a (in b := a) is already preceded by the
+        # assignment, so both loads of a are eliminable.
+        assert count.total_loads == 2
+        assert count.eliminated == 2
+
+    def test_for_loop_var_is_volatile(self):
+        resolved = compile_source(
+            "program t global s, i begin for i := 1 to 3 do s := s + 1 end s := i end"
+        )
+        summary = analyze_side_effects(resolved)
+        count = count_redundant_loads(resolved, mod_policy(summary))
+        # The trailing load of i must not be treated as register-known.
+        assert count.total_loads >= 1
+
+    def test_call_kill_applies_to_formals_via_aliases(self):
+        resolved = compile_source(
+            """
+            program t
+              global g
+              proc bump(x) begin x := x + 1 end
+              proc use2()
+                local v
+              begin
+                v := g
+                call bump(g)
+                v := g
+              end
+            begin call use2() end
+            """
+        )
+        summary = analyze_side_effects(resolved)
+        count = count_redundant_loads(resolved, mod_policy(summary))
+        # The second load of g must NOT be eliminated: bump(g) kills it.
+        worst = count_redundant_loads(resolved, worst_case_policy(resolved))
+        assert count.eliminated == worst.eliminated

@@ -1,0 +1,187 @@
+"""RMOD/RUSE over the binding multi-graph — Figure 1 tests."""
+
+import pytest
+
+from repro.baselines.iterative import solve_rmod_iterative
+from repro.baselines.swift import solve_rmod_swift
+from repro.core.local import LocalAnalysis
+from repro.core.rmod import solve_rmod
+from repro.core.varsets import EffectKind, VariableUniverse
+from repro.graphs.binding import build_binding_graph
+from repro.graphs.scc import tarjan_scc
+from repro.lang.semantic import compile_source
+from repro.workloads import patterns
+from repro.workloads.generator import GeneratorConfig, generate_resolved
+
+
+def rmod_of(source_or_resolved, kind=EffectKind.MOD):
+    if isinstance(source_or_resolved, str):
+        resolved = compile_source(source_or_resolved)
+    else:
+        resolved = source_or_resolved
+    universe = VariableUniverse(resolved)
+    graph = build_binding_graph(resolved)
+    local = LocalAnalysis(resolved, universe)
+    return resolved, graph, solve_rmod(graph, local, kind)
+
+
+def rmod_names(resolved, result, proc_name):
+    return {f.name for f in result.formals_of(resolved.proc_named(proc_name).pid)}
+
+
+class TestDirectCases:
+    def test_directly_modified_formal(self):
+        resolved, graph, result = rmod_of(
+            "program t proc f(a, b) begin a := 1 end begin call f(1, 2) end"
+        )
+        assert rmod_names(resolved, result, "f") == {"a"}
+
+    def test_unmodified_formal(self):
+        resolved, graph, result = rmod_of(
+            "program t global g proc f(a) begin g := a end begin call f(1) end"
+        )
+        assert rmod_names(resolved, result, "f") == set()
+
+    def test_read_counts_as_modification(self):
+        resolved, graph, result = rmod_of(
+            "program t proc f(a) begin read a end begin call f(1) end"
+        )
+        assert rmod_names(resolved, result, "f") == {"a"}
+
+    def test_use_problem_mirror(self):
+        resolved, graph, result = rmod_of(
+            "program t global g proc f(a, b) begin g := a end begin call f(1, 2) end",
+            EffectKind.USE,
+        )
+        assert rmod_names(resolved, result, "f") == {"a"}
+
+
+class TestPropagation:
+    def test_chain_propagates_to_all_links(self):
+        resolved, graph, result = rmod_of(patterns.chain(8))
+        for index in range(1, 9):
+            assert rmod_names(resolved, result, "c%d" % index) == {"x"}
+
+    def test_unmodified_chain_stays_empty(self):
+        resolved, graph, result = rmod_of(patterns.unmodified_chain(8))
+        for index in range(1, 9):
+            assert rmod_names(resolved, result, "c%d" % index) == set()
+
+    def test_ring_scc_identical_solution(self):
+        # "its solution is identical at every node within a strongly
+        # connected region" — and here the whole ring is one SCC.
+        resolved, graph, result = rmod_of(patterns.ring(6))
+        for index in range(1, 7):
+            assert rmod_names(resolved, result, "r%d" % index) == {"x"}
+
+    def test_parameter_shuffle_tracks_positions(self):
+        resolved, graph, result = rmod_of(patterns.parameter_shuffle(4))
+        # s4 assigns its first formal 'a'.  Each link calls the next as
+        # call(b, c, a), so the callee's 'a' is the caller's 'b', 'b'
+        # is the caller's 'c', and 'c' is the caller's 'a'.  Walking
+        # back from s4: s3's 'b' feeds s4's 'a'; s2's 'c' feeds s3's
+        # 'b'; s1's 'a' feeds s2's 'c'.
+        assert rmod_names(resolved, result, "s4") == {"a"}
+        assert rmod_names(resolved, result, "s3") == {"b"}
+        assert rmod_names(resolved, result, "s2") == {"c"}
+        assert rmod_names(resolved, result, "s1") == {"a"}
+
+    def test_self_recursive_cycle(self):
+        resolved, graph, result = rmod_of(patterns.self_recursive())
+        assert rmod_names(resolved, result, "f") == {"acc"}
+
+    def test_nested_site_contributes_to_owner(self):
+        # §3.3 point 2: the edge from p's formal out of a nested call
+        # site must make RMOD(p) include the formal.
+        resolved, graph, result = rmod_of(
+            """
+            program t
+              proc p(x)
+                proc inner() begin call q(x) end
+              begin call inner() end
+              proc q(y) begin y := 1 end
+            begin call p(1) end
+            """
+        )
+        assert rmod_names(resolved, result, "p") == {"x"}
+
+    def test_modification_inside_nested_proc_seeds_imod(self):
+        # §3.3 point 1: IMOD(fp) must reflect nested direct writes.
+        resolved, graph, result = rmod_of(
+            """
+            program t
+              proc p(x)
+                proc inner() begin x := 1 end
+              begin call inner() end
+            begin call p(1) end
+            """
+        )
+        assert rmod_names(resolved, result, "p") == {"x"}
+
+    def test_by_value_argument_breaks_chain(self):
+        resolved, graph, result = rmod_of(
+            """
+            program t
+              proc p(x) begin call q(x + 0) end
+              proc q(y) begin y := 1 end
+            begin call p(1) end
+            """
+        )
+        assert rmod_names(resolved, result, "p") == set()
+
+    def test_scc_solution_shared_even_when_seed_is_elsewhere(self):
+        resolved, graph, result = rmod_of(
+            """
+            program t
+              proc a(x) begin call b(x) end
+              proc b(y) begin call a(y) call c(y) end
+              proc c(z) begin z := 1 end
+            begin call a(1) end
+            """
+        )
+        assert rmod_names(resolved, result, "a") == {"x"}
+        assert rmod_names(resolved, result, "b") == {"y"}
+
+
+class TestAlgorithmProperties:
+    def test_scc_constant_property_on_random_programs(self):
+        # Formally check the Figure 1 invariant on generated programs.
+        for seed in range(8):
+            resolved = generate_resolved(
+                GeneratorConfig(seed=seed, num_procs=25, recursion_prob=0.5)
+            )
+            universe = VariableUniverse(resolved)
+            graph = build_binding_graph(resolved)
+            local = LocalAnalysis(resolved, universe)
+            result = solve_rmod(graph, local)
+            component_of, components = tarjan_scc(graph.num_formals, graph.successors)
+            for members in components:
+                values = {result.node_value[node] for node in members}
+                assert len(values) == 1
+
+    def test_agreement_with_baselines_on_random_programs(self):
+        for seed in range(10):
+            resolved = generate_resolved(
+                GeneratorConfig(seed=seed + 50, num_procs=30, max_depth=3,
+                                nesting_prob=0.4, recursion_prob=0.4)
+            )
+            universe = VariableUniverse(resolved)
+            graph = build_binding_graph(resolved)
+            local = LocalAnalysis(resolved, universe)
+            for kind in (EffectKind.MOD, EffectKind.USE):
+                fig1 = solve_rmod(graph, local, kind).node_value
+                assert fig1 == solve_rmod_iterative(graph, local, kind)
+                assert fig1 == solve_rmod_swift(graph, local, kind)
+
+    def test_linear_step_bound(self):
+        # Figure 1 does O(Nβ + Eβ) single-bit steps; check the constant
+        # is small (each node touched <= 3 times + each edge once).
+        resolved, graph, result = rmod_of(patterns.chain(50))
+        steps = result.counter.single_bit_steps
+        assert steps <= 3 * graph.num_formals + graph.num_edges + 10
+
+    def test_rmod_mask_matches_node_values(self):
+        resolved, graph, result = rmod_of(patterns.chain(3))
+        for node, formal in enumerate(graph.formals):
+            expected = result.node_value[node]
+            assert bool(result.proc_mask[formal.proc.pid] >> formal.uid & 1) == expected

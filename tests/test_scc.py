@@ -1,0 +1,175 @@
+"""Tarjan SCC / condensation tests, including a networkx cross-check
+and hypothesis-driven random graphs."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.scc import condense, tarjan_scc
+
+
+def scc_sets(num_nodes, successors):
+    component_of, components = tarjan_scc(num_nodes, successors)
+    return {frozenset(component) for component in components}
+
+
+def nx_scc_sets(num_nodes, successors):
+    graph = nx.MultiDiGraph()
+    graph.add_nodes_from(range(num_nodes))
+    for node, targets in enumerate(successors):
+        for target in targets:
+            graph.add_edge(node, target)
+    return {frozenset(component) for component in nx.strongly_connected_components(graph)}
+
+
+class TestKnownGraphs:
+    def test_empty_graph(self):
+        component_of, components = tarjan_scc(0, [])
+        assert components == []
+        assert component_of == []
+
+    def test_single_node_no_edges(self):
+        component_of, components = tarjan_scc(1, [[]])
+        assert components == [[0]]
+
+    def test_self_loop_is_singleton_component(self):
+        component_of, components = tarjan_scc(1, [[0]])
+        assert components == [[0]]
+
+    def test_two_node_cycle(self):
+        assert scc_sets(2, [[1], [0]]) == {frozenset({0, 1})}
+
+    def test_chain_is_all_singletons(self):
+        assert scc_sets(4, [[1], [2], [3], []]) == {
+            frozenset({0}),
+            frozenset({1}),
+            frozenset({2}),
+            frozenset({3}),
+        }
+
+    def test_two_cycles_with_bridge(self):
+        successors = [[1], [0, 2], [3], [2]]
+        assert scc_sets(4, successors) == {frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_parallel_edges_are_fine(self):
+        assert scc_sets(2, [[1, 1, 1], [0]]) == {frozenset({0, 1})}
+
+    def test_disconnected_components(self):
+        assert scc_sets(4, [[1], [0], [], []]) == {
+            frozenset({0, 1}),
+            frozenset({2}),
+            frozenset({3}),
+        }
+
+    def test_reverse_topological_emission(self):
+        # 0 -> 1 -> 2: every edge target's component must be emitted
+        # before its source's.
+        component_of, components = tarjan_scc(3, [[1], [2], []])
+        assert component_of[2] < component_of[1] < component_of[0]
+
+    def test_reverse_topological_emission_with_cycles(self):
+        # {0,1} -> {2,3} -> {4}
+        successors = [[1], [0, 2], [3], [2, 4], []]
+        component_of, components = tarjan_scc(5, successors)
+        assert component_of[4] < component_of[2] == component_of[3] < component_of[0]
+
+    def test_deep_chain_no_recursion_limit(self):
+        n = 50_000
+        successors = [[i + 1] for i in range(n - 1)] + [[]]
+        component_of, components = tarjan_scc(n, successors)
+        assert len(components) == n
+
+    def test_big_cycle(self):
+        n = 10_000
+        successors = [[(i + 1) % n] for i in range(n)]
+        component_of, components = tarjan_scc(n, successors)
+        assert len(components) == 1
+
+
+class TestCondensation:
+    def test_condensed_graph_is_acyclic(self):
+        successors = [[1], [0, 2], [3], [2], [0]]
+        cond = condense(5, successors)
+        graph = nx.DiGraph()
+        for comp, targets in enumerate(cond.successors):
+            graph.add_node(comp)
+            for target in targets:
+                graph.add_edge(comp, target)
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_no_duplicate_successor_components(self):
+        successors = [[1, 1, 1, 1], []]
+        cond = condense(2, successors)
+        source = cond.component_of[0]
+        assert len(cond.successors[source]) == len(set(cond.successors[source]))
+
+    def test_intra_component_edges_dropped(self):
+        cond = condense(2, [[1], [0]])
+        assert cond.successors == [[]]
+
+    def test_topological_order_is_roots_first(self):
+        cond = condense(3, [[1], [2], []])
+        order = cond.topological_order()
+        assert cond.component_of[0] == order[0]
+        assert cond.component_of[2] == order[-1]
+
+    def test_trivial_detection(self):
+        cond = condense(3, [[1], [2], []])
+        assert all(cond.is_trivial(c) for c in range(cond.num_components))
+
+
+def random_successors(rng, num_nodes, num_edges):
+    return [
+        [rng.randrange(num_nodes) for _ in range(rng.randint(0, 2 * num_edges // max(num_nodes, 1)))]
+        for _ in range(num_nodes)
+    ]
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_graphs_match_networkx(self, seed):
+        rng = random.Random(seed)
+        num_nodes = rng.randint(1, 60)
+        successors = random_successors(rng, num_nodes, rng.randint(0, 200))
+        assert scc_sets(num_nodes, successors) == nx_scc_sets(num_nodes, successors)
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_hypothesis_graphs_match_networkx(self, data):
+        num_nodes = data.draw(st.integers(min_value=1, max_value=25))
+        successors = data.draw(
+            st.lists(
+                st.lists(
+                    st.integers(min_value=0, max_value=num_nodes - 1),
+                    max_size=6,
+                ),
+                min_size=num_nodes,
+                max_size=num_nodes,
+            )
+        )
+        assert scc_sets(num_nodes, successors) == nx_scc_sets(num_nodes, successors)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_emission_order_property(self, data):
+        """For every cross-component edge, the target's component index
+        is strictly smaller (emitted earlier)."""
+        num_nodes = data.draw(st.integers(min_value=1, max_value=20))
+        successors = data.draw(
+            st.lists(
+                st.lists(
+                    st.integers(min_value=0, max_value=num_nodes - 1),
+                    max_size=4,
+                ),
+                min_size=num_nodes,
+                max_size=num_nodes,
+            )
+        )
+        component_of, components = tarjan_scc(num_nodes, successors)
+        for node in range(num_nodes):
+            for succ in successors[node]:
+                if component_of[succ] != component_of[node]:
+                    assert component_of[succ] < component_of[node]

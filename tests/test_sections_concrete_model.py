@@ -1,0 +1,104 @@
+"""Semantic grounding of the section lattice: every lattice operation
+is checked against a concrete-region model.
+
+A rank-2 :class:`Section` denotes, for a given binding of formal
+parameters to integers, a set of concrete (i, j) index pairs over a
+small array.  The lattice operations must relate to the denotations:
+
+* ``meet`` over-approximates union:  ``γ(a) ∪ γ(b) ⊆ γ(a ⊓ b)``;
+* ``contains`` implies denotation containment;
+* ``intersects`` is sound for disjointness: if it returns False the
+  denotations are disjoint **for every** formal binding (the property
+  dependence testing relies on);
+* ``is_whole`` means the denotation is the full index space.
+
+All checked with hypothesis over random sections and bindings.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sections.lattice import Section, SubKind, Subscript
+
+DIMS = (4, 4)
+FORMAL_COUNT = 3
+
+subscripts = st.one_of(
+    st.integers(min_value=0, max_value=DIMS[0] - 1).map(Subscript.const),
+    st.integers(min_value=0, max_value=FORMAL_COUNT - 1).map(Subscript.formal),
+    st.just(Subscript.unknown()),
+)
+sections = st.one_of(
+    st.just(Section.make_bottom()),
+    st.just(Section.whole()),
+    st.tuples(subscripts, subscripts).map(lambda t: Section.element(*t)),
+)
+bindings = st.tuples(
+    *(st.integers(min_value=0, max_value=DIMS[0] - 1) for _ in range(FORMAL_COUNT))
+)
+
+
+def denote(section: Section, binding) -> frozenset:
+    """γ: the concrete index pairs a section covers under a binding."""
+    if section.is_bottom:
+        return frozenset()
+    if section.subs is None:
+        return frozenset(itertools.product(range(DIMS[0]), range(DIMS[1])))
+    assert len(section.subs) == 2
+    per_dim = []
+    for axis, sub in enumerate(section.subs):
+        if sub.kind is SubKind.UNKNOWN:
+            per_dim.append(range(DIMS[axis]))
+        elif sub.kind is SubKind.CONST:
+            per_dim.append([sub.value])
+        else:
+            per_dim.append([binding[sub.value]])
+    return frozenset(itertools.product(*per_dim))
+
+
+@given(a=sections, b=sections, binding=bindings)
+@settings(max_examples=200, deadline=None)
+def test_meet_over_approximates_union(a, b, binding):
+    merged = denote(a.meet(b), binding)
+    assert denote(a, binding) <= merged
+    assert denote(b, binding) <= merged
+
+
+@given(a=sections, b=sections, binding=bindings)
+@settings(max_examples=200, deadline=None)
+def test_contains_implies_denotation_containment(a, b, binding):
+    if a.contains(b):
+        assert denote(b, binding) <= denote(a, binding)
+
+
+@given(a=sections, b=sections, binding=bindings)
+@settings(max_examples=200, deadline=None)
+def test_intersects_false_means_disjoint_under_every_binding(a, b, binding):
+    if not a.intersects(b):
+        assert not (denote(a, binding) & denote(b, binding))
+
+
+@given(section=sections, binding=bindings)
+@settings(max_examples=100, deadline=None)
+def test_whole_denotes_everything(section, binding):
+    if section.is_whole:
+        assert len(denote(section, binding)) == DIMS[0] * DIMS[1]
+
+
+@given(section=sections, binding=bindings)
+@settings(max_examples=100, deadline=None)
+def test_bottom_denotes_nothing(section, binding):
+    if section.is_bottom:
+        assert denote(section, binding) == frozenset()
+
+
+@given(a=sections, b=sections, c=sections, binding=bindings)
+@settings(max_examples=150, deadline=None)
+def test_meet_is_least_among_tested_upper_bounds(a, b, c, binding):
+    """If a representable c covers both a and b, then it also covers
+    their meet's denotation — the meet adds no more than necessary
+    within the lattice (tested through denotations)."""
+    if c.contains(a) and c.contains(b):
+        assert c.contains(a.meet(b))

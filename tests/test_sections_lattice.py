@@ -1,0 +1,177 @@
+"""Regular-section lattice algebra tests (Figure 3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sections.lattice import Section, SubKind, Subscript
+
+
+def const(value):
+    return Subscript.const(value)
+
+
+def formal(position):
+    return Subscript.formal(position)
+
+
+def star():
+    return Subscript.unknown()
+
+
+# Strategy for arbitrary subscripts and rank-2 sections.
+subscripts = st.one_of(
+    st.integers(min_value=0, max_value=3).map(Subscript.const),
+    st.integers(min_value=0, max_value=2).map(Subscript.formal),
+    st.just(Subscript.unknown()),
+)
+sections = st.one_of(
+    st.just(Section.make_bottom()),
+    st.just(Section.whole()),
+    st.tuples(subscripts, subscripts).map(lambda t: Section.element(*t)),
+)
+
+
+class TestSubscripts:
+    def test_equal_constants_meet_to_self(self):
+        assert const(3).meet(const(3)) == const(3)
+
+    def test_different_constants_meet_to_star(self):
+        assert const(3).meet(const(4)).is_unknown
+
+    def test_formal_vs_constant_meet_to_star(self):
+        assert formal(0).meet(const(3)).is_unknown
+
+    def test_same_formal_meets_to_self(self):
+        assert formal(1).meet(formal(1)) == formal(1)
+
+    def test_render(self):
+        assert const(7).render() == "7"
+        assert formal(0).render(("i", "j")) == "i"
+        assert formal(5).render() == "fp6"
+        assert star().render() == "*"
+
+
+class TestFigure3Shapes:
+    def test_element(self):
+        section = Section.element(formal(0), formal(1))
+        assert section.classify() == "element"
+
+    def test_row(self):
+        section = Section.element(formal(0), star())
+        assert section.classify() == "row"
+
+    def test_column(self):
+        section = Section.element(star(), formal(1))
+        assert section.classify() == "column"
+
+    def test_whole(self):
+        assert Section.element(star(), star()).classify() == "whole"
+        assert Section.whole().classify() == "whole"
+
+    def test_none(self):
+        assert Section.make_bottom().classify() == "none"
+
+    def test_figure3_meets(self):
+        # A(I,J) ∧ A(K,J) = A(*,J); A(K,J) ∧ A(K,L) = A(K,*);
+        # A(*,J) ∧ A(K,*) = A(*,*).
+        a_ij = Section.element(formal(0), formal(1))
+        a_kj = Section.element(formal(2), formal(1))
+        a_kl = Section.element(formal(2), formal(3))
+        col_j = a_ij.meet(a_kj)
+        assert col_j == Section.element(star(), formal(1))
+        row_k = a_kj.meet(a_kl)
+        assert row_k == Section.element(formal(2), star())
+        assert col_j.meet(row_k).is_whole
+
+    def test_render_matches_paper_notation(self):
+        assert Section.element(star(), formal(1)).render("A", ("I", "J")) == "A(*,J)"
+        assert Section.whole().render("A") == "A(**)"
+        assert Section.make_bottom().render("A") == "A(⊥)"
+        assert Section.scalar().render("x") == "x"
+
+
+class TestMeetAlgebra:
+    @given(sections)
+    def test_bottom_is_identity(self, section):
+        assert Section.make_bottom().meet(section) == section
+        assert section.meet(Section.make_bottom()) == section
+
+    @given(sections)
+    def test_whole_absorbs(self, section):
+        if not section.is_bottom:
+            assert Section.whole().meet(section).is_whole
+
+    @given(sections)
+    def test_idempotent(self, section):
+        assert section.meet(section) == section
+
+    @given(sections, sections)
+    def test_commutative(self, a, b):
+        assert a.meet(b) == b.meet(a)
+
+    @given(sections, sections, sections)
+    def test_associative(self, a, b, c):
+        assert a.meet(b).meet(c) == a.meet(b.meet(c))
+
+    @given(sections, sections)
+    def test_meet_is_lower_bound(self, a, b):
+        merged = a.meet(b)
+        assert merged.contains(a) or a.is_bottom
+        assert merged.contains(b) or b.is_bottom
+
+    def test_rank_mismatch_widens(self):
+        assert Section.element(const(1)).meet(Section.element(const(1), const(2))).is_whole
+
+    def test_scalar_meet(self):
+        assert Section.scalar().meet(Section.scalar()) == Section.scalar()
+
+
+class TestContainment:
+    def test_whole_contains_everything(self):
+        assert Section.whole().contains(Section.element(const(1), const(2)))
+
+    def test_everything_contains_bottom(self):
+        assert Section.element(const(0)).contains(Section.make_bottom())
+
+    def test_bottom_contains_only_bottom(self):
+        assert not Section.make_bottom().contains(Section.scalar())
+        assert Section.make_bottom().contains(Section.make_bottom())
+
+    def test_row_contains_its_elements(self):
+        row = Section.element(const(2), star())
+        assert row.contains(Section.element(const(2), const(5)))
+        assert not row.contains(Section.element(const(3), const(5)))
+
+    @given(sections, sections)
+    def test_meet_result_contains_operands(self, a, b):
+        merged = a.meet(b)
+        assert merged.contains(a)
+        assert merged.contains(b)
+
+
+class TestIntersection:
+    def test_bottom_never_intersects(self):
+        assert not Section.make_bottom().intersects(Section.whole())
+
+    def test_whole_intersects_nonbottom(self):
+        assert Section.whole().intersects(Section.element(const(1)))
+
+    def test_distinct_constants_disjoint(self):
+        a = Section.element(const(1), star())
+        b = Section.element(const(2), star())
+        assert not a.intersects(b)
+
+    def test_row_and_column_intersect(self):
+        row = Section.element(const(1), star())
+        column = Section.element(star(), const(4))
+        assert row.intersects(column)
+
+    def test_symbolic_subscripts_conservatively_intersect(self):
+        a = Section.element(formal(0))
+        b = Section.element(formal(1))
+        assert a.intersects(b)
+
+    @given(sections, sections)
+    def test_intersection_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)

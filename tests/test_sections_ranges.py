@@ -1,0 +1,240 @@
+"""The range-section lattice instance and the lattice-parametric
+framework (§6's 'family of algorithms' claim)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.varsets import EffectKind
+from repro.lang.semantic import compile_source
+from repro.sections import analyze_sections
+from repro.sections.framework import FIGURE3, LATTICES, RANGES
+from repro.sections.lattice import Section, Subscript
+from repro.sections.ranges import Dim, DimKind, RangeSection
+from repro.workloads.generator import GeneratorConfig, generate_resolved
+
+
+class TestDimAlgebra:
+    def test_equal_points_meet_to_self(self):
+        a = Dim.point(Subscript.const(3))
+        assert a.meet(a) == a
+
+    def test_constant_points_meet_to_range(self):
+        a = Dim.point(Subscript.const(2))
+        b = Dim.point(Subscript.const(5))
+        merged = a.meet(b)
+        assert merged.kind is DimKind.RANGE
+        assert (merged.lo, merged.hi) == (2, 5)
+
+    def test_ranges_hull(self):
+        assert Dim.rng(0, 2).meet(Dim.rng(4, 6)) == Dim.rng(0, 6)
+
+    def test_symbolic_point_meets_to_full(self):
+        a = Dim.point(Subscript.formal(0))
+        b = Dim.point(Subscript.const(1))
+        assert a.meet(b).kind is DimKind.FULL
+
+    def test_containment(self):
+        assert Dim.rng(0, 5).contains(Dim.rng(1, 3))
+        assert Dim.rng(0, 5).contains(Dim.point(Subscript.const(4)))
+        assert not Dim.rng(0, 5).contains(Dim.rng(4, 7))
+        assert Dim.full().contains(Dim.point(Subscript.formal(2)))
+
+    def test_disjoint_ranges_do_not_intersect(self):
+        assert not Dim.rng(0, 2).intersects(Dim.rng(3, 5))
+        assert Dim.rng(0, 3).intersects(Dim.rng(3, 5))
+
+    def test_render(self):
+        assert Dim.rng(1, 4).render() == "1:4"
+        assert Dim.full().render() == "*"
+        assert Dim.point(Subscript.const(2)).render() == "2"
+
+
+class TestRangeSectionLattice:
+    def test_figure3_meets_still_work(self):
+        a = RangeSection.element(Subscript.formal(0), Subscript.formal(1))
+        b = RangeSection.element(Subscript.formal(2), Subscript.formal(1))
+        merged = a.meet(b)
+        assert merged.dims[0].kind is DimKind.FULL
+        assert merged.dims[1].kind is DimKind.POINT
+
+    def test_constant_meets_refine(self):
+        a = RangeSection.element(Subscript.const(0), Subscript.const(0))
+        b = RangeSection.element(Subscript.const(3), Subscript.const(0))
+        merged = a.meet(b)
+        assert merged.classify() == "range"
+        assert merged.render("A") == "A(0:3,0)"
+
+    def test_rank_mismatch_widens(self):
+        a = RangeSection.element(Subscript.const(0))
+        b = RangeSection.element(Subscript.const(0), Subscript.const(1))
+        assert a.meet(b).is_whole
+
+    def test_row_column_classification(self):
+        row = RangeSection.of_dims(Dim.point(Subscript.const(1)), Dim.full())
+        column = RangeSection.of_dims(Dim.full(), Dim.point(Subscript.const(1)))
+        assert row.classify() == "row"
+        assert column.classify() == "column"
+
+    def test_disjoint_ranges_sections(self):
+        top = RangeSection.of_dims(Dim.rng(0, 3), Dim.full())
+        bottom = RangeSection.of_dims(Dim.rng(4, 7), Dim.full())
+        assert not top.intersects(bottom)
+        assert top.meet(bottom).intersects(bottom)
+
+
+# Concrete-model grounding (mirrors test_sections_concrete_model).
+DIMS = (6, 6)
+range_dims = st.one_of(
+    st.integers(min_value=0, max_value=5).map(lambda c: Dim.point(Subscript.const(c))),
+    st.integers(min_value=0, max_value=2).map(lambda k: Dim.point(Subscript.formal(k))),
+    st.tuples(st.integers(min_value=0, max_value=5),
+              st.integers(min_value=0, max_value=5)).map(
+        lambda t: Dim.rng(min(t), max(t))
+    ),
+    st.just(Dim.full()),
+)
+range_sections = st.one_of(
+    st.just(RangeSection.make_bottom()),
+    st.just(RangeSection.whole()),
+    st.tuples(range_dims, range_dims).map(lambda t: RangeSection.of_dims(*t)),
+)
+bindings = st.tuples(*(st.integers(min_value=0, max_value=5) for _ in range(3)))
+
+
+def denote(section, binding):
+    if section.is_bottom:
+        return frozenset()
+    if section.dims is None:
+        return frozenset(itertools.product(range(DIMS[0]), range(DIMS[1])))
+    per_dim = []
+    for axis, dim in enumerate(section.dims):
+        if dim.kind is DimKind.FULL:
+            per_dim.append(range(DIMS[axis]))
+        elif dim.kind is DimKind.RANGE:
+            per_dim.append(range(dim.lo, dim.hi + 1))
+        elif dim.sub.kind.value == "const":
+            per_dim.append([dim.sub.value])
+        else:
+            per_dim.append([binding[dim.sub.value]])
+    return frozenset(itertools.product(*per_dim))
+
+
+class TestRangeConcreteModel:
+    @given(a=range_sections, b=range_sections, binding=bindings)
+    @settings(max_examples=150, deadline=None)
+    def test_meet_over_approximates_union(self, a, b, binding):
+        merged = denote(a.meet(b), binding)
+        assert denote(a, binding) <= merged
+        assert denote(b, binding) <= merged
+
+    @given(a=range_sections, b=range_sections, binding=bindings)
+    @settings(max_examples=150, deadline=None)
+    def test_intersects_false_means_disjoint(self, a, b, binding):
+        if not a.intersects(b):
+            assert not (denote(a, binding) & denote(b, binding))
+
+    @given(a=range_sections, b=range_sections, binding=bindings)
+    @settings(max_examples=150, deadline=None)
+    def test_contains_implies_denotation_containment(self, a, b, binding):
+        if a.contains(b):
+            assert denote(b, binding) <= denote(a, binding)
+
+
+ROWS_PROGRAM = """
+program t
+  global array m[8][8]
+  proc one(t, r, c) begin t[r][c] := 1 end
+  proc rows(t)
+  begin
+    call one(t, 0, 0)
+    call one(t, 1, 0)
+    call one(t, 2, 0)
+  end
+begin call rows(m) end
+"""
+
+
+class TestFrameworkInstances:
+    def test_lattice_by_name(self):
+        resolved = compile_source(ROWS_PROGRAM)
+        by_name = analyze_sections(resolved, lattice="ranges")
+        by_object = analyze_sections(resolved, lattice=RANGES)
+        assert by_name.lattice_name == by_object.lattice_name == "ranges"
+        with pytest.raises(KeyError):
+            analyze_sections(resolved, lattice="imaginary")
+
+    def test_ranges_refine_figure3(self):
+        resolved = compile_source(ROWS_PROGRAM)
+        fig = analyze_sections(resolved, lattice="figure3")
+        rng = analyze_sections(resolved, lattice="ranges")
+        rows = resolved.proc_named("rows")
+        t_uid = resolved.var_named("rows::t").uid
+        assert fig.grs[rows.pid][t_uid].render("t") == "t(*,0)"
+        assert rng.grs[rows.pid][t_uid].render("t") == "t(0:2,0)"
+
+    def test_ranges_enable_tiling_disjointness(self):
+        # Two half-matrix updaters: Figure 3 sees overlapping columns
+        # ("whole"), ranges prove the row blocks disjoint.
+        resolved = compile_source(
+            """
+            program t
+              global array m[8][8]
+              proc one(t, r, c) begin t[r][c] := 1 end
+              proc top_half(t)
+              begin
+                call one(t, 0, 0)
+                call one(t, 1, 1)
+                call one(t, 2, 2)
+              end
+              proc bottom_half(t)
+              begin
+                call one(t, 5, 0)
+                call one(t, 6, 1)
+                call one(t, 7, 2)
+              end
+            begin
+              call top_half(m)
+              call bottom_half(m)
+            end
+            """
+        )
+        m_uid = resolved.var_named("m").uid
+        fig = analyze_sections(resolved, lattice="figure3")
+        rng = analyze_sections(resolved, lattice="ranges")
+        top_site, bottom_site = [
+            s for s in resolved.call_sites if s.caller.is_main
+        ]
+        fig_top = fig.site_sections[top_site.site_id][m_uid]
+        fig_bottom = fig.site_sections[bottom_site.site_id][m_uid]
+        assert fig_top.intersects(fig_bottom)  # Figure 3: conflict.
+        rng_top = rng.site_sections[top_site.site_id][m_uid]
+        rng_bottom = rng.site_sections[bottom_site.site_id][m_uid]
+        assert rng_top.render("m") == "m(0:2,0:2)"
+        assert rng_bottom.render("m") == "m(5:7,0:2)"
+        assert not rng_top.intersects(rng_bottom)  # Ranges: parallel.
+
+    def test_nonbottom_sets_agree_across_lattices(self):
+        for seed in range(5):
+            resolved = generate_resolved(
+                GeneratorConfig(seed=seed + 880, num_procs=15, max_depth=2,
+                                array_global_fraction=0.4)
+            )
+            for kind in (EffectKind.MOD, EffectKind.USE):
+                fig = analyze_sections(resolved, kind, lattice="figure3")
+                rng = analyze_sections(resolved, kind, lattice="ranges")
+                for pid in range(resolved.num_procs):
+                    assert fig.nonbottom_mask(pid) == rng.nonbottom_mask(pid)
+
+    def test_ranges_always_at_least_as_precise(self):
+        # Everything Figure 3 proves disjoint, ranges must too (on the
+        # same per-site tables).
+        resolved = compile_source(ROWS_PROGRAM)
+        fig = analyze_sections(resolved, lattice="figure3")
+        rng = analyze_sections(resolved, lattice="ranges")
+        for site in resolved.call_sites:
+            fig_table = fig.site_sections[site.site_id]
+            rng_table = rng.site_sections[site.site_id]
+            assert set(fig_table) == set(rng_table)

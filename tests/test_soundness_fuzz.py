@@ -1,0 +1,167 @@
+"""Dynamic soundness fuzzing: the analysis must cover everything the
+interpreter observes.
+
+This is the strongest end-to-end correctness evidence available for a
+static analysis: generate arbitrary programs, execute them with the
+tracing interpreter, and require ``observed ⊆ computed`` at every call
+site, for both MOD and USE — plus the structural invariants the paper's
+decomposition promises (``DMOD ⊆ MOD``, per-site sets covered by the
+callee's GMOD projection, GMOD within visibility).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import analyze_side_effects
+from repro.core.varsets import EffectKind
+from repro.lang.interp import Interpreter
+from repro.lang.semantic import compile_source
+from repro.workloads import corpus, patterns
+from repro.workloads.generator import GeneratorConfig, generate_resolved
+
+from tests.helpers import assert_trace_sound
+
+
+def run_traced(resolved, inputs=None, max_steps=30_000, max_depth=60):
+    interp = Interpreter(resolved, inputs=inputs or [], max_steps=max_steps,
+                         max_depth=max_depth)
+    return interp.run()
+
+
+class TestCorpusSoundness:
+    @pytest.mark.parametrize("name", sorted(corpus.ALL))
+    def test_corpus_program(self, name, corpus_programs):
+        resolved = corpus_programs[name]
+        summary = analyze_side_effects(resolved)
+        trace = run_traced(resolved, inputs=[3, 1, 4, 1, 5, 9, 2, 6])
+        assert_trace_sound(resolved, trace, summary)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            patterns.chain(5),
+            patterns.unmodified_chain(5),
+            patterns.ring(4),
+            patterns.deep_nest(4),
+            patterns.two_sccs_bridged(3),
+            patterns.parameter_shuffle(5),
+            patterns.call_tree(3, 2),
+            patterns.fortran_style(5, 8),
+            patterns.self_recursive(4),
+        ],
+    )
+    def test_pattern_program(self, source):
+        resolved = compile_source(source)
+        summary = analyze_side_effects(resolved)
+        trace = run_traced(resolved)
+        assert_trace_sound(resolved, trace, summary)
+
+
+class TestGeneratedSoundness:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_flat_random_programs(self, seed):
+        resolved = generate_resolved(
+            GeneratorConfig(seed=seed + 5000, num_procs=20, recursion_prob=0.4)
+        )
+        summary = analyze_side_effects(resolved)
+        trace = run_traced(resolved)
+        assert_trace_sound(resolved, trace, summary)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_nested_random_programs(self, seed):
+        resolved = generate_resolved(
+            GeneratorConfig(
+                seed=seed + 6000,
+                num_procs=25,
+                max_depth=4,
+                nesting_prob=0.5,
+                recursion_prob=0.5,
+                array_global_fraction=0.2,
+            )
+        )
+        summary = analyze_side_effects(resolved)
+        trace = run_traced(resolved)
+        assert_trace_sound(resolved, trace, summary)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_hypothesis_driven_configs(self, seed):
+        config = GeneratorConfig(
+            seed=seed,
+            num_procs=10 + seed % 15,
+            num_globals=3 + seed % 5,
+            max_depth=1 + seed % 4,
+            nesting_prob=0.3 + (seed % 7) / 10.0,
+            recursion_prob=(seed % 5) / 5.0,
+            prob_modify_formal=0.2 + (seed % 4) / 5.0,
+        )
+        resolved = generate_resolved(config)
+        summary = analyze_side_effects(resolved)
+        trace = run_traced(resolved, max_steps=15_000, max_depth=40)
+        assert_trace_sound(resolved, trace, summary)
+
+
+class TestStructuralInvariants:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_dmod_subset_of_mod(self, seed):
+        resolved = generate_resolved(
+            GeneratorConfig(seed=seed + 7000, num_procs=20, max_depth=3,
+                            nesting_prob=0.4)
+        )
+        summary = analyze_side_effects(resolved)
+        for kind in (EffectKind.MOD, EffectKind.USE):
+            solution = summary.solutions[kind]
+            for site in resolved.call_sites:
+                dmod = solution.dmod[site.site_id]
+                mod = solution.mod[site.site_id]
+                assert dmod & ~mod == 0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_imod_subset_chain(self, seed):
+        # IMOD ⊆ IMOD+ ⊆ GMOD, per construction.
+        resolved = generate_resolved(
+            GeneratorConfig(seed=seed + 8000, num_procs=20, max_depth=3,
+                            nesting_prob=0.4)
+        )
+        summary = analyze_side_effects(resolved)
+        solution = summary.solutions[EffectKind.MOD]
+        for proc in resolved.procs:
+            imod = summary.local.imod[proc.pid]
+            imod_plus = solution.imod_plus[proc.pid]
+            gmod = solution.gmod[proc.pid]
+            assert imod & ~imod_plus == 0
+            assert imod_plus & ~gmod == 0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_gmod_within_extant_scope(self, seed):
+        # GMOD(p) may only contain variables whose instance is extant
+        # while p runs: globals plus variables of p's lexical chain.
+        # (Not the *nameable* set — an inner declaration can shadow an
+        # outer variable by name while a sibling call still modifies
+        # the outer instance; the paper's footnote 4 makes the same
+        # point for Fortran.)
+        resolved = generate_resolved(
+            GeneratorConfig(seed=seed + 9000, num_procs=25, max_depth=4,
+                            nesting_prob=0.6)
+        )
+        summary = analyze_side_effects(resolved)
+        solution = summary.solutions[EffectKind.MOD]
+        for proc in resolved.procs:
+            extant = summary.universe.global_mask
+            for scope_proc in proc.lexical_chain():
+                extant |= summary.universe.local_mask[scope_proc.pid]
+            assert solution.gmod[proc.pid] & ~extant == 0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_rmod_matches_gmod_formal_slice(self, seed):
+        # GMOD(p) ∩ formals(p) is exactly RMOD(p).
+        resolved = generate_resolved(
+            GeneratorConfig(seed=seed + 9500, num_procs=25, max_depth=3,
+                            nesting_prob=0.5, recursion_prob=0.5)
+        )
+        summary = analyze_side_effects(resolved)
+        solution = summary.solutions[EffectKind.MOD]
+        for proc in resolved.procs:
+            formal_slice = solution.gmod[proc.pid] & summary.universe.formal_mask[proc.pid]
+            assert formal_slice == solution.rmod.proc_mask[proc.pid]
