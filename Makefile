@@ -1,0 +1,27 @@
+# Developer / CI entry points.  Everything runs against the in-tree
+# sources (PYTHONPATH=src) — no install step needed.
+
+PY ?= python
+PP := PYTHONPATH=src
+
+.PHONY: test differential bench-smoke bench
+
+# Tier-1 gate: the full unit/integration/property suite.
+test:
+	$(PP) $(PY) -m pytest -x -q
+
+# The standing oracle + batch-engine suites (fast subset for CI jobs
+# that iterate on solver fast paths).
+differential:
+	$(PP) $(PY) -m pytest -q tests/test_differential.py tests/test_batch.py \
+	    tests/test_linearity_guard.py tests/test_persist_roundtrip.py
+
+# One tiny batch benchmark, timing disabled — keeps the benchmark
+# suite import-clean without paying for a real measurement run.
+bench-smoke:
+	$(PP) $(PY) -m pytest -q benchmarks/test_bench_batch.py -k smoke \
+	    --benchmark-disable
+
+# The full measured benchmark suite (slow).
+bench:
+	$(PP) $(PY) -m pytest benchmarks -q

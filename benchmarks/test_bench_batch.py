@@ -1,0 +1,60 @@
+"""Batch engine throughput: cold vs warm cache, sequential vs pool.
+
+The paper's summaries cost ``O(N_C + E_C)`` bit-vector steps per unit,
+so corpus throughput should be dominated by per-file constant overhead
+— and a warm content-hash cache should collapse a re-run to pure JSON
+reads.  These benchmarks measure both claims on generator-produced
+corpora.
+"""
+
+import pytest
+
+from repro.service.batch import run_batch
+from repro.workloads.files import write_generated_corpus
+from repro.workloads.generator import GeneratorConfig
+
+CORPUS_SIZE = 20
+
+
+@pytest.fixture(scope="module")
+def batch_corpus(tmp_path_factory):
+    root = tmp_path_factory.mktemp("batch-corpus")
+    write_generated_corpus(
+        str(root),
+        CORPUS_SIZE,
+        base_seed=500,
+        config=GeneratorConfig(num_procs=15, num_globals=6),
+    )
+    return str(root)
+
+
+def test_batch_cold_sequential(benchmark, batch_corpus):
+    report = benchmark(run_batch, batch_corpus, jobs=1, cache_dir=None)
+    assert report.ok_count == CORPUS_SIZE
+    assert report.analyzed_count == CORPUS_SIZE
+
+
+def test_batch_cold_parallel(benchmark, batch_corpus):
+    report = benchmark(run_batch, batch_corpus, jobs=4, cache_dir=None)
+    assert report.ok_count == CORPUS_SIZE
+
+
+def test_batch_warm_cache(benchmark, batch_corpus, tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("batch-cache"))
+    run_batch(batch_corpus, jobs=1, cache_dir=cache_dir)  # Prime.
+    report = benchmark(run_batch, batch_corpus, jobs=1, cache_dir=cache_dir)
+    assert report.cached_count == CORPUS_SIZE
+    assert report.analyzed_count == 0
+
+
+def test_batch_smoke(benchmark, tmp_path_factory):
+    """Tiny end-to-end run (the `make bench-smoke` target)."""
+    root = tmp_path_factory.mktemp("batch-smoke")
+    write_generated_corpus(
+        str(root), 4, base_seed=900,
+        config=GeneratorConfig(num_procs=6, num_globals=4),
+    )
+    cache_dir = str(root / ".ck-cache")
+    report = benchmark(run_batch, str(root), jobs=1, cache_dir=cache_dir)
+    assert report.ok_count == 4
+    assert report.exit_code == 0

@@ -18,7 +18,9 @@ Packages:
   multi-level nesting extension, DMOD/MOD assembly, alias pairs);
 * :mod:`repro.baselines` — the solvers the paper improves upon;
 * :mod:`repro.sections` — Section 6's regular section analysis;
-* :mod:`repro.workloads` — program generators and a hand-written corpus.
+* :mod:`repro.workloads` — program generators and a hand-written corpus;
+* :mod:`repro.service` — the corpus-scale batch engine (parallel
+  fan-out, summary caching, aggregate statistics).
 """
 
 from repro.core.pipeline import analyze_side_effects

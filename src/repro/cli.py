@@ -14,7 +14,10 @@ Subcommands:
 * ``summary FILE``   — write the analysis summary as JSON (for build
   systems / the recompilation analysis);
 * ``recompile OLD.json NEW.json --edited a,b`` — which procedures need
-  recompilation after an edit.
+  recompilation after an edit;
+* ``batch DIR``      — analyze every ``.ck`` file under a directory in
+  parallel, with a content-hash summary cache and a corpus stats
+  report (see :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -153,6 +156,45 @@ def _cmd_recompile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.service.batch import run_batch
+    from repro.service.stats import render_stats, write_stats_json
+
+    if not os.path.isdir(args.dir) and not os.path.isfile(args.dir):
+        print("error: no such file or directory: %s" % args.dir, file=sys.stderr)
+        return 1
+    cache_dir = None
+    if not args.no_cache:
+        base = args.dir if os.path.isdir(args.dir) else os.path.dirname(args.dir) or "."
+        cache_dir = args.cache_dir or os.path.join(base, ".ck-cache")
+    report = run_batch(
+        args.dir,
+        jobs=args.jobs,
+        gmod_method=args.gmod_method,
+        cache_dir=cache_dir,
+        timeout=args.timeout,
+        pattern=args.pattern,
+    )
+    for record in report.results:
+        if record.ok:
+            print(
+                "ok    %s (%s)"
+                % (record.path, "cached" if record.cached else "analyzed")
+            )
+        else:
+            print(
+                "%-5s %s: %s" % (record.status, record.path, record.error),
+                file=sys.stderr,
+            )
+    print(render_stats(report))
+    if args.stats_json:
+        write_stats_json(report, args.stats_json)
+        print("stats written to %s" % args.stats_json)
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ck-analyze",
@@ -224,6 +266,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--edited", default="", help="comma-separated edited procedure names"
     )
     recompile_cmd.set_defaults(func=_cmd_recompile)
+
+    batch_cmd = sub.add_parser(
+        "batch", help="analyze a whole directory of CK files in parallel"
+    )
+    batch_cmd.add_argument("dir")
+    batch_cmd.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes (0 = one per CPU, 1 = no pool)",
+    )
+    batch_cmd.add_argument(
+        "--cache-dir", default="",
+        help="summary cache directory (default: DIR/.ck-cache)",
+    )
+    batch_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-hash summary cache",
+    )
+    batch_cmd.add_argument(
+        "--stats-json", default="",
+        help="write the aggregated corpus stats report to this path",
+    )
+    batch_cmd.add_argument(
+        "--gmod-method", choices=GMOD_METHODS, default="auto",
+        help="global-phase solver (default: auto)",
+    )
+    batch_cmd.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-file result timeout in seconds (pool mode)",
+    )
+    batch_cmd.add_argument(
+        "--pattern", default="*.ck", help="source file glob (default: *.ck)"
+    )
+    batch_cmd.set_defaults(func=_cmd_batch)
     return parser
 
 

@@ -18,11 +18,22 @@ from repro.core.summary import SideEffectSummary
 from repro.core.varsets import EffectKind
 from repro.lang.symbols import ResolvedProgram
 
-FORMAT_VERSION = 1
+#: On-disk schema version.  Bump whenever the payload shape changes so
+#: consumers (the recompilation analysis, the batch summary cache) can
+#: detect and discard stale entries instead of misreading them.
+#:
+#: History: 1 = procedures + call_sites; 2 = adds per-procedure alias
+#: pairs and the optional per-site regular-section block.
+FORMAT_VERSION = 2
 
 
-def summary_to_dict(summary: SideEffectSummary) -> Dict:
-    """A JSON-safe dictionary of every externally meaningful set."""
+def summary_to_dict(summary: SideEffectSummary, include_sections: bool = False) -> Dict:
+    """A JSON-safe dictionary of every externally meaningful set.
+
+    ``include_sections`` additionally solves and embeds the Section 6
+    regular-section analysis (Figure 3 lattice) per call site — opt-in
+    because it is a separate solve, not a projection of the summary.
+    """
     resolved = summary.resolved
     universe = summary.universe
     payload: Dict = {
@@ -30,7 +41,31 @@ def summary_to_dict(summary: SideEffectSummary) -> Dict:
         "program": resolved.program.name,
         "procedures": {},
         "call_sites": [],
+        "aliases": {
+            proc.qualified_name: sorted(
+                [
+                    resolved.variables[a].qualified_name,
+                    resolved.variables[b].qualified_name,
+                ]
+                for a, b in summary.aliases.pairs_of(proc)
+            )
+            for proc in resolved.procs
+        },
     }
+    if include_sections:
+        from repro.core.varsets import EffectKind as _Kind
+        from repro.sections import analyze_sections
+
+        section_analysis = analyze_sections(
+            resolved, _Kind.MOD, universe, summary.call_graph
+        )
+        payload["sections"] = {
+            "lattice": "figure3",
+            "sites": [
+                section_analysis.describe_site(site)
+                for site in resolved.call_sites
+            ],
+        }
     for proc in resolved.procs:
         entry: Dict = {"level": proc.level}
         for kind, solution in summary.solutions.items():
@@ -100,8 +135,20 @@ class LoadedSummary:
     def dmod_names(self, site_id: int, kind: EffectKind = EffectKind.MOD) -> List[str]:
         return list(self.payload["call_sites"][site_id]["d%s" % kind.value])
 
+    def alias_pairs(self, qualified_name: str) -> List[List[str]]:
+        """Alias pairs of a procedure, as sorted name pairs."""
+        return [list(pair) for pair in self.payload["aliases"][qualified_name]]
+
+    @property
+    def has_sections(self) -> bool:
+        return "sections" in self.payload
+
+    def site_section_names(self, site_id: int) -> List[str]:
+        """Rendered regular sections of a call site (Figure 3 style)."""
+        return list(self.payload["sections"]["sites"][site_id])
+
 
 def verify_against(loaded: LoadedSummary, summary: SideEffectSummary) -> bool:
     """Does a loaded summary match a live analysis of (supposedly) the
     same program?  Used to validate stale summary files."""
-    return summary_to_dict(summary) == loaded.payload
+    return summary_to_dict(summary, include_sections=loaded.has_sections) == loaded.payload

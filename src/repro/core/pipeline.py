@@ -17,6 +17,7 @@ Both ``MOD`` and ``USE`` are solved by default.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.aliases import compute_aliases, factor_aliases_into
@@ -69,12 +70,22 @@ def analyze_side_effects(
     Figure 2 for two-level programs and the multi-level algorithm when
     procedures nest deeper.
     """
+    timings: Dict[str, float] = {}
+    started = time.perf_counter()
+
+    def _mark(phase: str, since: float) -> float:
+        now = time.perf_counter()
+        timings[phase] = timings.get(phase, 0.0) + (now - since)
+        return now
+
+    tick = started
     if isinstance(program, str):
         from repro.lang.semantic import compile_source
 
         resolved = compile_source(program)
     else:
         resolved = program
+    tick = _mark("compile", tick)
 
     if gmod_method not in GMOD_METHODS:
         raise ValueError(
@@ -86,7 +97,9 @@ def analyze_side_effects(
     call_graph = build_call_graph(resolved)
     binding_graph = build_binding_graph(resolved)
     local = LocalAnalysis(resolved, universe)
+    tick = _mark("graphs", tick)
     aliases = compute_aliases(resolved, universe, counter)
+    tick = _mark("aliases", tick)
 
     method = gmod_method
     if method == "auto":
@@ -95,12 +108,16 @@ def analyze_side_effects(
     solutions: Dict[EffectKind, EffectSolution] = {}
     for kind in kinds:
         rmod = solve_rmod(binding_graph, local, kind, counter)
+        tick = _mark("rmod", tick)
         imod_plus = compute_imod_plus(resolved, local, rmod, kind, counter)
+        tick = _mark("imod_plus", tick)
         gmod, used_method = _solve_gmod(
             method, call_graph, imod_plus, universe, kind, counter
         )
+        tick = _mark("gmod", tick)
         dmod = compute_dmod(resolved, gmod, universe, kind, counter)
         mod = factor_aliases_into(dmod, aliases, resolved, counter)
+        tick = _mark("dmod", tick)
         solutions[kind] = EffectSolution(
             kind=kind,
             rmod=rmod,
@@ -110,6 +127,7 @@ def analyze_side_effects(
             mod=mod,
             gmod_method=used_method,
         )
+    timings["total"] = time.perf_counter() - started
 
     return SideEffectSummary(
         resolved=resolved,
@@ -120,4 +138,39 @@ def analyze_side_effects(
         aliases=aliases,
         solutions=solutions,
         counter=counter,
+        timings=timings,
     )
+
+
+def analyze_source_payload(source: str, gmod_method: str = "auto") -> Dict:
+    """Analyze source text and return a JSON-safe, picklable payload.
+
+    This is the per-unit entry point for the batch service layer: a
+    plain module-level function whose argument and result both pickle,
+    so :class:`concurrent.futures.ProcessPoolExecutor` workers can call
+    it directly.  The payload bundles the serialized summary
+    (:func:`repro.core.persist.summary_to_dict`) with the per-phase
+    wall times and the :class:`~repro.core.bitvec.OpCounter` tallies
+    the corpus statistics aggregator consumes.
+    """
+    from repro.core.persist import summary_to_dict
+
+    summary = analyze_side_effects(source, gmod_method=gmod_method)
+    return {
+        "summary": summary_to_dict(summary),
+        "timings": dict(summary.timings),
+        "ops": {
+            "bit_vector_steps": summary.counter.bit_vector_steps,
+            "single_bit_steps": summary.counter.single_bit_steps,
+            "meet_operations": summary.counter.meet_operations,
+        },
+        "num_procs": summary.resolved.num_procs,
+        "num_call_sites": summary.resolved.num_call_sites,
+    }
+
+
+def analyze_file_payload(path: str, gmod_method: str = "auto") -> Dict:
+    """:func:`analyze_source_payload` over a file path (picklable)."""
+    with open(path) as handle:
+        source = handle.read()
+    return analyze_source_payload(source, gmod_method=gmod_method)

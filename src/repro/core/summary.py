@@ -46,6 +46,9 @@ class SideEffectSummary:
     aliases: AliasResult
     solutions: Dict[EffectKind, EffectSolution]
     counter: OpCounter = field(default_factory=OpCounter)
+    #: Per-phase wall times (seconds) recorded by the pipeline driver;
+    #: keys like ``compile``, ``graphs``, ``rmod``, ``gmod``, ``total``.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     # -- mask accessors -------------------------------------------------------
 

@@ -1,0 +1,31 @@
+"""Corpus-scale analysis service.
+
+The paper's economic argument is that MOD/USE summaries are cheap
+enough to recompute wholesale — ``O(N_C + E_C)`` bit-vector steps per
+program unit.  This package turns the single-file pipeline into a
+batch engine that holds that promise at corpus scale:
+
+* :mod:`repro.service.batch` — fan analysis out over a process pool
+  with per-file error isolation and timeouts;
+* :mod:`repro.service.cache` — a content-hash summary cache (layered
+  on :mod:`repro.core.persist`) so unchanged files are never re-solved;
+* :mod:`repro.service.stats` — per-phase wall times and bit-vector
+  step tallies aggregated across the corpus into one JSON report.
+"""
+
+from repro.service.batch import BatchReport, FileResult, discover_files, run_batch
+from repro.service.cache import CacheStats, SummaryCache, content_key
+from repro.service.stats import aggregate_stats, render_stats, write_stats_json
+
+__all__ = [
+    "BatchReport",
+    "FileResult",
+    "discover_files",
+    "run_batch",
+    "CacheStats",
+    "SummaryCache",
+    "content_key",
+    "aggregate_stats",
+    "render_stats",
+    "write_stats_json",
+]

@@ -1,0 +1,119 @@
+"""Content-addressed summary cache.
+
+A cache entry is keyed by the SHA-256 of the *resolved source bytes*
+plus everything that could change the answer: the persist format
+version, the cache record schema, and the GMOD solver requested.  Two
+consequences:
+
+* an unchanged file is never re-solved — a warm batch run is pure
+  cache reads;
+* a schema bump (:data:`repro.core.persist.FORMAT_VERSION` or
+  :data:`CACHE_SCHEMA_VERSION`) changes every key *and* is re-checked
+  on read, so stale entries written by an older build are treated as
+  misses, never misread.
+
+Entries are one JSON file per key under the cache root; writes go
+through a temp file + ``os.replace`` so concurrent batch runs sharing
+a cache directory never observe torn entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.persist import FORMAT_VERSION
+
+#: Version of the cache *record* envelope (not the summary payload —
+#: that carries its own :data:`FORMAT_VERSION`).
+CACHE_SCHEMA_VERSION = 1
+
+
+def content_key(source: str, gmod_method: str = "auto") -> str:
+    """SHA-256 cache key for one program source + solver choice."""
+    hasher = hashlib.sha256()
+    hasher.update(b"ck-summary-cache\0")
+    hasher.update(("%d\0%d\0%s\0" % (CACHE_SCHEMA_VERSION, FORMAT_VERSION, gmod_method)).encode())
+    hasher.update(source.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Entries found on disk but rejected (stale schema, torn JSON).
+    invalid: int = 0
+
+    def hit_rate(self) -> float:
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalid": self.invalid,
+            "hit_rate": self.hit_rate(),
+        }
+
+
+class SummaryCache:
+    """On-disk cache of per-file analysis payloads."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.stats = CacheStats()
+        os.makedirs(root, exist_ok=True)
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key + ".json")
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The cached analysis payload for ``key``, or None on miss."""
+        path = self.path_for(key)
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            if os.path.exists(path):
+                self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        if (
+            record.get("cache_schema") != CACHE_SCHEMA_VERSION
+            or record.get("format_version") != FORMAT_VERSION
+            or "result" not in record
+        ):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record["result"]
+
+    def put(self, key: str, result: Dict) -> None:
+        """Store one analysis payload under ``key`` (atomic write)."""
+        record = {
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "format_version": FORMAT_VERSION,
+            "key": key,
+            "result": result,
+        }
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(tmp_path, self.path_for(key))
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        self.stats.stores += 1

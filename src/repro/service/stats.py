@@ -1,0 +1,125 @@
+"""Corpus-level statistics aggregation.
+
+Rolls the per-file payloads of a :class:`~repro.service.batch.BatchReport`
+up into one JSON document: per-phase wall-time totals, the paper's
+bit-vector/single-bit step tallies summed across the corpus, cache
+accounting, and throughput.  The schema is version-stamped so
+downstream dashboards can detect drift the same way the summary cache
+does.
+
+Stats JSON schema (``STATS_SCHEMA_VERSION`` 1)::
+
+    {
+      "schema": 1,
+      "corpus": {"root", "files", "ok", "errors", "timeouts",
+                 "cached", "analyzed", "procs", "call_sites"},
+      "phases": {phase: seconds, ...},        # summed over analyzed files
+      "ops": {"bit_vector_steps", "single_bit_steps", "meet_operations"},
+      "cache": {"hits", "misses", "stores", "invalid", "hit_rate"} | null,
+      "throughput": {"wall_time", "files_per_second", "jobs",
+                     "analysis_seconds"},
+      "files": [per-file records without full summaries]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.service.batch import BatchReport
+
+STATS_SCHEMA_VERSION = 1
+
+OP_KEYS = ("bit_vector_steps", "single_bit_steps", "meet_operations")
+
+
+def aggregate_stats(report: BatchReport) -> Dict:
+    """The corpus-wide statistics document for one batch run."""
+    phases: Dict[str, float] = {}
+    ops = {key: 0 for key in OP_KEYS}
+    procs = 0
+    call_sites = 0
+    analysis_seconds = 0.0
+    for record in report.results:
+        if record.result is None:
+            continue
+        procs += record.result["num_procs"]
+        call_sites += record.result["num_call_sites"]
+        if record.cached:
+            # A cache hit did no solver work this run; its stored
+            # timings/ops describe the original solve, not this one.
+            continue
+        for phase, seconds in record.result["timings"].items():
+            phases[phase] = phases.get(phase, 0.0) + seconds
+        for key in OP_KEYS:
+            ops[key] += record.result["ops"][key]
+        analysis_seconds += record.result["timings"].get("total", 0.0)
+    total_files = len(report.results)
+    return {
+        "schema": STATS_SCHEMA_VERSION,
+        "corpus": {
+            "root": report.root,
+            "files": total_files,
+            "ok": report.ok_count,
+            "errors": report.error_count,
+            "timeouts": report.timeout_count,
+            "cached": report.cached_count,
+            "analyzed": report.analyzed_count,
+            "procs": procs,
+            "call_sites": call_sites,
+        },
+        "phases": phases,
+        "ops": ops,
+        "cache": report.cache_stats.to_dict() if report.cache_stats else None,
+        "throughput": {
+            "wall_time": report.wall_time,
+            "files_per_second": (
+                total_files / report.wall_time if report.wall_time > 0 else 0.0
+            ),
+            "jobs": report.jobs,
+            "analysis_seconds": analysis_seconds,
+        },
+        "files": [record.to_dict() for record in report.results],
+    }
+
+
+def write_stats_json(report: BatchReport, path: str, indent: int = 2) -> None:
+    with open(path, "w") as handle:
+        json.dump(aggregate_stats(report), handle, indent=indent, sort_keys=True)
+        handle.write("\n")
+
+
+def render_stats(report: BatchReport) -> str:
+    """A terse human-readable roll-up for the CLI."""
+    stats = aggregate_stats(report)
+    corpus = stats["corpus"]
+    lines = [
+        "%d files: %d ok (%d cached, %d analyzed), %d errors, %d timeouts"
+        % (
+            corpus["files"],
+            corpus["ok"],
+            corpus["cached"],
+            corpus["analyzed"],
+            corpus["errors"],
+            corpus["timeouts"],
+        ),
+        "%d procs, %d call sites, %d bit-vector steps"
+        % (corpus["procs"], corpus["call_sites"], stats["ops"]["bit_vector_steps"]),
+        "wall %.3fs (%.1f files/s, %d jobs)"
+        % (
+            stats["throughput"]["wall_time"],
+            stats["throughput"]["files_per_second"],
+            stats["throughput"]["jobs"],
+        ),
+    ]
+    if stats["cache"] is not None:
+        lines.append(
+            "cache: %d hits / %d misses (%.0f%% hit rate)"
+            % (
+                stats["cache"]["hits"],
+                stats["cache"]["misses"],
+                100.0 * stats["cache"]["hit_rate"],
+            )
+        )
+    return "\n".join(lines)

@@ -4,6 +4,7 @@
 realistic programs."""
 
 from repro.workloads.generator import GeneratorConfig, generate_program, generate_resolved
+from repro.workloads.files import write_generated_corpus, write_handwritten_corpus
 from repro.workloads import patterns
 from repro.workloads import corpus
 
@@ -11,6 +12,8 @@ __all__ = [
     "GeneratorConfig",
     "generate_program",
     "generate_resolved",
+    "write_generated_corpus",
+    "write_handwritten_corpus",
     "patterns",
     "corpus",
 ]

@@ -1,0 +1,259 @@
+"""Batch engine tests: equivalence, caching, isolation, CLI wiring."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core.persist import summary_to_dict
+from repro.core.pipeline import analyze_side_effects
+from repro.service.batch import discover_files, run_batch
+from repro.service.stats import STATS_SCHEMA_VERSION, aggregate_stats
+from repro.workloads.files import write_generated_corpus, write_handwritten_corpus
+from repro.workloads.generator import GeneratorConfig
+
+N_FILES = 8
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("corpus")
+    write_generated_corpus(
+        str(root), N_FILES, base_seed=300,
+        config=GeneratorConfig(num_procs=10, num_globals=5),
+    )
+    return str(root)
+
+
+def _summaries(report):
+    return {
+        os.path.basename(r.path): json.dumps(r.result["summary"], sort_keys=True)
+        for r in report.results
+        if r.ok
+    }
+
+
+class TestEquivalence:
+    def test_batch_equals_per_file_analysis(self, corpus_dir):
+        report = run_batch(corpus_dir, jobs=1, cache_dir=None)
+        assert report.ok_count == N_FILES
+        for record in report.results:
+            with open(record.path) as handle:
+                source = handle.read()
+            direct = summary_to_dict(analyze_side_effects(source))
+            assert record.result["summary"] == direct
+
+    def test_parallel_equals_sequential(self, corpus_dir):
+        sequential = run_batch(corpus_dir, jobs=1, cache_dir=None)
+        parallel = run_batch(corpus_dir, jobs=4, cache_dir=None)
+        assert parallel.jobs > 1
+        assert _summaries(sequential) == _summaries(parallel)
+
+    def test_results_in_sorted_path_order(self, corpus_dir):
+        report = run_batch(corpus_dir, jobs=2, cache_dir=None)
+        paths = [r.path for r in report.results]
+        assert paths == sorted(paths)
+
+    def test_gmod_method_flows_through(self, corpus_dir):
+        reference = run_batch(corpus_dir, jobs=1, gmod_method="reference")
+        auto = run_batch(corpus_dir, jobs=1, gmod_method="auto")
+        assert _summaries(reference) == _summaries(auto)
+
+
+class TestCache:
+    def test_warm_run_is_all_hits_and_byte_identical(self, corpus_dir, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = run_batch(corpus_dir, jobs=1, cache_dir=cache_dir)
+        assert cold.cache_stats.hits == 0
+        assert cold.cache_stats.misses == N_FILES
+        assert cold.cache_stats.stores == N_FILES
+
+        warm = run_batch(corpus_dir, jobs=1, cache_dir=cache_dir)
+        assert warm.cache_stats.hits == N_FILES
+        assert warm.cache_stats.misses == 0
+        assert warm.cache_stats.hit_rate() == 1.0
+        assert warm.analyzed_count == 0
+        assert all(r.cached for r in warm.results)
+        assert _summaries(cold) == _summaries(warm)
+
+    def test_warm_run_does_zero_solver_work(self, corpus_dir, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_batch(corpus_dir, jobs=1, cache_dir=cache_dir)
+        warm_stats = aggregate_stats(run_batch(corpus_dir, jobs=1, cache_dir=cache_dir))
+        assert warm_stats["ops"]["bit_vector_steps"] == 0
+        assert warm_stats["corpus"]["analyzed"] == 0
+
+    def test_edited_file_misses_only_itself(self, tmp_path):
+        root = tmp_path / "corpus"
+        paths = write_generated_corpus(
+            str(root), 4, base_seed=40,
+            config=GeneratorConfig(num_procs=8, num_globals=4),
+        )
+        cache_dir = str(tmp_path / "cache")
+        run_batch(str(root), jobs=1, cache_dir=cache_dir)
+        with open(paths[0], "a") as handle:
+            handle.write("\n")
+        rerun = run_batch(str(root), jobs=1, cache_dir=cache_dir)
+        assert rerun.cache_stats.hits == 3
+        assert rerun.cache_stats.misses == 1
+        assert rerun.analyzed_count == 1
+
+    def test_no_cache_dir_means_no_cache(self, corpus_dir):
+        report = run_batch(corpus_dir, jobs=1, cache_dir=None)
+        assert report.cache_stats is None
+        assert report.cached_count == 0
+
+
+class TestIsolation:
+    @pytest.fixture()
+    def mixed_dir(self, tmp_path):
+        root = tmp_path / "mixed"
+        write_generated_corpus(
+            str(root), 3, base_seed=77,
+            config=GeneratorConfig(num_procs=8, num_globals=4),
+        )
+        (root / "broken.ck").write_text("program broken\nbegin call nosuch( end\n")
+        return str(root)
+
+    def test_bad_file_yields_error_record_not_crash(self, mixed_dir):
+        report = run_batch(mixed_dir, jobs=1)
+        assert report.ok_count == 3
+        assert report.error_count == 1
+        (failure,) = report.errors()
+        assert failure.path.endswith("broken.ck")
+        assert "ParseError" in failure.error or "SemanticError" in failure.error
+        assert report.exit_code == 1
+
+    def test_bad_file_isolated_under_pool(self, mixed_dir):
+        report = run_batch(mixed_dir, jobs=3)
+        assert report.ok_count == 3
+        assert report.error_count == 1
+
+    def test_unreadable_file_is_isolated(self, tmp_path):
+        root = tmp_path / "corpus"
+        write_generated_corpus(
+            str(root), 2, base_seed=55,
+            config=GeneratorConfig(num_procs=8, num_globals=4),
+        )
+        missing = str(root / "gone.ck")
+        report = run_batch([str(p) for p in sorted(root.iterdir())] + [missing])
+        assert report.ok_count == 2
+        assert report.error_count == 1
+
+
+class TestDiscovery:
+    def test_skips_dot_directories(self, tmp_path):
+        root = tmp_path / "corpus"
+        write_generated_corpus(
+            str(root), 2, base_seed=11,
+            config=GeneratorConfig(num_procs=6, num_globals=4),
+        )
+        hidden = root / ".ck-cache"
+        hidden.mkdir()
+        (hidden / "sneaky.ck").write_text("program x begin end\n")
+        assert len(discover_files(str(root))) == 2
+
+    def test_single_file_root(self, tmp_path):
+        path = tmp_path / "one.ck"
+        write_handwritten_corpus(str(tmp_path))
+        found = discover_files(str(tmp_path / "stats.ck"))
+        assert found == [str(tmp_path / "stats.ck")]
+
+    def test_handwritten_corpus_analyzes_clean(self, tmp_path):
+        write_handwritten_corpus(str(tmp_path))
+        report = run_batch(str(tmp_path), jobs=1)
+        assert report.exit_code == 0
+        assert report.ok_count == 8
+
+
+class TestAcceptanceCorpus:
+    """The PR's acceptance scenario: a 50-program generated corpus."""
+
+    @pytest.fixture(scope="class")
+    def big_corpus(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("corpus50")
+        write_generated_corpus(
+            str(root), 50, base_seed=700,
+            config=GeneratorConfig(num_procs=10, num_globals=5),
+        )
+        return str(root)
+
+    def test_cold_jobs4_matches_single_file_analysis(self, big_corpus, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = run_batch(big_corpus, jobs=4, cache_dir=cache_dir)
+        assert cold.ok_count == 50
+        assert cold.exit_code == 0
+        for record in cold.results:
+            with open(record.path) as handle:
+                source = handle.read()
+            direct = summary_to_dict(analyze_side_effects(source))
+            assert record.result["summary"] == direct
+
+        warm = run_batch(big_corpus, jobs=4, cache_dir=cache_dir)
+        assert warm.analyzed_count == 0
+        assert warm.cache_stats.hits == 50
+        assert warm.cache_stats.hit_rate() == 1.0
+        assert _summaries(warm) == _summaries(cold)
+
+
+class TestCli:
+    def test_batch_command_end_to_end(self, tmp_path, capsys):
+        root = tmp_path / "corpus"
+        write_generated_corpus(
+            str(root), 3, base_seed=66,
+            config=GeneratorConfig(num_procs=8, num_globals=4),
+        )
+        stats_path = str(tmp_path / "stats.json")
+        assert main(["batch", str(root), "--jobs", "1",
+                     "--stats-json", stats_path]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok    ") == 3
+        assert "cache:" in out
+        with open(stats_path) as handle:
+            stats = json.load(handle)
+        assert stats["schema"] == STATS_SCHEMA_VERSION
+        assert stats["corpus"]["files"] == 3
+        assert set(stats["ops"]) == {
+            "bit_vector_steps", "single_bit_steps", "meet_operations"
+        }
+
+        # Default cache dir sits inside the corpus; a second run is warm.
+        assert main(["batch", str(root), "--jobs", "1"]) == 0
+        assert "3 ok (3 cached, 0 analyzed)" in capsys.readouterr().out
+
+    def test_batch_partial_failure_exit_code(self, tmp_path, capsys):
+        root = tmp_path / "corpus"
+        write_generated_corpus(
+            str(root), 2, base_seed=88,
+            config=GeneratorConfig(num_procs=8, num_globals=4),
+        )
+        (root / "broken.ck").write_text("program broken\nbegin call nosuch( end\n")
+        assert main(["batch", str(root), "--jobs", "1", "--no-cache"]) == 1
+        captured = capsys.readouterr()
+        assert captured.out.count("ok    ") == 2
+        assert "broken.ck" in captured.err
+
+    def test_batch_no_cache_flag(self, tmp_path, capsys):
+        root = tmp_path / "corpus"
+        write_generated_corpus(
+            str(root), 2, base_seed=99,
+            config=GeneratorConfig(num_procs=8, num_globals=4),
+        )
+        assert main(["batch", str(root), "--jobs", "1", "--no-cache"]) == 0
+        assert main(["batch", str(root), "--jobs", "1", "--no-cache"]) == 0
+        assert "0 cached" in capsys.readouterr().out
+        assert not (root / ".ck-cache").exists()
+
+    def test_batch_rejects_bad_method(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["batch", str(tmp_path), "--gmod-method", "nope"])
+
+    def test_batch_missing_dir_fails_without_side_effects(self, tmp_path, capsys):
+        missing = str(tmp_path / "no-such-corpus")
+        assert main(["batch", missing]) == 1
+        assert "no such file or directory" in capsys.readouterr().err
+        # In particular the default cache dir must not be created there.
+        assert not os.path.exists(missing)

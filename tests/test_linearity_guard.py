@@ -1,0 +1,132 @@
+"""Regression guard for the paper's linearity theorems.
+
+Theorem 2 (Figure 2) and Theorem 4 (the multi-level algorithm) bound
+the global phase by ``O(N_C + E_C)`` bit-vector steps; Section 3.2
+bounds the RMOD solve by ``O(N_β + E_β)`` single-bit steps.  These
+tests climb a generator size ladder with everything but program size
+held fixed and assert two things about the recorded
+:class:`~repro.core.bitvec.OpCounter` tallies:
+
+* an absolute ceiling ``steps ≤ c·(N + E)`` with ``c`` set from
+  measured headroom (~2× the observed constant), and
+* *flatness*: the steps-per-(N+E) ratio may not grow across the
+  ladder, which is what actually catches an accidental ``O(N·E)``
+  or quadratic regression in ``gmod.py``/``rmod.py`` — any
+  superlinear term makes the ratio climb with size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bitvec import OpCounter
+from repro.core.gmod import findgmod
+from repro.core.gmod_nested import findgmod_multilevel
+from repro.core.imod_plus import compute_imod_plus
+from repro.core.local import LocalAnalysis
+from repro.core.pipeline import analyze_side_effects
+from repro.core.rmod import solve_rmod
+from repro.core.varsets import EffectKind, VariableUniverse
+from repro.graphs.binding import build_binding_graph
+from repro.graphs.callgraph import build_call_graph
+from repro.workloads.generator import GeneratorConfig, generate_resolved
+
+SIZES = (100, 200, 400, 800)
+#: Allowed drift of steps/(N+E) from the smallest to the largest rung.
+#: A quadratic regression grows the ratio ~8× over this ladder.
+MAX_RATIO_GROWTH = 1.5
+
+
+def _ladder(depth: int):
+    for num_procs in SIZES:
+        config = GeneratorConfig(
+            seed=9,
+            num_procs=num_procs,
+            num_globals=8,
+            max_depth=depth,
+            nesting_prob=0.6,
+            recursion_prob=0.35,
+        )
+        yield generate_resolved(config)
+
+
+def _gmod_inputs(resolved, kind=EffectKind.MOD):
+    universe = VariableUniverse(resolved)
+    call_graph = build_call_graph(resolved)
+    binding_graph = build_binding_graph(resolved)
+    local = LocalAnalysis(resolved, universe)
+    rmod = solve_rmod(binding_graph, local, kind)
+    imod_plus = compute_imod_plus(resolved, local, rmod, kind)
+    return universe, call_graph, binding_graph, local, imod_plus
+
+
+def _assert_flat(ratios):
+    assert max(ratios) <= MAX_RATIO_GROWTH * min(ratios), ratios
+
+
+class TestGmodPhase:
+    def test_figure2_is_linear_in_call_graph(self):
+        """Theorem 2: measured constant ≈ 1.2 steps per N_C + E_C."""
+        ratios = []
+        for resolved in _ladder(depth=1):
+            universe, call_graph, _, _, imod_plus = _gmod_inputs(resolved)
+            counter = OpCounter()
+            findgmod(call_graph, imod_plus, universe, EffectKind.MOD, counter)
+            size = resolved.num_procs + resolved.num_call_sites
+            assert counter.bit_vector_steps <= 2.5 * size
+            ratios.append(counter.bit_vector_steps / size)
+        _assert_flat(ratios)
+
+    @pytest.mark.parametrize("depth", [1, 4])
+    def test_multilevel_is_linear_in_call_graph(self, depth):
+        """Theorem 4: measured constant ≈ 1.3 (flat) / 2.1 (depth 4)."""
+        ratios = []
+        for resolved in _ladder(depth=depth):
+            universe, call_graph, _, _, imod_plus = _gmod_inputs(resolved)
+            counter = OpCounter()
+            findgmod_multilevel(
+                call_graph, imod_plus, universe, EffectKind.MOD, counter
+            )
+            size = resolved.num_procs + resolved.num_call_sites
+            assert counter.bit_vector_steps <= 4.5 * size
+            ratios.append(counter.bit_vector_steps / size)
+        _assert_flat(ratios)
+
+
+class TestRmodPhase:
+    @pytest.mark.parametrize("depth", [1, 4])
+    def test_rmod_is_linear_in_binding_graph(self, depth):
+        """Section 3.2: single-bit steps ≈ 2·(N_β + E_β) measured."""
+        ratios = []
+        for resolved in _ladder(depth=depth):
+            universe = VariableUniverse(resolved)
+            binding_graph = build_binding_graph(resolved)
+            local = LocalAnalysis(resolved, universe)
+            counter = OpCounter()
+            solve_rmod(binding_graph, local, EffectKind.MOD, counter)
+            size = binding_graph.num_formals + sum(
+                len(successors) for successors in binding_graph.successors
+            )
+            assert counter.single_bit_steps <= 4 * size
+            ratios.append(counter.single_bit_steps / size)
+        _assert_flat(ratios)
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize(
+        "depth,ceiling",
+        [(1, 17.0), (4, 30.0)],
+        ids=["flat", "nested4"],
+    )
+    def test_whole_pipeline_steps_stay_linear(self, depth, ceiling):
+        """Both kinds, aliases and DMOD included: the total bit-vector
+        work per N_C + E_C stays a constant (≈8 flat, ≈14 at depth 4,
+        with fixed globals)."""
+        ratios = []
+        for resolved in _ladder(depth=depth):
+            summary = analyze_side_effects(resolved)
+            size = resolved.num_procs + resolved.num_call_sites
+            ratio = summary.counter.bit_vector_steps / size
+            assert ratio <= ceiling, (resolved.num_procs, ratio)
+            ratios.append(ratio)
+        _assert_flat(ratios)

@@ -1,0 +1,160 @@
+"""Persist schema v2 round-trip: aliases, sections, version stamping.
+
+The summary cache trusts the on-disk format version to detect stale
+entries, so this suite pins the schema: the payload round-trips with
+alias pairs and the optional regular-section block intact, and any
+payload stamped with another version is rejected — by the loader and
+by the cache.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import analyze_side_effects
+from repro.core.persist import (
+    FORMAT_VERSION,
+    LoadedSummary,
+    summary_to_dict,
+    summary_to_json,
+    verify_against,
+)
+from repro.lang.semantic import compile_source
+from repro.service.cache import SummaryCache, content_key
+
+#: Nested procedures (an up-level formal modified from below), a
+#: global array reached through a reference formal (regular sections),
+#: and a global passed by reference (a formal↔global alias pair).
+SOURCE = """
+program ledger
+  global total, slot
+  global array book[4][4]
+
+  proc post(amt, t)
+    local j
+
+    proc stamp(v)
+    begin
+      amt := amt + v
+      total := total + v
+    end
+
+  begin
+    call stamp(1)
+    for j := 0 to 3 do
+      t[amt][j] := amt
+    end
+  end
+
+begin
+  slot := 2
+  call post(slot, book)
+  call post(1, book)
+end
+"""
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return analyze_side_effects(compile_source(SOURCE))
+
+
+class TestSchemaV2:
+    def test_version_stamp(self, summary):
+        assert FORMAT_VERSION == 2
+        assert summary_to_dict(summary)["version"] == 2
+
+    def test_alias_pairs_serialized(self, summary):
+        payload = summary_to_dict(summary)
+        assert "aliases" in payload
+        # `call post(slot, book)` binds globals `slot` and `book` by
+        # reference to formals — both pairs must survive the round trip.
+        post_pairs = payload["aliases"]["post"]
+        assert ["slot", "post::amt"] in post_pairs
+        assert ["book", "post::t"] in post_pairs
+        assert payload["aliases"]["ledger"] == []
+
+    def test_alias_pairs_round_trip(self, summary):
+        loaded = LoadedSummary.from_json(summary_to_json(summary))
+        assert loaded.alias_pairs("post") == summary_to_dict(summary)["aliases"]["post"]
+        # Nested procedures inherit the enclosing alias environment.
+        assert loaded.alias_pairs("post.stamp") == loaded.alias_pairs("post")
+
+    def test_sections_opt_in(self, summary):
+        plain = summary_to_dict(summary)
+        assert "sections" not in plain
+        rich = summary_to_dict(summary, include_sections=True)
+        assert rich["sections"]["lattice"] == "figure3"
+        assert len(rich["sections"]["sites"]) == len(summary.resolved.call_sites)
+        # Some call site touches the book array with a known section.
+        rendered = [s for site in rich["sections"]["sites"] for s in site]
+        assert any(s.startswith("book") for s in rendered)
+
+    def test_sections_round_trip_and_verify(self, summary):
+        text = json.dumps(summary_to_dict(summary, include_sections=True))
+        loaded = LoadedSummary.from_json(text)
+        assert loaded.has_sections
+        assert loaded.site_section_names(0) == summary_to_dict(
+            summary, include_sections=True
+        )["sections"]["sites"][0]
+        assert verify_against(loaded, summary)
+
+    def test_verify_without_sections_still_works(self, summary):
+        loaded = LoadedSummary.from_json(summary_to_json(summary))
+        assert not loaded.has_sections
+        assert verify_against(loaded, summary)
+
+    def test_payload_is_json_deterministic(self, summary):
+        first = summary_to_json(summary, indent=2)
+        second = summary_to_json(
+            analyze_side_effects(compile_source(SOURCE)), indent=2
+        )
+        assert first == second
+
+
+class TestSchemaDrift:
+    def test_loader_rejects_other_versions(self, summary):
+        stale = summary_to_dict(summary)
+        stale["version"] = 1
+        with pytest.raises(ValueError):
+            LoadedSummary(stale)
+        stale["version"] = FORMAT_VERSION + 1
+        with pytest.raises(ValueError):
+            LoadedSummary(stale)
+
+    def test_cache_key_depends_on_format_version(self, monkeypatch):
+        key_now = content_key(SOURCE)
+        import repro.service.cache as cache_module
+
+        monkeypatch.setattr(cache_module, "FORMAT_VERSION", FORMAT_VERSION + 1)
+        assert cache_module.content_key(SOURCE) != key_now
+
+    def test_cache_rejects_entry_with_stale_format(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        key = content_key(SOURCE)
+        cache.put(key, {"summary": {"version": FORMAT_VERSION}})
+        assert cache.get(key) is not None
+
+        # Rewrite the stored record as if an older build had written
+        # it: same key on disk, older format stamp inside.
+        path = cache.path_for(key)
+        with open(path) as handle:
+            record = json.load(handle)
+        record["format_version"] = FORMAT_VERSION - 1
+        with open(path, "w") as handle:
+            json.dump(record, handle)
+
+        fresh = SummaryCache(str(tmp_path))
+        assert fresh.get(key) is None
+        assert fresh.stats.invalid == 1
+        assert fresh.stats.misses == 1
+
+    def test_cache_rejects_torn_entry(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        key = content_key(SOURCE)
+        with open(cache.path_for(key), "w") as handle:
+            handle.write("{not json")
+        assert cache.get(key) is None
+        assert cache.stats.invalid == 1
