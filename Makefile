@@ -4,7 +4,7 @@
 PY ?= python
 PP := PYTHONPATH=src
 
-.PHONY: test differential bench-smoke bench
+.PHONY: test differential bench-smoke bench server-smoke
 
 # Tier-1 gate: the full unit/integration/property suite.
 test:
@@ -25,3 +25,9 @@ bench-smoke:
 # The full measured benchmark suite (slow).
 bench:
 	$(PP) $(PY) -m pytest benchmarks -q
+
+# End-to-end daemon check: spawn `ck-analyze serve` as a real OS
+# process, run one analyze + one query through the client, shut it
+# down cleanly, and verify the --metrics-json dump.
+server-smoke:
+	$(PP) $(PY) tests/server_smoke.py

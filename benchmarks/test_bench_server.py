@@ -1,0 +1,123 @@
+"""Analysis server latency: cold solve vs warm LRU hit vs incremental
+update.
+
+The serving claim stacks three tiers on the same request shape:
+
+* **cold** — a full pipeline run per request (LRU disabled), the
+  baseline every other tier is measured against;
+* **warm** — the in-memory LRU answers without touching the solver,
+  so latency is protocol + JSON only;
+* **update** — a one-procedure edit inside a session, routed through
+  the incremental engine: more than a cache hit, much less than cold.
+
+Run with ``--benchmark-json=...`` for the machine-readable report
+(same pytest-benchmark flow as the batch benchmarks).
+"""
+
+import itertools
+
+import pytest
+
+from repro.lang.pretty import pretty
+from repro.server import ServerClient, ServerConfig, ServerThread
+from repro.workloads import patterns
+from repro.workloads.generator import GeneratorConfig, generate_program
+
+NUM_PROCS = 40
+#: Distinct generated sources cycled by the cold benchmark so no two
+#: consecutive requests share a content key.
+COLD_POOL = 32
+
+
+@pytest.fixture(scope="module")
+def cold_server():
+    # LRU and disk cache off: every analyze pays the full pipeline.
+    with ServerThread(ServerConfig(port=0, lru_size=0)) as handle:
+        yield handle
+
+
+@pytest.fixture(scope="module")
+def warm_server():
+    with ServerThread(ServerConfig(port=0, lru_size=256)) as handle:
+        yield handle
+
+
+@pytest.fixture(scope="module")
+def sources():
+    return [
+        pretty(
+            generate_program(
+                GeneratorConfig(
+                    seed=9000 + index, num_procs=NUM_PROCS, num_globals=8
+                )
+            )
+        )
+        for index in range(COLD_POOL)
+    ]
+
+
+def test_server_cold_analyze(benchmark, cold_server, sources):
+    with ServerClient(port=cold_server.port) as client:
+        cycle = itertools.cycle(sources)
+
+        def once():
+            return client.analyze(next(cycle))
+
+        response = benchmark(once)
+        assert response["cached"] is False
+        assert response["num_procs"] >= NUM_PROCS
+
+
+def test_server_warm_lru_hit(benchmark, warm_server, sources):
+    with ServerClient(port=warm_server.port) as client:
+        client.analyze(sources[0])  # Prime.
+
+        def once():
+            return client.analyze(sources[0])
+
+        response = benchmark(once)
+        assert response["cached"] == "lru"
+
+
+def test_server_incremental_update(benchmark, warm_server):
+    base = patterns.chain(NUM_PROCS)
+    edited = base.replace(
+        "proc c1(x)\n  begin",
+        "proc c1(x)\n  begin\n    g := 9",
+    )
+    with ServerClient(port=warm_server.port) as client:
+        client.analyze(base, session="bench")
+        versions = itertools.cycle((edited, base))
+
+        def once():
+            return client.update("bench", next(versions))
+
+        response = benchmark(once)
+        assert response["update_stats"]["reuse_fraction"] > 0.5
+
+
+def test_server_query_latency(benchmark, warm_server):
+    source = patterns.chain(NUM_PROCS)
+    with ServerClient(port=warm_server.port) as client:
+        client.analyze(source, session="bench-query")
+
+        def once():
+            return client.query(
+                "bench-query", "who_modifies", variable="g"
+            )
+
+        response = benchmark(once)
+        assert "chain" in response["result"]["procedures"]
+
+
+def test_server_smoke(benchmark):
+    """Tiny end-to-end run (kept import-clean for `make bench-smoke`)."""
+    source = patterns.chain(6)
+    with ServerThread(ServerConfig(port=0)) as handle:
+        with ServerClient(port=handle.port) as client:
+
+            def once():
+                return client.analyze(source)
+
+            response = benchmark(once)
+            assert response["num_procs"] == 7

@@ -17,7 +17,11 @@ Subcommands:
   recompilation after an edit;
 * ``batch DIR``      — analyze every ``.ck`` file under a directory in
   parallel, with a content-hash summary cache and a corpus stats
-  report (see :mod:`repro.service`).
+  report (see :mod:`repro.service`);
+* ``serve``          — run the long-lived analysis daemon: TCP,
+  line-delimited JSON, incremental sessions (see :mod:`repro.server`);
+* ``query``          — one request against a running daemon, response
+  printed as JSON (scripting surface of :mod:`repro.server.client`).
 """
 
 from __future__ import annotations
@@ -176,7 +180,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         timeout=args.timeout,
         pattern=args.pattern,
+        cache_max_entries=args.cache_max_entries,
     )
+    if not report.results:
+        # An empty corpus is a misconfiguration (wrong directory or
+        # pattern), not a successful run of zero files.
+        print(
+            "error: no files matching %r under %s" % (args.pattern, args.dir),
+            file=sys.stderr,
+        )
+        return 1
     for record in report.results:
         if record.ok:
             print(
@@ -193,6 +206,84 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         write_stats_json(report, args.stats_json)
         print("stats written to %s" % args.stats_json)
     return report.exit_code
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import signal
+
+    from repro.server.daemon import AnalysisServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrent=args.max_concurrent,
+        max_queue=args.max_queue,
+        request_timeout=args.timeout,
+        max_payload=args.max_payload,
+        lru_size=args.lru_size,
+        max_sessions=args.max_sessions,
+        cache_dir=args.cache_dir,
+        cache_max_entries=args.cache_max_entries,
+        drain_timeout=args.drain_timeout,
+    )
+    server = AnalysisServer(config)
+
+    async def amain() -> None:
+        host, port = await server.start()
+        # Parseable by scripts that launched us with --port 0.
+        print("ck-analyze serve: listening on %s:%d" % (host, port), flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except (NotImplementedError, ValueError):
+                pass  # Non-main thread or platform without signal support.
+        await server.serve_until_shutdown()
+
+    asyncio.run(amain())
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as handle:
+            json.dump(server.stats_snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("metrics written to %s" % args.metrics_json, file=sys.stderr)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.server.client import ServerClient
+
+    fields = {}
+    if args.file:
+        with open(args.file) as handle:
+            fields["source"] = handle.read()
+    if args.session:
+        fields["session"] = args.session
+    if args.select:
+        fields["select"] = args.select
+    if args.site is not None:
+        fields["site"] = args.site
+    if args.proc:
+        fields["proc"] = args.proc
+    if args.variable:
+        fields["variable"] = args.variable
+    if args.kind:
+        fields["kind"] = args.kind
+    if args.gmod_method:
+        fields["gmod_method"] = args.gmod_method
+    try:
+        with ServerClient(
+            port=args.port, host=args.host, timeout=args.timeout
+        ) as client:
+            response = client.request_raw(args.verb, **fields)
+    except ConnectionError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok") else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -284,6 +375,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the content-hash summary cache",
     )
     batch_cmd.add_argument(
+        "--cache-max-entries", type=int, default=None,
+        help="bound the cache directory (LRU eviction; default unbounded)",
+    )
+    batch_cmd.add_argument(
         "--stats-json", default="",
         help="write the aggregated corpus stats report to this path",
     )
@@ -299,6 +394,83 @@ def build_parser() -> argparse.ArgumentParser:
         "--pattern", default="*.ck", help="source file glob (default: *.ck)"
     )
     batch_cmd.set_defaults(func=_cmd_batch)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the analysis daemon (line-delimited JSON over TCP)"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=7947,
+        help="TCP port (0 = ephemeral; the bound port is printed)",
+    )
+    serve_cmd.add_argument(
+        "--max-concurrent", type=int, default=4,
+        help="solver threads (concurrent analyses)",
+    )
+    serve_cmd.add_argument(
+        "--max-queue", type=int, default=16,
+        help="waiting analyses beyond the pool before 'overloaded'",
+    )
+    serve_cmd.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request timeout in seconds",
+    )
+    serve_cmd.add_argument(
+        "--max-payload", type=int, default=4 * 1024 * 1024,
+        help="max request line length in bytes",
+    )
+    serve_cmd.add_argument(
+        "--lru-size", type=int, default=64,
+        help="live summaries kept in the in-memory LRU",
+    )
+    serve_cmd.add_argument(
+        "--max-sessions", type=int, default=32,
+        help="named incremental sessions kept resident",
+    )
+    serve_cmd.add_argument(
+        "--cache-dir", default="",
+        help="optional on-disk summary cache (shared with batch)",
+    )
+    serve_cmd.add_argument(
+        "--cache-max-entries", type=int, default=None,
+        help="bound the disk cache (LRU eviction; default unbounded)",
+    )
+    serve_cmd.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="grace period for in-flight requests on shutdown",
+    )
+    serve_cmd.add_argument(
+        "--metrics-json", default="",
+        help="write the final stats snapshot to this path on exit",
+    )
+    serve_cmd.set_defaults(func=_cmd_serve)
+
+    query_cmd = sub.add_parser(
+        "query", help="send one request to a running analysis daemon"
+    )
+    query_cmd.add_argument(
+        "verb",
+        choices=("analyze", "update", "query", "stats", "ping", "shutdown"),
+    )
+    query_cmd.add_argument("--host", default="127.0.0.1")
+    query_cmd.add_argument("--port", type=int, default=7947)
+    query_cmd.add_argument("--timeout", type=float, default=60.0)
+    query_cmd.add_argument(
+        "--file", default="", help="CK source file (analyze / update)"
+    )
+    query_cmd.add_argument("--session", default="", help="session name")
+    query_cmd.add_argument(
+        "--select", default="",
+        help="query selector: procedures | proc | site | sites | who_modifies",
+    )
+    query_cmd.add_argument("--site", type=int, default=None, help="call-site id")
+    query_cmd.add_argument("--proc", default="", help="qualified procedure name")
+    query_cmd.add_argument("--variable", default="", help="variable name")
+    query_cmd.add_argument("--kind", default="", choices=("", "mod", "use"))
+    query_cmd.add_argument(
+        "--gmod-method", default="", choices=("",) + GMOD_METHODS,
+    )
+    query_cmd.set_defaults(func=_cmd_query)
     return parser
 
 

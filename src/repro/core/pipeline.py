@@ -142,20 +142,18 @@ def analyze_side_effects(
     )
 
 
-def analyze_source_payload(source: str, gmod_method: str = "auto") -> Dict:
-    """Analyze source text and return a JSON-safe, picklable payload.
+def payload_from_summary(summary: SideEffectSummary) -> Dict:
+    """The JSON-safe service payload for one finished analysis.
 
-    This is the per-unit entry point for the batch service layer: a
-    plain module-level function whose argument and result both pickle,
-    so :class:`concurrent.futures.ProcessPoolExecutor` workers can call
-    it directly.  The payload bundles the serialized summary
+    Shared by every serving surface — the batch workers, the summary
+    cache, and the analysis daemon — so a payload is byte-identical no
+    matter which path produced it.  Bundles the serialized summary
     (:func:`repro.core.persist.summary_to_dict`) with the per-phase
     wall times and the :class:`~repro.core.bitvec.OpCounter` tallies
     the corpus statistics aggregator consumes.
     """
     from repro.core.persist import summary_to_dict
 
-    summary = analyze_side_effects(source, gmod_method=gmod_method)
     return {
         "summary": summary_to_dict(summary),
         "timings": dict(summary.timings),
@@ -167,6 +165,19 @@ def analyze_source_payload(source: str, gmod_method: str = "auto") -> Dict:
         "num_procs": summary.resolved.num_procs,
         "num_call_sites": summary.resolved.num_call_sites,
     }
+
+
+def analyze_source_payload(source: str, gmod_method: str = "auto") -> Dict:
+    """Analyze source text and return a JSON-safe, picklable payload.
+
+    This is the per-unit entry point for the batch service layer: a
+    plain module-level function whose argument and result both pickle,
+    so :class:`concurrent.futures.ProcessPoolExecutor` workers can call
+    it directly.
+    """
+    return payload_from_summary(
+        analyze_side_effects(source, gmod_method=gmod_method)
+    )
 
 
 def analyze_file_payload(path: str, gmod_method: str = "auto") -> Dict:

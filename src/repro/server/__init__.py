@@ -1,0 +1,46 @@
+"""Analysis server: demand-driven MOD/USE serving.
+
+Where :mod:`repro.service` makes the *whole-corpus* economics work
+(every request pays a process cold-start), this package keeps the
+analysis resident: a long-running daemon (``ck-analyze serve``) holds
+live summaries in an LRU, serves per-site/per-procedure queries over
+them, and re-analyzes edited sources *incrementally* inside named
+sessions via :mod:`repro.core.incremental` — the paper's
+programming-environment deployment, as a service.
+
+* :mod:`repro.server.protocol` — line-delimited JSON over TCP,
+  versioned, with stable error codes;
+* :mod:`repro.server.daemon` — the :mod:`asyncio` server: bounded
+  solver pool, queue-depth backpressure, per-request timeouts,
+  graceful drain;
+* :mod:`repro.server.sessions` / :mod:`repro.server.lru` — the
+  serving state: named incremental sessions and the live-summary LRU;
+* :mod:`repro.server.metrics` — latency histograms, phase times,
+  cache counters (``stats`` verb / ``--metrics-json``);
+* :mod:`repro.server.client` — the blocking :class:`ServerClient`
+  behind ``ck-analyze query``.
+"""
+
+from repro.server.client import ServerClient, ServerError, wait_for_server
+from repro.server.daemon import AnalysisServer, ServerConfig, ServerThread
+from repro.server.metrics import LatencyHistogram, ServerMetrics
+from repro.server.protocol import PROTOCOL_VERSION, VERBS, ProtocolError
+from repro.server.sessions import Session, SessionStore
+from repro.server.lru import LRUCache
+
+__all__ = [
+    "AnalysisServer",
+    "ServerConfig",
+    "ServerThread",
+    "ServerClient",
+    "ServerError",
+    "wait_for_server",
+    "ServerMetrics",
+    "LatencyHistogram",
+    "LRUCache",
+    "Session",
+    "SessionStore",
+    "ProtocolError",
+    "PROTOCOL_VERSION",
+    "VERBS",
+]

@@ -1,0 +1,600 @@
+"""The analysis daemon: ``ck-analyze serve``.
+
+A long-running :mod:`asyncio` TCP server that keeps summaries hot so
+clients never pay the batch engine's cold start.  Layering, front to
+back, on an ``analyze`` request:
+
+1. the in-memory :class:`~repro.server.lru.LRUCache` of *live*
+   summaries (content-hash keyed, same key function as the disk
+   cache) — a hit answers immediately and can still seed a session;
+2. the on-disk :class:`~repro.service.cache.SummaryCache` shared with
+   ``ck-analyze batch`` — a hit serves the stored payload without
+   re-solving (skipped when the request opens a session, which needs
+   the live object);
+3. the full pipeline, run on a bounded thread pool so the event loop
+   stays responsive.
+
+Robustness contract (each clause has a test):
+
+* **backpressure** — at most ``max_concurrent`` solves run at once and
+  at most ``max_queue`` more may wait; past that, requests fail fast
+  with an ``overloaded`` error instead of piling up latency;
+* **timeouts** — every request is raced against ``request_timeout``
+  and reports a ``timeout`` error when it loses (the worker thread is
+  abandoned, not killed — CPython cannot interrupt it — so the pool
+  bound still limits total concurrent work);
+* **payload guard** — a request line longer than ``max_payload`` gets
+  a ``payload_too_large`` error and the connection is closed (framing
+  is lost at that point);
+* **graceful drain** — SIGINT/SIGTERM or the ``shutdown`` verb stop
+  accepting work, let in-flight requests finish (up to
+  ``drain_timeout``), then exit; late requests get ``shutting_down``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.pipeline import (
+    GMOD_METHODS,
+    analyze_side_effects,
+    payload_from_summary,
+)
+from repro.lang.errors import CkError
+from repro.server.lru import LRUCache
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import (
+    E_ANALYSIS_ERROR,
+    E_BAD_REQUEST,
+    E_INTERNAL,
+    E_OVERLOADED,
+    E_PAYLOAD_TOO_LARGE,
+    E_SHUTTING_DOWN,
+    E_TIMEOUT,
+    E_UNKNOWN_SESSION,
+    E_UNKNOWN_VERB,
+    MAX_PAYLOAD_DEFAULT,
+    PROTOCOL_VERSION,
+    VERBS,
+    ProtocolError,
+    decode,
+    encode,
+    error_response,
+    ok_response,
+    require_str,
+)
+from repro.server.sessions import Session, SessionStore
+from repro.service.cache import SummaryCache, content_key
+
+
+@dataclass
+class ServerConfig:
+    """Everything ``ck-analyze serve`` exposes as flags."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 → ephemeral; the bound port is printed/reported.
+    max_concurrent: int = 4  # Solver threads.
+    max_queue: int = 16  # Waiting solves beyond that → overloaded.
+    request_timeout: float = 30.0  # Seconds per request.
+    max_payload: int = MAX_PAYLOAD_DEFAULT  # Bytes per request line.
+    lru_size: int = 64  # Live summaries kept in memory.
+    max_sessions: int = 32
+    cache_dir: str = ""  # Optional disk summary cache (batch-shared).
+    cache_max_entries: Optional[int] = None  # Disk-cache LRU bound.
+    drain_timeout: float = 10.0  # Grace period for in-flight work.
+    #: Test hook: honor a ``"sleep": seconds`` request field inside the
+    #: worker (deterministic timeout/overload tests).  Never enable in
+    #: production serving.
+    allow_sleep: bool = False
+
+    def to_dict(self) -> Dict:
+        return {
+            "host": self.host,
+            "port": self.port,
+            "max_concurrent": self.max_concurrent,
+            "max_queue": self.max_queue,
+            "request_timeout": self.request_timeout,
+            "max_payload": self.max_payload,
+            "lru_size": self.lru_size,
+            "max_sessions": self.max_sessions,
+            "cache_dir": self.cache_dir,
+            "cache_max_entries": self.cache_max_entries,
+            "drain_timeout": self.drain_timeout,
+        }
+
+
+class AnalysisServer:
+    """One daemon instance; create, ``await start()``, then
+    ``await serve_until_shutdown()`` (or use :class:`ServerThread`)."""
+
+    def __init__(self, config: Optional[ServerConfig] = None):
+        self.config = config or ServerConfig()
+        self.metrics = ServerMetrics()
+        self.lru = LRUCache(self.config.lru_size)
+        self.sessions = SessionStore(self.config.max_sessions)
+        self.disk_cache = (
+            SummaryCache(
+                self.config.cache_dir, max_entries=self.config.cache_max_entries
+            )
+            if self.config.cache_dir
+            else None
+        )
+        self.address: Tuple[str, int] = (self.config.host, self.config.port)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._shutdown_event: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._draining = False
+        self._active = 0  # Heavy (solver) requests admitted right now.
+        self._connections: set = set()  # Live (task, writer) pairs.
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+        self._semaphore = asyncio.Semaphore(self.config.max_concurrent)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrent,
+            thread_name_prefix="ck-solver",
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=self.config.max_payload,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until shutdown is requested, then drain and close."""
+        assert self._server is not None and self._shutdown_event is not None
+        try:
+            await self._shutdown_event.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            deadline = time.monotonic() + self.config.drain_timeout
+            while self._active > 0 and time.monotonic() < deadline:
+                await asyncio.sleep(0.01)
+            # Give handlers a moment to flush in-flight responses (the
+            # shutdown acknowledgement in particular) and hang up on
+            # their own, then hard-close whoever is left — a task
+            # cancelled at loop teardown logs a spurious CancelledError
+            # from the streams machinery.
+            grace_end = time.monotonic() + 0.5
+            while self._connections and time.monotonic() < grace_end:
+                await asyncio.sleep(0.01)
+            for task, writer in list(self._connections):
+                writer.close()
+            tasks = [task for task, _ in self._connections]
+            if tasks:
+                await asyncio.wait(tasks, timeout=1.0)
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+
+    async def run(self) -> None:
+        await self.start()
+        await self.serve_until_shutdown()
+
+    def request_shutdown(self) -> None:
+        """Thread/signal-safe and idempotent: begin graceful drain."""
+        self._draining = True
+        if self._loop is not None and self._shutdown_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._shutdown_event.set)
+            except RuntimeError:
+                pass  # Loop already closed — shutdown is complete.
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.connections += 1
+        entry = (asyncio.current_task(), writer)
+        self._connections.add(entry)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # Oversized line: framing is gone; report and close.
+                    writer.write(
+                        encode(
+                            error_response(
+                                None,
+                                None,
+                                E_PAYLOAD_TOO_LARGE,
+                                "request line exceeds %d bytes"
+                                % self.config.max_payload,
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                response = await self._dispatch_line(line)
+                writer.write(encode(response))
+                await writer.drain()
+                if self._draining:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._connections.discard(entry)
+
+    async def _dispatch_line(self, line: bytes) -> Dict[str, Any]:
+        tick = time.perf_counter()
+        request_id: Any = None
+        verb: Optional[str] = None
+        try:
+            request = decode(line)
+            request_id = request.get("id")
+            verb = request.get("verb")
+            if verb not in VERBS:
+                raise ProtocolError(
+                    E_UNKNOWN_VERB,
+                    "unknown verb %r; expected one of %s" % (verb, list(VERBS)),
+                )
+            if self._draining and verb != "stats":
+                raise ProtocolError(E_SHUTTING_DOWN, "server is draining")
+            handler = getattr(self, "_verb_%s" % verb)
+            response = await asyncio.wait_for(
+                handler(request_id, request), timeout=self.config.request_timeout
+            )
+        except asyncio.TimeoutError:
+            response = error_response(
+                request_id,
+                verb,
+                E_TIMEOUT,
+                "request exceeded %.3gs" % self.config.request_timeout,
+            )
+        except ProtocolError as error:
+            response = error_response(request_id, verb, error.code, str(error))
+        except CkError as error:
+            response = error_response(
+                request_id,
+                verb,
+                E_ANALYSIS_ERROR,
+                "%s: %s" % (type(error).__name__, error),
+            )
+        except Exception as error:  # Defensive: one bad request ≠ dead server.
+            response = error_response(
+                request_id, verb, E_INTERNAL, "%s: %s" % (type(error).__name__, error)
+            )
+        error_obj = response.get("error")
+        self.metrics.observe_request(
+            verb or "invalid",
+            time.perf_counter() - tick,
+            bool(response.get("ok")),
+            error_obj["code"] if error_obj else None,
+        )
+        return response
+
+    # -- heavy-work plumbing -------------------------------------------------
+
+    async def _run_heavy(self, work: Callable[[], Any]) -> Any:
+        """Run ``work`` on the solver pool under admission control."""
+        limit = self.config.max_concurrent + self.config.max_queue
+        if self._active >= limit:
+            raise ProtocolError(
+                E_OVERLOADED,
+                "server at capacity (%d running/queued, limit %d); retry later"
+                % (self._active, limit),
+            )
+        assert self._semaphore is not None and self._executor is not None
+        self._active += 1
+        try:
+            async with self._semaphore:
+                return await asyncio.get_running_loop().run_in_executor(
+                    self._executor, work
+                )
+        finally:
+            self._active -= 1
+
+    def _request_sleep(self, request: Dict[str, Any]) -> float:
+        if not self.config.allow_sleep:
+            return 0.0
+        try:
+            return max(0.0, float(request.get("sleep", 0)))
+        except (TypeError, ValueError):
+            return 0.0
+
+    @staticmethod
+    def _gmod_method(request: Dict[str, Any]) -> str:
+        method = request.get("gmod_method", "auto")
+        if method not in GMOD_METHODS:
+            raise ProtocolError(
+                E_BAD_REQUEST,
+                "gmod_method must be one of %s, got %r" % (GMOD_METHODS, method),
+            )
+        return method
+
+    # -- verbs ---------------------------------------------------------------
+
+    async def _verb_ping(self, request_id: Any, request: Dict) -> Dict:
+        return ok_response(request_id, "ping", protocol=PROTOCOL_VERSION)
+
+    async def _verb_analyze(self, request_id: Any, request: Dict) -> Dict:
+        source = require_str(request, "source")
+        method = self._gmod_method(request)
+        session_name = request.get("session")
+        if session_name is not None and not isinstance(session_name, str):
+            raise ProtocolError(E_BAD_REQUEST, "field 'session' must be a string")
+        key = content_key(source, method)
+        sleep = self._request_sleep(request)
+
+        cached: Any = False
+        summary = None
+        entry = self.lru.get(key)
+        if entry is not None:
+            summary, payload = entry
+            cached = "lru"
+        else:
+            payload = None
+            # The disk cache can only serve payloads; a session needs
+            # the live summary, so it must go through the solver.
+            if self.disk_cache is not None and session_name is None:
+                payload = self.disk_cache.get(key)
+                if payload is not None:
+                    cached = "disk"
+            if payload is None:
+
+                def work():
+                    if sleep:
+                        time.sleep(sleep)
+                    live = analyze_side_effects(source, gmod_method=method)
+                    return live, payload_from_summary(live)
+
+                summary, payload = await self._run_heavy(work)
+                self.metrics.observe_phases(summary.timings)
+                self.lru.put(key, (summary, payload))
+                if self.disk_cache is not None:
+                    self.disk_cache.put(key, payload)
+
+        response = ok_response(
+            request_id,
+            "analyze",
+            key=key,
+            cached=cached,
+            summary=payload["summary"],
+            num_procs=payload["num_procs"],
+            num_call_sites=payload["num_call_sites"],
+        )
+        if session_name is not None:
+            assert summary is not None
+            existing = self.sessions.get(session_name)
+            if existing is not None and existing.key == key:
+                existing.analyzes += 1
+                session = existing
+            else:
+                session = Session(
+                    name=session_name,
+                    key=key,
+                    gmod_method=method,
+                    summary=summary,
+                    payload=payload,
+                    analyzes=1,
+                )
+                self.sessions.put(session)
+            response["session"] = session.brief()
+        return response
+
+    async def _verb_update(self, request_id: Any, request: Dict) -> Dict:
+        from repro.core.incremental import incremental_update
+        from repro.lang.semantic import compile_source
+
+        session_name = require_str(request, "session")
+        source = require_str(request, "source")
+        session = self.sessions.get(session_name)
+        if session is None:
+            raise ProtocolError(
+                E_UNKNOWN_SESSION,
+                "no session %r; open one with analyze+session first" % session_name,
+            )
+        key = content_key(source, session.gmod_method)
+        sleep = self._request_sleep(request)
+        old_summary = session.summary
+
+        def work():
+            if sleep:
+                time.sleep(sleep)
+            new_resolved = compile_source(source)
+            new_summary, stats = incremental_update(old_summary, new_resolved)
+            return new_summary, payload_from_summary(new_summary), stats
+
+        new_summary, payload, stats = await self._run_heavy(work)
+        self.metrics.observe_update(stats.reused_procs, stats.affected_procs)
+
+        session.key = key
+        session.summary = new_summary
+        session.payload = payload
+        session.updates += 1
+        session.last_update = {
+            "dirty_procs": stats.dirty_procs,
+            "affected_procs": stats.affected_procs,
+            "reused_procs": stats.reused_procs,
+            "total_procs": stats.total_procs,
+            "reuse_fraction": stats.reuse_fraction,
+        }
+        # The incremental result is bit-identical to a from-scratch
+        # solve (asserted by the test suite), so it may warm both
+        # cache tiers under the new content key.
+        self.lru.put(key, (new_summary, payload))
+        if self.disk_cache is not None:
+            self.disk_cache.put(key, payload)
+
+        return ok_response(
+            request_id,
+            "update",
+            key=key,
+            summary=payload["summary"],
+            update_stats=session.last_update,
+            session=session.brief(),
+        )
+
+    async def _verb_query(self, request_id: Any, request: Dict) -> Dict:
+        session_name = require_str(request, "session")
+        session = self.sessions.get(session_name)
+        if session is None:
+            raise ProtocolError(E_UNKNOWN_SESSION, "no session %r" % session_name)
+        select = require_str(request, "select")
+        summary_dict = session.payload["summary"]
+
+        if select == "procedures":
+            result: Any = sorted(summary_dict["procedures"])
+        elif select == "proc":
+            name = require_str(request, "proc")
+            entry = summary_dict["procedures"].get(name)
+            if entry is None:
+                raise ProtocolError(
+                    E_BAD_REQUEST, "no procedure %r in session %r" % (name, session_name)
+                )
+            result = dict(entry, name=name)
+        elif select == "site":
+            site_id = request.get("site")
+            sites = summary_dict["call_sites"]
+            if not isinstance(site_id, int) or not 0 <= site_id < len(sites):
+                raise ProtocolError(
+                    E_BAD_REQUEST,
+                    "field 'site' must be an integer in [0, %d)" % len(sites),
+                )
+            result = sites[site_id]
+        elif select == "sites":
+            result = summary_dict["call_sites"]
+        elif select == "who_modifies":
+            variable = require_str(request, "variable")
+            kind = request.get("kind", "mod")
+            if kind not in ("mod", "use"):
+                raise ProtocolError(
+                    E_BAD_REQUEST, "field 'kind' must be 'mod' or 'use'"
+                )
+            procs = sorted(
+                name
+                for name, entry in summary_dict["procedures"].items()
+                if variable in entry["g%s" % kind]
+            )
+            sites = [
+                site["site_id"]
+                for site in summary_dict["call_sites"]
+                if variable in site[kind]
+            ]
+            result = {"variable": variable, "kind": kind,
+                      "procedures": procs, "sites": sites}
+        else:
+            raise ProtocolError(
+                E_BAD_REQUEST,
+                "unknown select %r; expected procedures/proc/site/sites/who_modifies"
+                % select,
+            )
+        return ok_response(
+            request_id, "query", select=select, session=session_name, result=result
+        )
+
+    async def _verb_stats(self, request_id: Any, request: Dict) -> Dict:
+        return ok_response(request_id, "stats", stats=self.stats_snapshot())
+
+    async def _verb_shutdown(self, request_id: Any, request: Dict) -> Dict:
+        self.request_shutdown()
+        return ok_response(request_id, "shutdown", draining=True)
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats_snapshot(self) -> Dict:
+        """The full observability document (``stats`` verb and
+        ``--metrics-json``)."""
+        snapshot = self.metrics.to_dict()
+        snapshot.update(
+            {
+                "protocol": PROTOCOL_VERSION,
+                "config": self.config.to_dict(),
+                "address": list(self.address),
+                "inflight": self._active,
+                "lru": self.lru.to_dict(),
+                "disk_cache": (
+                    self.disk_cache.stats.to_dict()
+                    if self.disk_cache is not None
+                    else None
+                ),
+                "sessions": self.sessions.to_dict(),
+            }
+        )
+        return snapshot
+
+
+class ServerThread:
+    """Run an :class:`AnalysisServer` on a background thread — the
+    embedding used by tests, benchmarks, and library callers that want
+    a live endpoint without managing an event loop.
+
+    Usage::
+
+        with ServerThread(ServerConfig(port=0)) as handle:
+            client = ServerClient(port=handle.port)
+            ...
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None):
+        self.server = AnalysisServer(config)
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        return self.server.address[1]
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._main, name="ck-analysis-server", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):
+            raise RuntimeError("analysis server failed to start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "analysis server failed to start: %s" % self._startup_error
+            )
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self.server.request_shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def _main(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        try:
+            await self.server.start()
+        except BaseException as error:
+            self._startup_error = error
+            self._started.set()
+            return
+        self._started.set()
+        await self.server.serve_until_shutdown()
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,121 @@
+"""Server observability: request counters, latency histograms,
+solver phase-time accumulation.
+
+Everything here is exposed two ways: live via the ``stats`` verb, and
+as a ``--metrics-json`` dump written when the daemon exits, so a CI
+smoke run or a long soak leaves a machine-readable record.  The
+histogram uses fixed logarithmic millisecond buckets (the usual
+Prometheus-style cumulative-friendly shape) rather than reservoir
+sampling — bounded memory, deterministic output.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+#: Upper edges (milliseconds) of the latency buckets; one overflow
+#: bucket is appended implicitly.
+LATENCY_BUCKETS_MS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram over one request class."""
+
+    def __init__(self):
+        self.counts: List[int] = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+        self.count = 0
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, seconds: float) -> None:
+        ms = seconds * 1000.0
+        self.count += 1
+        self.total_ms += ms
+        if ms > self.max_ms:
+            self.max_ms = ms
+        for index, edge in enumerate(LATENCY_BUCKETS_MS):
+            if ms <= edge:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict:
+        buckets = {
+            "<=%dms" % edge: self.counts[index]
+            for index, edge in enumerate(LATENCY_BUCKETS_MS)
+        }
+        buckets[">%dms" % LATENCY_BUCKETS_MS[-1]] = self.counts[-1]
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_ms(),
+            "max_ms": self.max_ms,
+            "buckets": buckets,
+        }
+
+
+class ServerMetrics:
+    """All daemon-lifetime counters, aggregated in one place."""
+
+    def __init__(self):
+        self.started = time.time()
+        self._started_monotonic = time.monotonic()
+        self.requests: Dict[str, int] = {}
+        self.errors: Dict[str, int] = {}
+        self.latency: Dict[str, LatencyHistogram] = {}
+        #: Solver phase → summed wall seconds, from pipeline timings of
+        #: every non-cached ``analyze`` this daemon performed.
+        self.phase_seconds: Dict[str, float] = {}
+        self.analyses = 0
+        self.incremental_updates = 0
+        self.reused_procs = 0
+        self.affected_procs = 0
+        self.connections = 0
+
+    def uptime(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    def observe_request(
+        self, verb: str, seconds: float, ok: bool, error_code: Optional[str] = None
+    ) -> None:
+        self.requests[verb] = self.requests.get(verb, 0) + 1
+        if not ok and error_code:
+            self.errors[error_code] = self.errors.get(error_code, 0) + 1
+        histogram = self.latency.get(verb)
+        if histogram is None:
+            histogram = self.latency[verb] = LatencyHistogram()
+        histogram.observe(seconds)
+
+    def observe_phases(self, timings: Dict[str, float]) -> None:
+        self.analyses += 1
+        for phase, seconds in timings.items():
+            self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    def observe_update(self, reused_procs: int, affected_procs: int) -> None:
+        self.incremental_updates += 1
+        self.reused_procs += reused_procs
+        self.affected_procs += affected_procs
+
+    def to_dict(self) -> Dict:
+        touched = self.reused_procs + self.affected_procs
+        return {
+            "uptime_seconds": self.uptime(),
+            "connections": self.connections,
+            "requests": dict(self.requests),
+            "errors": dict(self.errors),
+            "latency_ms": {
+                verb: histogram.to_dict()
+                for verb, histogram in sorted(self.latency.items())
+            },
+            "phase_seconds": dict(self.phase_seconds),
+            "analyses": self.analyses,
+            "incremental": {
+                "updates": self.incremental_updates,
+                "reused_procs": self.reused_procs,
+                "affected_procs": self.affected_procs,
+                "reuse_fraction": self.reused_procs / touched if touched else 0.0,
+            },
+        }

@@ -1,0 +1,98 @@
+"""Wire protocol for the analysis server.
+
+One request or response per line, each a single JSON object, UTF-8,
+newline-terminated — the classic LSP-adjacent "JSON lines" framing,
+chosen because every client language can speak it with nothing but a
+socket and a JSON library.
+
+A request carries ``verb`` (one of :data:`VERBS`), an optional caller
+``id`` (echoed back verbatim so clients may pipeline), and
+verb-specific fields.  A response carries ``ok``; successful responses
+add verb-specific payload fields, failures add an ``error`` object
+``{"code", "message"}`` with ``code`` drawn from the ``E_*`` constants
+so scripts can branch without parsing prose.
+
+The protocol is versioned (:data:`PROTOCOL_VERSION`): ``ping`` and
+``stats`` report it, and the version is bumped whenever a field is
+renamed or re-typed, mirroring how the persist layer versions its
+on-disk schema.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+#: Bump on any incompatible change to request/response shapes.
+PROTOCOL_VERSION = 1
+
+#: Default cap on one request line (bytes), including the newline.
+MAX_PAYLOAD_DEFAULT = 4 * 1024 * 1024
+
+VERBS = ("analyze", "update", "query", "stats", "ping", "shutdown")
+
+# Error codes — stable strings, part of the protocol.
+E_BAD_REQUEST = "bad_request"  # Not JSON / not an object / bad field.
+E_UNKNOWN_VERB = "unknown_verb"
+E_PAYLOAD_TOO_LARGE = "payload_too_large"
+E_ANALYSIS_ERROR = "analysis_error"  # Source failed to parse/resolve.
+E_TIMEOUT = "timeout"  # Per-request deadline exceeded.
+E_OVERLOADED = "overloaded"  # Queue-depth cap hit; retry later.
+E_UNKNOWN_SESSION = "unknown_session"
+E_SHUTTING_DOWN = "shutting_down"
+E_INTERNAL = "internal_error"
+
+
+class ProtocolError(Exception):
+    """A request-level failure with a protocol error code attached."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One JSON line, compact separators, sorted keys (deterministic)."""
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode(line: bytes) -> Dict[str, Any]:
+    """Parse one request line; raises :class:`ProtocolError` on garbage."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ProtocolError(E_BAD_REQUEST, "request is not valid JSON: %s" % error)
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            E_BAD_REQUEST, "request must be a JSON object, got %s" % type(message).__name__
+        )
+    return message
+
+
+def ok_response(request_id: Any, verb: Optional[str], **fields: Any) -> Dict[str, Any]:
+    response: Dict[str, Any] = {"ok": True, "id": request_id, "verb": verb}
+    response.update(fields)
+    return response
+
+
+def error_response(
+    request_id: Any, verb: Optional[str], code: str, message: str
+) -> Dict[str, Any]:
+    return {
+        "ok": False,
+        "id": request_id,
+        "verb": verb,
+        "error": {"code": code, "message": message},
+    }
+
+
+def require_str(request: Dict[str, Any], field: str) -> str:
+    """Fetch a mandatory string field or raise ``bad_request``."""
+    value = request.get(field)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(
+            E_BAD_REQUEST, "field %r must be a non-empty string" % field
+        )
+    return value

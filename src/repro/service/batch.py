@@ -176,6 +176,7 @@ def run_batch(
     cache_dir: Optional[str] = None,
     timeout: Optional[float] = None,
     pattern: str = "*.ck",
+    cache_max_entries: Optional[int] = None,
 ) -> BatchReport:
     """Analyze a corpus; the batch engine's programmatic entry point.
 
@@ -185,7 +186,8 @@ def run_batch(
     with no pool).  ``cache_dir`` enables the content-hash summary
     cache.  ``timeout`` bounds the wait for each file's result once the
     driver turns to it (pool mode only); a file that exceeds it gets a
-    ``timeout`` record and the run continues.
+    ``timeout`` record and the run continues.  ``cache_max_entries``
+    bounds the cache directory (LRU eviction; None = unbounded).
     """
     if gmod_method not in GMOD_METHODS:
         raise ValueError(
@@ -199,7 +201,9 @@ def run_batch(
         paths = list(root)
         report_root = os.path.commonprefix([os.path.dirname(p) for p in paths]) or "."
 
-    cache = SummaryCache(cache_dir) if cache_dir else None
+    cache = (
+        SummaryCache(cache_dir, max_entries=cache_max_entries) if cache_dir else None
+    )
     results: List[FileResult] = []
     by_path: Dict[str, FileResult] = {}
     work: List[FileResult] = []

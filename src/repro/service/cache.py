@@ -15,6 +15,12 @@ consequences:
 Entries are one JSON file per key under the cache root; writes go
 through a temp file + ``os.replace`` so concurrent batch runs sharing
 a cache directory never observe torn entries.
+
+The cache is optionally *bounded*: with ``max_entries`` set, a store
+that pushes the directory past the limit evicts the least-recently
+used entries, where recency is the file mtime — refreshed on every
+hit via ``os.utime`` — so a long-lived daemon or repeated batch runs
+cannot grow the directory without limit.
 """
 
 from __future__ import annotations
@@ -51,6 +57,8 @@ class CacheStats:
     stores: int = 0
     #: Entries found on disk but rejected (stale schema, torn JSON).
     invalid: int = 0
+    #: Entries removed by the ``max_entries`` LRU bound.
+    evictions: int = 0
 
     def hit_rate(self) -> float:
         looked = self.hits + self.misses
@@ -62,15 +70,21 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "invalid": self.invalid,
+            "evictions": self.evictions,
             "hit_rate": self.hit_rate(),
         }
 
 
 class SummaryCache:
-    """On-disk cache of per-file analysis payloads."""
+    """On-disk cache of per-file analysis payloads.
 
-    def __init__(self, root: str):
+    ``max_entries`` (None = unbounded, the historical behaviour) caps
+    the number of entry files; exceeding it evicts in mtime order.
+    """
+
+    def __init__(self, root: str, max_entries: Optional[int] = None):
         self.root = root
+        self.max_entries = max_entries
         self.stats = CacheStats()
         os.makedirs(root, exist_ok=True)
 
@@ -96,6 +110,10 @@ class SummaryCache:
             self.stats.invalid += 1
             self.stats.misses += 1
             return None
+        try:
+            os.utime(path, None)  # Refresh recency for the LRU bound.
+        except OSError:
+            pass  # Entry raced away or read-only cache; the hit stands.
         self.stats.hits += 1
         return record["result"]
 
@@ -117,3 +135,33 @@ class SummaryCache:
                 os.unlink(tmp_path)
             raise
         self.stats.stores += 1
+        self._evict_over_limit()
+
+    def _evict_over_limit(self) -> None:
+        """Drop least-recently-used entries past ``max_entries``.
+
+        Recency is file mtime (refreshed on hit); races with concurrent
+        runs sharing the directory are benign — a vanished file is
+        simply skipped, and over-eviction only costs a future miss.
+        """
+        if self.max_entries is None:
+            return
+        try:
+            names = [n for n in os.listdir(self.root) if n.endswith(".json")]
+        except OSError:
+            return
+        if len(names) <= self.max_entries:
+            return
+        aged = []
+        for name in names:
+            try:
+                aged.append((os.path.getmtime(os.path.join(self.root, name)), name))
+            except OSError:
+                continue
+        aged.sort()
+        for _, name in aged[: max(0, len(aged) - self.max_entries)]:
+            try:
+                os.unlink(os.path.join(self.root, name))
+                self.stats.evictions += 1
+            except OSError:
+                continue

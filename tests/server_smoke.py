@@ -1,0 +1,76 @@
+"""CI smoke for the analysis daemon, run as a real OS process.
+
+Launches ``ck-analyze serve`` as a subprocess on an ephemeral port,
+performs one ``analyze`` + one ``query`` through the client, shuts it
+down with the ``shutdown`` verb, and asserts a zero exit status plus a
+written ``--metrics-json`` dump.  Invoked by ``make server-smoke`` and
+the CI workflow — not collected by pytest (no ``test_`` prefix).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+sys.path.insert(0, REPO_SRC)
+
+from repro.server.client import wait_for_server  # noqa: E402
+from repro.workloads import patterns  # noqa: E402
+
+
+def main() -> int:
+    metrics_path = os.path.join(tempfile.mkdtemp(), "metrics.json")
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--metrics-json", metrics_path,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        banner = daemon.stdout.readline()
+        match = re.search(r"listening on ([\d.]+):(\d+)", banner)
+        assert match, "unexpected banner: %r" % banner
+        port = int(match.group(2))
+
+        with wait_for_server(port) as client:
+            source = patterns.chain(5)
+            analyzed = client.analyze(source, session="smoke")
+            assert analyzed["ok"] and analyzed["num_procs"] == 6
+
+            result = client.query("smoke", "who_modifies", variable="g")["result"]
+            assert "chain" in result["procedures"]
+
+            stats = client.stats()
+            assert stats["requests"]["analyze"] == 1
+
+            client.shutdown()
+
+        returncode = daemon.wait(timeout=30)
+        assert returncode == 0, "daemon exited with %d" % returncode
+        with open(metrics_path) as handle:
+            metrics = json.load(handle)
+        assert metrics["requests"]["analyze"] == 1
+        assert metrics["requests"]["query"] == 1
+        print("server smoke: ok (port %d, %d requests)"
+              % (port, sum(metrics["requests"].values())))
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

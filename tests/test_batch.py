@@ -107,6 +107,62 @@ class TestCache:
         assert report.cached_count == 0
 
 
+class TestCacheBound:
+    """The ``max_entries`` LRU bound on the disk summary cache."""
+
+    def _payload(self, tag):
+        return {"summary": {"tag": tag}, "timings": {}, "ops": {},
+                "num_procs": 1, "num_call_sites": 0}
+
+    def test_eviction_caps_entry_count(self, tmp_path):
+        from repro.service.cache import SummaryCache
+
+        cache = SummaryCache(str(tmp_path), max_entries=2)
+        for index in range(5):
+            cache.put("k%d" % index, self._payload(index))
+        entries = [n for n in os.listdir(str(tmp_path)) if n.endswith(".json")]
+        assert len(entries) == 2
+        assert cache.stats.evictions == 3
+        assert cache.stats.to_dict()["evictions"] == 3
+
+    def test_eviction_is_mtime_lru_and_get_refreshes(self, tmp_path):
+        from repro.service.cache import SummaryCache
+
+        cache = SummaryCache(str(tmp_path), max_entries=2)
+        cache.put("old", self._payload("old"))
+        cache.put("hot", self._payload("hot"))
+        # Make recency unambiguous regardless of filesystem timestamp
+        # granularity, then touch "old" through a hit.
+        os.utime(cache.path_for("old"), (1000, 1000))
+        os.utime(cache.path_for("hot"), (2000, 2000))
+        assert cache.get("old") is not None  # Refreshes "old" to now.
+        cache.put("new", self._payload("new"))  # Evicts "hot".
+        assert cache.get("hot") is None
+        assert cache.get("old") is not None
+        assert cache.get("new") is not None
+        assert cache.stats.evictions == 1
+
+    def test_unbounded_by_default(self, tmp_path):
+        from repro.service.cache import SummaryCache
+
+        cache = SummaryCache(str(tmp_path))
+        for index in range(5):
+            cache.put("k%d" % index, self._payload(index))
+        entries = [n for n in os.listdir(str(tmp_path)) if n.endswith(".json")]
+        assert len(entries) == 5
+        assert cache.stats.evictions == 0
+
+    def test_bound_flows_through_run_batch(self, corpus_dir, tmp_path):
+        cache_dir = str(tmp_path / "bounded")
+        report = run_batch(
+            corpus_dir, jobs=1, cache_dir=cache_dir, cache_max_entries=3
+        )
+        assert report.ok_count == N_FILES
+        entries = [n for n in os.listdir(cache_dir) if n.endswith(".json")]
+        assert len(entries) == 3
+        assert report.cache_stats.evictions == N_FILES - 3
+
+
 class TestIsolation:
     @pytest.fixture()
     def mixed_dir(self, tmp_path):
@@ -235,6 +291,46 @@ class TestCli:
         captured = capsys.readouterr()
         assert captured.out.count("ok    ") == 2
         assert "broken.ck" in captured.err
+
+    def test_batch_process_exit_code_nonzero_on_failure(self, tmp_path):
+        """The real process (not just main()) must report failure —
+        build systems branch on the exit status, not on stderr."""
+        import subprocess
+        import sys
+
+        root = tmp_path / "corpus"
+        write_generated_corpus(
+            str(root), 1, base_seed=101,
+            config=GeneratorConfig(num_procs=6, num_globals=4),
+        )
+        (root / "broken.ck").write_text("program broken\nbegin call nosuch( end\n")
+        repo_src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env = dict(os.environ, PYTHONPATH=os.path.abspath(repo_src))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "batch", str(root), "--no-cache"],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 1
+        assert "broken.ck" in proc.stderr
+
+    def test_batch_empty_corpus_is_an_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["batch", str(empty), "--no-cache"]) == 1
+        assert "no files matching" in capsys.readouterr().err
+
+    def test_batch_cache_max_entries_flag(self, tmp_path, capsys):
+        root = tmp_path / "corpus"
+        write_generated_corpus(
+            str(root), 4, base_seed=111,
+            config=GeneratorConfig(num_procs=6, num_globals=4),
+        )
+        assert main(["batch", str(root), "--jobs", "1",
+                     "--cache-max-entries", "2"]) == 0
+        capsys.readouterr()
+        cache_dir = root / ".ck-cache"
+        entries = [n for n in os.listdir(str(cache_dir)) if n.endswith(".json")]
+        assert len(entries) == 2
 
     def test_batch_no_cache_flag(self, tmp_path, capsys):
         root = tmp_path / "corpus"

@@ -1,0 +1,460 @@
+"""Analysis server tests: protocol, caching tiers, incremental
+sessions, robustness (timeout / overload / malformed), and the
+concurrent-clients acceptance workload.
+
+Every summary the daemon returns is compared against a from-scratch
+``analyze_side_effects`` of the same source, serialized the same way —
+the server must be an *optimization*, never a different answer.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.persist import summary_to_dict
+from repro.core.pipeline import analyze_side_effects
+from repro.server import (
+    PROTOCOL_VERSION,
+    ServerClient,
+    ServerConfig,
+    ServerError,
+    ServerThread,
+)
+from repro.server.lru import LRUCache
+from repro.server.metrics import LatencyHistogram
+from repro.service.batch import run_batch
+from repro.workloads import patterns
+from repro.workloads.generator import GeneratorConfig, generate_program
+from repro.lang.pretty import pretty
+
+
+def scratch_summary(source: str) -> dict:
+    return summary_to_dict(analyze_side_effects(source))
+
+
+def canon(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def head_edit(length: int) -> str:
+    """chain(length) with a global write added to the first link —
+    downstream links stay clean, so most GMOD work is reusable."""
+    return patterns.chain(length).replace(
+        "proc c1(x)\n  begin",
+        "proc c1(x)\n  begin\n    g := 9",
+    )
+
+
+def raw_request(port: int, data: bytes) -> dict:
+    """One raw line on a fresh socket; returns the decoded response."""
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+        sock.sendall(data)
+        handle = sock.makefile("rb")
+        line = handle.readline()
+    assert line, "server closed without responding"
+    return json.loads(line)
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = ServerConfig(port=0, allow_sleep=True)
+    with ServerThread(config) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(server):
+    with ServerClient(port=server.port) as c:
+        yield c
+
+
+class TestProtocol:
+    def test_ping_reports_protocol_version(self, client):
+        assert client.ping()["protocol"] == PROTOCOL_VERSION
+
+    def test_id_is_echoed(self, client):
+        response = client.request("ping")
+        assert response["id"] == client._next_id
+
+    def test_malformed_json_is_bad_request(self, server):
+        response = raw_request(server.port, b"this is not json\n")
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+
+    def test_non_object_request_is_bad_request(self, server):
+        response = raw_request(server.port, b"[1, 2, 3]\n")
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+
+    def test_unknown_verb(self, server):
+        response = raw_request(server.port, b'{"verb": "frobnicate"}\n')
+        assert response["error"]["code"] == "unknown_verb"
+
+    def test_missing_source_is_bad_request(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.request("analyze")
+        assert excinfo.value.code == "bad_request"
+
+    def test_bad_gmod_method(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.analyze(patterns.chain(2), gmod_method="nope")
+        assert excinfo.value.code == "bad_request"
+
+    def test_analysis_error_is_structured(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.analyze("program t begin x := end")
+        assert excinfo.value.code == "analysis_error"
+        assert "ParseError" in str(excinfo.value)
+
+    def test_oversized_payload_rejected(self):
+        config = ServerConfig(port=0, max_payload=1024)
+        with ServerThread(config) as handle:
+            big = "program t begin end" + " " * 4096
+            with socket.create_connection(
+                ("127.0.0.1", handle.port), timeout=30
+            ) as sock:
+                sock.sendall(
+                    json.dumps({"verb": "analyze", "source": big}).encode() + b"\n"
+                )
+                reader = sock.makefile("rb")
+                response = json.loads(reader.readline())
+                assert response["error"]["code"] == "payload_too_large"
+                # Framing is unrecoverable: the server hangs up.
+                assert reader.readline() == b""
+
+
+class TestAnalyze:
+    def test_summary_matches_from_scratch(self, client):
+        source = patterns.call_tree(3)
+        response = client.analyze(source)
+        assert canon(response["summary"]) == canon(scratch_summary(source))
+        assert response["cached"] is False
+
+    def test_second_analyze_hits_lru_and_is_identical(self, client):
+        source = patterns.ring(4)
+        cold = client.analyze(source)
+        warm = client.analyze(source)
+        assert warm["cached"] == "lru"
+        assert canon(warm["summary"]) == canon(cold["summary"])
+
+    def test_gmod_method_is_part_of_the_key(self, client):
+        source = patterns.chain(3)
+        client.analyze(source, gmod_method="figure2")
+        other = client.analyze(source, gmod_method="reference")
+        # Different solver → different key → not an LRU hit of the first.
+        assert other["cached"] is False or other["cached"] == "lru"
+        assert (
+            client.analyze(source, gmod_method="reference")["cached"] == "lru"
+        )
+
+    def test_disk_cache_shared_with_batch(self, tmp_path):
+        source_path = tmp_path / "prog.ck"
+        source_path.write_text(patterns.chain(4))
+        cache_dir = str(tmp_path / "cache")
+        prime = run_batch(str(source_path), jobs=1, cache_dir=cache_dir)
+        assert prime.ok_count == 1
+        config = ServerConfig(port=0, cache_dir=cache_dir)
+        with ServerThread(config) as handle:
+            with ServerClient(port=handle.port) as client:
+                response = client.analyze(source_path.read_text())
+                assert response["cached"] == "disk"
+                assert canon(response["summary"]) == canon(
+                    scratch_summary(source_path.read_text())
+                )
+
+    def test_lru_capacity_zero_never_caches(self):
+        config = ServerConfig(port=0, lru_size=0)
+        with ServerThread(config) as handle:
+            with ServerClient(port=handle.port) as client:
+                client.analyze(patterns.chain(2))
+                assert client.analyze(patterns.chain(2))["cached"] is False
+
+
+class TestSessions:
+    def test_update_matches_from_scratch_and_reuses(self, client):
+        base = patterns.chain(10)
+        edited = head_edit(10)
+        client.analyze(base, session="head-edit")
+        response = client.update("head-edit", edited)
+        assert canon(response["summary"]) == canon(scratch_summary(edited))
+        stats = response["update_stats"]
+        assert stats["dirty_procs"] == ["c1"]
+        # The acceptance bar: a one-procedure local edit reuses more
+        # than half of the GMOD-phase per-procedure sets.
+        assert stats["reuse_fraction"] > 0.5
+        assert stats["reused_procs"] + stats["affected_procs"] == stats["total_procs"]
+
+    def test_update_unknown_session(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.update("never-opened", patterns.chain(2))
+        assert excinfo.value.code == "unknown_session"
+
+    def test_update_chain_preserves_correctness(self, client):
+        """A session surviving several edits stays equal to scratch."""
+        config = GeneratorConfig(seed=41, num_procs=12, num_globals=5)
+        base = pretty(generate_program(config))
+        client.analyze(base, session="evolving")
+        current = base
+        for round_no in range(3):
+            current = current + "\n"  # Whitespace-only: main unchanged.
+            response = client.update("evolving", current)
+            assert canon(response["summary"]) == canon(scratch_summary(current))
+
+    def test_query_proc_and_site(self, client):
+        source = patterns.chain(4)
+        client.analyze(source, session="q")
+        procs = client.query("q", "procedures")["result"]
+        assert "c1" in procs and "chain" in procs
+        entry = client.query("q", "proc", proc="c1")["result"]
+        assert entry["name"] == "c1"
+        assert "gmod" in entry and "rmod" in entry
+        site = client.query("q", "site", site=0)["result"]
+        assert site["caller"] == "chain"
+        assert site["callee"] == "c1"
+        assert "mod" in site and "use" in site
+
+    def test_query_who_modifies(self, client):
+        source = patterns.chain(4)
+        client.analyze(source, session="whom")
+        result = client.query("whom", "who_modifies", variable="g")["result"]
+        scratch = scratch_summary(source)
+        expected_procs = sorted(
+            name
+            for name, entry in scratch["procedures"].items()
+            if "g" in entry["gmod"]
+        )
+        assert result["procedures"] == expected_procs
+        expected_sites = [
+            site["site_id"] for site in scratch["call_sites"] if "g" in site["mod"]
+        ]
+        assert result["sites"] == expected_sites
+
+    def test_query_errors(self, client):
+        client.analyze(patterns.chain(3), session="qerr")
+        for kwargs, code in (
+            (dict(select="proc", proc="nope"), "bad_request"),
+            (dict(select="site", site=999), "bad_request"),
+            (dict(select="nonsense"), "bad_request"),
+            (dict(select="who_modifies", variable="g", kind="wat"), "bad_request"),
+        ):
+            with pytest.raises(ServerError) as excinfo:
+                client.query("qerr", **kwargs)
+            assert excinfo.value.code == code
+        with pytest.raises(ServerError) as excinfo:
+            client.query("no-such-session", "procedures")
+        assert excinfo.value.code == "unknown_session"
+
+    def test_session_eviction_is_lru(self):
+        config = ServerConfig(port=0, max_sessions=2)
+        with ServerThread(config) as handle:
+            with ServerClient(port=handle.port) as client:
+                client.analyze(patterns.chain(2), session="a")
+                client.analyze(patterns.chain(3), session="b")
+                client.query("a", "procedures")  # Refresh "a".
+                client.analyze(patterns.chain(4), session="c")  # Evicts "b".
+                client.query("a", "procedures")
+                with pytest.raises(ServerError) as excinfo:
+                    client.query("b", "procedures")
+                assert excinfo.value.code == "unknown_session"
+                stats = client.stats()
+                assert stats["sessions"]["evictions"] == 1
+
+
+class TestRobustness:
+    def test_request_timeout(self):
+        config = ServerConfig(port=0, allow_sleep=True, request_timeout=0.3)
+        with ServerThread(config) as handle:
+            with ServerClient(port=handle.port) as client:
+                tick = time.monotonic()
+                with pytest.raises(ServerError) as excinfo:
+                    client.analyze(patterns.chain(2), sleep=5.0)
+                assert excinfo.value.code == "timeout"
+                assert time.monotonic() - tick < 3.0
+
+    def test_overload_fails_fast(self):
+        config = ServerConfig(
+            port=0, allow_sleep=True, max_concurrent=1, max_queue=0,
+            request_timeout=30.0,
+        )
+        with ServerThread(config) as handle:
+            slow_done = threading.Event()
+            slow_error = []
+
+            def slow():
+                try:
+                    with ServerClient(port=handle.port) as c1:
+                        c1.analyze(patterns.chain(2), sleep=1.5)
+                except Exception as error:  # pragma: no cover
+                    slow_error.append(error)
+                finally:
+                    slow_done.set()
+
+            thread = threading.Thread(target=slow)
+            thread.start()
+            time.sleep(0.4)  # Let the slow solve occupy the only slot.
+            with ServerClient(port=handle.port) as c2:
+                with pytest.raises(ServerError) as excinfo:
+                    c2.analyze(patterns.chain(3))
+                assert excinfo.value.code == "overloaded"
+            slow_done.wait(timeout=10)
+            thread.join(timeout=10)
+            assert not slow_error
+
+    def test_stats_shape(self, client):
+        client.analyze(patterns.chain(2))
+        stats = client.stats()
+        for key in (
+            "uptime_seconds", "requests", "errors", "latency_ms",
+            "phase_seconds", "lru", "sessions", "config", "protocol",
+            "incremental", "inflight",
+        ):
+            assert key in stats
+        assert stats["protocol"] == PROTOCOL_VERSION
+        assert stats["requests"]["analyze"] >= 1
+        assert stats["phase_seconds"].get("gmod", 0.0) >= 0.0
+        histogram = stats["latency_ms"]["analyze"]
+        assert histogram["count"] == stats["requests"]["analyze"]
+        assert sum(histogram["buckets"].values()) == histogram["count"]
+
+
+class TestConcurrentAcceptance:
+    """The PR's acceptance scenario: a 200-request mixed workload from
+    4 concurrent clients, each with its own incremental session, with
+    zero divergence from from-scratch summaries."""
+
+    # Per client: 1 analyze + 13 rounds × 4 requests = 53; ×4 clients
+    # = 212 requests total.
+    ROUNDS = 13
+
+    def test_mixed_workload_no_divergence(self, server):
+        base = patterns.chain(8)
+        edited = head_edit(8)
+        expected = {
+            base: canon(scratch_summary(base)),
+            edited: canon(scratch_summary(edited)),
+        }
+        failures = []
+        request_counts = []
+
+        def worker(worker_id: int) -> None:
+            session = "load-%d" % worker_id
+            sent = 0
+            try:
+                with ServerClient(port=server.port) as c:
+                    response = c.analyze(base, session=session)
+                    sent += 1
+                    if canon(response["summary"]) != expected[base]:
+                        failures.append((worker_id, "analyze diverged"))
+                    current = base
+                    for _ in range(self.ROUNDS):
+                        nxt = edited if current == base else base
+                        response = c.update(session, nxt)
+                        sent += 1
+                        if canon(response["summary"]) != expected[nxt]:
+                            failures.append((worker_id, "update diverged"))
+                        if response["update_stats"]["reuse_fraction"] <= 0.0:
+                            failures.append((worker_id, "no reuse on local edit"))
+                        current = nxt
+                        result = c.query(
+                            session, "who_modifies", variable="g"
+                        )["result"]
+                        sent += 1
+                        # Main always writes g; c1 only in the edited
+                        # version — who_modifies must track the flip.
+                        wants_c1 = current == edited
+                        if ("chain" not in result["procedures"]
+                                or ("c1" in result["procedures"]) != wants_c1):
+                            failures.append((worker_id, "query diverged"))
+                        site = c.query(session, "site", site=0)["result"]
+                        sent += 1
+                        if site["callee"] != "c1":
+                            failures.append((worker_id, "site query diverged"))
+                        c.stats()
+                        sent += 1
+            except Exception as error:
+                failures.append((worker_id, repr(error)))
+            finally:
+                request_counts.append(sent)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        assert failures == []
+        assert sum(request_counts) >= 200
+
+
+class TestUnits:
+    def test_lru_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # Refresh "a".
+        cache.put("c", 3)  # Evicts "b".
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.evictions == 1
+        stats = cache.to_dict()
+        assert stats["entries"] == 2
+        assert stats["hits"] == 2 and stats["misses"] == 1
+
+    def test_lru_zero_capacity(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_latency_histogram_buckets(self):
+        histogram = LatencyHistogram()
+        for seconds in (0.0005, 0.004, 0.03, 7.0):
+            histogram.observe(seconds)
+        data = histogram.to_dict()
+        assert data["count"] == 4
+        assert sum(data["buckets"].values()) == 4
+        assert data["buckets"]["<=1ms"] == 1
+        assert data["buckets"][">5000ms"] == 1
+        assert data["max_ms"] == pytest.approx(7000.0)
+
+
+class TestCliIntegration:
+    def test_query_subcommand_roundtrip(self, server, tmp_path, capsys):
+        from repro.cli import main
+
+        source_path = tmp_path / "prog.ck"
+        source_path.write_text(patterns.chain(3))
+        port = str(server.port)
+        assert main(["query", "ping", "--port", port]) == 0
+        assert json.loads(capsys.readouterr().out)["ok"] is True
+        assert main([
+            "query", "analyze", "--port", port,
+            "--file", str(source_path), "--session", "cli",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert canon(payload["summary"]) == canon(
+            scratch_summary(source_path.read_text())
+        )
+        assert main([
+            "query", "query", "--port", port, "--session", "cli",
+            "--select", "who_modifies", "--variable", "g",
+        ]) == 0
+        result = json.loads(capsys.readouterr().out)["result"]
+        assert "chain" in result["procedures"]
+
+    def test_query_subcommand_error_exit_code(self, server, capsys):
+        from repro.cli import main
+
+        assert main([
+            "query", "query", "--port", str(server.port),
+            "--session", "missing", "--select", "procedures",
+        ]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"]["code"] == "unknown_session"
