@@ -4,7 +4,7 @@
 PY ?= python
 PP := PYTHONPATH=src
 
-.PHONY: test differential bench-smoke bench server-smoke
+.PHONY: test differential shard-differential bench-smoke bench server-smoke
 
 # Tier-1 gate: the full unit/integration/property suite.
 test:
@@ -16,10 +16,20 @@ differential:
 	$(PP) $(PY) -m pytest -q tests/test_differential.py tests/test_batch.py \
 	    tests/test_linearity_guard.py tests/test_persist_roundtrip.py
 
-# One tiny batch benchmark, timing disabled — keeps the benchmark
-# suite import-clean without paying for a real measurement run.
+# The sharded-solver oracle: byte-equality against the monolithic
+# pipeline over the differential corpus, the fuzz sweep (shard counts
+# 1/2/4/8, both strategies), and the partitioner edge cases.
+shard-differential:
+	$(PP) $(PY) -m pytest -q tests/test_shard.py tests/test_shard_equivalence.py
+
+# One tiny batch benchmark plus the shard-benchmark smoke (which
+# writes BENCH_shard.json), timing assertions disabled — keeps the
+# benchmark suite import-clean without paying for a real measurement
+# run.
 bench-smoke:
 	$(PP) $(PY) -m pytest -q benchmarks/test_bench_batch.py -k smoke \
+	    --benchmark-disable
+	$(PP) $(PY) -m pytest -q benchmarks/test_bench_shard.py -k smoke \
 	    --benchmark-disable
 
 # The full measured benchmark suite (slow).

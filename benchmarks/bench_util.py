@@ -54,6 +54,8 @@ def build_workload(config: GeneratorConfig):
         config.recursion_prob,
         config.calls_per_proc_range,
         config.prob_arg_formal,
+        config.locals_range,
+        config.scale_free,
     )
     workload = _CACHE.get(key)
     if workload is None:

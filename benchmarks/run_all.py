@@ -1,17 +1,25 @@
-"""Regenerate every experiment table (E1–E9) in one run.
+"""Regenerate every experiment table (E1–E10) in one run.
 
 Usage::
 
-    python benchmarks/run_all.py [--quick]
+    python benchmarks/run_all.py [--quick] [--out DIR]
 
 Prints one table per experiment in DESIGN.md's index; EXPERIMENTS.md
 records a captured run.  Timings are medians of repeated runs on
 pre-built inputs (program generation excluded).
+
+Besides the human-readable tables, a run leaves three artifacts in
+``--out`` (default: the repo root): ``bench_report.txt`` (the full
+table text), ``BENCH_shard.json`` (the sharded-solver comparison,
+machine-readable), and ``BENCH_all.json`` (per-experiment wall times
+plus the shard record — the perf-trajectory document CI uploads).
 """
 
 from __future__ import annotations
 
 import argparse
+import io
+import json
 import statistics
 import sys
 import time
@@ -408,28 +416,105 @@ def a4_lattice_instances():
           "Figure 3 must widen rows to '*'.")
 
 
+def e10_shard(quick: bool):
+    header("E10", "Sharded solver vs monolithic, bit-identical  [shard/]")
+    from test_bench_shard import measure_shard_benchmark
+
+    result = measure_shard_benchmark(
+        num_procs=2000 if quick else 10000,
+        num_globals=400 if quick else 2000,
+        repeats=2 if quick else 3,
+    )
+    print(f"{'mode':>20} {'best(s)':>9} {'speedup':>8}")
+    print(f"{'monolithic':>20} {result['monolithic_s']:>9.3f} {'1.00x':>8}")
+    print(f"{'sharded jobs=1':>20} {result['sharded_sequential_s']:>9.3f} "
+          f"{result['speedup_sequential']:>7.2f}x")
+    print(f"{'sharded jobs=%d' % result['parallel_jobs']:>20} "
+          f"{result['sharded_parallel_s']:>9.3f} "
+          f"{result['speedup_parallel']:>7.2f}x")
+    print("-> every mode produced bit-identical RMOD/GMOD masks; the "
+          "sharded direct path avoids findgmod's full-width ~LOCAL "
+          "negation per edge, which is the win on wide universes.")
+    return result
+
+
+class _Tee(io.TextIOBase):
+    """Mirror writes to several streams (stdout + the report buffer)."""
+
+    def __init__(self, *streams):
+        self.streams = streams
+
+    def write(self, text):
+        for stream in self.streams:
+            stream.write(text)
+        return len(text)
+
+    def flush(self):
+        for stream in self.streams:
+            stream.flush()
+
+
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--quick", action="store_true",
                         help="smaller sweeps (for smoke testing)")
+    parser.add_argument("--out", default=str(Path(__file__).parent.parent),
+                        help="directory for bench_report.txt / BENCH_*.json")
     args = parser.parse_args()
     sizes = [200, 400, 800] if args.quick else [400, 800, 1600, 3200]
     depths = [2, 4] if args.quick else [2, 4, 6, 8]
     ranks = [1, 2, 3] if args.quick else [1, 2, 3, 4, 5]
 
-    e1_rmod_linear(sizes)
-    e2_rmod_vs_swift(sizes)
-    e3_binding_sizes(sizes)
-    e4_findgmod(sizes)
-    e5_nested(depths)
-    e6_pipeline(sizes[:-1] if not args.quick else sizes)
-    e7_precision()
-    e8_sections(ranks)
-    e9_section_precision()
-    a1_incremental()
-    a2_constprop()
-    a4_lattice_instances()
-    print()
+    experiments = [
+        ("E1", lambda: e1_rmod_linear(sizes)),
+        ("E2", lambda: e2_rmod_vs_swift(sizes)),
+        ("E3", lambda: e3_binding_sizes(sizes)),
+        ("E4", lambda: e4_findgmod(sizes)),
+        ("E5", lambda: e5_nested(depths)),
+        ("E6", lambda: e6_pipeline(sizes[:-1] if not args.quick else sizes)),
+        ("E7", e7_precision),
+        ("E8", lambda: e8_sections(ranks)),
+        ("E9", e9_section_precision),
+        ("E10", lambda: e10_shard(args.quick)),
+        ("A1", a1_incremental),
+        ("A2", a2_constprop),
+        ("A4", a4_lattice_instances),
+    ]
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    buffer = io.StringIO()
+    original_stdout = sys.stdout
+    sys.stdout = _Tee(original_stdout, buffer)
+    wall: dict = {}
+    shard_result = None
+    try:
+        for name, run in experiments:
+            tick = time.perf_counter()
+            returned = run()
+            wall[name] = time.perf_counter() - tick
+            if name == "E10":
+                shard_result = returned
+        print()
+    finally:
+        sys.stdout = original_stdout
+
+    (out_dir / "bench_report.txt").write_text(buffer.getvalue())
+    with open(out_dir / "BENCH_shard.json", "w") as handle:
+        json.dump(shard_result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    aggregate = {
+        "schema": "ck-bench-all/1",
+        "quick": args.quick,
+        "experiment_seconds": wall,
+        "shard": shard_result,
+    }
+    with open(out_dir / "BENCH_all.json", "w") as handle:
+        json.dump(aggregate, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s, %s, %s"
+          % (out_dir / "bench_report.txt", out_dir / "BENCH_shard.json",
+             out_dir / "BENCH_all.json"))
     return 0
 
 

@@ -1,0 +1,244 @@
+"""Shard benchmark: monolithic vs sharded-sequential vs sharded-parallel.
+
+The tentpole measurement for the sharded subsystem: on a large flat
+scale-free workload (10k procedures, wide variable universe), solve
+``RMOD`` + ``IMOD+`` + ``GMOD`` for both effect kinds three ways —
+
+* **monolithic** — Figure 1 + Figure 2 on the whole graphs;
+* **sharded-sequential** — the hierarchical solver, shards solved
+  in-process (``jobs=1``, the direct reverse-topological path);
+* **sharded-parallel**  — same, with a shard process pool sized to
+  the machine (``jobs=os.cpu_count()``; on a single-CPU runner this
+  degenerates to the sequential path, which is the honest number).
+
+Timing methodology: the three modes are *interleaved* and the minimum
+over ``repeats`` rounds is reported — the first big-int solve of a
+process pays an allocator-warmup tax that would otherwise charge
+whichever mode runs first.  Results are asserted bit-identical before
+any number is reported.
+
+The measured result is written to ``BENCH_shard.json`` at the repo
+root (machine-readable perf trajectory; ``benchmarks/run_all.py``
+aggregates it into ``BENCH_all.json``).
+
+Environment knobs: ``CK_SHARD_BENCH_PROCS`` (default 10000) and
+``CK_SHARD_BENCH_REPEATS`` (default 3) resize the slow test.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.core.bitvec import OpCounter
+from repro.core.gmod import findgmod
+from repro.core.imod_plus import compute_imod_plus
+from repro.core.local import LocalAnalysis
+from repro.core.rmod import solve_rmod
+from repro.core.varsets import EffectKind, VariableUniverse
+from repro.graphs.binding import build_binding_graph
+from repro.graphs.callgraph import build_call_graph
+from repro.shard.partition import partition_graph
+from repro.shard.runner import ShardRunner
+from repro.shard.solve import (
+    HierarchicalStats,
+    ShardedSystem,
+    narrow_carrier,
+    solve_gmod_sharded,
+    solve_rmod_sharded,
+)
+from repro.workloads.generator import generate_resolved, large_scale_config
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+KINDS = (EffectKind.MOD, EffectKind.USE)
+
+#: The tentpole workload: wide universe (long bit vectors for the
+#: monolithic solver's full-width ``& ~LOCAL`` per edge), scale-free
+#: call structure, a pinch of recursion for nontrivial SCCs.
+DEFAULT_PROCS = 10000
+DEFAULT_GLOBALS = 2000
+DEFAULT_LOCALS_RANGE = (8, 12)
+DEFAULT_SEED = 11
+
+
+def _run_monolithic(inputs) -> Dict:
+    resolved, universe, call_graph, binding_graph, local = inputs
+    out = {}
+    for kind in KINDS:
+        counter = OpCounter()
+        rmod = solve_rmod(binding_graph, local, kind, counter)
+        imod_plus = compute_imod_plus(resolved, local, rmod, kind, counter)
+        gmod = findgmod(call_graph, imod_plus, universe, kind, counter)
+        out[kind] = (rmod.proc_mask, gmod.gmod)
+    return out
+
+
+def _run_sharded(inputs, shards: int, jobs: int, strategy: str):
+    """One full sharded solve, *including* partition + system build."""
+    resolved, universe, call_graph, binding_graph, local = inputs
+    beta_plan = partition_graph(
+        binding_graph.num_formals, binding_graph.successors, shards, strategy
+    )
+    call_plan = partition_graph(
+        call_graph.num_nodes, call_graph.successors, shards, strategy
+    )
+    beta_system = ShardedSystem(
+        binding_graph.num_formals, binding_graph.successors, None, beta_plan
+    )
+    call_system = ShardedSystem(
+        call_graph.num_nodes,
+        call_graph.successors,
+        universe.local_mask,
+        call_plan,
+        carrier=narrow_carrier(resolved, universe),
+    )
+    out = {}
+    rmod_stats, gmod_stats = HierarchicalStats(), HierarchicalStats()
+    with ShardRunner(jobs) as runner:
+        for kind in KINDS:
+            counter = OpCounter()
+            rmod, stats = solve_rmod_sharded(
+                binding_graph, local, kind, beta_system, runner, counter
+            )
+            rmod_stats.accumulate(stats)
+            imod_plus = compute_imod_plus(resolved, local, rmod, kind, counter)
+            gmod, stats = solve_gmod_sharded(
+                call_graph, imod_plus, universe, kind, call_system, runner, counter
+            )
+            gmod_stats.accumulate(stats)
+            out[kind] = (rmod.proc_mask, gmod)
+    return out, rmod_stats, gmod_stats, beta_plan, call_plan
+
+
+def measure_shard_benchmark(
+    num_procs: int = DEFAULT_PROCS,
+    num_globals: int = DEFAULT_GLOBALS,
+    locals_range: Tuple[int, int] = DEFAULT_LOCALS_RANGE,
+    shards: int = 8,
+    strategy: str = "chunk",
+    repeats: int = 3,
+    parallel_jobs: Optional[int] = None,
+) -> Dict:
+    """Run the three-way comparison; returns the BENCH_shard record.
+
+    Raises ``AssertionError`` if any sharded result differs from the
+    monolithic one by a single bit.
+    """
+    if parallel_jobs is None:
+        parallel_jobs = os.cpu_count() or 1
+    config = large_scale_config(
+        num_procs,
+        seed=DEFAULT_SEED,
+        num_globals=num_globals,
+        locals_range=locals_range,
+    )
+    resolved = generate_resolved(config)
+    universe = VariableUniverse(resolved)
+    call_graph = build_call_graph(resolved)
+    binding_graph = build_binding_graph(resolved)
+    local = LocalAnalysis(resolved, universe)
+    inputs = (resolved, universe, call_graph, binding_graph, local)
+
+    best = {"monolithic": float("inf"), "sequential": float("inf"),
+            "parallel": float("inf")}
+    reference = None
+    rmod_stats = gmod_stats = beta_plan = call_plan = None
+    for _ in range(repeats):
+        gc.collect()
+        tick = time.perf_counter()
+        reference = _run_monolithic(inputs)
+        best["monolithic"] = min(best["monolithic"], time.perf_counter() - tick)
+
+        gc.collect()
+        tick = time.perf_counter()
+        seq, rmod_stats, gmod_stats, beta_plan, call_plan = _run_sharded(
+            inputs, shards, 1, strategy
+        )
+        best["sequential"] = min(best["sequential"], time.perf_counter() - tick)
+
+        gc.collect()
+        tick = time.perf_counter()
+        par, _, _, _, _ = _run_sharded(inputs, shards, parallel_jobs, strategy)
+        best["parallel"] = min(best["parallel"], time.perf_counter() - tick)
+
+        for kind in KINDS:
+            assert seq[kind] == reference[kind], "sequential mismatch: %s" % kind
+            assert par[kind] == reference[kind], "parallel mismatch: %s" % kind
+
+    return {
+        "schema": "ck-bench-shard/1",
+        "workload": {
+            "num_procs": resolved.num_procs,
+            "num_call_sites": resolved.num_call_sites,
+            "num_vars": len(resolved.variables),
+            "num_globals": num_globals,
+            "locals_range": list(locals_range),
+            "seed": DEFAULT_SEED,
+            "beta_nodes": binding_graph.num_formals,
+            "call_edges": call_graph.num_edges,
+        },
+        "shards": shards,
+        "strategy": strategy,
+        "repeats": repeats,
+        "parallel_jobs": parallel_jobs,
+        "monolithic_s": best["monolithic"],
+        "sharded_sequential_s": best["sequential"],
+        "sharded_parallel_s": best["parallel"],
+        "speedup_sequential": best["monolithic"] / best["sequential"],
+        "speedup_parallel": best["monolithic"] / best["parallel"],
+        "identical": True,
+        "rmod_stats": rmod_stats.to_dict(),
+        "gmod_stats": gmod_stats.to_dict(),
+        "beta_plan": beta_plan.to_dict(),
+        "call_plan": call_plan.to_dict(),
+    }
+
+
+def write_bench_json(result: Dict, path: Optional[Path] = None) -> Path:
+    if path is None:
+        path = REPO_ROOT / "BENCH_shard.json"
+    with open(path, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def test_shard_bench_smoke():
+    """Small three-way run: correctness + JSON schema, no speed claim.
+
+    This is what CI's ``bench-smoke`` job runs; it still writes
+    ``BENCH_shard.json`` so the artifact upload always has a file (a
+    subsequent full run overwrites it with the 10k numbers).
+    """
+    result = measure_shard_benchmark(
+        num_procs=600, num_globals=120, shards=4, repeats=1
+    )
+    assert result["identical"]
+    assert result["monolithic_s"] > 0
+    assert result["rmod_stats"]["num_shards"] >= 1
+    path = write_bench_json(result)
+    assert json.loads(path.read_text())["schema"] == "ck-bench-shard/1"
+
+
+def test_shard_bench_10k():
+    """The tentpole claim: sharded-parallel beats monolithic wall-clock
+    on the 10k-procedure wide-universe workload (and stays exact)."""
+    num_procs = int(os.environ.get("CK_SHARD_BENCH_PROCS", DEFAULT_PROCS))
+    repeats = int(os.environ.get("CK_SHARD_BENCH_REPEATS", 3))
+    result = measure_shard_benchmark(num_procs=num_procs, repeats=repeats)
+    write_bench_json(result)
+    print(
+        "\nshard bench: mono %.3fs  seq %.3fs (%.2fx)  par %.3fs (%.2fx)"
+        % (result["monolithic_s"],
+           result["sharded_sequential_s"], result["speedup_sequential"],
+           result["sharded_parallel_s"], result["speedup_parallel"])
+    )
+    assert result["identical"]
+    assert result["sharded_parallel_s"] < result["monolithic_s"], (
+        "sharded-parallel (%.3fs) did not beat monolithic (%.3fs)"
+        % (result["sharded_parallel_s"], result["monolithic_s"])
+    )

@@ -17,7 +17,11 @@ Subcommands:
   recompilation after an edit;
 * ``batch DIR``      — analyze every ``.ck`` file under a directory in
   parallel, with a content-hash summary cache and a corpus stats
-  report (see :mod:`repro.service`);
+  report (see :mod:`repro.service`); ``--shards N`` switches every
+  file to the sharded solver;
+* ``shard FILE``     — run the sharded whole-program solve
+  (partition → boundary summaries → hierarchical stitch, see
+  :mod:`repro.shard`) and print the summary plus partition stats;
 * ``serve``          — run the long-lived analysis daemon: TCP,
   line-delimited JSON, incremental sessions (see :mod:`repro.server`);
 * ``query``          — one request against a running daemon, response
@@ -160,6 +164,56 @@ def _cmd_recompile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.shard.solve import analyze_side_effects_sharded
+
+    with open(args.file) as handle:
+        source = handle.read()
+    summary = analyze_side_effects_sharded(
+        source,
+        num_shards=args.shards,
+        jobs=args.jobs,
+        strategy=args.strategy,
+    )
+    info = summary.shard_info or {}
+    if args.stats_json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(summary.report())
+    print(
+        "\nshard plan (strategy=%s, requested=%d, jobs=%d):"
+        % (info.get("strategy", args.strategy),
+           info.get("requested_shards", args.shards),
+           info.get("jobs", args.jobs))
+    )
+    for label, key in (("binding graph (RMOD)", "beta"), ("call graph (GMOD)", "call")):
+        plan = info.get(key)
+        if not plan:
+            continue
+        print(
+            "  %-20s %d shard(s), sizes %s, %d/%d edges cut,"
+            " %d components (largest %d)"
+            % (label, plan["num_shards"], plan["shard_sizes"],
+               plan["cut_edges"], plan["num_edges"],
+               plan["num_components"], plan["largest_component"])
+        )
+    for key in ("rmod", "gmod"):
+        stats = info.get(key)
+        if not stats:
+            continue
+        print(
+            "  %-20s boundary=%d engines: %d maskless / %d masked;"
+            " summarize %.4fs stitch %.4fs backsub %.4fs"
+            % (key.upper(), stats["boundary_nodes"],
+               stats["maskless_shards"], stats["masked_shards"],
+               stats["summarize_time"], stats["stitch_time"],
+               stats["backsub_time"])
+        )
+    return 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     import os
 
@@ -181,6 +235,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         pattern=args.pattern,
         cache_max_entries=args.cache_max_entries,
+        shards=args.shards if args.shards else None,
     )
     if not report.results:
         # An empty corpus is a misconfiguration (wrong directory or
@@ -227,6 +282,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         cache_max_entries=args.cache_max_entries,
         drain_timeout=args.drain_timeout,
+        shard_jobs=args.shard_jobs,
     )
     server = AnalysisServer(config)
 
@@ -274,6 +330,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         fields["kind"] = args.kind
     if args.gmod_method:
         fields["gmod_method"] = args.gmod_method
+    if args.shards is not None:
+        fields["shards"] = args.shards
     try:
         with ServerClient(
             port=args.port, host=args.host, timeout=args.timeout
@@ -393,7 +451,34 @@ def build_parser() -> argparse.ArgumentParser:
     batch_cmd.add_argument(
         "--pattern", default="*.ck", help="source file glob (default: *.ck)"
     )
+    batch_cmd.add_argument(
+        "--shards", type=int, default=0,
+        help="solve every file with the sharded subsystem "
+             "(0 = monolithic; summaries are bit-identical either way)",
+    )
     batch_cmd.set_defaults(func=_cmd_batch)
+
+    shard_cmd = sub.add_parser(
+        "shard", help="analyze one file with the sharded whole-program solver"
+    )
+    shard_cmd.add_argument("file")
+    shard_cmd.add_argument(
+        "--shards", type=int, default=4,
+        help="requested shard count (clamped to the SCC count; default 4)",
+    )
+    shard_cmd.add_argument(
+        "--jobs", type=int, default=1,
+        help="shard worker processes (0 = one per CPU, 1 = in-process)",
+    )
+    shard_cmd.add_argument(
+        "--strategy", choices=("greedy", "chunk"), default="greedy",
+        help="partitioner strategy (default: greedy edge-cut)",
+    )
+    shard_cmd.add_argument(
+        "--stats-json", action="store_true",
+        help="print the shard_info block as JSON instead of the report",
+    )
+    shard_cmd.set_defaults(func=_cmd_shard)
 
     serve_cmd = sub.add_parser(
         "serve", help="run the analysis daemon (line-delimited JSON over TCP)"
@@ -440,6 +525,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="grace period for in-flight requests on shutdown",
     )
     serve_cmd.add_argument(
+        "--shard-jobs", type=int, default=1,
+        help="shard worker processes for analyze requests with 'shards'"
+             " (default 1: in-process)",
+    )
+    serve_cmd.add_argument(
         "--metrics-json", default="",
         help="write the final stats snapshot to this path on exit",
     )
@@ -469,6 +559,10 @@ def build_parser() -> argparse.ArgumentParser:
     query_cmd.add_argument("--kind", default="", choices=("", "mod", "use"))
     query_cmd.add_argument(
         "--gmod-method", default="", choices=("",) + GMOD_METHODS,
+    )
+    query_cmd.add_argument(
+        "--shards", type=int, default=None,
+        help="solve with the sharded subsystem (analyze verb)",
     )
     query_cmd.set_defaults(func=_cmd_query)
     return parser

@@ -154,7 +154,7 @@ def payload_from_summary(summary: SideEffectSummary) -> Dict:
     """
     from repro.core.persist import summary_to_dict
 
-    return {
+    payload = {
         "summary": summary_to_dict(summary),
         "timings": dict(summary.timings),
         "ops": {
@@ -165,23 +165,62 @@ def payload_from_summary(summary: SideEffectSummary) -> Dict:
         "num_procs": summary.resolved.num_procs,
         "num_call_sites": summary.resolved.num_call_sites,
     }
+    # Only sharded runs carry partition statistics; omitting the key
+    # otherwise keeps monolithic payloads byte-identical to before.
+    if summary.shard_info is not None:
+        payload["shard_info"] = summary.shard_info
+    return payload
 
 
-def analyze_source_payload(source: str, gmod_method: str = "auto") -> Dict:
+def analyze_source_payload(
+    source: str,
+    gmod_method: str = "auto",
+    shards: Optional[int] = None,
+    shard_jobs: int = 1,
+    shard_strategy: str = "greedy",
+) -> Dict:
     """Analyze source text and return a JSON-safe, picklable payload.
 
     This is the per-unit entry point for the batch service layer: a
     plain module-level function whose argument and result both pickle,
     so :class:`concurrent.futures.ProcessPoolExecutor` workers can call
     it directly.
+
+    ``shards`` routes the solve through the sharded subsystem
+    (:func:`repro.shard.solve.analyze_side_effects_sharded`, which
+    ignores ``gmod_method``); the ``summary`` field of the payload is
+    bit-identical either way — only ``timings``/``shard_info`` differ.
     """
+    if shards is not None:
+        from repro.shard.solve import analyze_side_effects_sharded
+
+        return payload_from_summary(
+            analyze_side_effects_sharded(
+                source,
+                num_shards=shards,
+                jobs=shard_jobs,
+                strategy=shard_strategy,
+            )
+        )
     return payload_from_summary(
         analyze_side_effects(source, gmod_method=gmod_method)
     )
 
 
-def analyze_file_payload(path: str, gmod_method: str = "auto") -> Dict:
+def analyze_file_payload(
+    path: str,
+    gmod_method: str = "auto",
+    shards: Optional[int] = None,
+    shard_jobs: int = 1,
+    shard_strategy: str = "greedy",
+) -> Dict:
     """:func:`analyze_source_payload` over a file path (picklable)."""
     with open(path) as handle:
         source = handle.read()
-    return analyze_source_payload(source, gmod_method=gmod_method)
+    return analyze_source_payload(
+        source,
+        gmod_method=gmod_method,
+        shards=shards,
+        shard_jobs=shard_jobs,
+        shard_strategy=shard_strategy,
+    )

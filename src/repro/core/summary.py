@@ -49,6 +49,9 @@ class SideEffectSummary:
     #: Per-phase wall times (seconds) recorded by the pipeline driver;
     #: keys like ``compile``, ``graphs``, ``rmod``, ``gmod``, ``total``.
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Partition/stitch statistics when the sharded solver produced
+    #: this summary (:mod:`repro.shard`); None for monolithic runs.
+    shard_info: Optional[Dict] = None
 
     # -- mask accessors -------------------------------------------------------
 

@@ -87,6 +87,10 @@ class ServerConfig:
     cache_dir: str = ""  # Optional disk summary cache (batch-shared).
     cache_max_entries: Optional[int] = None  # Disk-cache LRU bound.
     drain_timeout: float = 10.0  # Grace period for in-flight work.
+    #: Shard worker processes for ``analyze`` requests that carry a
+    #: ``"shards"`` field (1 = solve shards in-process; the solver
+    #: thread pool is the daemon's primary concurrency).
+    shard_jobs: int = 1
     #: Test hook: honor a ``"sleep": seconds`` request field inside the
     #: worker (deterministic timeout/overload tests).  Never enable in
     #: production serving.
@@ -105,6 +109,7 @@ class ServerConfig:
             "cache_dir": self.cache_dir,
             "cache_max_entries": self.cache_max_entries,
             "drain_timeout": self.drain_timeout,
+            "shard_jobs": self.shard_jobs,
         }
 
 
@@ -319,6 +324,18 @@ class AnalysisServer:
             return 0.0
 
     @staticmethod
+    def _shards(request: Dict[str, Any]) -> Optional[int]:
+        shards = request.get("shards")
+        if shards is None:
+            return None
+        if isinstance(shards, bool) or not isinstance(shards, int) or shards < 1:
+            raise ProtocolError(
+                E_BAD_REQUEST,
+                "field 'shards' must be a positive integer, got %r" % (shards,),
+            )
+        return shards
+
+    @staticmethod
     def _gmod_method(request: Dict[str, Any]) -> str:
         method = request.get("gmod_method", "auto")
         if method not in GMOD_METHODS:
@@ -336,11 +353,17 @@ class AnalysisServer:
     async def _verb_analyze(self, request_id: Any, request: Dict) -> Dict:
         source = require_str(request, "source")
         method = self._gmod_method(request)
+        shards = self._shards(request)
         session_name = request.get("session")
         if session_name is not None and not isinstance(session_name, str):
             raise ProtocolError(E_BAD_REQUEST, "field 'session' must be a string")
+        # The cache key is deliberately blind to ``shards``: the sharded
+        # and monolithic solvers produce bit-identical summaries (the
+        # differential suite asserts it), so a cached payload answers a
+        # sharded request exactly.
         key = content_key(source, method)
         sleep = self._request_sleep(request)
+        shard_jobs = self.config.shard_jobs
 
         cached: Any = False
         summary = None
@@ -361,11 +384,20 @@ class AnalysisServer:
                 def work():
                     if sleep:
                         time.sleep(sleep)
-                    live = analyze_side_effects(source, gmod_method=method)
+                    if shards is not None:
+                        from repro.shard.solve import analyze_side_effects_sharded
+
+                        live = analyze_side_effects_sharded(
+                            source, num_shards=shards, jobs=shard_jobs
+                        )
+                    else:
+                        live = analyze_side_effects(source, gmod_method=method)
                     return live, payload_from_summary(live)
 
                 summary, payload = await self._run_heavy(work)
                 self.metrics.observe_phases(summary.timings)
+                if shards is not None:
+                    self.metrics.observe_sharded(payload.get("shard_info"))
                 self.lru.put(key, (summary, payload))
                 if self.disk_cache is not None:
                     self.disk_cache.put(key, payload)
@@ -379,6 +411,8 @@ class AnalysisServer:
             num_procs=payload["num_procs"],
             num_call_sites=payload["num_call_sites"],
         )
+        if payload.get("shard_info") is not None:
+            response["shard_info"] = payload["shard_info"]
         if session_name is not None:
             assert summary is not None
             existing = self.sessions.get(session_name)

@@ -70,6 +70,10 @@ class ServerMetrics:
         #: every non-cached ``analyze`` this daemon performed.
         self.phase_seconds: Dict[str, float] = {}
         self.analyses = 0
+        self.sharded_analyses = 0
+        #: ``shard_info`` of the most recent sharded analyze (partition
+        #: shape + per-phase solver stats), for the ``stats`` verb.
+        self.last_shard_info: Optional[Dict] = None
         self.incremental_updates = 0
         self.reused_procs = 0
         self.affected_procs = 0
@@ -94,6 +98,11 @@ class ServerMetrics:
         for phase, seconds in timings.items():
             self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
 
+    def observe_sharded(self, shard_info: Optional[Dict]) -> None:
+        self.sharded_analyses += 1
+        if shard_info is not None:
+            self.last_shard_info = shard_info
+
     def observe_update(self, reused_procs: int, affected_procs: int) -> None:
         self.incremental_updates += 1
         self.reused_procs += reused_procs
@@ -112,6 +121,10 @@ class ServerMetrics:
             },
             "phase_seconds": dict(self.phase_seconds),
             "analyses": self.analyses,
+            "sharded": {
+                "analyses": self.sharded_analyses,
+                "last_shard_info": self.last_shard_info,
+            },
             "incremental": {
                 "updates": self.incremental_updates,
                 "reused_procs": self.reused_procs,

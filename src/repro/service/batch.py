@@ -42,11 +42,16 @@ def _analyze_task(task) -> Dict:
     """Worker body: analyze one source, never raise.
 
     Every failure mode becomes a structured error record so one bad
-    file cannot take down the pool or the run.
+    file cannot take down the pool or the run.  ``shards`` (None =
+    monolithic) selects the sharded solver; workers always run it
+    in-process (``shard_jobs=1``) — the batch pool is the only layer
+    of process fan-out.
     """
-    path, source, gmod_method = task
+    path, source, gmod_method, shards = task
     try:
-        result = analyze_source_payload(source, gmod_method=gmod_method)
+        result = analyze_source_payload(
+            source, gmod_method=gmod_method, shards=shards, shard_jobs=1
+        )
         return {"status": STATUS_OK, "path": path, "result": result}
     except CkError as error:
         message = "%s: %s" % (type(error).__name__, error)
@@ -107,6 +112,8 @@ class BatchReport:
     wall_time: float = 0.0
     cache_dir: str = ""
     cache_stats: Optional[CacheStats] = None
+    #: Shard count per file (None = monolithic solver).
+    shards: Optional[int] = None
 
     def _count(self, status: str) -> int:
         return sum(1 for r in self.results if r.status == status)
@@ -144,6 +151,7 @@ class BatchReport:
             "root": self.root,
             "gmod_method": self.gmod_method,
             "jobs": self.jobs,
+            "shards": self.shards,
             "wall_time": self.wall_time,
             "files": [r.to_dict(include_summaries) for r in self.results],
             "cache": self.cache_stats.to_dict() if self.cache_stats else None,
@@ -177,6 +185,7 @@ def run_batch(
     timeout: Optional[float] = None,
     pattern: str = "*.ck",
     cache_max_entries: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> BatchReport:
     """Analyze a corpus; the batch engine's programmatic entry point.
 
@@ -188,6 +197,12 @@ def run_batch(
     driver turns to it (pool mode only); a file that exceeds it gets a
     ``timeout`` record and the run continues.  ``cache_max_entries``
     bounds the cache directory (LRU eviction; None = unbounded).
+    ``shards`` switches every file to the sharded solver (workers stay
+    single-process inside; the batch pool is the only fan-out).  The
+    cache key is unchanged by ``shards``: summaries are bit-identical
+    across solvers, so a hit may legitimately return a payload the
+    other solver produced (``shard_info``/``timings`` reflect the
+    producing run).
     """
     if gmod_method not in GMOD_METHODS:
         raise ValueError(
@@ -248,7 +263,7 @@ def run_batch(
         for record in work:
             tick = time.perf_counter()
             outcome = _analyze_task(
-                (record.path, sources[record.path], gmod_method)
+                (record.path, sources[record.path], gmod_method, shards)
             )
             _apply(record, outcome, time.perf_counter() - tick)
     else:
@@ -259,7 +274,7 @@ def run_batch(
                     time.perf_counter(),
                     executor.submit(
                         _analyze_task,
-                        (record.path, sources[record.path], gmod_method),
+                        (record.path, sources[record.path], gmod_method, shards),
                     ),
                 )
                 for record in work
@@ -288,4 +303,5 @@ def run_batch(
         wall_time=time.perf_counter() - started,
         cache_dir=cache_dir or "",
         cache_stats=cache.stats if cache is not None else None,
+        shards=shards,
     )

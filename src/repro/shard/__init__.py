@@ -1,0 +1,56 @@
+"""Sharded whole-program analysis: partition, stitch, back-substitute.
+
+Where :mod:`repro.core` solves the canonical system
+``P(n) = s(n) | (OR over n->q of P(q)) & m(n)`` in one pass over the
+whole graph, this package splits that pass across an SCC-respecting
+partition and recombines the pieces — **bit-identically**: the sharded
+solver's :class:`~repro.core.summary.AnalysisSummary` matches the
+monolithic pipeline byte for byte in persist-v2 form, for every shard
+count and strategy (``make shard-differential`` is the standing
+oracle).
+
+* :mod:`repro.shard.partition` — Tarjan condensation plus ``greedy``
+  (balanced edge-cut) or ``chunk`` (contiguous reverse-topological)
+  shard assignment; SCCs are never split, so the cross-shard quotient
+  stays acyclic and each shard keeps the paper's one-pass property;
+* :mod:`repro.shard.boundary` — per-shard transfer summaries
+  (condense the interior onto the boundary) and back-substitution,
+  picklable for process pools;
+* :mod:`repro.shard.solve` — the hierarchical driver: summarize →
+  stitch → backsub, the sequential *direct* path for acyclic
+  quotients, the narrow ``GMOD`` carrier, and the
+  :func:`analyze_side_effects_sharded` entry point behind
+  ``ck-analyze shard``;
+* :mod:`repro.shard.runner` — the :class:`ShardRunner` process-pool
+  wrapper (``jobs=1`` stays in-process).
+"""
+
+from repro.shard.partition import STRATEGIES, ShardPlan, partition_graph
+from repro.shard.boundary import BacksubResult, ShardProblem, ShardSummary
+from repro.shard.runner import ShardRunner
+from repro.shard.solve import (
+    HierarchicalStats,
+    ShardedSystem,
+    analyze_side_effects_sharded,
+    narrow_carrier,
+    solve_gmod_sharded,
+    solve_hierarchical,
+    solve_rmod_sharded,
+)
+
+__all__ = [
+    "STRATEGIES",
+    "ShardPlan",
+    "partition_graph",
+    "BacksubResult",
+    "ShardProblem",
+    "ShardSummary",
+    "ShardRunner",
+    "HierarchicalStats",
+    "ShardedSystem",
+    "analyze_side_effects_sharded",
+    "narrow_carrier",
+    "solve_gmod_sharded",
+    "solve_hierarchical",
+    "solve_rmod_sharded",
+]

@@ -1,0 +1,364 @@
+"""Per-shard transfer summaries and shard-local solving.
+
+The hierarchical solver (:mod:`repro.shard.solve`) reduces both of the
+paper's propagation problems to one canonical form.  For every node
+``n`` of a multi-graph, find the least solution of::
+
+    P(n) = s(n)  |  ( OR_{n -> q} P(q) )  &  m(n)
+
+where ``s(n)`` is a pre-stripped seed (``s(n) & ~m(n) == 0``) and
+``m(n)`` is a *receive mask* applied to everything ``n`` pulls from
+its successors.  ``RMOD`` on β is this system with 0/1 seeds and
+``m(n) = -1`` (no mask); ``GMOD`` is this system on the call graph
+with ``m(n) = ~LOCAL(n)`` — the equation (4) filter — after the
+substitution ``P(p) = GMOD(p) - LOCAL(p)``, ``GMOD(p) = IMOD+(p) ∪
+OR_{p->q} P(q)``.
+
+A *shard problem* is the restriction of the system to one shard: the
+intra-shard edges stay edges, every cross-shard edge becomes a
+reference to an **import** (a node owned by another shard), and the
+shard's **exports** are the nodes other shards import.  Everything in
+a problem is plain ints/lists, so problems pickle cheaply into
+:class:`concurrent.futures.ProcessPoolExecutor` workers.
+
+Two worker bodies run per shard:
+
+* :func:`summarize_shard` — solve the shard symbolically, treating
+  imports as unknowns, and return for every export a transfer summary
+  ``(const, deps)``: the bits it contributes unconditionally plus the
+  imports whose value flows into it.  Two dependency engines:
+
+  - **maskless** (``problem.masked`` False): deps are a bitmask over
+    the shard's import list.  Chosen by the driver only when a static
+    check proves no import bit can be stripped by any receive mask in
+    the shard, so dependencies reduce to pure reachability.  This is
+    the hot path; it always applies to ``RMOD`` (no masks) and to
+    ``GMOD`` of flat programs (imported bits are global, masks strip
+    locals).
+  - **masked** (``problem.masked`` True): deps are ``{import ->
+    mask}`` dicts with masks composed along paths.  Since the transfer
+    functions ``x & M`` distribute over ``|``, the abstract least
+    fixpoint *is* the exact summary function — this engine is exact
+    for arbitrary nesting and is used whenever the static check fails.
+
+* :func:`backsub_shard` — once the stitch (in the driver) has final
+  values for every import, re-solve the shard concretely.  With exact
+  boundary values the shard-local least solution coincides with the
+  global least solution restricted to the shard, so back-substitution
+  is always exact regardless of engine.
+
+Within one shard the graph may still contain cycles (whole SCCs are
+assigned to shards).  Components whose traffic is untouched by the
+receive masks collapse to a single union per component — the Figure 1
+/ Figure 2 one-pass property, preserved per shard because SCCs never
+span shards; components where masks bite are iterated to a fixpoint
+(only reachable in the masked engine's nested-program cases).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.graphs.scc import tarjan_scc
+
+
+@dataclass
+class ShardProblem:
+    """The canonical system restricted to one shard (picklable)."""
+
+    shard_id: int
+    #: Global node ids, ascending; local index = list position.
+    nodes: List[int]
+    #: Intra-shard adjacency in local indices (parallel edges kept).
+    succ: List[List[int]]
+    #: Per local node: indices into ``imports`` (one per cross edge).
+    cross: List[List[int]]
+    #: Imported global node ids, ascending, deduplicated.
+    imports: List[int]
+    #: Pre-stripped seeds ``s(n)``, one per local node.
+    seeds: List[int]
+    #: Positive strip masks (``m(n) = ~strips[n]``); None = no masks.
+    strips: Optional[List[int]]
+    #: Local indices whose transfer summaries other shards need.
+    exports: List[int]
+    #: Dependency engine: False = maskless bitmask deps (static check
+    #: passed), True = per-import mask dicts (always exact).
+    masked: bool = False
+    #: Backsubstitution output: "value" → P(n); "succ_or" → the raw
+    #: successor union D(n) = OR_{n->q} P(q) (what equation (4) adds
+    #: to IMOD+).
+    emit: str = "value"
+    #: Shard-local SCC structure, precomputed by the driver so the
+    #: summarize and back-substitute phases (and both effect kinds)
+    #: share one Tarjan pass.  None → workers compute it themselves.
+    comp_of: Optional[List[int]] = None
+    comps: Optional[List[List[int]]] = None
+    #: Per-component strip union (seed-independent), precomputed by the
+    #: driver so the one-pass check costs one lookup instead of a
+    #: full-width OR per member on every solve.  Requires ``comps``.
+    comp_bite: Optional[List[int]] = None
+
+
+@dataclass
+class ShardSummary:
+    """Transfer summaries for one shard's exports."""
+
+    shard_id: int
+    #: Export local index → unconditional contribution.
+    const: Dict[int, int]
+    #: Export local index → import deps: bitmask over the problem's
+    #: import list (maskless) or ``{import index: mask}`` (masked).
+    deps: Dict[int, object]
+    steps: int = 0
+    elapsed: float = 0.0
+
+
+@dataclass
+class BacksubResult:
+    """Concrete per-node results for one shard."""
+
+    shard_id: int
+    #: Per local node: P(n) or D(n), per ``problem.emit``.
+    values: List[int]
+    steps: int = 0
+    elapsed: float = 0.0
+
+
+def _receive_mask(strips: Optional[List[int]], node: int) -> int:
+    return -1 if strips is None else ~strips[node]
+
+
+def _shard_components(
+    problem: ShardProblem,
+) -> Tuple[List[int], List[List[int]]]:
+    if problem.comp_of is not None and problem.comps is not None:
+        return problem.comp_of, problem.comps
+    return tarjan_scc(len(problem.nodes), problem.succ)
+
+
+def _component_bite(
+    problem: ShardProblem, comp_index: int, members: List[int]
+) -> int:
+    """Strip union over one component's members (0 when no strips)."""
+    if problem.strips is None:
+        return 0
+    if problem.comp_bite is not None:
+        return problem.comp_bite[comp_index]
+    bite = 0
+    for node in members:
+        bite |= problem.strips[node]
+    return bite
+
+
+def _solve_concrete(
+    problem: ShardProblem, import_values: List[int]
+) -> Tuple[List[int], int]:
+    """Least solution of the shard's system with imports fixed.
+
+    Returns ``(P, steps)`` where ``P[n]`` is the propagating value of
+    local node ``n``.
+    """
+    n = len(problem.nodes)
+    succ = problem.succ
+    cross = problem.cross
+    seeds = problem.seeds
+    strips = problem.strips
+    value = [0] * n
+    steps = 0
+    comp_of, comps = _shard_components(problem)
+    for comp_index, members in enumerate(comps):
+        # External contribution per member: the seed, finished
+        # successors in other components, and imports.
+        ext: List[int] = []
+        union = 0
+        bite = _component_bite(problem, comp_index, members)
+        for node in members:
+            acc = seeds[node]
+            for q in succ[node]:
+                if comp_of[q] != comp_index:
+                    acc |= value[q]
+            for i in cross[node]:
+                acc |= import_values[i]
+            steps += 1 + len(succ[node]) + len(cross[node])
+            ext.append(acc)
+            union |= acc
+        if union & bite == 0:
+            # Masks cannot strip anything in flight: within a strongly
+            # connected component the solution is the plain union
+            # (Figure 1's representer property), one pass.
+            for node in members:
+                value[node] = union
+            steps += len(members)
+            continue
+        # Masks bite: round-robin iteration to the fixpoint.  Seed each
+        # member with its masked external contribution first.
+        for node, acc in zip(members, ext):
+            value[node] = seeds[node] | (acc & _receive_mask(strips, node))
+        changed = True
+        while changed:
+            changed = False
+            for node in members:
+                acc = 0
+                for q in succ[node]:
+                    if comp_of[q] == comp_index:
+                        acc |= value[q]
+                steps += len(succ[node])
+                new = value[node] | (acc & _receive_mask(strips, node))
+                if new != value[node]:
+                    value[node] = new
+                    changed = True
+    return value, steps
+
+
+def summarize_shard(problem: ShardProblem) -> ShardSummary:
+    """Phase-1 worker: symbolic shard solve → export summaries."""
+    started = time.perf_counter()
+    if problem.masked:
+        const, deps, steps = _summarize_masked(problem)
+    else:
+        const, deps, steps = _summarize_maskless(problem)
+    return ShardSummary(
+        shard_id=problem.shard_id,
+        const={e: const[e] for e in problem.exports},
+        deps={e: deps[e] for e in problem.exports},
+        steps=steps,
+        elapsed=time.perf_counter() - started,
+    )
+
+
+def _summarize_maskless(
+    problem: ShardProblem,
+) -> Tuple[List[int], List[int], int]:
+    """Symbolic solve with bitmask deps (no per-dep masks).
+
+    Valid only under the driver's static no-strip guarantee for import
+    bits; const parts still honour the receive masks.
+    """
+    n = len(problem.nodes)
+    succ = problem.succ
+    cross = problem.cross
+    seeds = problem.seeds
+    strips = problem.strips
+    const = [0] * n
+    deps = [0] * n
+    steps = 0
+    comp_of, comps = _shard_components(problem)
+    for comp_index, members in enumerate(comps):
+        ext_const: List[int] = []
+        union = 0
+        bite = _component_bite(problem, comp_index, members)
+        dep_union = 0
+        for node in members:
+            acc = seeds[node]
+            for q in succ[node]:
+                if comp_of[q] != comp_index:
+                    acc |= const[q]
+                    dep_union |= deps[q]
+            for i in cross[node]:
+                dep_union |= 1 << i
+            steps += 1 + len(succ[node]) + len(cross[node])
+            ext_const.append(acc)
+            union |= acc
+        # Deps are pure reachability: uniform across the component.
+        for node in members:
+            deps[node] = dep_union
+        if union & bite == 0:
+            for node in members:
+                const[node] = union
+            steps += len(members)
+            continue
+        for node, acc in zip(members, ext_const):
+            const[node] = seeds[node] | (acc & _receive_mask(strips, node))
+        changed = True
+        while changed:
+            changed = False
+            for node in members:
+                acc = 0
+                for q in succ[node]:
+                    if comp_of[q] == comp_index:
+                        acc |= const[q]
+                steps += len(succ[node])
+                new = const[node] | (acc & _receive_mask(strips, node))
+                if new != const[node]:
+                    const[node] = new
+                    changed = True
+    return const, deps, steps
+
+
+def _summarize_masked(
+    problem: ShardProblem,
+) -> Tuple[List[int], List[Dict[int, int]], int]:
+    """Symbolic solve with per-import mask dicts (always exact).
+
+    The abstract value of a node is ``(const, {import: mask})``
+    meaning ``P(n) = const | OR_i (V(import_i) & mask_i)``.  Transfers
+    ``x & m(n)`` distribute over ``|``, so composing masks along edges
+    and taking unions at merges computes the exact summary function.
+    Runs as plain round-robin iteration per component — this engine
+    only serves shards where the static check failed (nested-program
+    shapes), which are small.
+    """
+    n = len(problem.nodes)
+    succ = problem.succ
+    cross = problem.cross
+    seeds = problem.seeds
+    strips = problem.strips
+    const = [0] * n
+    deps: List[Dict[int, int]] = [dict() for _ in range(n)]
+    steps = 0
+    for node in range(n):
+        const[node] = seeds[node]
+        mask = _receive_mask(strips, node)
+        for i in cross[node]:
+            prev = deps[node].get(i, 0)
+            deps[node][i] = prev | mask
+            steps += 1
+    changed = True
+    while changed:
+        changed = False
+        for node in range(n):
+            mask = _receive_mask(strips, node)
+            acc_const = const[node]
+            bucket = deps[node]
+            for q in succ[node]:
+                acc_const |= const[q] & mask
+                for i, dep_mask in deps[q].items():
+                    combined = dep_mask & mask
+                    if combined == 0:
+                        continue
+                    prev = bucket.get(i, 0)
+                    if combined | prev != prev:
+                        bucket[i] = prev | combined
+                        changed = True
+                steps += 1 + len(deps[q])
+            if acc_const != const[node]:
+                const[node] = acc_const
+                changed = True
+    return const, deps, steps
+
+
+def backsub_shard(task: Tuple[ShardProblem, List[int]]) -> BacksubResult:
+    """Phase-3 worker: concrete shard solve with stitched imports."""
+    problem, import_values = task
+    started = time.perf_counter()
+    value, steps = _solve_concrete(problem, import_values)
+    if problem.emit == "succ_or":
+        out = [0] * len(problem.nodes)
+        for node in range(len(problem.nodes)):
+            acc = 0
+            for q in problem.succ[node]:
+                acc |= value[q]
+            for i in problem.cross[node]:
+                acc |= import_values[i]
+            steps += len(problem.succ[node]) + len(problem.cross[node])
+            out[node] = acc
+    else:
+        out = value
+    return BacksubResult(
+        shard_id=problem.shard_id,
+        values=out,
+        steps=steps,
+        elapsed=time.perf_counter() - started,
+    )

@@ -1,0 +1,253 @@
+"""SCC-condensation-respecting graph partitioner.
+
+Both solver graphs — the binding multi-graph β (``RMOD``) and the call
+multi-graph (``GMOD``) — are partitioned at *component* granularity:
+the graph is condensed first (:func:`repro.graphs.scc.condense`) and
+whole strongly connected components are assigned to shards, so no
+strongly connected region ever spans a shard boundary.
+
+That invariant is what keeps the hierarchical solve exact and one-pass
+per shard (DESIGN.md, "Sharded solving"): every cycle of the
+underlying multi-graph is interior to some shard, hence the
+cross-shard *boundary* dependency graph is always acyclic — even when
+the shard quotient graph is not (the greedy strategy may produce
+quotient cycles; a cycle among boundary *nodes* would require an SCC
+spanning two shards, which the partitioner forbids).
+
+Two strategies:
+
+* ``"greedy"`` — components are scanned in topological order (callers
+  first) and each is placed on the shard that already owns the most of
+  its incoming edges (fewest new cut edges), subject to a balance cap.
+  ``O(N + E)`` and cut-aware.
+* ``"chunk"`` — contiguous topological chunks of roughly equal node
+  weight.  The shard quotient graph is then itself acyclic; this is
+  the predictable fallback.
+
+Edge cases are first-class: an empty graph yields one empty shard, a
+single requested shard yields the trivial plan, more shards than
+components clamps to one component per shard, and a giant SCC simply
+becomes one overweight shard with the remaining components spread over
+the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.graphs.scc import condense
+
+STRATEGIES = ("greedy", "chunk")
+
+
+@dataclass
+class ShardPlan:
+    """A component-respecting assignment of graph nodes to shards."""
+
+    requested_shards: int
+    strategy: str
+    num_nodes: int
+    num_edges: int
+    #: ``shard_of[node]`` → shard index.
+    shard_of: List[int]
+    #: ``shards[s]`` → member nodes, ascending.
+    shards: List[List[int]]
+    #: Multi-edges whose endpoints live on different shards.
+    cut_edges: int
+    num_components: int
+    largest_component: int
+    #: Deduplicated shard → shard successor lists (may be cyclic under
+    #: the greedy strategy; never cyclic under "chunk").
+    quotient: List[List[int]] = field(default_factory=list)
+    #: The :class:`~repro.graphs.scc.Condensation` the partitioner ran
+    #: on, kept so downstream consumers (:class:`ShardedSystem`) can
+    #: derive shard-local SCC structure without re-running Tarjan.
+    #: None for hand-built plans; excluded from :meth:`to_dict`.
+    condensation: Optional[object] = None
+
+    @property
+    def num_shards(self) -> int:
+        """Effective shard count (may be below ``requested_shards``)."""
+        return len(self.shards)
+
+    def to_dict(self) -> Dict:
+        sizes = [len(members) for members in self.shards]
+        return {
+            "requested_shards": self.requested_shards,
+            "num_shards": self.num_shards,
+            "strategy": self.strategy,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "cut_edges": self.cut_edges,
+            "num_components": self.num_components,
+            "largest_component": self.largest_component,
+            "shard_sizes": sizes,
+        }
+
+
+def _count_edges(num_nodes: int, successors: Sequence[Sequence[int]]) -> int:
+    return sum(len(successors[node]) for node in range(num_nodes))
+
+
+def _finish_plan(
+    requested: int,
+    strategy: str,
+    num_nodes: int,
+    successors: Sequence[Sequence[int]],
+    shard_of: List[int],
+    num_shards: int,
+    num_components: int,
+    largest: int,
+    condensation: Optional[object] = None,
+) -> ShardPlan:
+    shards: List[List[int]] = [[] for _ in range(num_shards)]
+    for node in range(num_nodes):
+        shards[shard_of[node]].append(node)
+    cut = 0
+    quotient: List[List[int]] = [[] for _ in range(num_shards)]
+    last_seen = [-1] * num_shards
+    for node in range(num_nodes):
+        s = shard_of[node]
+        for succ in successors[node]:
+            t = shard_of[succ]
+            if t == s:
+                continue
+            cut += 1
+            if last_seen[t] != s:
+                last_seen[t] = s
+                quotient[s].append(t)
+    # ``last_seen`` dedupes per source *node*; dedupe per shard properly.
+    quotient = [sorted(set(targets)) for targets in quotient]
+    return ShardPlan(
+        requested_shards=requested,
+        strategy=strategy,
+        num_nodes=num_nodes,
+        num_edges=_count_edges(num_nodes, successors),
+        shard_of=shard_of,
+        shards=shards,
+        cut_edges=cut,
+        num_components=num_components,
+        largest_component=largest,
+        quotient=quotient,
+        condensation=condensation,
+    )
+
+
+def partition_graph(
+    num_nodes: int,
+    successors: Sequence[Sequence[int]],
+    num_shards: int,
+    strategy: str = "greedy",
+) -> ShardPlan:
+    """Partition a multi-graph into at most ``num_shards`` shards.
+
+    Whole SCCs are assigned, never split.  The effective shard count is
+    ``min(num_shards, number of components)`` (and 1 for an empty
+    graph, so every plan has at least one — possibly empty — shard).
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            "strategy must be one of %s, got %r" % (STRATEGIES, strategy)
+        )
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1, got %d" % num_shards)
+    if num_nodes == 0:
+        return ShardPlan(
+            requested_shards=num_shards,
+            strategy=strategy,
+            num_nodes=0,
+            num_edges=0,
+            shard_of=[],
+            shards=[[]],
+            cut_edges=0,
+            num_components=0,
+            largest_component=0,
+            quotient=[[]],
+        )
+
+    cond = condense(num_nodes, successors)
+    num_components = cond.num_components
+    largest = max(len(members) for members in cond.components)
+    effective = max(1, min(num_shards, num_components))
+    shard_of = [-1] * num_nodes
+
+    # Components in topological order: callers/roots first, so when a
+    # component is placed every one of its predecessors already has a
+    # shard (tarjan emits reverse topological order).
+    topo_components = cond.topological_order()
+
+    if effective == 1:
+        for node in range(num_nodes):
+            shard_of[node] = 0
+        return _finish_plan(
+            num_shards, strategy, num_nodes, successors, shard_of,
+            1, num_components, largest, cond,
+        )
+
+    if strategy == "chunk":
+        # Contiguous topological chunks of ~equal node weight.  A chunk
+        # closes once cumulative weight passes i * total / effective —
+        # or earlier, when the components left exactly cover the shards
+        # left, so no trailing shard ends up empty.
+        shard = 0
+        placed_in_shard = 0
+        placed_total = 0
+        for order, comp in enumerate(topo_components):
+            remaining = num_components - order  # Unplaced, incl. this one.
+            if placed_in_shard > 0 and shard < effective - 1 and (
+                placed_total >= (shard + 1) * num_nodes / effective
+                or remaining == effective - shard
+            ):
+                shard += 1
+                placed_in_shard = 0
+            members = cond.components[comp]
+            for node in members:
+                shard_of[node] = shard
+            placed_in_shard += len(members)
+            placed_total += len(members)
+        return _finish_plan(
+            num_shards, strategy, num_nodes, successors, shard_of,
+            effective, num_components, largest, cond,
+        )
+
+    # Greedy edge-cut: place each component on the shard owning the
+    # most edges into it, subject to a balance cap with 15% slack.
+    cap = max(1, -(-num_nodes * 115 // (effective * 100)))
+    weight = [0] * effective
+    comp_shard = [-1] * num_components
+    # incoming[c][s] — multi-edges from already-placed nodes into c.
+    incoming: List[Dict[int, int]] = [dict() for _ in range(num_components)]
+    for comp in topo_components:
+        members = cond.components[comp]
+        votes = incoming[comp]
+        best = -1
+        best_votes = -1
+        for s in range(effective):
+            if weight[s] + len(members) > cap and weight[s] > 0:
+                continue
+            v = votes.get(s, 0)
+            if v > best_votes:
+                best = s
+                best_votes = v
+        if best < 0:
+            # Every shard is at its cap (giant components): take the
+            # lightest one.
+            best = min(range(effective), key=lambda s: (weight[s], s))
+        comp_shard[comp] = best
+        weight[best] += len(members)
+        for node in members:
+            shard_of[node] = best
+        # Register this component's outgoing edges as votes for its
+        # successors (which are all placed later in topological order).
+        for node in members:
+            for succ in successors[node]:
+                succ_comp = cond.component_of[succ]
+                if succ_comp == comp:
+                    continue
+                bucket = incoming[succ_comp]
+                bucket[best] = bucket.get(best, 0) + 1
+    return _finish_plan(
+        num_shards, strategy, num_nodes, successors, shard_of,
+        effective, num_components, largest, cond,
+    )

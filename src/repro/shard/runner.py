@@ -1,0 +1,100 @@
+"""Parallel shard execution over ``ProcessPoolExecutor``.
+
+The runner is the shard subsystem's counterpart of the batch engine's
+process pool (:mod:`repro.service.batch`): the same picklable-payload
+discipline — module-level worker functions, plain-data arguments —
+but fanning out *within* one program instead of across files.  One
+runner is shared by every phase of a sharded analysis (RMOD and GMOD,
+``MOD`` and ``USE``, summarize and back-substitute), so the pool forks
+once and is reused for all eight maps.
+
+``jobs <= 1`` runs in-process with no pool at all — the
+sharded-sequential mode the benchmarks use to isolate partitioning
+overhead from parallel speedup — and a pool that cannot start (e.g.
+a sandbox forbidding fork) degrades to in-process execution rather
+than failing the analysis.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+class ShardRunner:
+    """Maps worker functions over per-shard payloads, in order."""
+
+    def __init__(self, jobs: Optional[int] = None):
+        if jobs is None or jobs <= 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_broken = False
+        #: Wall seconds per named map call (folded into phase stats).
+        self.map_times: Dict[str, float] = {}
+        #: Max in-worker seconds per named map call (the critical path
+        #: a perfectly parallel execution could not beat).
+        self.span_times: Dict[str, float] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ShardRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self._pool is None and not self._pool_broken:
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            except OSError:
+                self._pool_broken = True
+        return self._pool
+
+    # -- mapping ------------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[_T], _R],
+        items: Sequence[_T],
+        label: str = "map",
+    ) -> List[_R]:
+        """Apply ``fn`` to every item, preserving order.
+
+        Uses the pool when it is worth it (more than one job *and*
+        more than one item); falls back to in-process execution
+        otherwise or when the pool cannot be created.
+        """
+        tick = time.perf_counter()
+        if self.jobs <= 1 or len(items) <= 1:
+            results = [fn(item) for item in items]
+        else:
+            pool = self._ensure_pool()
+            if pool is None:
+                results = [fn(item) for item in items]
+            else:
+                try:
+                    futures = [pool.submit(fn, item) for item in items]
+                    results = [future.result() for future in futures]
+                except OSError:
+                    self._pool_broken = True
+                    self._pool = None
+                    results = [fn(item) for item in items]
+        elapsed = time.perf_counter() - tick
+        self.map_times[label] = self.map_times.get(label, 0.0) + elapsed
+        span = max(
+            (getattr(r, "elapsed", 0.0) for r in results), default=0.0
+        )
+        self.span_times[label] = self.span_times.get(label, 0.0) + span
+        return results

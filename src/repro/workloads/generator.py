@@ -80,6 +80,13 @@ class GeneratorConfig:
     ensure_reachable: bool = True
     #: Fraction of globals declared as (small 2-D) arrays.
     array_global_fraction: float = 0.0
+    #: Large-scale mode: pick callees by preferential attachment so
+    #: the call multi-graph is scale-free (a few hub procedures with
+    #: high in-degree, a long tail of leaves) — the realistic shape
+    #: for 1k–50k-procedure programs.  Only applies to flat programs
+    #: (``max_depth == 1``); nested structure falls back to the
+    #: uniform picker.
+    scale_free: bool = False
 
 
 @dataclass
@@ -107,6 +114,10 @@ class _Generator:
         self.rng = random.Random(config.seed)
         self.globals: List[VarDecl] = []
         self.procs: List[_ProcInfo] = []
+        #: Preferential-attachment pool for scale-free mode: each proc
+        #: index appears once per incoming call plus once at birth, so
+        #: sampling the list uniformly is degree-proportional in O(1).
+        self._attachment: List[int] = []
 
     # -- structure ------------------------------------------------------------
 
@@ -209,8 +220,46 @@ class _Generator:
         args = [self.pick_argument(caller) for _ in callee.formals]
         return CallStmt(callee=callee.name, args=args)
 
+    def pick_callees_scale_free(self, caller: Optional[_ProcInfo]) -> List[_ProcInfo]:
+        """Preferential attachment: each call targets an *earlier* proc
+        with probability proportional to its in-degree (plus one), so
+        hubs emerge and — recursion rolls aside — the graph stays
+        acyclic by construction.  Flat programs only: every top-level
+        proc is visible to every other, so any earlier index is a
+        legal lexical target."""
+        config, rng = self.config, self.rng
+        count = rng.randint(*config.calls_per_proc_range)
+        caller_index = -1 if caller is None else caller.index
+        visible = self.visible_procs(caller)
+        callees: List[_ProcInfo] = []
+        for _ in range(count):
+            if config.allow_recursion and rng.random() < config.recursion_prob:
+                callees.append(rng.choice(visible))
+                continue
+            pick: Optional[int] = None
+            pool = self._attachment
+            if pool and caller_index > 0:
+                for _attempt in range(4):
+                    candidate = pool[rng.randrange(len(pool))]
+                    if candidate < caller_index:
+                        pick = candidate
+                        break
+            if pick is None:
+                later = [p for p in visible if p.index > caller_index]
+                if later:
+                    callees.append(rng.choice(later))
+                elif config.allow_recursion:
+                    callees.append(rng.choice(visible))
+                continue
+            callees.append(self.procs[pick])
+        for callee in callees:
+            self._attachment.append(callee.index)
+        return callees
+
     def pick_callees(self, caller: Optional[_ProcInfo]) -> List[_ProcInfo]:
         config = self.config
+        if config.scale_free and config.max_depth == 1:
+            return self.pick_callees_scale_free(caller)
         visible = self.visible_procs(caller)
         if not visible:
             return []
@@ -261,6 +310,9 @@ class _Generator:
         for callee in self.pick_callees(info):
             statements.append(self.make_call(info, callee))
         info.decl.body = self.wrap_control_flow(statements, info)
+        # Birth occurrence: once filled, the proc is a (unit-weight)
+        # attachment target for every later proc in scale-free mode.
+        self._attachment.append(info.index)
 
     # -- assembly ---------------------------------------------------------------
 
@@ -330,6 +382,42 @@ class _Generator:
         program.body = main_statements
         self.ensure_reachability(program)
         return program
+
+
+def large_scale_config(
+    num_procs: int,
+    seed: int = 0,
+    num_globals: Optional[int] = None,
+    calls_per_proc_range: Tuple[int, int] = (2, 5),
+    locals_range: Tuple[int, int] = (0, 1),
+) -> GeneratorConfig:
+    """A scale-free, flat configuration for 1k–50k-procedure programs.
+
+    The shape the shard benchmark and the equivalence fuzz sweep use:
+    wide variable universe (many globals → long bit vectors for the
+    monolithic solver), dense scale-free call structure, a pinch of
+    recursion so the partitioner sees nontrivial SCCs, and no control
+    flow (it is irrelevant to the side-effect problems but expensive
+    to generate at this size).
+    """
+    if num_procs < 1:
+        raise ValueError("num_procs must be >= 1, got %d" % num_procs)
+    if num_globals is None:
+        num_globals = max(64, num_procs // 5)
+    return GeneratorConfig(
+        seed=seed,
+        num_procs=num_procs,
+        num_globals=num_globals,
+        max_depth=1,
+        scale_free=True,
+        formals_range=(1, 3),
+        locals_range=locals_range,
+        calls_per_proc_range=calls_per_proc_range,
+        globals_modified_per_proc=1.5,
+        allow_recursion=True,
+        recursion_prob=0.05,
+        control_flow_prob=0.0,
+    )
 
 
 def generate_program(config: GeneratorConfig) -> Program:

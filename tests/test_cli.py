@@ -212,3 +212,41 @@ class TestSectionsLatticeFlag:
         out = capsys.readouterr().out
         assert "ranges lattice" in out
         assert "m(0:2,0)" in out
+
+
+class TestShard:
+    def test_shard_prints_summary_and_plan(self, chain_file, capsys):
+        assert main(["shard", chain_file, "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "GMOD" in out
+        assert "shard plan (strategy=greedy, requested=2" in out
+        assert "binding graph (RMOD)" in out
+        assert "call graph (GMOD)" in out
+
+    def test_shard_matches_analyze_output_sets(self, chain_file, capsys):
+        assert main(["analyze", chain_file]) == 0
+        mono = capsys.readouterr().out
+        assert main(["shard", chain_file, "--shards", "4",
+                     "--strategy", "chunk"]) == 0
+        sharded = capsys.readouterr().out
+        # The per-procedure report is identical; the shard run merely
+        # appends its plan block.
+        assert sharded.startswith(mono)
+
+    def test_shard_stats_json(self, chain_file, capsys):
+        import json as json_module
+
+        assert main(["shard", chain_file, "--shards", "2", "--stats-json"]) == 0
+        info = json_module.loads(capsys.readouterr().out)
+        assert info["requested_shards"] == 2
+        assert "beta" in info and "call" in info
+        assert info["rmod"]["num_shards"] >= 1
+
+    def test_batch_shards_flag(self, tmp_path, capsys):
+        source_dir = tmp_path / "corpus"
+        source_dir.mkdir()
+        (source_dir / "a.ck").write_text(patterns.chain(3))
+        assert main(["batch", str(source_dir), "--no-cache",
+                     "--jobs", "1", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out

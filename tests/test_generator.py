@@ -5,7 +5,12 @@ import pytest
 from repro.graphs.callgraph import build_call_graph
 from repro.lang.pretty import pretty
 from repro.lang.semantic import compile_source
-from repro.workloads.generator import GeneratorConfig, generate_program, generate_resolved
+from repro.workloads.generator import (
+    GeneratorConfig,
+    generate_program,
+    generate_resolved,
+    large_scale_config,
+)
 
 
 class TestValidity:
@@ -104,3 +109,56 @@ class TestStructuralControl:
         a = pretty(generate_program(GeneratorConfig(seed=1, num_procs=20)))
         b = pretty(generate_program(GeneratorConfig(seed=2, num_procs=20)))
         assert a != b
+
+
+class TestScaleFree:
+    """The large-scale preferential-attachment mode behind
+    large_scale_config (the shard benchmark workload)."""
+
+    def test_determinism(self):
+        config = large_scale_config(300, seed=42)
+        assert pretty(generate_program(config)) == pretty(generate_program(config))
+
+    def test_resolves_and_stays_flat(self):
+        resolved = generate_resolved(large_scale_config(400, seed=9))
+        assert resolved.num_procs == 401  # main + 400
+        assert resolved.max_nesting_level == 1
+
+    def test_in_degree_is_skewed(self):
+        # Preferential attachment concentrates calls on early hubs:
+        # the busiest procedure should see far more than the mean
+        # in-degree, and a heavy tail of procedures should see little.
+        resolved = generate_resolved(large_scale_config(1000, seed=4))
+        graph = build_call_graph(resolved)
+        indeg = [0] * graph.num_nodes
+        for node in range(graph.num_nodes):
+            for succ in graph.successors[node]:
+                indeg[succ] += 1
+        mean = sum(indeg) / len(indeg)
+        assert max(indeg) > 10 * mean
+        assert sum(1 for d in indeg if d <= 1) > len(indeg) / 4
+
+    def test_uniform_mode_is_not_skewed_like_scale_free(self):
+        from dataclasses import replace
+
+        config = large_scale_config(1000, seed=4)
+        uniform = replace(config, scale_free=False)
+        def max_indeg(cfg):
+            graph = build_call_graph(generate_resolved(cfg))
+            indeg = [0] * graph.num_nodes
+            for node in range(graph.num_nodes):
+                for succ in graph.successors[node]:
+                    indeg[succ] += 1
+            return max(indeg)
+        assert max_indeg(config) > 3 * max_indeg(uniform)
+
+    def test_locals_range_parameter(self):
+        resolved = generate_resolved(
+            large_scale_config(60, seed=2, locals_range=(3, 3))
+        )
+        for proc in resolved.procs[1:]:
+            assert len(proc.locals) == 3
+
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(ValueError):
+            large_scale_config(0)

@@ -175,6 +175,52 @@ class TestAnalyze:
                 assert client.analyze(patterns.chain(2))["cached"] is False
 
 
+class TestShardedAnalyze:
+    def test_sharded_analyze_is_bit_identical(self, client):
+        source = patterns.call_tree(4)
+        response = client.request_raw("analyze", source=source, shards=4)
+        assert response["ok"], response.get("error")
+        assert canon(response["summary"]) == canon(scratch_summary(source))
+        if response["cached"] is False:
+            info = response["shard_info"]
+            assert info["requested_shards"] == 4
+            assert info["beta"]["num_shards"] >= 1
+
+    def test_shards_field_validated(self, client):
+        for bad in (0, -2, "four", True):
+            response = client.request_raw(
+                "analyze", source=patterns.chain(2), shards=bad
+            )
+            assert not response["ok"]
+            assert response["error"]["code"] == "bad_request"
+
+    def test_sharded_metrics_in_stats(self):
+        config = ServerConfig(port=0)
+        with ServerThread(config) as handle:
+            with ServerClient(port=handle.port) as client:
+                client.request_raw(
+                    "analyze", source=patterns.ring(5), shards=2
+                )
+                stats = client.stats()
+        assert stats["config"]["shard_jobs"] == 1
+        sharded = stats["sharded"]
+        assert sharded["analyses"] == 1
+        assert sharded["last_shard_info"]["requested_shards"] == 2
+
+    def test_cache_key_blind_to_shards(self):
+        # A monolithic analyze warms the LRU; the sharded request for
+        # the same source is a hit (identical summary, by design).
+        config = ServerConfig(port=0)
+        with ServerThread(config) as handle:
+            with ServerClient(port=handle.port) as client:
+                cold = client.analyze(patterns.chain(5))
+                warm = client.request_raw(
+                    "analyze", source=patterns.chain(5), shards=4
+                )
+        assert warm["cached"] == "lru"
+        assert canon(warm["summary"]) == canon(cold["summary"])
+
+
 class TestSessions:
     def test_update_matches_from_scratch_and_reuses(self, client):
         base = patterns.chain(10)

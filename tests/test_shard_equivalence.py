@@ -1,0 +1,98 @@
+"""Differential oracle for the sharded solver.
+
+The sharded subsystem's contract is *bit-identity*: for every program,
+every shard count, both partition strategies, and both execution modes
+(in-process direct path and the 3-phase summarize/stitch/back-substitute
+path used with a process pool), the full serialized summary must be
+byte-equal to the monolithic pipeline's.  Two sweeps enforce it:
+
+* the structural corpus reused from tests/test_differential.py (30
+  seeded programs spanning nesting depth, recursion, and aliasing
+  density), at a fixed shard count;
+* a fuzz sweep of 25 fresh programs, each checked at shard counts
+  {1, 2, 4, 8} with alternating strategies.
+
+``summary_to_json`` excludes timings/counters/gmod_method, so byte
+equality compares exactly the analysis results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.persist import summary_to_json
+from repro.core.pipeline import analyze_side_effects
+from repro.shard.solve import analyze_side_effects_sharded
+from repro.workloads.generator import GeneratorConfig, generate_resolved
+from tests.test_differential import CONFIGS, _config_id
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+_FUZZ_CONFIGS = [
+    GeneratorConfig(
+        seed=9000 + index,
+        num_procs=10 + (index * 7) % 22,
+        num_globals=4 + index % 5,
+        max_depth=1 + index % 4,
+        nesting_prob=0.55,
+        allow_recursion=index % 3 != 0,
+        recursion_prob=0.3,
+        prob_arg_global=(0.0, 0.2, 0.45)[index % 3],
+    )
+    for index in range(25)
+]
+
+
+def canonical(summary) -> str:
+    return summary_to_json(summary, indent=None)
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=_config_id)
+def test_sharded_matches_monolithic_on_differential_corpus(config):
+    resolved = generate_resolved(config)
+    expected = canonical(analyze_side_effects(resolved))
+    sharded = analyze_side_effects_sharded(resolved, num_shards=4)
+    assert canonical(sharded) == expected
+    assert sharded.shard_info is not None
+    assert sharded.shard_info["requested_shards"] == 4
+
+
+@pytest.mark.parametrize(
+    "config", _FUZZ_CONFIGS, ids=lambda c: "fuzz-seed%d" % c.seed
+)
+def test_fuzz_sweep_all_shard_counts(config):
+    resolved = generate_resolved(config)
+    expected = canonical(analyze_side_effects(resolved))
+    for index, shards in enumerate(SHARD_COUNTS):
+        strategy = ("greedy", "chunk")[index % 2]
+        sharded = analyze_side_effects_sharded(
+            resolved, num_shards=shards, strategy=strategy
+        )
+        assert canonical(sharded) == expected, (shards, strategy)
+
+
+@pytest.mark.parametrize("jobs", [2])
+def test_three_phase_pool_path_matches(jobs):
+    """jobs > 1 takes the summarize → stitch → back-substitute route
+    (with a real process pool) instead of the direct in-process path;
+    both must produce the same bytes."""
+    for config in (
+        replace(_FUZZ_CONFIGS[1], num_procs=30),
+        replace(_FUZZ_CONFIGS[2], num_procs=24),
+    ):
+        resolved = generate_resolved(config)
+        expected = canonical(analyze_side_effects(resolved))
+        for strategy in ("greedy", "chunk"):
+            sharded = analyze_side_effects_sharded(
+                resolved, num_shards=4, jobs=jobs, strategy=strategy
+            )
+            assert canonical(sharded) == expected, strategy
+
+
+def test_fuzz_sweep_is_structurally_varied():
+    depths = {c.max_depth for c in _FUZZ_CONFIGS}
+    assert {1, 2, 3, 4} <= depths
+    assert {c.allow_recursion for c in _FUZZ_CONFIGS} == {True, False}
+    assert len(_FUZZ_CONFIGS) == 25
