@@ -4,23 +4,29 @@
 PY ?= python
 PP := PYTHONPATH=src
 
-.PHONY: test differential shard-differential bench-smoke bench server-smoke
+.PHONY: test differential shard-differential bench-smoke bench \
+	bench-frontend profile server-smoke
 
 # Tier-1 gate: the full unit/integration/property suite.
 test:
 	$(PP) $(PY) -m pytest -x -q
 
 # The standing oracle + batch-engine suites (fast subset for CI jobs
-# that iterate on solver fast paths).
+# that iterate on solver fast paths).  Includes the front-end golden
+# equivalence suite: the batched lexer and token-stream parser must
+# stay byte-identical to the frozen reference scanner.
 differential:
 	$(PP) $(PY) -m pytest -q tests/test_differential.py tests/test_batch.py \
-	    tests/test_linearity_guard.py tests/test_persist_roundtrip.py
+	    tests/test_linearity_guard.py tests/test_persist_roundtrip.py \
+	    tests/test_frontend_equivalence.py
 
 # The sharded-solver oracle: byte-equality against the monolithic
 # pipeline over the differential corpus, the fuzz sweep (shard counts
-# 1/2/4/8, both strategies), and the partitioner edge cases.
+# 1/2/4/8, both strategies), the partitioner edge cases, and the
+# binary wire codec round-trips.
 shard-differential:
-	$(PP) $(PY) -m pytest -q tests/test_shard.py tests/test_shard_equivalence.py
+	$(PP) $(PY) -m pytest -q tests/test_shard.py tests/test_shard_equivalence.py \
+	    tests/test_shard_wire.py
 
 # One tiny batch benchmark plus the shard-benchmark smoke (which
 # writes BENCH_shard.json), timing assertions disabled — keeps the
@@ -31,10 +37,24 @@ bench-smoke:
 	    --benchmark-disable
 	$(PP) $(PY) -m pytest -q benchmarks/test_bench_shard.py -k smoke \
 	    --benchmark-disable
+	$(PP) $(PY) -m pytest -q benchmarks/test_bench_frontend.py -k smoke \
+	    --benchmark-disable
 
 # The full measured benchmark suite (slow).
 bench:
 	$(PP) $(PY) -m pytest benchmarks -q
+
+# The front-end & serialization fast-path measurement (E11): writes
+# BENCH_frontend.json at the repo root and asserts the ≥3x tokenizer
+# and ≥1.5x end-to-end claims on the 10k workload.  Resize with
+# CK_FRONTEND_BENCH_PROCS / CK_FRONTEND_BENCH_REPEATS.
+bench-frontend:
+	$(PP) $(PY) -m pytest -q benchmarks/test_bench_frontend.py -s
+
+# Where does the time go?  Per-phase breakdown + cProfile hot spots on
+# a generated workload (see `ck-analyze profile --help` for knobs).
+profile:
+	$(PP) $(PY) -m repro.cli profile --gen-procs 2000 --gen-globals 200
 
 # End-to-end daemon check: spawn `ck-analyze serve` as a real OS
 # process, run one analyze + one query through the client, shut it

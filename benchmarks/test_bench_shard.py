@@ -21,8 +21,10 @@ The measured result is written to ``BENCH_shard.json`` at the repo
 root (machine-readable perf trajectory; ``benchmarks/run_all.py``
 aggregates it into ``BENCH_all.json``).
 
-Environment knobs: ``CK_SHARD_BENCH_PROCS`` (default 10000) and
-``CK_SHARD_BENCH_REPEATS`` (default 3) resize the slow test.
+Environment knobs: ``CK_SHARD_BENCH_PROCS`` (default 10000),
+``CK_SHARD_BENCH_REPEATS`` (default 3), ``CK_SHARD_BENCH_SHARDS``
+(default 4) and ``CK_SHARD_BENCH_JOBS`` (default 4) resize the slow
+test.
 """
 
 from __future__ import annotations
@@ -147,27 +149,49 @@ def measure_shard_benchmark(
             "parallel": float("inf")}
     reference = None
     rmod_stats = gmod_stats = beta_plan = call_plan = None
-    for _ in range(repeats):
-        gc.collect()
-        tick = time.perf_counter()
-        reference = _run_monolithic(inputs)
-        best["monolithic"] = min(best["monolithic"], time.perf_counter() - tick)
+    # The automatic collector is paused inside every timed region —
+    # identically for all three modes.  The workload keeps millions of
+    # live objects, so a generation-2 collection triggered mid-mode by
+    # the solvers' allocation churn charges a multi-hundred-ms heap
+    # scan to whichever mode happened to cross the threshold; explicit
+    # collects between modes keep actual garbage bounded.
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            gc.collect()
+            tick = time.perf_counter()
+            reference = _run_monolithic(inputs)
+            best["monolithic"] = min(
+                best["monolithic"], time.perf_counter() - tick
+            )
 
-        gc.collect()
-        tick = time.perf_counter()
-        seq, rmod_stats, gmod_stats, beta_plan, call_plan = _run_sharded(
-            inputs, shards, 1, strategy
-        )
-        best["sequential"] = min(best["sequential"], time.perf_counter() - tick)
+            gc.collect()
+            tick = time.perf_counter()
+            seq, rmod_stats, gmod_stats, beta_plan, call_plan = _run_sharded(
+                inputs, shards, 1, strategy
+            )
+            best["sequential"] = min(
+                best["sequential"], time.perf_counter() - tick
+            )
 
-        gc.collect()
-        tick = time.perf_counter()
-        par, _, _, _, _ = _run_sharded(inputs, shards, parallel_jobs, strategy)
-        best["parallel"] = min(best["parallel"], time.perf_counter() - tick)
+            gc.collect()
+            tick = time.perf_counter()
+            par, _, _, _, _ = _run_sharded(
+                inputs, shards, parallel_jobs, strategy
+            )
+            best["parallel"] = min(
+                best["parallel"], time.perf_counter() - tick
+            )
 
-        for kind in KINDS:
-            assert seq[kind] == reference[kind], "sequential mismatch: %s" % kind
-            assert par[kind] == reference[kind], "parallel mismatch: %s" % kind
+            for kind in KINDS:
+                assert seq[kind] == reference[kind], (
+                    "sequential mismatch: %s" % kind
+                )
+                assert par[kind] == reference[kind], (
+                    "parallel mismatch: %s" % kind
+                )
+    finally:
+        gc.enable()
 
     return {
         "schema": "ck-bench-shard/1",
@@ -229,7 +253,12 @@ def test_shard_bench_10k():
     on the 10k-procedure wide-universe workload (and stays exact)."""
     num_procs = int(os.environ.get("CK_SHARD_BENCH_PROCS", DEFAULT_PROCS))
     repeats = int(os.environ.get("CK_SHARD_BENCH_REPEATS", 3))
-    result = measure_shard_benchmark(num_procs=num_procs, repeats=repeats)
+    shards = int(os.environ.get("CK_SHARD_BENCH_SHARDS", 4))
+    jobs = int(os.environ.get("CK_SHARD_BENCH_JOBS", 4))
+    result = measure_shard_benchmark(
+        num_procs=num_procs, repeats=repeats, shards=shards,
+        parallel_jobs=jobs,
+    )
     write_bench_json(result)
     print(
         "\nshard bench: mono %.3fs  seq %.3fs (%.2fx)  par %.3fs (%.2fx)"

@@ -15,6 +15,10 @@ Subcommands:
   systems / the recompilation analysis);
 * ``recompile OLD.json NEW.json --edited a,b`` — which procedures need
   recompilation after an edit;
+* ``profile [FILE]`` — run one full analysis under ``cProfile`` and
+  print the per-phase timing breakdown (lex / parse / resolve /
+  graphs / solvers) plus the hottest functions; with no file, a
+  generated workload is profiled (``--gen-procs``);
 * ``batch DIR``      — analyze every ``.ck`` file under a directory in
   parallel, with a content-hash summary cache and a corpus stats
   report (see :mod:`repro.service`); ``--shards N`` switches every
@@ -211,6 +215,63 @@ def _cmd_shard(args: argparse.Namespace) -> int:
                stats["summarize_time"], stats["stitch_time"],
                stats["backsub_time"])
         )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import io
+    import pstats
+
+    if args.file:
+        with open(args.file) as handle:
+            source = handle.read()
+    else:
+        from repro.workloads.generator import (
+            generate_program,
+            large_scale_config,
+        )
+
+        config = large_scale_config(
+            args.gen_procs, seed=args.seed, num_globals=args.gen_globals
+        )
+        source = pretty(generate_program(config))
+        print(
+            "profiling generated workload: %d procedures, %d globals, seed %d"
+            % (args.gen_procs, args.gen_globals, args.seed)
+        )
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(args.repeat):
+        if args.shards:
+            from repro.shard.solve import analyze_side_effects_sharded
+
+            summary = analyze_side_effects_sharded(
+                source, num_shards=args.shards, jobs=args.jobs
+            )
+        else:
+            summary = analyze_side_effects(source, gmod_method=args.gmod_method)
+    profiler.disable()
+
+    timings = summary.timings or {}
+    total = timings.get("total", 0.0)
+    print("\nper-phase breakdown (last run):")
+    split_front_end = {"lex", "parse", "resolve"} <= timings.keys()
+    for phase, seconds in timings.items():
+        if phase == "total":
+            continue
+        if phase == "compile" and split_front_end:
+            continue  # Sum of lex+parse+resolve; shown via its parts.
+        share = (100.0 * seconds / total) if total else 0.0
+        print("  %-16s %8.4fs  %5.1f%%" % (phase, seconds, share))
+    print("  %-16s %8.4fs" % ("total", total))
+
+    print("\ncProfile hot spots (%s, top %d):" % (args.sort, args.top))
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    print(buffer.getvalue().rstrip())
     return 0
 
 
@@ -415,6 +476,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--edited", default="", help="comma-separated edited procedure names"
     )
     recompile_cmd.set_defaults(func=_cmd_recompile)
+
+    profile_cmd = sub.add_parser(
+        "profile",
+        help="profile one full analysis (cProfile + per-phase breakdown)",
+    )
+    profile_cmd.add_argument(
+        "file", nargs="?", default="",
+        help="CK source file (omit to profile a generated workload)",
+    )
+    profile_cmd.add_argument(
+        "--gen-procs", type=int, default=2000,
+        help="generated workload size when no file is given (default 2000)",
+    )
+    profile_cmd.add_argument(
+        "--gen-globals", type=int, default=200,
+        help="generated workload global count (default 200)",
+    )
+    profile_cmd.add_argument("--seed", type=int, default=0)
+    profile_cmd.add_argument(
+        "--repeat", type=int, default=1,
+        help="profile this many back-to-back runs (default 1)",
+    )
+    profile_cmd.add_argument(
+        "--gmod-method", choices=GMOD_METHODS, default="auto",
+        help="global-phase solver (default: auto)",
+    )
+    profile_cmd.add_argument(
+        "--shards", type=int, default=0,
+        help="profile the sharded solver with this many shards (0 = monolithic)",
+    )
+    profile_cmd.add_argument(
+        "--jobs", type=int, default=1,
+        help="shard worker processes (with --shards)",
+    )
+    profile_cmd.add_argument(
+        "--top", type=int, default=15,
+        help="cProfile rows to print (default 15)",
+    )
+    profile_cmd.add_argument(
+        "--sort", choices=("cumulative", "tottime", "calls"),
+        default="cumulative", help="cProfile sort key",
+    )
+    profile_cmd.set_defaults(func=_cmd_profile)
 
     batch_cmd = sub.add_parser(
         "batch", help="analyze a whole directory of CK files in parallel"

@@ -1,0 +1,108 @@
+"""Low-level binary encoding primitives shared by the serialization
+fast paths.
+
+Two consumers: the versioned binary summary container
+(:mod:`repro.core.persist`, format v3) and the shard boundary-summary
+wire format (:mod:`repro.shard.wire`).  Both speak the same dialect —
+unsigned LEB128 varints, zigzag-mapped signed ints, and big-int bit
+masks as little-endian minimal-length byte strings — so a byte layout
+debugged once works everywhere.
+
+Bit masks are the workhorse: the analysis represents variable sets as
+arbitrary-precision ints, and ``int.to_bytes``/``int.from_bytes`` move
+those to and from the wire entirely inside CPython's C layer.  A
+2000-variable dense mask is a 250-byte blob, not a 20 kB JSON name
+list.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def write_varint(out: bytearray, value: int) -> None:
+    """Append ``value`` (non-negative) as an unsigned LEB128 varint."""
+    if value < 0:
+        raise ValueError("varint value must be non-negative, got %d" % value)
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def read_varint(data, pos: int) -> Tuple[int, int]:
+    """Read an unsigned LEB128 varint at ``pos``; returns ``(value,
+    next position)``."""
+    result = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if byte < 0x80:
+            return result, pos
+        shift += 7
+
+
+def zigzag(value: int) -> int:
+    """Map a signed int to an unsigned one (0, -1, 1, -2 → 0, 1, 2, 3)
+    so small negatives stay small on the wire."""
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def unzigzag(value: int) -> int:
+    """Inverse of :func:`zigzag`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def write_signed(out: bytearray, value: int) -> None:
+    """Append a signed int as a zigzag varint."""
+    write_varint(out, (value << 1) if value >= 0 else ((-value << 1) - 1))
+
+
+def read_signed(data, pos: int) -> Tuple[int, int]:
+    """Read a zigzag varint; returns ``(signed value, next position)``."""
+    raw, pos = read_varint(data, pos)
+    return ((raw >> 1) if not raw & 1 else -((raw + 1) >> 1)), pos
+
+
+def mask_to_bytes(mask: int) -> bytes:
+    """A non-negative big-int mask as little-endian minimal bytes
+    (``b""`` for the empty mask)."""
+    if mask < 0:
+        raise ValueError("mask must be non-negative, got %d" % mask)
+    return mask.to_bytes((mask.bit_length() + 7) // 8, "little")
+
+
+def mask_from_bytes(blob: bytes) -> int:
+    """Inverse of :func:`mask_to_bytes`."""
+    return int.from_bytes(blob, "little")
+
+
+def write_mask(out: bytearray, mask: int) -> None:
+    """Append a length-prefixed mask blob."""
+    blob = mask_to_bytes(mask)
+    write_varint(out, len(blob))
+    out += blob
+
+
+def read_mask(data, pos: int) -> Tuple[int, int]:
+    """Read a length-prefixed mask blob; returns ``(mask, next
+    position)``."""
+    length, pos = read_varint(data, pos)
+    end = pos + length
+    return int.from_bytes(data[pos:end], "little"), end
+
+
+def write_bytes(out: bytearray, blob: bytes) -> None:
+    """Append a length-prefixed byte string."""
+    write_varint(out, len(blob))
+    out += blob
+
+
+def read_bytes(data, pos: int) -> Tuple[bytes, int]:
+    """Read a length-prefixed byte string; returns ``(bytes, next
+    position)``."""
+    length, pos = read_varint(data, pos)
+    end = pos + length
+    return bytes(data[pos:end]), end

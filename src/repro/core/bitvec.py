@@ -37,8 +37,15 @@ def iter_bits(mask: int) -> Iterator[int]:
 
 
 def popcount(mask: int) -> int:
-    """Number of set bits."""
-    return bin(mask).count("1")
+    """Number of set bits.
+
+    ``int.bit_count`` (Python 3.10+) counts bits directly on the
+    underlying limbs — unlike the old ``bin(mask).count("1")`` it never
+    materializes a binary string, which matters on dense 10k-variable
+    masks (see the popcount micro-benchmark in
+    ``benchmarks/test_bench_frontend.py``).
+    """
+    return mask.bit_count()
 
 
 def contains(mask: int, uid: int) -> bool:

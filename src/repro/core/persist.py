@@ -12,8 +12,17 @@ version's summary by the recompilation analysis.
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+import struct
+from typing import Dict, List, Optional
 
+from repro.core.binio import (
+    read_bytes,
+    read_signed,
+    read_varint,
+    write_bytes,
+    write_signed,
+    write_varint,
+)
 from repro.core.summary import SideEffectSummary
 from repro.core.varsets import EffectKind
 from repro.lang.symbols import ResolvedProgram
@@ -25,6 +34,41 @@ from repro.lang.symbols import ResolvedProgram
 #: History: 1 = procedures + call_sites; 2 = adds per-procedure alias
 #: pairs and the optional per-site regular-section block.
 FORMAT_VERSION = 2
+
+#: Version of the binary *container* (format v3).  The container wraps
+#: the same logical payload as the v2 JSON form — ``version`` inside
+#: the payload stays :data:`FORMAT_VERSION` — but stores it as a
+#: struct-packed header, an interned string table, and tagged values
+#: with variable-set name lists compressed to index deltas or bit
+#: masks.  Loaders sniff :data:`BINARY_MAGIC` and fall back to JSON, so
+#: v2 files keep loading forever.
+BINARY_FORMAT_VERSION = 3
+
+#: First bytes of every binary summary file.
+BINARY_MAGIC = b"CKSB"
+
+#: struct layout following the magic: container version, string-table
+#: byte length, body byte length.
+_HEADER = struct.Struct("<HQQ")
+
+# Value tags of the binary body encoding.
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_INT = 3
+_T_FLOAT = 4
+_T_STR = 5
+_T_LIST = 6
+_T_DICT = 7
+#: A list of interned strings whose table indices are strictly
+#: ascending (the common shape: variable-name sets emitted in a stable
+#: order) — stored as delta-encoded varints.
+_T_STRLIST_DELTA = 8
+#: Same, but dense: stored as a base index plus a bit mask over the
+#: index range, one bit per table entry.
+_T_STRLIST_MASK = 9
+
+_FLOAT = struct.Struct("<d")
 
 
 def summary_to_dict(summary: SideEffectSummary, include_sections: bool = False) -> Dict:
@@ -90,8 +134,229 @@ def summary_to_dict(summary: SideEffectSummary, include_sections: bool = False) 
     return payload
 
 
-def summary_to_json(summary: SideEffectSummary, indent: int = None) -> str:
+def summary_to_json(summary: SideEffectSummary, indent: Optional[int] = None) -> str:
     return json.dumps(summary_to_dict(summary), indent=indent, sort_keys=True)
+
+
+def summary_to_bytes(summary: SideEffectSummary, include_sections: bool = False) -> bytes:
+    """Serialize a live summary to the v3 binary container."""
+    return encode_summary_payload(summary_to_dict(summary, include_sections))
+
+
+# ---------------------------------------------------------------------------
+# Binary container (format v3)
+# ---------------------------------------------------------------------------
+
+
+def _encode_value(value, body: bytearray, intern) -> None:
+    if value is None:
+        body.append(_T_NONE)
+    elif value is True:
+        body.append(_T_TRUE)
+    elif value is False:
+        body.append(_T_FALSE)
+    elif type(value) is str:
+        body.append(_T_STR)
+        write_varint(body, intern(value))
+    elif type(value) is int:
+        body.append(_T_INT)
+        write_signed(body, value)
+    elif type(value) is float:
+        body.append(_T_FLOAT)
+        body += _FLOAT.pack(value)
+    elif isinstance(value, (list, tuple)):
+        if value and all(type(item) is str for item in value):
+            indices = [intern(item) for item in value]
+            ascending = True
+            previous = -1
+            for index in indices:
+                if index <= previous:
+                    ascending = False
+                    break
+                previous = index
+            if ascending:
+                first = indices[0]
+                span = indices[-1] - first + 1
+                if span <= 8 * len(indices):
+                    # Dense: a bit mask over [first, last] costs at most
+                    # one byte per member, while delta varints cost at
+                    # least one.
+                    body.append(_T_STRLIST_MASK)
+                    write_varint(body, first)
+                    mask_bits = bytearray((span + 7) >> 3)
+                    for index in indices:
+                        offset = index - first
+                        mask_bits[offset >> 3] |= 1 << (offset & 7)
+                    write_bytes(body, bytes(mask_bits))
+                else:
+                    body.append(_T_STRLIST_DELTA)
+                    write_varint(body, len(indices))
+                    write_varint(body, first)
+                    previous = first
+                    for index in indices[1:]:
+                        write_varint(body, index - previous - 1)
+                        previous = index
+                return
+            # Not table-ascending (e.g. alias name pairs): fall through
+            # to the generic list form, which preserves order exactly.
+        body.append(_T_LIST)
+        write_varint(body, len(value))
+        for item in value:
+            _encode_value(item, body, intern)
+    elif isinstance(value, dict):
+        body.append(_T_DICT)
+        write_varint(body, len(value))
+        for key, item in value.items():
+            if type(key) is not str:
+                raise TypeError(
+                    "binary summary payload keys must be str, got %r" % (key,)
+                )
+            write_varint(body, intern(key))
+            _encode_value(item, body, intern)
+    else:
+        raise TypeError(
+            "cannot encode %r in a binary summary payload" % type(value).__name__
+        )
+
+
+def encode_summary_payload(payload: Dict) -> bytes:
+    """Encode a summary payload dict (the :func:`summary_to_dict` shape)
+    into the v3 binary container.
+
+    Round-trips exactly: ``decode_summary_payload(encode_summary_payload(p))
+    == p`` for any JSON-safe payload.  Strings are interned in a table
+    written once; name-set lists collapse to delta varints or bit masks
+    whenever their interned indices are ascending (which they are for
+    every ``universe.to_names`` product, since those share one stable
+    emission order).
+    """
+    strings: List[str] = []
+    index_of: Dict[str, int] = {}
+
+    def intern(text: str) -> int:
+        found = index_of.get(text)
+        if found is None:
+            found = len(strings)
+            index_of[text] = found
+            strings.append(text)
+        return found
+
+    body = bytearray()
+    _encode_value(payload, body, intern)
+    table = bytearray()
+    write_varint(table, len(strings))
+    for text in strings:
+        write_bytes(table, text.encode("utf-8"))
+    return (
+        BINARY_MAGIC
+        + _HEADER.pack(BINARY_FORMAT_VERSION, len(table), len(body))
+        + bytes(table)
+        + bytes(body)
+    )
+
+
+def _decode_value(data, pos: int, strings: List[str]):
+    tag = data[pos]
+    pos += 1
+    if tag == _T_STR:
+        index, pos = read_varint(data, pos)
+        return strings[index], pos
+    if tag == _T_INT:
+        return read_signed(data, pos)
+    if tag == _T_DICT:
+        count, pos = read_varint(data, pos)
+        result = {}
+        for _ in range(count):
+            key_index, pos = read_varint(data, pos)
+            value, pos = _decode_value(data, pos, strings)
+            result[strings[key_index]] = value
+        return result, pos
+    if tag == _T_LIST:
+        count, pos = read_varint(data, pos)
+        items = []
+        for _ in range(count):
+            value, pos = _decode_value(data, pos, strings)
+            items.append(value)
+        return items, pos
+    if tag == _T_STRLIST_DELTA:
+        count, pos = read_varint(data, pos)
+        index, pos = read_varint(data, pos)
+        items = [strings[index]]
+        for _ in range(count - 1):
+            gap, pos = read_varint(data, pos)
+            index += gap + 1
+            items.append(strings[index])
+        return items, pos
+    if tag == _T_STRLIST_MASK:
+        first, pos = read_varint(data, pos)
+        blob, pos = read_bytes(data, pos)
+        mask = int.from_bytes(blob, "little")
+        items = []
+        base = first
+        while mask:
+            low = mask & -mask
+            items.append(strings[base + low.bit_length() - 1])
+            mask ^= low
+        return items, pos
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_FLOAT:
+        return _FLOAT.unpack_from(data, pos)[0], pos + 8
+    raise ValueError("corrupt binary summary: unknown value tag %d" % tag)
+
+
+def is_binary_summary(data: bytes) -> bool:
+    """Do these bytes start with the v3 binary container magic?"""
+    return data[: len(BINARY_MAGIC)] == BINARY_MAGIC
+
+
+def decode_summary_payload(data: bytes) -> Dict:
+    """Decode a v3 binary container back into the payload dict.
+
+    Raises :class:`ValueError` with an explicit message when the magic
+    or the container version does not match — a v4 writer and a v3
+    reader must fail loudly, never misread.
+    """
+    magic = data[: len(BINARY_MAGIC)]
+    if magic != BINARY_MAGIC:
+        raise ValueError(
+            "not a binary summary: expected magic %r, found %r"
+            % (BINARY_MAGIC, bytes(magic))
+        )
+    version, table_len, body_len = _HEADER.unpack_from(data, len(BINARY_MAGIC))
+    if version != BINARY_FORMAT_VERSION:
+        raise ValueError(
+            "unsupported binary summary container version %d (this reader "
+            "supports version %d); re-export the summary or upgrade"
+            % (version, BINARY_FORMAT_VERSION)
+        )
+    table_start = len(BINARY_MAGIC) + _HEADER.size
+    body_start = table_start + table_len
+    expected = body_start + body_len
+    if len(data) < expected:
+        raise ValueError(
+            "truncated binary summary: header promises %d bytes, found %d"
+            % (expected, len(data))
+        )
+    count, pos = read_varint(data, table_start)
+    strings: List[str] = []
+    for _ in range(count):
+        blob, pos = read_bytes(data, pos)
+        strings.append(blob.decode("utf-8"))
+    payload, _ = _decode_value(data, body_start, strings)
+    return payload
+
+
+def loads_summary_payload(data: bytes) -> Dict:
+    """Decode a serialized summary payload from either format: the v3
+    binary container (sniffed by magic) or the legacy v2 JSON text."""
+    if is_binary_summary(data):
+        return decode_summary_payload(data)
+    return json.loads(data.decode("utf-8"))
 
 
 class LoadedSummary:
@@ -103,15 +368,24 @@ class LoadedSummary:
     """
 
     def __init__(self, payload: Dict):
-        if payload.get("version") != FORMAT_VERSION:
+        found = payload.get("version")
+        if found != FORMAT_VERSION:
             raise ValueError(
-                "unsupported summary format version %r" % payload.get("version")
+                "unsupported summary payload version %r (this reader supports "
+                "version %d); re-export the summary with a matching toolchain"
+                % (found, FORMAT_VERSION)
             )
         self.payload = payload
 
     @classmethod
     def from_json(cls, text: str) -> "LoadedSummary":
         return cls(json.loads(text))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LoadedSummary":
+        """Load from either serialized form: the v3 binary container or
+        the legacy v2 JSON text (sniffed by magic)."""
+        return cls(loads_summary_payload(data))
 
     @property
     def program_name(self) -> str:

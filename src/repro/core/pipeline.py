@@ -80,12 +80,20 @@ def analyze_side_effects(
 
     tick = started
     if isinstance(program, str):
-        from repro.lang.semantic import compile_source
+        from repro.lang.lexer import tokenize_stream
+        from repro.lang.parser import parse_token_stream
+        from repro.lang.semantic import analyze as semantic_analyze
 
-        resolved = compile_source(program)
+        stream = tokenize_stream(program)
+        tick = _mark("lex", tick)
+        ast = parse_token_stream(stream)
+        tick = _mark("parse", tick)
+        resolved = semantic_analyze(ast)
+        tick = _mark("resolve", tick)
+        timings["compile"] = timings["lex"] + timings["parse"] + timings["resolve"]
     else:
         resolved = program
-    tick = _mark("compile", tick)
+        tick = _mark("compile", tick)
 
     if gmod_method not in GMOD_METHODS:
         raise ValueError(

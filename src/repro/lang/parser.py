@@ -23,14 +23,24 @@ Grammar (EBNF; ``{x}`` repetition, ``[x]`` option)::
 Expressions use conventional precedence (``or`` < ``and`` < ``not`` <
 comparisons < additive < multiplicative < unary minus).  Optional
 semicolons may separate statements and declarations.
+
+Implementation note: the parser runs directly over the lexer's
+:class:`~repro.lang.lexer.TokenStream` — four parallel lists of dense
+kind codes, values, lines, and columns.  All lookahead decisions
+compare plain ints and every field access is a flat list index; no
+token objects exist on the hot path.  That, plus binding the hot
+lists/tables to locals inside the loops, is what makes the parse phase
+fast — the grammar, the AST shapes, and every diagnostic message and
+position are identical to the straightforward token-object parser this
+replaced.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from repro.lang.errors import ParseError
-from repro.lang.lexer import tokenize
+from repro.lang.lexer import TokenStream, tokenize_stream
 from repro.lang.nodes import (
     Assign,
     BinOp,
@@ -50,89 +60,110 @@ from repro.lang.nodes import (
     VarRef,
     While,
 )
-from repro.lang.tokens import Token, TokenKind
+from repro.lang.tokens import KIND_BY_CODE, TokenKind
 
+# Dense int codes for every kind the parser dispatches on.
+_INT_C = TokenKind.INT.code
+_IDENT_C = TokenKind.IDENT.code
+_GLOBAL_C = TokenKind.GLOBAL.code
+_LOCAL_C = TokenKind.LOCAL.code
+_ARRAY_C = TokenKind.ARRAY.code
+_PROC_C = TokenKind.PROC.code
+_CALL_C = TokenKind.CALL.code
+_IF_C = TokenKind.IF.code
+_ELSE_C = TokenKind.ELSE.code
+_WHILE_C = TokenKind.WHILE.code
+_FOR_C = TokenKind.FOR.code
+_RETURN_C = TokenKind.RETURN.code
+_READ_C = TokenKind.READ.code
+_PRINT_C = TokenKind.PRINT.code
+_AND_C = TokenKind.AND.code
+_OR_C = TokenKind.OR.code
+_NOT_C = TokenKind.NOT.code
+_MINUS_C = TokenKind.MINUS.code
+_LPAREN_C = TokenKind.LPAREN.code
+_RPAREN_C = TokenKind.RPAREN.code
+_LBRACKET_C = TokenKind.LBRACKET.code
+_COMMA_C = TokenKind.COMMA.code
+_SEMI_C = TokenKind.SEMI.code
+_EOF_C = TokenKind.EOF.code
+
+# Operator tables keyed by kind code; values are the AST ``op`` strings.
 _COMPARISON_OPS = {
-    TokenKind.EQ: "=",
-    TokenKind.NE: "!=",
-    TokenKind.LT: "<",
-    TokenKind.LE: "<=",
-    TokenKind.GT: ">",
-    TokenKind.GE: ">=",
+    TokenKind.EQ.code: "=",
+    TokenKind.NE.code: "!=",
+    TokenKind.LT.code: "<",
+    TokenKind.LE.code: "<=",
+    TokenKind.GT.code: ">",
+    TokenKind.GE.code: ">=",
 }
 
-_ADDITIVE_OPS = {TokenKind.PLUS: "+", TokenKind.MINUS: "-"}
+_ADDITIVE_OPS = {TokenKind.PLUS.code: "+", TokenKind.MINUS.code: "-"}
 
 _MULTIPLICATIVE_OPS = {
-    TokenKind.STAR: "*",
-    TokenKind.SLASH: "/",
-    TokenKind.DIV: "div",
-    TokenKind.MOD: "mod",
+    TokenKind.STAR.code: "*",
+    TokenKind.SLASH.code: "/",
+    TokenKind.DIV.code: "div",
+    TokenKind.MOD.code: "mod",
 }
 
-_STATEMENT_STARTERS = {
-    TokenKind.IDENT,
-    TokenKind.CALL,
-    TokenKind.IF,
-    TokenKind.WHILE,
-    TokenKind.FOR,
-    TokenKind.RETURN,
-    TokenKind.READ,
-    TokenKind.PRINT,
-}
+_STATEMENT_STARTERS = frozenset(
+    {_IDENT_C, _CALL_C, _IF_C, _WHILE_C, _FOR_C, _RETURN_C, _READ_C, _PRINT_C}
+)
 
 
 class _Parser:
-    def __init__(self, tokens: List[Token]):
-        self.tokens = tokens
+    __slots__ = ("codes", "values", "lines", "columns", "pos")
+
+    def __init__(self, stream: TokenStream):
+        self.codes = stream.codes
+        self.values = stream.values
+        self.lines = stream.lines
+        self.columns = stream.columns
         self.pos = 0
 
     # -- token plumbing -----------------------------------------------------
 
-    def peek(self) -> Token:
-        return self.tokens[self.pos]
+    def expect(self, kind: TokenKind, context: str) -> int:
+        """Consume one token of ``kind`` and return its stream index."""
+        pos = self.pos
+        if self.codes[pos] != kind.code:
+            raise ParseError(
+                "expected %s in %s, found %s"
+                % (kind.value, context, KIND_BY_CODE[self.codes[pos]].value),
+                self.lines[pos],
+                self.columns[pos],
+            )
+        self.pos = pos + 1
+        return pos
 
-    def advance(self) -> Token:
-        token = self.tokens[self.pos]
-        if token.kind is not TokenKind.EOF:
+    def accept(self, code: int) -> bool:
+        if self.codes[self.pos] == code:
             self.pos += 1
-        return token
-
-    def check(self, kind: TokenKind) -> bool:
-        return self.peek().kind is kind
-
-    def accept(self, kind: TokenKind) -> bool:
-        if self.check(kind):
-            self.advance()
             return True
         return False
 
-    def expect(self, kind: TokenKind, context: str) -> Token:
-        token = self.peek()
-        if token.kind is not kind:
-            raise ParseError(
-                "expected %s in %s, found %s" % (kind.value, context, token.kind.value),
-                token.line,
-                token.column,
-            )
-        return self.advance()
-
     def skip_separators(self) -> None:
-        while self.accept(TokenKind.SEMI):
-            pass
+        codes = self.codes
+        pos = self.pos
+        while codes[pos] == _SEMI_C:
+            pos += 1
+        self.pos = pos
 
     # -- program and declarations -------------------------------------------
 
     def parse_program(self) -> Program:
         start = self.expect(TokenKind.PROGRAM, "program header")
-        name = self.expect(TokenKind.IDENT, "program header").value
+        name = self.values[self.expect(TokenKind.IDENT, "program header")]
         globals_: List[VarDecl] = []
         procs: List[ProcDecl] = []
+        codes = self.codes
         self.skip_separators()
         while True:
-            if self.check(TokenKind.GLOBAL):
+            code = codes[self.pos]
+            if code == _GLOBAL_C:
                 globals_.extend(self.parse_var_decls(TokenKind.GLOBAL))
-            elif self.check(TokenKind.PROC):
+            elif code == _PROC_C:
                 procs.append(self.parse_proc())
             else:
                 break
@@ -141,71 +172,82 @@ class _Parser:
         body = self.parse_statements()
         self.expect(TokenKind.END, "program body")
         self.skip_separators()
-        eof = self.peek()
-        if eof.kind is not TokenKind.EOF:
+        pos = self.pos
+        if codes[pos] != _EOF_C:
             raise ParseError(
-                "trailing input after program end: %s" % eof.kind.value, eof.line, eof.column
+                "trailing input after program end: %s" % KIND_BY_CODE[codes[pos]].value,
+                self.lines[pos],
+                self.columns[pos],
             )
         return Program(
             name=name,
             globals=globals_,
             procs=procs,
             body=body,
-            line=start.line,
-            column=start.column,
+            line=self.lines[start],
+            column=self.columns[start],
         )
 
     def parse_var_decls(self, keyword: TokenKind) -> List[VarDecl]:
         self.expect(keyword, "variable declaration")
         decls = [self.parse_var_item()]
-        while self.accept(TokenKind.COMMA):
+        while self.accept(_COMMA_C):
             decls.append(self.parse_var_item())
         return decls
 
     def parse_var_item(self) -> VarDecl:
-        if self.accept(TokenKind.ARRAY):
-            name_token = self.expect(TokenKind.IDENT, "array declaration")
+        if self.accept(_ARRAY_C):
+            name_at = self.expect(TokenKind.IDENT, "array declaration")
             dims: List[int] = []
-            while self.accept(TokenKind.LBRACKET):
-                size_token = self.expect(TokenKind.INT, "array dimension")
-                if size_token.value <= 0:
+            while self.accept(_LBRACKET_C):
+                size_at = self.expect(TokenKind.INT, "array dimension")
+                size = self.values[size_at]
+                if size <= 0:
                     raise ParseError(
-                        "array dimension must be positive", size_token.line, size_token.column
+                        "array dimension must be positive",
+                        self.lines[size_at],
+                        self.columns[size_at],
                     )
-                dims.append(size_token.value)
+                dims.append(size)
                 self.expect(TokenKind.RBRACKET, "array dimension")
             if not dims:
                 raise ParseError(
                     "array declaration requires at least one dimension",
-                    name_token.line,
-                    name_token.column,
+                    self.lines[name_at],
+                    self.columns[name_at],
                 )
             return VarDecl(
-                name=name_token.value,
+                name=self.values[name_at],
                 dims=tuple(dims),
-                line=name_token.line,
-                column=name_token.column,
+                line=self.lines[name_at],
+                column=self.columns[name_at],
             )
-        name_token = self.expect(TokenKind.IDENT, "variable declaration")
-        return VarDecl(name=name_token.value, line=name_token.line, column=name_token.column)
+        name_at = self.expect(TokenKind.IDENT, "variable declaration")
+        return VarDecl(
+            name=self.values[name_at],
+            line=self.lines[name_at],
+            column=self.columns[name_at],
+        )
 
     def parse_proc(self) -> ProcDecl:
         start = self.expect(TokenKind.PROC, "procedure declaration")
-        name = self.expect(TokenKind.IDENT, "procedure declaration").value
+        name = self.values[self.expect(TokenKind.IDENT, "procedure declaration")]
         self.expect(TokenKind.LPAREN, "parameter list")
         params: List[str] = []
-        if not self.check(TokenKind.RPAREN):
-            params.append(self.expect(TokenKind.IDENT, "parameter list").value)
-            while self.accept(TokenKind.COMMA):
-                params.append(self.expect(TokenKind.IDENT, "parameter list").value)
+        if self.codes[self.pos] != _RPAREN_C:
+            params.append(self.values[self.expect(TokenKind.IDENT, "parameter list")])
+            while self.accept(_COMMA_C):
+                params.append(self.values[self.expect(TokenKind.IDENT, "parameter list")])
         self.expect(TokenKind.RPAREN, "parameter list")
         locals_: List[VarDecl] = []
         nested: List[ProcDecl] = []
+        codes = self.codes
         self.skip_separators()
         while True:
-            if self.check(TokenKind.LOCAL):
+            code = codes[self.pos]
+            if code == _LOCAL_C:
                 locals_.extend(self.parse_var_decls(TokenKind.LOCAL))
-            elif self.check(TokenKind.PROC):
+            elif code == _PROC_C:
                 nested.append(self.parse_proc())
             else:
                 break
@@ -219,46 +261,60 @@ class _Parser:
             locals=locals_,
             nested=nested,
             body=body,
-            line=start.line,
-            column=start.column,
+            line=self.lines[start],
+            column=self.columns[start],
         )
 
     # -- statements -----------------------------------------------------------
 
     def parse_statements(self) -> List[Stmt]:
         statements: List[Stmt] = []
-        self.skip_separators()
-        while self.peek().kind in _STATEMENT_STARTERS:
-            statements.append(self.parse_statement())
-            self.skip_separators()
+        append = statements.append
+        codes = self.codes
+        starters = _STATEMENT_STARTERS
+        pos = self.pos
+        while codes[pos] == _SEMI_C:
+            pos += 1
+        self.pos = pos
+        while codes[pos] in starters:
+            append(self.parse_statement())
+            pos = self.pos
+            while codes[pos] == _SEMI_C:
+                pos += 1
+            self.pos = pos
         return statements
 
     def parse_statement(self) -> Stmt:
-        token = self.peek()
-        if token.kind is TokenKind.IDENT:
+        pos = self.pos
+        code = self.codes[pos]
+        if code == _IDENT_C:
             return self.parse_assign()
-        if token.kind is TokenKind.CALL:
+        if code == _CALL_C:
             return self.parse_call()
-        if token.kind is TokenKind.IF:
+        if code == _IF_C:
             return self.parse_if()
-        if token.kind is TokenKind.WHILE:
+        if code == _WHILE_C:
             return self.parse_while()
-        if token.kind is TokenKind.FOR:
+        if code == _FOR_C:
             return self.parse_for()
-        if token.kind is TokenKind.RETURN:
-            self.advance()
-            return Return(line=token.line, column=token.column)
-        if token.kind is TokenKind.READ:
-            self.advance()
+        line = self.lines[pos]
+        column = self.columns[pos]
+        if code == _RETURN_C:
+            self.pos = pos + 1
+            return Return(line=line, column=column)
+        if code == _READ_C:
+            self.pos = pos + 1
             target = self.parse_lvalue()
-            return Read(target=target, line=token.line, column=token.column)
-        if token.kind is TokenKind.PRINT:
-            self.advance()
+            return Read(target=target, line=line, column=column)
+        if code == _PRINT_C:
+            self.pos = pos + 1
             values = [self.parse_expr()]
-            while self.accept(TokenKind.COMMA):
+            while self.accept(_COMMA_C):
                 values.append(self.parse_expr())
-            return Print(values=values, line=token.line, column=token.column)
-        raise ParseError("expected statement, found %s" % token.kind.value, token.line, token.column)
+            return Print(values=values, line=line, column=column)
+        raise ParseError(
+            "expected statement, found %s" % KIND_BY_CODE[code].value, line, column
+        )
 
     def parse_assign(self) -> Assign:
         target = self.parse_lvalue()
@@ -267,29 +323,31 @@ class _Parser:
         return Assign(target=target, value=value, line=target.line, column=target.column)
 
     def parse_lvalue(self) -> VarRef:
-        name_token = self.expect(TokenKind.IDENT, "variable reference")
+        name_at = self.expect(TokenKind.IDENT, "variable reference")
         indices: List[Expr] = []
-        while self.accept(TokenKind.LBRACKET):
+        while self.accept(_LBRACKET_C):
             indices.append(self.parse_expr())
             self.expect(TokenKind.RBRACKET, "subscript")
         return VarRef(
-            name=name_token.value,
+            name=self.values[name_at],
             indices=indices,
-            line=name_token.line,
-            column=name_token.column,
+            line=self.lines[name_at],
+            column=self.columns[name_at],
         )
 
     def parse_call(self) -> CallStmt:
         start = self.expect(TokenKind.CALL, "call statement")
-        callee = self.expect(TokenKind.IDENT, "call statement").value
+        callee = self.values[self.expect(TokenKind.IDENT, "call statement")]
         self.expect(TokenKind.LPAREN, "argument list")
         args: List[Expr] = []
-        if not self.check(TokenKind.RPAREN):
+        if self.codes[self.pos] != _RPAREN_C:
             args.append(self.parse_expr())
-            while self.accept(TokenKind.COMMA):
+            while self.accept(_COMMA_C):
                 args.append(self.parse_expr())
         self.expect(TokenKind.RPAREN, "argument list")
-        return CallStmt(callee=callee, args=args, line=start.line, column=start.column)
+        return CallStmt(
+            callee=callee, args=args, line=self.lines[start], column=self.columns[start]
+        )
 
     def parse_if(self) -> If:
         start = self.expect(TokenKind.IF, "if statement")
@@ -297,15 +355,15 @@ class _Parser:
         self.expect(TokenKind.THEN, "if statement")
         then_body = self.parse_statements()
         else_body: List[Stmt] = []
-        if self.accept(TokenKind.ELSE):
+        if self.accept(_ELSE_C):
             else_body = self.parse_statements()
         self.expect(TokenKind.END, "if statement")
         return If(
             cond=cond,
             then_body=then_body,
             else_body=else_body,
-            line=start.line,
-            column=start.column,
+            line=self.lines[start],
+            column=self.columns[start],
         )
 
     def parse_while(self) -> While:
@@ -314,12 +372,18 @@ class _Parser:
         self.expect(TokenKind.DO, "while statement")
         body = self.parse_statements()
         self.expect(TokenKind.END, "while statement")
-        return While(cond=cond, body=body, line=start.line, column=start.column)
+        return While(
+            cond=cond, body=body, line=self.lines[start], column=self.columns[start]
+        )
 
     def parse_for(self) -> For:
         start = self.expect(TokenKind.FOR, "for statement")
-        var_token = self.expect(TokenKind.IDENT, "for statement")
-        var = VarRef(name=var_token.value, line=var_token.line, column=var_token.column)
+        var_at = self.expect(TokenKind.IDENT, "for statement")
+        var = VarRef(
+            name=self.values[var_at],
+            line=self.lines[var_at],
+            column=self.columns[var_at],
+        )
         self.expect(TokenKind.ASSIGN, "for statement")
         lo = self.parse_expr()
         self.expect(TokenKind.TO, "for statement")
@@ -327,7 +391,14 @@ class _Parser:
         self.expect(TokenKind.DO, "for statement")
         body = self.parse_statements()
         self.expect(TokenKind.END, "for statement")
-        return For(var=var, lo=lo, hi=hi, body=body, line=start.line, column=start.column)
+        return For(
+            var=var,
+            lo=lo,
+            hi=hi,
+            body=body,
+            line=self.lines[start],
+            column=self.columns[start],
+        )
 
     # -- expressions ----------------------------------------------------------
 
@@ -336,95 +407,113 @@ class _Parser:
 
     def parse_or(self) -> Expr:
         left = self.parse_and()
-        while self.check(TokenKind.OR):
-            op_token = self.advance()
+        codes = self.codes
+        while codes[self.pos] == _OR_C:
+            at = self.pos
+            self.pos = at + 1
             right = self.parse_and()
-            left = BinOp("or", left, right, line=op_token.line, column=op_token.column)
+            left = BinOp("or", left, right, line=self.lines[at], column=self.columns[at])
         return left
 
     def parse_and(self) -> Expr:
         left = self.parse_not()
-        while self.check(TokenKind.AND):
-            op_token = self.advance()
+        codes = self.codes
+        while codes[self.pos] == _AND_C:
+            at = self.pos
+            self.pos = at + 1
             right = self.parse_not()
-            left = BinOp("and", left, right, line=op_token.line, column=op_token.column)
+            left = BinOp("and", left, right, line=self.lines[at], column=self.columns[at])
         return left
 
     def parse_not(self) -> Expr:
-        if self.check(TokenKind.NOT):
-            op_token = self.advance()
+        at = self.pos
+        if self.codes[at] == _NOT_C:
+            self.pos = at + 1
             operand = self.parse_not()
-            return UnOp("not", operand, line=op_token.line, column=op_token.column)
+            return UnOp("not", operand, line=self.lines[at], column=self.columns[at])
         return self.parse_comparison()
 
     def parse_comparison(self) -> Expr:
         # Left-associative, like the arithmetic operators: a < b < c
         # parses as (a < b) < c (comparisons yield 0/1 integers).
         left = self.parse_additive()
-        while self.peek().kind in _COMPARISON_OPS:
-            op_token = self.advance()
+        codes = self.codes
+        ops_get = _COMPARISON_OPS.get
+        while True:
+            at = self.pos
+            op = ops_get(codes[at])
+            if op is None:
+                return left
+            self.pos = at + 1
             right = self.parse_additive()
-            left = BinOp(
-                _COMPARISON_OPS[op_token.kind],
-                left,
-                right,
-                line=op_token.line,
-                column=op_token.column,
-            )
-        return left
+            left = BinOp(op, left, right, line=self.lines[at], column=self.columns[at])
 
     def parse_additive(self) -> Expr:
         left = self.parse_multiplicative()
-        while self.peek().kind in _ADDITIVE_OPS:
-            op_token = self.advance()
+        codes = self.codes
+        ops_get = _ADDITIVE_OPS.get
+        while True:
+            at = self.pos
+            op = ops_get(codes[at])
+            if op is None:
+                return left
+            self.pos = at + 1
             right = self.parse_multiplicative()
-            left = BinOp(
-                _ADDITIVE_OPS[op_token.kind],
-                left,
-                right,
-                line=op_token.line,
-                column=op_token.column,
-            )
-        return left
+            left = BinOp(op, left, right, line=self.lines[at], column=self.columns[at])
 
     def parse_multiplicative(self) -> Expr:
         left = self.parse_unary()
-        while self.peek().kind in _MULTIPLICATIVE_OPS:
-            op_token = self.advance()
+        codes = self.codes
+        ops_get = _MULTIPLICATIVE_OPS.get
+        while True:
+            at = self.pos
+            op = ops_get(codes[at])
+            if op is None:
+                return left
+            self.pos = at + 1
             right = self.parse_unary()
-            left = BinOp(
-                _MULTIPLICATIVE_OPS[op_token.kind],
-                left,
-                right,
-                line=op_token.line,
-                column=op_token.column,
-            )
-        return left
+            left = BinOp(op, left, right, line=self.lines[at], column=self.columns[at])
 
     def parse_unary(self) -> Expr:
-        if self.check(TokenKind.MINUS):
-            op_token = self.advance()
+        at = self.pos
+        if self.codes[at] == _MINUS_C:
+            self.pos = at + 1
             operand = self.parse_unary()
-            return UnOp("-", operand, line=op_token.line, column=op_token.column)
+            return UnOp("-", operand, line=self.lines[at], column=self.columns[at])
         return self.parse_primary()
 
     def parse_primary(self) -> Expr:
-        token = self.peek()
-        if token.kind is TokenKind.INT:
-            self.advance()
-            return IntLit(token.value, line=token.line, column=token.column)
-        if token.kind is TokenKind.IDENT:
+        pos = self.pos
+        code = self.codes[pos]
+        if code == _IDENT_C:
             return self.parse_lvalue()
-        if token.kind is TokenKind.LPAREN:
-            self.advance()
+        if code == _INT_C:
+            self.pos = pos + 1
+            return IntLit(
+                self.values[pos], line=self.lines[pos], column=self.columns[pos]
+            )
+        if code == _LPAREN_C:
+            self.pos = pos + 1
             inner = self.parse_expr()
             self.expect(TokenKind.RPAREN, "parenthesized expression")
             return inner
         raise ParseError(
-            "expected expression, found %s" % token.kind.value, token.line, token.column
+            "expected expression, found %s" % KIND_BY_CODE[code].value,
+            self.lines[pos],
+            self.columns[pos],
         )
+
+
+def parse_token_stream(stream: TokenStream) -> Program:
+    """Parse an already-scanned :class:`TokenStream` (as produced by
+    :func:`repro.lang.lexer.tokenize_stream`).
+
+    This is the entry point for callers that time or cache the lex phase
+    separately from the parse phase.
+    """
+    return _Parser(stream).parse_program()
 
 
 def parse_program(source: str) -> Program:
     """Parse CK source text into a :class:`Program` AST (unresolved)."""
-    return _Parser(tokenize(source)).parse_program()
+    return _Parser(tokenize_stream(source)).parse_program()

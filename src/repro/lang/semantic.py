@@ -61,6 +61,16 @@ class _Analyzer:
         self.procs: List[ProcSymbol] = []
         self.variables: List[VarSymbol] = []
         self.call_sites: List[CallSite] = []
+        # Per-procedure resolution state, installed by ``run`` before each
+        # procedure's body is resolved.  ``_var_scopes``/``_proc_scopes``
+        # are the procedure's lexical chain of scope dicts (innermost
+        # first, shared references — never copies); the caches memoize
+        # name → symbol so repeated uses of the same name inside one
+        # procedure cost a single dict probe instead of a chain walk.
+        self._var_scopes: List[Dict[str, VarSymbol]] = []
+        self._proc_scopes: List[Dict[str, ProcSymbol]] = []
+        self._var_cache: Dict[str, VarSymbol] = {}
+        self._proc_cache: Dict[str, ProcSymbol] = {}
 
     # -- symbol construction --------------------------------------------------
 
@@ -142,18 +152,26 @@ class _Analyzer:
     # -- lookup ----------------------------------------------------------------
 
     def lookup_var(self, name: str, proc: ProcSymbol, line: int, column: int) -> VarSymbol:
-        for scope_proc in proc.lexical_chain():
-            symbol = scope_proc.scope.get(name)
+        symbol = self._var_cache.get(name)
+        if symbol is not None:
+            return symbol
+        for scope in self._var_scopes:
+            symbol = scope.get(name)
             if symbol is not None:
+                self._var_cache[name] = symbol
                 return symbol
         raise SemanticError(
             "undeclared variable %r in %s" % (name, proc.qualified_name), line, column
         )
 
     def lookup_proc(self, name: str, proc: ProcSymbol, line: int, column: int) -> ProcSymbol:
-        for scope_proc in proc.lexical_chain():
-            target = scope_proc.nested_by_name.get(name)
+        target = self._proc_cache.get(name)
+        if target is not None:
+            return target
+        for scope in self._proc_scopes:
+            target = scope.get(name)
             if target is not None:
+                self._proc_cache[name] = target
                 return target
         raise SemanticError(
             "call to undeclared procedure %r from %s" % (name, proc.qualified_name),
@@ -294,8 +312,24 @@ class _Analyzer:
 
     def run(self) -> ResolvedProgram:
         main = self.build_main()
+        # Every scope exists once ``build_main`` returns, so the lexical
+        # chains can be precomputed as lists of shared scope-dict
+        # references (parents come before children in pid order).
+        var_chains: Dict[int, List[Dict[str, VarSymbol]]] = {}
+        proc_chains: Dict[int, List[Dict[str, ProcSymbol]]] = {}
+        for proc in self.procs:
+            if proc.parent is None:
+                var_chains[proc.pid] = [proc.scope]
+                proc_chains[proc.pid] = [proc.nested_by_name]
+            else:
+                var_chains[proc.pid] = [proc.scope] + var_chains[proc.parent.pid]
+                proc_chains[proc.pid] = [proc.nested_by_name] + proc_chains[proc.parent.pid]
         # Resolve bodies in pid order so call-site ids are deterministic.
         for proc in self.procs:
+            self._var_scopes = var_chains[proc.pid]
+            self._proc_scopes = proc_chains[proc.pid]
+            self._var_cache = {}
+            self._proc_cache = {}
             self.resolve_body(proc.body, proc)
         globals_ = [var for var in self.variables if var.is_global]
         return ResolvedProgram(

@@ -7,7 +7,15 @@ from dataclasses import dataclass
 
 
 class TokenKind(enum.Enum):
-    """Every distinct token kind produced by the lexer."""
+    """Every distinct token kind produced by the lexer.
+
+    Each member additionally carries a dense integer ``code`` (assigned
+    below, in definition order).  The parser's inner loops compare these
+    plain ints instead of enum members — an int equality check skips the
+    enum identity machinery and lets token-kind tables be indexed
+    dictionaries keyed by small ints.  ``value`` remains the display
+    spelling used in diagnostics, so error messages are unchanged.
+    """
 
     # Literals and names.
     INT = "int"
@@ -61,6 +69,17 @@ class TokenKind(enum.Enum):
     EOF = "eof"
 
 
+#: Dense int code per kind, in definition order.  ``TokenKind.X.code``
+#: is also set on each member for convenience.
+KIND_CODE = {kind: index for index, kind in enumerate(TokenKind)}
+for _kind, _code in KIND_CODE.items():
+    _kind.code = _code
+del _kind, _code
+
+#: Inverse table: ``KIND_BY_CODE[code]`` is the kind whose ``.code`` is
+#: ``code`` (definition order, so a plain list indexed by code).
+KIND_BY_CODE = list(TokenKind)
+
 #: Mapping from keyword spelling to its token kind.
 KEYWORDS = {
     kind.value: kind
@@ -92,7 +111,7 @@ KEYWORDS = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Token:
     """A single lexeme with its source position.
 

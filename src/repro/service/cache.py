@@ -12,7 +12,11 @@ consequences:
   on read, so stale entries written by an older build are treated as
   misses, never misread.
 
-Entries are one JSON file per key under the cache root; writes go
+Entries are one binary file per key (``<key>.ckb``, the
+:mod:`repro.core.persist` v3 container — roughly an order of magnitude
+smaller than the JSON form it replaced) under the cache root; legacy
+``<key>.json`` entries written by older builds are still read, so an
+existing cache stays warm across the format change.  Writes go
 through a temp file + ``os.replace`` so concurrent batch runs sharing
 a cache directory never observe torn entries.
 
@@ -26,13 +30,16 @@ cannot grow the directory without limit.
 from __future__ import annotations
 
 import hashlib
-import json
 import os
 import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.core.persist import FORMAT_VERSION
+from repro.core.persist import (
+    FORMAT_VERSION,
+    encode_summary_payload,
+    loads_summary_payload,
+)
 
 #: Version of the cache *record* envelope (not the summary payload —
 #: that carries its own :data:`FORMAT_VERSION`).
@@ -89,17 +96,40 @@ class SummaryCache:
         os.makedirs(root, exist_ok=True)
 
     def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key + ".ckb")
+
+    def legacy_path_for(self, key: str) -> str:
+        """Where an entry written by a pre-binary build would live."""
         return os.path.join(self.root, key + ".json")
+
+    def _read_record(self, key: str) -> Optional[Dict]:
+        """The raw record envelope for ``key`` from disk, plus a mtime
+        refresh on the file that provided it.  Returns None when no
+        readable entry exists (``stats.invalid`` is bumped for files
+        that exist but do not decode)."""
+        for path in (self.path_for(key), self.legacy_path_for(key)):
+            try:
+                with open(path, "rb") as handle:
+                    record = loads_summary_payload(handle.read())
+            except OSError:
+                continue
+            except ValueError:
+                self.stats.invalid += 1
+                continue
+            if not isinstance(record, dict):
+                self.stats.invalid += 1
+                continue
+            try:
+                os.utime(path, None)  # Refresh recency for the LRU bound.
+            except OSError:
+                pass  # Entry raced away or read-only cache; the hit stands.
+            return record
+        return None
 
     def get(self, key: str) -> Optional[Dict]:
         """The cached analysis payload for ``key``, or None on miss."""
-        path = self.path_for(key)
-        try:
-            with open(path) as handle:
-                record = json.load(handle)
-        except (OSError, ValueError):
-            if os.path.exists(path):
-                self.stats.invalid += 1
+        record = self._read_record(key)
+        if record is None:
             self.stats.misses += 1
             return None
         if (
@@ -110,10 +140,6 @@ class SummaryCache:
             self.stats.invalid += 1
             self.stats.misses += 1
             return None
-        try:
-            os.utime(path, None)  # Refresh recency for the LRU bound.
-        except OSError:
-            pass  # Entry raced away or read-only cache; the hit stands.
         self.stats.hits += 1
         return record["result"]
 
@@ -125,10 +151,11 @@ class SummaryCache:
             "key": key,
             "result": result,
         }
+        blob = encode_summary_payload(record)
         fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(record, handle, sort_keys=True)
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
             os.replace(tmp_path, self.path_for(key))
         except BaseException:
             if os.path.exists(tmp_path):
@@ -147,7 +174,9 @@ class SummaryCache:
         if self.max_entries is None:
             return
         try:
-            names = [n for n in os.listdir(self.root) if n.endswith(".json")]
+            names = [
+                n for n in os.listdir(self.root) if n.endswith((".ckb", ".json"))
+            ]
         except OSError:
             return
         if len(names) <= self.max_entries:

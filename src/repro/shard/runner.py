@@ -69,12 +69,18 @@ class ShardRunner:
         fn: Callable[[_T], _R],
         items: Sequence[_T],
         label: str = "map",
+        decode: Optional[Callable[[_R, int], object]] = None,
     ) -> List[_R]:
         """Apply ``fn`` to every item, preserving order.
 
         Uses the pool when it is worth it (more than one job *and*
         more than one item); falls back to in-process execution
         otherwise or when the pool cannot be created.
+
+        ``decode``, when given, post-processes each raw result in the
+        parent (``decode(result, index)``) — the wire codec's blobs
+        become real result objects *before* the span accounting reads
+        their ``elapsed``.
         """
         tick = time.perf_counter()
         if self.jobs <= 1 or len(items) <= 1:
@@ -91,6 +97,10 @@ class ShardRunner:
                     self._pool_broken = True
                     self._pool = None
                     results = [fn(item) for item in items]
+        if decode is not None:
+            results = [
+                decode(result, index) for index, result in enumerate(results)
+            ]
         elapsed = time.perf_counter() - tick
         self.map_times[label] = self.map_times.get(label, 0.0) + elapsed
         span = max(

@@ -53,6 +53,7 @@ from repro.shard.boundary import (
     backsub_shard,
     summarize_shard,
 )
+from repro.shard import wire
 from repro.shard.partition import ShardPlan, partition_graph
 from repro.shard.runner import ShardRunner
 
@@ -261,6 +262,19 @@ class ShardedSystem:
                     strip_union |= strips[node]
             for q in imports:
                 imported_by[plan.shard_of[q]].append(q)
+            if strips is None:
+                shard_strips = None
+            elif carrier is not None:
+                # Everything a shard ever holds — seeds and propagated
+                # values — lives inside the carrier, so strip masks can
+                # be narrowed to it: ``v & ~s == v & ~(s & carrier)``
+                # for ``v ⊆ carrier``.  This turns the problems'
+                # dominant payload (full-universe strip ints) into
+                # carrier-width ones, which is what makes shipping them
+                # to pool workers affordable (see repro.shard.wire).
+                shard_strips = [strips[node] & carrier for node in members]
+            else:
+                shard_strips = [strips[node] for node in members]
             problem = ShardProblem(
                 shard_id=shard_id,
                 nodes=list(members),
@@ -268,9 +282,7 @@ class ShardedSystem:
                 cross=cross,
                 imports=imports,
                 seeds=[],
-                strips=(
-                    None if strips is None else [strips[node] for node in members]
-                ),
+                strips=shard_strips,
                 exports=[],
             )
             if shard_comps is not None:
@@ -332,10 +344,22 @@ class ShardedSystem:
             len(plan.shards), plan.quotient
         )
         #: Acyclic shard quotient (always true for "chunk" plans) —
-        #: enables the direct one-pass solve when running in-process.
+        #: enables the direct one-pass solve when running in-process
+        #: and the wave-parallel concrete solve under a pool.
         self.quotient_acyclic = all(
             len(comp) == 1 for comp in self.quotient_comps
         )
+        #: Lazily-built wire registrations ``(key, static blob)`` per
+        #: problem — computed on the first pooled solve, reused by
+        #: every later map call (see :mod:`repro.shard.wire`).
+        self._wire: Optional[List[Tuple[int, bytes]]] = None
+
+    def _wire_statics(self) -> List[Tuple[int, bytes]]:
+        if self._wire is None:
+            self._wire = [
+                wire.encode_static(problem) for problem in self.problems
+            ]
+        return self._wire
 
     def _select_engines(self) -> None:
         """Static check: can an imported bit be stripped in a shard?
@@ -430,10 +454,46 @@ class ShardedSystem:
             # pass over every shard, same least solution.
             return self._solve_direct(stats, emit)
 
+        use_wire = runner.jobs > 1 and len(problems) > 1
+        if use_wire and self.quotient_acyclic:
+            # A pool *and* an acyclic quotient: concrete solves in
+            # topological waves — independent shards of a wave fan out
+            # over the pool with final import values, so the symbolic
+            # summarize phase (a second full solve's worth of work) is
+            # never paid.  Same least solution as the direct path.
+            return self._solve_waves(stats, emit, runner)
+
+        statics = self._wire_statics() if use_wire else None
+        seed_blobs = (
+            [wire.encode_masks(problem.seeds) for problem in problems]
+            if use_wire
+            else None
+        )
+
         import_values: Dict[int, int] = {}
         if self.have_boundary:
             tick = time.perf_counter()
-            summaries = runner.map(summarize_shard, problems, label="summarize")
+            if use_wire:
+                summaries = runner.map(
+                    wire.summarize_shard_wire,
+                    [
+                        (
+                            statics[index][0],
+                            statics[index][1],
+                            problem.masked,
+                            seed_blobs[index],
+                        )
+                        for index, problem in enumerate(problems)
+                    ],
+                    label="summarize",
+                    decode=lambda blob, index: wire.decode_summary(
+                        blob, problems[index]
+                    ),
+                )
+            else:
+                summaries = runner.map(
+                    summarize_shard, problems, label="summarize"
+                )
             stats.summarize_time = time.perf_counter() - tick
             stats.summarize_span = max(s.elapsed for s in summaries)
             stats.steps += sum(s.steps for s in summaries)
@@ -446,11 +506,35 @@ class ShardedSystem:
             stats.steps += stitch_steps
 
         tick = time.perf_counter()
-        tasks = [
-            (problem, [import_values[node] for node in problem.imports])
-            for problem in problems
-        ]
-        results = runner.map(backsub_shard, tasks, label="backsub")
+        if use_wire:
+            results = runner.map(
+                wire.backsub_shard_wire,
+                [
+                    (
+                        statics[index][0],
+                        statics[index][1],
+                        emit,
+                        seed_blobs[index],
+                        wire.encode_masks(
+                            [import_values[node] for node in problem.imports]
+                        ),
+                    )
+                    for index, problem in enumerate(problems)
+                ],
+                label="backsub",
+                decode=lambda blob, index: wire.decode_backsub(
+                    blob, problems[index]
+                )[0],
+            )
+        else:
+            results = runner.map(
+                backsub_shard,
+                [
+                    (problem, [import_values[node] for node in problem.imports])
+                    for problem in problems
+                ],
+                label="backsub",
+            )
         stats.backsub_time = time.perf_counter() - tick
         stats.backsub_span = max(r.elapsed for r in results)
         stats.steps += sum(r.steps for r in results)
@@ -459,6 +543,115 @@ class ShardedSystem:
         for problem, result in zip(problems, results):
             for local, node in enumerate(problem.nodes):
                 out[node] = result.values[local]
+        return out, stats
+
+    def _solve_waves(
+        self, stats: HierarchicalStats, emit: str, runner: ShardRunner
+    ) -> Tuple[List[int], HierarchicalStats]:
+        """Concrete wave-parallel solve over an acyclic shard quotient.
+
+        Shards are grouped by depth in the quotient DAG (sinks first);
+        every shard in a wave has final import values when the wave
+        starts, so the wave's shards run :func:`_solve_concrete`
+        independently — over the pool through the wire codec when the
+        wave is wide, in-process when it is a singleton (a one-shard
+        wave gains nothing from a worker round-trip).  Total work is
+        one concrete pass per shard, exactly the direct path's.
+        """
+        tick = time.perf_counter()
+        plan = self.plan
+        problems = self.problems
+        # Depth per shard: sinks at 0.  quotient_comps is in reverse
+        # topological order (all singletons here), so every quotient
+        # successor's depth is final before its importer's is set.
+        depth = [0] * len(problems)
+        for comp in self.quotient_comps:
+            shard_id = comp[0]
+            best = 0
+            for succ in plan.quotient[shard_id]:
+                if depth[succ] >= best:
+                    best = depth[succ] + 1
+            depth[shard_id] = best
+        waves: List[List[int]] = [[] for _ in range(max(depth) + 1)]
+        for shard_id, d in enumerate(depth):
+            waves[d].append(shard_id)
+
+        statics = None
+        #: Final P value per exported global node id.
+        value_at: Dict[int, int] = {}
+        out = [0] * self.num_nodes
+        steps = 0
+        span = 0.0
+        for wave in waves:
+            if len(wave) == 1 or runner.jobs <= 1:
+                for shard_id in wave:
+                    problem = problems[shard_id]
+                    imports = [value_at[node] for node in problem.imports]
+                    value, shard_steps = _solve_concrete(problem, imports)
+                    steps += shard_steps
+                    for local in problem.exports:
+                        value_at[problem.nodes[local]] = value[local]
+                    if emit == "succ_or":
+                        succ = problem.succ
+                        cross = problem.cross
+                        for local, node in enumerate(problem.nodes):
+                            acc = 0
+                            for q in succ[local]:
+                                acc |= value[q]
+                            for i in cross[local]:
+                                acc |= imports[i]
+                            steps += len(succ[local]) + len(cross[local])
+                            out[node] = acc
+                    else:
+                        for local, node in enumerate(problem.nodes):
+                            out[node] = value[local]
+                continue
+            if statics is None:
+                statics = self._wire_statics()
+            exports_of: Dict[int, List[int]] = {}
+
+            def _decode(blob: bytes, index: int, wave=wave) -> BacksubResult:
+                shard_id = wave[index]
+                result, export_values = wire.decode_backsub(
+                    blob, problems[shard_id]
+                )
+                exports_of[shard_id] = export_values
+                return result
+
+            results = runner.map(
+                wire.backsub_shard_wire,
+                [
+                    (
+                        statics[shard_id][0],
+                        statics[shard_id][1],
+                        emit,
+                        wire.encode_masks(problems[shard_id].seeds),
+                        wire.encode_masks(
+                            [
+                                value_at[node]
+                                for node in problems[shard_id].imports
+                            ]
+                        ),
+                    )
+                    for shard_id in wave
+                ],
+                label="backsub",
+                decode=_decode,
+            )
+            for shard_id, result in zip(wave, results):
+                problem = problems[shard_id]
+                steps += result.steps
+                if result.elapsed > span:
+                    span = result.elapsed
+                for local, value in zip(
+                    problem.exports, exports_of[shard_id]
+                ):
+                    value_at[problem.nodes[local]] = value
+                for local, node in enumerate(problem.nodes):
+                    out[node] = result.values[local]
+        stats.backsub_time = time.perf_counter() - tick
+        stats.backsub_span = span
+        stats.steps += steps
         return out, stats
 
     def _solve_direct(
@@ -677,12 +870,20 @@ def analyze_side_effects_sharded(
 
     tick = started
     if isinstance(program, str):
-        from repro.lang.semantic import compile_source
+        from repro.lang.lexer import tokenize_stream
+        from repro.lang.parser import parse_token_stream
+        from repro.lang.semantic import analyze as semantic_analyze
 
-        resolved = compile_source(program)
+        stream = tokenize_stream(program)
+        tick = _mark("lex", tick)
+        ast = parse_token_stream(stream)
+        tick = _mark("parse", tick)
+        resolved = semantic_analyze(ast)
+        tick = _mark("resolve", tick)
+        timings["compile"] = timings["lex"] + timings["parse"] + timings["resolve"]
     else:
         resolved = program
-    tick = _mark("compile", tick)
+        tick = _mark("compile", tick)
 
     counter = OpCounter()
     universe = VariableUniverse(resolved)

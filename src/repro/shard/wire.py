@@ -1,0 +1,361 @@
+"""Binary wire format for the shard process-pool boundary.
+
+Pickling a :class:`~repro.shard.boundary.ShardProblem` ships the whole
+shard structure — adjacency, SCCs, strip masks — on *every* map call,
+and the default pickle encoding of a list of big-int masks is neither
+compact nor cheap.  At 10k procedures the serialization bill dwarfed
+the solve itself, so ``--jobs N`` lost to the monolithic solver.
+
+This module replaces that traffic with the :mod:`repro.core.binio`
+dialect (the same varint/mask primitives as the persist v3 summary
+container):
+
+* The *static* half of a problem — adjacency, cross-edge tables,
+  exports, strips, SCC structure; everything seed-independent — is
+  encoded **once** per :class:`~repro.shard.solve.ShardedSystem` into
+  a compact blob and registered under a process-unique ``wire key``.
+  Workers decode it on first sight and cache it by key, so repeated
+  map calls (summarize + backsub, ``MOD`` + ``USE``) pay one bytes
+  copy instead of four structure pickles.
+* The *dynamic* half — seeds, import values, result masks — travels
+  as length-prefixed little-endian mask blobs, built by
+  ``int.to_bytes`` entirely inside CPython's C layer.
+
+Derived fields (``comp_of``, ``comp_bite``) are reconstructed at
+decode time rather than shipped.  Seeds and propagated values are
+non-negative by construction (the driver strips seeds against the
+carrier), but masked-engine dependency masks are ``~strips``
+compositions — negative ints — so summaries use a signed mask
+encoding (flag byte + magnitude of ``m`` or ``~m``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+import time
+from typing import Dict, List, Tuple
+
+from repro.core.binio import (
+    read_mask,
+    read_varint,
+    write_mask,
+    write_varint,
+)
+from repro.shard.boundary import (
+    BacksubResult,
+    ShardProblem,
+    ShardSummary,
+    _solve_concrete,
+    summarize_shard,
+)
+
+_ELAPSED = struct.Struct("<d")
+
+#: Parent-side key allocator.  Keys only need to be unique within the
+#: parent process (workers are its children), so a plain counter does.
+_KEYS = itertools.count(1)
+
+#: Worker-side cache of decoded static problems, keyed by wire key.
+#: Bounded: a long-lived pool serving many systems drops the oldest
+#: entries rather than growing without limit.
+_DECODED: Dict[int, ShardProblem] = {}
+_DECODED_LIMIT = 64
+
+
+# ---------------------------------------------------------------------------
+# Mask-list and signed-mask primitives.
+# ---------------------------------------------------------------------------
+
+
+def encode_masks(masks: List[int]) -> bytes:
+    """A list of non-negative big-int masks as one blob."""
+    out = bytearray()
+    write_varint(out, len(masks))
+    for mask in masks:
+        write_mask(out, mask)
+    return bytes(out)
+
+
+def decode_masks(blob: bytes) -> List[int]:
+    count, pos = read_varint(blob, 0)
+    masks = []
+    for _ in range(count):
+        mask, pos = read_mask(blob, pos)
+        masks.append(mask)
+    return masks
+
+
+def _write_signed_mask(out: bytearray, mask: int) -> None:
+    """A possibly-negative mask: flag byte, then the magnitude of
+    ``mask`` (flag 0) or ``~mask`` (flag 1) — both non-negative."""
+    if mask >= 0:
+        out.append(0)
+        write_mask(out, mask)
+    else:
+        out.append(1)
+        write_mask(out, ~mask)
+
+
+def _read_signed_mask(data: bytes, pos: int) -> Tuple[int, int]:
+    flag = data[pos]
+    mask, pos = read_mask(data, pos + 1)
+    return (~mask if flag else mask), pos
+
+
+# ---------------------------------------------------------------------------
+# Static problem structure.
+# ---------------------------------------------------------------------------
+
+
+def encode_static(problem: ShardProblem) -> Tuple[int, bytes]:
+    """Encode the seed-independent half of ``problem``.
+
+    Returns ``(wire_key, blob)``; the caller sends both with every
+    task and workers decode the blob at most once per key.
+    """
+    out = bytearray()
+    write_varint(out, problem.shard_id)
+    n = len(problem.nodes)
+    write_varint(out, n)
+    for adjacency in (problem.succ, problem.cross):
+        for targets in adjacency:
+            write_varint(out, len(targets))
+            for target in targets:
+                write_varint(out, target)
+    write_varint(out, len(problem.imports))
+    write_varint(out, len(problem.exports))
+    for local in problem.exports:
+        write_varint(out, local)
+    if problem.strips is None:
+        out.append(0)
+    else:
+        out.append(1)
+        for mask in problem.strips:
+            write_mask(out, mask)
+    if problem.comps is None:
+        out.append(0)
+    else:
+        out.append(1)
+        write_varint(out, len(problem.comps))
+        for comp in problem.comps:
+            write_varint(out, len(comp))
+            for member in comp:
+                write_varint(out, member)
+    return next(_KEYS), bytes(out)
+
+
+def decode_static(blob: bytes) -> ShardProblem:
+    """Rebuild a worker-side problem skeleton (seeds left empty).
+
+    ``nodes`` and ``imports`` are reconstructed as index placeholders —
+    the worker bodies only ever take their lengths; the global ids
+    stay parent-side.
+    """
+    shard_id, pos = read_varint(blob, 0)
+    n, pos = read_varint(blob, pos)
+    succ: List[List[int]] = []
+    cross: List[List[int]] = []
+    for adjacency in (succ, cross):
+        for _ in range(n):
+            count, pos = read_varint(blob, pos)
+            targets = []
+            for _ in range(count):
+                target, pos = read_varint(blob, pos)
+                targets.append(target)
+            adjacency.append(targets)
+    num_imports, pos = read_varint(blob, pos)
+    num_exports, pos = read_varint(blob, pos)
+    exports = []
+    for _ in range(num_exports):
+        local, pos = read_varint(blob, pos)
+        exports.append(local)
+    strips = None
+    has_strips = blob[pos]
+    pos += 1
+    if has_strips:
+        strips = []
+        for _ in range(n):
+            mask, pos = read_mask(blob, pos)
+            strips.append(mask)
+    comps = None
+    comp_of = None
+    comp_bite = None
+    has_comps = blob[pos]
+    pos += 1
+    if has_comps:
+        num_comps, pos = read_varint(blob, pos)
+        comps = []
+        comp_of = [0] * n
+        for comp_index in range(num_comps):
+            count, pos = read_varint(blob, pos)
+            comp = []
+            for _ in range(count):
+                member, pos = read_varint(blob, pos)
+                comp.append(member)
+                comp_of[member] = comp_index
+            comps.append(comp)
+        if strips is not None:
+            comp_bite = []
+            for comp in comps:
+                bite = 0
+                for member in comp:
+                    bite |= strips[member]
+                comp_bite.append(bite)
+    return ShardProblem(
+        shard_id=shard_id,
+        nodes=list(range(n)),
+        succ=succ,
+        cross=cross,
+        imports=list(range(num_imports)),
+        seeds=[],
+        strips=strips,
+        exports=exports,
+        comp_of=comp_of,
+        comps=comps,
+        comp_bite=comp_bite,
+    )
+
+
+def _cached_problem(key: int, static_blob: bytes) -> ShardProblem:
+    problem = _DECODED.get(key)
+    if problem is None:
+        if len(_DECODED) >= _DECODED_LIMIT:
+            for stale in sorted(_DECODED)[: _DECODED_LIMIT // 2]:
+                del _DECODED[stale]
+        problem = decode_static(static_blob)
+        _DECODED[key] = problem
+    return problem
+
+
+# ---------------------------------------------------------------------------
+# Phase-1: summarize.
+# ---------------------------------------------------------------------------
+
+
+def summarize_shard_wire(task: Tuple[int, bytes, bool, bytes]) -> bytes:
+    """Worker body: decode, run :func:`summarize_shard`, encode."""
+    key, static_blob, masked, seeds_blob = task
+    problem = _cached_problem(key, static_blob)
+    problem.seeds = decode_masks(seeds_blob)
+    problem.masked = masked
+    summary = summarize_shard(problem)
+    out = bytearray()
+    write_varint(out, summary.steps)
+    out += _ELAPSED.pack(summary.elapsed)
+    for export in problem.exports:
+        write_mask(out, summary.const[export])
+        entry = summary.deps[export]
+        if masked:
+            write_varint(out, len(entry))
+            for import_index, mask in entry.items():
+                write_varint(out, import_index)
+                _write_signed_mask(out, mask)
+        else:
+            write_mask(out, entry)
+    return bytes(out)
+
+
+def decode_summary(blob: bytes, problem: ShardProblem) -> ShardSummary:
+    """Parent-side inverse of :func:`summarize_shard_wire`, aligned to
+    the parent's copy of the problem (export order, engine choice)."""
+    steps, pos = read_varint(blob, 0)
+    elapsed = _ELAPSED.unpack_from(blob, pos)[0]
+    pos += _ELAPSED.size
+    const: Dict[int, int] = {}
+    deps: Dict[int, object] = {}
+    for export in problem.exports:
+        value, pos = read_mask(blob, pos)
+        const[export] = value
+        if problem.masked:
+            count, pos = read_varint(blob, pos)
+            entry: Dict[int, int] = {}
+            for _ in range(count):
+                import_index, pos = read_varint(blob, pos)
+                mask, pos = _read_signed_mask(blob, pos)
+                entry[import_index] = mask
+            deps[export] = entry
+        else:
+            bitmask, pos = read_mask(blob, pos)
+            deps[export] = bitmask
+    return ShardSummary(
+        shard_id=problem.shard_id,
+        const=const,
+        deps=deps,
+        steps=steps,
+        elapsed=elapsed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Phase-3: back-substitute (also the wave-parallel concrete solve).
+# ---------------------------------------------------------------------------
+
+
+def backsub_shard_wire(
+    task: Tuple[int, bytes, str, bytes, bytes]
+) -> bytes:
+    """Worker body: concrete solve with stitched/final imports.
+
+    Besides the emit-selected output values, the blob carries the raw
+    ``P`` value of every export — the wave scheduler needs those to
+    feed downstream shards' imports, and under ``emit="succ_or"`` the
+    output values are successor unions, not ``P``.
+    """
+    key, static_blob, emit, seeds_blob, imports_blob = task
+    problem = _cached_problem(key, static_blob)
+    problem.seeds = decode_masks(seeds_blob)
+    problem.emit = emit
+    import_values = decode_masks(imports_blob)
+    started = time.perf_counter()
+    value, steps = _solve_concrete(problem, import_values)
+    if emit == "succ_or":
+        # Same post-pass (and step accounting) as backsub_shard.
+        values = [0] * len(problem.nodes)
+        for node in range(len(problem.nodes)):
+            acc = 0
+            for q in problem.succ[node]:
+                acc |= value[q]
+            for i in problem.cross[node]:
+                acc |= import_values[i]
+            steps += len(problem.succ[node]) + len(problem.cross[node])
+            values[node] = acc
+    else:
+        values = value
+    elapsed = time.perf_counter() - started
+    export_values = [value[local] for local in problem.exports]
+    out = bytearray()
+    write_varint(out, steps)
+    out += _ELAPSED.pack(elapsed)
+    for mask in values:
+        write_mask(out, mask)
+    for mask in export_values:
+        write_mask(out, mask)
+    return bytes(out)
+
+
+def decode_backsub(
+    blob: bytes, problem: ShardProblem
+) -> Tuple[BacksubResult, List[int]]:
+    """Parent-side inverse of :func:`backsub_shard_wire`; returns the
+    result plus the export ``P`` values."""
+    steps, pos = read_varint(blob, 0)
+    elapsed = _ELAPSED.unpack_from(blob, pos)[0]
+    pos += _ELAPSED.size
+    values = []
+    for _ in range(len(problem.nodes)):
+        mask, pos = read_mask(blob, pos)
+        values.append(mask)
+    export_values = []
+    for _ in range(len(problem.exports)):
+        mask, pos = read_mask(blob, pos)
+        export_values.append(mask)
+    return (
+        BacksubResult(
+            shard_id=problem.shard_id,
+            values=values,
+            steps=steps,
+            elapsed=elapsed,
+        ),
+        export_values,
+    )

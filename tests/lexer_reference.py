@@ -1,0 +1,126 @@
+"""Reference lexer: the original character-at-a-time scanner.
+
+This is the hand-written single-pass scanner that shipped before the
+batched regex tokenizer replaced it in ``repro.lang.lexer``.  It is
+kept verbatim as a test fixture: the front-end equivalence suite
+(``test_frontend_equivalence.py``) asserts that the production
+tokenizer produces byte-identical token streams — kinds, values,
+lines, columns, and error positions — and the front-end benchmark
+(``benchmarks/test_bench_frontend.py``) uses it as the "before" side
+of the tokens/sec comparison.
+
+Do not optimize this module; its value is that it stays the simple,
+obviously correct specification of the lexical grammar.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.lang.errors import LexError
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+_TWO_CHAR_OPERATORS = {
+    ":=": TokenKind.ASSIGN,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "<>": TokenKind.NE,  # Pascal-style spelling accepted as a synonym.
+}
+
+_ONE_CHAR_OPERATORS = {
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "=": TokenKind.EQ,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+}
+
+
+class _Scanner:
+    """Cursor over the source text with line/column bookkeeping."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= len(self.source):
+            return ""
+        return self.source[index]
+
+    def advance(self) -> str:
+        ch = self.source[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+
+def iter_tokens_reference(source: str) -> Iterator[Token]:
+    """Yield tokens from ``source``, ending with a single EOF token."""
+    scanner = _Scanner(source)
+    while not scanner.at_end():
+        ch = scanner.peek()
+        if ch in " \t\r\n":
+            scanner.advance()
+            continue
+        if ch == "#":
+            while not scanner.at_end() and scanner.peek() != "\n":
+                scanner.advance()
+            continue
+
+        line, column = scanner.line, scanner.column
+        two = ch + scanner.peek(1)
+        if two in _TWO_CHAR_OPERATORS:
+            scanner.advance()
+            scanner.advance()
+            yield Token(_TWO_CHAR_OPERATORS[two], two, line, column)
+            continue
+        if ch in _ONE_CHAR_OPERATORS:
+            scanner.advance()
+            yield Token(_ONE_CHAR_OPERATORS[ch], ch, line, column)
+            continue
+        if ch.isdigit():
+            text = []
+            while not scanner.at_end() and scanner.peek().isdigit():
+                text.append(scanner.advance())
+            if not scanner.at_end() and (scanner.peek().isalpha() or scanner.peek() == "_"):
+                raise LexError("identifier may not start with a digit", line, column)
+            yield Token(TokenKind.INT, int("".join(text)), line, column)
+            continue
+        if ch.isalpha() or ch == "_":
+            text = []
+            while not scanner.at_end() and (scanner.peek().isalnum() or scanner.peek() == "_"):
+                text.append(scanner.advance())
+            word = "".join(text)
+            kind = KEYWORDS.get(word)
+            if kind is not None:
+                yield Token(kind, word, line, column)
+            else:
+                yield Token(TokenKind.IDENT, word, line, column)
+            continue
+        raise LexError("unexpected character %r" % ch, line, column)
+    yield Token(TokenKind.EOF, None, scanner.line, scanner.column)
+
+
+def tokenize_reference(source: str) -> List[Token]:
+    """Tokenize ``source`` fully, returning a list ending with EOF."""
+    return list(iter_tokens_reference(source))

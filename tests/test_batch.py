@@ -132,7 +132,7 @@ class TestCacheBound:
         cache = SummaryCache(str(tmp_path), max_entries=2)
         for index in range(5):
             cache.put("k%d" % index, self._payload(index))
-        entries = [n for n in os.listdir(str(tmp_path)) if n.endswith(".json")]
+        entries = [n for n in os.listdir(str(tmp_path)) if n.endswith(".ckb")]
         assert len(entries) == 2
         assert cache.stats.evictions == 3
         assert cache.stats.to_dict()["evictions"] == 3
@@ -160,7 +160,7 @@ class TestCacheBound:
         cache = SummaryCache(str(tmp_path))
         for index in range(5):
             cache.put("k%d" % index, self._payload(index))
-        entries = [n for n in os.listdir(str(tmp_path)) if n.endswith(".json")]
+        entries = [n for n in os.listdir(str(tmp_path)) if n.endswith(".ckb")]
         assert len(entries) == 5
         assert cache.stats.evictions == 0
 
@@ -170,7 +170,7 @@ class TestCacheBound:
             corpus_dir, jobs=1, cache_dir=cache_dir, cache_max_entries=3
         )
         assert report.ok_count == N_FILES
-        entries = [n for n in os.listdir(cache_dir) if n.endswith(".json")]
+        entries = [n for n in os.listdir(cache_dir) if n.endswith(".ckb")]
         assert len(entries) == 3
         assert report.cache_stats.evictions == N_FILES - 3
 
@@ -341,7 +341,7 @@ class TestCli:
                      "--cache-max-entries", "2"]) == 0
         capsys.readouterr()
         cache_dir = root / ".ck-cache"
-        entries = [n for n in os.listdir(str(cache_dir)) if n.endswith(".json")]
+        entries = [n for n in os.listdir(str(cache_dir)) if n.endswith(".ckb")]
         assert len(entries) == 2
 
     def test_batch_no_cache_flag(self, tmp_path, capsys):

@@ -1,0 +1,148 @@
+"""Golden equivalence: the batched front end vs the reference scanner.
+
+The lexer rewrite (single compiled-regex pass, parallel token arrays)
+and the token-stream parser are pure performance work — their contract
+is byte-identical output.  This suite pins that contract against
+``tests/lexer_reference.py``, a frozen copy of the original
+char-at-a-time scanner:
+
+* every token (kind, value, line, column) matches the reference over a
+  differential corpus of generated program shapes and hand-written
+  edge cases;
+* every lexical diagnostic (message, line, column) matches;
+* the :class:`~repro.lang.lexer.TokenStream` arrays are consistent
+  with the materialized tokens; and
+* parsing survives a structural round trip (generate → pretty →
+  parse → pretty is a fixpoint).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize, tokenize_stream
+from repro.lang.parser import parse_program, parse_token_stream
+from repro.lang.pretty import pretty
+from repro.lang.tokens import KIND_BY_CODE, TokenKind
+from repro.workloads.generator import (
+    GeneratorConfig,
+    generate_program,
+    large_scale_config,
+)
+
+from tests.lexer_reference import tokenize_reference
+
+#: Program shapes whose surface syntax stresses different token mixes:
+#: flat call-heavy code, deep nesting, arrays (subscripts, brackets),
+#: dense control flow, and the scale-free large_scale shape the
+#: benchmarks use.
+CORPUS_CONFIGS = [
+    GeneratorConfig(seed=1, num_procs=40, num_globals=10),
+    GeneratorConfig(seed=2, num_procs=30, max_depth=4, nesting_prob=0.7),
+    GeneratorConfig(
+        seed=3, num_procs=25, array_global_fraction=0.5, num_globals=12
+    ),
+    GeneratorConfig(
+        seed=4, num_procs=35, control_flow_prob=0.8, recursion_prob=0.5
+    ),
+    large_scale_config(120, seed=5, num_globals=30),
+]
+
+EDGE_CASES = [
+    "",
+    "\n",
+    "  \t \n\n  ",
+    "# only a comment",
+    "# comment\n# comment\n",
+    "program p begin end",
+    "x := 1",
+    "a:=b<=c<>d>=e!=f",
+    "x[1][2] := y[z[0]]",
+    "call f(1, 2, 3);;;",
+    "begin\n\n\nend",
+    "ident ifier _x x_ x1 1",
+    "if x < 1 then y := 2 else y := 3 end",
+    "while not done and x > 0 do x := x - 1 end",
+    "# trailing comment with no newline",
+    "x := 1 # comment\ny := 2",
+    "a\n\nb\n\n\nc",
+    "((((()))))",
+    "árbol := 1",
+    "überx := ü",
+]
+
+
+def _corpus_sources():
+    sources = list(EDGE_CASES)
+    for config in CORPUS_CONFIGS:
+        sources.append(pretty(generate_program(config)))
+    return sources
+
+
+@pytest.fixture(scope="module", params=range(len(_corpus_sources())))
+def source(request):
+    return _corpus_sources()[request.param]
+
+
+class TestTokenEquivalence:
+    def test_tokens_match_reference(self, source):
+        assert tokenize(source) == tokenize_reference(source)
+
+    def test_stream_arrays_consistent(self, source):
+        stream = tokenize_stream(source)
+        tokens = tokenize(source)
+        # One trailing EOF entry beyond the materialized token list's
+        # own EOF — the arrays and the tokens must agree entry-wise.
+        assert len(stream.codes) == len(tokens)
+        for index, token in enumerate(tokens):
+            assert KIND_BY_CODE[stream.codes[index]] is token.kind
+            assert stream.values[index] == token.value
+            assert stream.lines[index] == token.line
+            assert stream.columns[index] == token.column
+            assert stream.token(index) == token
+        assert tokens[-1].kind is TokenKind.EOF
+
+
+class TestDiagnosticEquivalence:
+    BAD_SOURCES = [
+        "@",
+        "ok\n  @",
+        "x := 1 ?\n",
+        "123abc",
+        "x := 9q",
+        "\n\n   7seven",
+        "a := $b",
+        "# comment\n!x",
+        "good tokens then ~",
+        "x\n\ny := 1 &",
+    ]
+
+    @pytest.mark.parametrize("bad", BAD_SOURCES)
+    def test_lex_errors_match_reference(self, bad):
+        with pytest.raises(LexError) as new_error:
+            tokenize(bad)
+        with pytest.raises(LexError) as old_error:
+            tokenize_reference(bad)
+        assert new_error.value.message == old_error.value.message
+        assert new_error.value.line == old_error.value.line
+        assert new_error.value.column == old_error.value.column
+
+
+class TestParseRoundTrip:
+    def test_pretty_parse_is_fixpoint(self):
+        for config in CORPUS_CONFIGS:
+            text = pretty(generate_program(config))
+            reparsed = pretty(parse_program(text))
+            assert reparsed == text
+
+    def test_parse_from_stream_matches_parse_from_source(self):
+        for config in CORPUS_CONFIGS:
+            text = pretty(generate_program(config))
+            assert parse_program(text) == parse_token_stream(
+                tokenize_stream(text)
+            )
+
+    def test_parse_is_deterministic(self):
+        text = pretty(generate_program(CORPUS_CONFIGS[0]))
+        assert parse_program(text) == parse_program(text)

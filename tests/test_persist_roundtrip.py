@@ -15,8 +15,13 @@ import pytest
 
 from repro import analyze_side_effects
 from repro.core.persist import (
+    BINARY_FORMAT_VERSION,
     FORMAT_VERSION,
     LoadedSummary,
+    decode_summary_payload,
+    encode_summary_payload,
+    loads_summary_payload,
+    summary_to_bytes,
     summary_to_dict,
     summary_to_json,
     verify_against,
@@ -140,11 +145,11 @@ class TestSchemaDrift:
         # Rewrite the stored record as if an older build had written
         # it: same key on disk, older format stamp inside.
         path = cache.path_for(key)
-        with open(path) as handle:
-            record = json.load(handle)
+        with open(path, "rb") as handle:
+            record = loads_summary_payload(handle.read())
         record["format_version"] = FORMAT_VERSION - 1
-        with open(path, "w") as handle:
-            json.dump(record, handle)
+        with open(path, "wb") as handle:
+            handle.write(encode_summary_payload(record))
 
         fresh = SummaryCache(str(tmp_path))
         assert fresh.get(key) is None
@@ -158,3 +163,84 @@ class TestSchemaDrift:
             handle.write("{not json")
         assert cache.get(key) is None
         assert cache.stats.invalid == 1
+
+
+class TestBinaryContainer:
+    """Persist v3: the binary summary container and its JSON fallback."""
+
+    def test_payload_round_trips_exactly(self, summary):
+        payload = summary_to_dict(summary, include_sections=True)
+        assert decode_summary_payload(encode_summary_payload(payload)) == payload
+
+    def test_summary_to_bytes_loads(self, summary):
+        loaded = LoadedSummary.from_bytes(summary_to_bytes(summary))
+        assert verify_against(loaded, summary)
+        rich = LoadedSummary.from_bytes(
+            summary_to_bytes(summary, include_sections=True)
+        )
+        assert rich.has_sections
+        assert verify_against(rich, summary)
+
+    def test_binary_is_much_smaller_than_json(self, summary):
+        blob = summary_to_bytes(summary)
+        text = summary_to_json(summary)
+        assert len(blob) < len(text.encode("utf-8"))
+
+    def test_from_bytes_accepts_v2_json(self, summary):
+        loaded = LoadedSummary.from_bytes(
+            summary_to_json(summary).encode("utf-8")
+        )
+        assert verify_against(loaded, summary)
+
+    def test_loads_sniffs_both_formats(self, summary):
+        payload = summary_to_dict(summary)
+        assert loads_summary_payload(encode_summary_payload(payload)) == payload
+        assert (
+            loads_summary_payload(json.dumps(payload).encode("utf-8"))
+            == payload
+        )
+
+    def test_container_version_mismatch_is_explicit(self, summary):
+        blob = bytearray(encode_summary_payload(summary_to_dict(summary)))
+        blob[4:6] = (BINARY_FORMAT_VERSION + 1).to_bytes(2, "little")
+        with pytest.raises(ValueError, match="container version"):
+            decode_summary_payload(bytes(blob))
+
+    def test_wrong_magic_is_explicit(self):
+        with pytest.raises(ValueError, match="magic"):
+            decode_summary_payload(b"NOPE" + b"\0" * 20)
+
+    def test_truncated_container_is_rejected(self, summary):
+        blob = encode_summary_payload(summary_to_dict(summary))
+        with pytest.raises(ValueError):
+            decode_summary_payload(blob[: len(blob) // 2])
+
+    def test_payload_version_inside_container_still_checked(self, summary):
+        payload = summary_to_dict(summary)
+        payload["version"] = FORMAT_VERSION + 1
+        blob = encode_summary_payload(payload)
+        with pytest.raises(ValueError, match="payload version"):
+            LoadedSummary.from_bytes(blob)
+
+    def test_indent_parameter(self, summary):
+        compact = summary_to_json(summary)
+        pretty = summary_to_json(summary, indent=2)
+        assert "\n" not in compact
+        assert "\n" in pretty
+        assert json.loads(compact) == json.loads(pretty)
+
+    def test_cache_reads_legacy_json_entries(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        key = content_key(SOURCE)
+        record = {
+            "cache_schema": 1,
+            "format_version": FORMAT_VERSION,
+            "key": key,
+            "result": {"summary": {"version": FORMAT_VERSION}},
+        }
+        # Simulate an entry written by a pre-binary build: JSON at the
+        # legacy path, nothing at the binary path.
+        with open(cache.legacy_path_for(key), "w") as handle:
+            json.dump(record, handle)
+        assert cache.get(key) == record["result"]
+        assert cache.stats.hits == 1

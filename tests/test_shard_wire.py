@@ -1,0 +1,185 @@
+"""The shard wire codec: byte-level round trips and solver equivalence.
+
+The binary wire format (:mod:`repro.shard.wire`) replaces pickle at
+the process-pool boundary, so its contract is exact reproduction:
+decoding an encoded problem must rebuild every field the worker bodies
+read, and the wire-path summarize/backsub must return bit-identical
+results (and identical step counts) to the in-process functions they
+wrap.  The masked engine is exercised explicitly — its dependency
+masks are ``~strips`` compositions, i.e. *negative* ints, which is
+exactly what the signed-mask encoding exists for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shard import wire
+from repro.shard.boundary import (
+    ShardProblem,
+    backsub_shard,
+    summarize_shard,
+)
+
+
+def _cyclic_problem(masked: bool = False, emit: str = "value") -> ShardProblem:
+    """A 3-node shard with a biting 2-cycle, one import, strips, and
+    two exports — small enough to reason about, shaped to hit the
+    masked engine's interesting paths (cycle whose strip union
+    intersects the flowing values)."""
+    return ShardProblem(
+        shard_id=7,
+        nodes=[10, 11, 12],
+        succ=[[1], [0, 2], []],
+        cross=[[0], [], [0]],
+        imports=[42],
+        seeds=[0b0001, 0b0100, 0b10000],
+        strips=[0b0010, 0b1000, 0],
+        exports=[0, 2],
+        masked=masked,
+        emit=emit,
+        comp_of=[0, 0, 1],
+        comps=[[0, 1], [2]],
+        comp_bite=[0b1010, 0],
+    )
+
+
+def _acyclic_problem() -> ShardProblem:
+    """A maskless chain: no strips, no precomputed SCCs."""
+    return ShardProblem(
+        shard_id=0,
+        nodes=[0, 1, 2, 3],
+        succ=[[1], [2], [3], []],
+        cross=[[], [0], [], [1]],
+        imports=[9, 17],
+        seeds=[1, 2, 4, 8],
+        strips=None,
+        exports=[0, 1],
+    )
+
+
+class TestStaticRoundTrip:
+    @pytest.mark.parametrize("build", [_cyclic_problem, _acyclic_problem])
+    def test_all_worker_visible_fields_survive(self, build):
+        problem = build()
+        key, blob = wire.encode_static(problem)
+        assert isinstance(key, int)
+        decoded = wire.decode_static(blob)
+        assert decoded.shard_id == problem.shard_id
+        assert len(decoded.nodes) == len(problem.nodes)
+        assert decoded.succ == problem.succ
+        assert decoded.cross == problem.cross
+        assert len(decoded.imports) == len(problem.imports)
+        assert decoded.exports == problem.exports
+        assert decoded.strips == problem.strips
+        assert decoded.comps == problem.comps
+
+    def test_derived_scc_fields_reconstructed(self):
+        problem = _cyclic_problem()
+        decoded = wire.decode_static(wire.encode_static(problem)[1])
+        assert decoded.comp_of == problem.comp_of
+        assert decoded.comp_bite == problem.comp_bite
+
+    def test_keys_are_unique(self):
+        problem = _acyclic_problem()
+        keys = {wire.encode_static(problem)[0] for _ in range(5)}
+        assert len(keys) == 5
+
+    def test_worker_cache_is_bounded(self):
+        problem = _acyclic_problem()
+        for _ in range(wire._DECODED_LIMIT + 8):
+            key, blob = wire.encode_static(problem)
+            wire._cached_problem(key, blob)
+        assert len(wire._DECODED) <= wire._DECODED_LIMIT
+
+
+class TestMaskPrimitives:
+    def test_mask_list_round_trip(self):
+        masks = [0, 1, (1 << 300) | 5, 0xFFFF, 1 << 9999]
+        assert wire.decode_masks(wire.encode_masks(masks)) == masks
+
+    def test_empty_mask_list(self):
+        assert wire.decode_masks(wire.encode_masks([])) == []
+
+    @pytest.mark.parametrize(
+        "mask", [0, 1, -1, -2, 0b1010, ~0b1010, 1 << 200, ~(1 << 200)]
+    )
+    def test_signed_mask_round_trip(self, mask):
+        out = bytearray()
+        wire._write_signed_mask(out, mask)
+        decoded, pos = wire._read_signed_mask(bytes(out), 0)
+        assert decoded == mask
+        assert pos == len(out)
+
+
+class TestSolverEquivalence:
+    @pytest.mark.parametrize("masked", [False, True])
+    def test_summarize_wire_matches_in_process(self, masked):
+        problem = _cyclic_problem(masked=masked)
+        reference = summarize_shard(_cyclic_problem(masked=masked))
+        key, blob = wire.encode_static(problem)
+        encoded = wire.summarize_shard_wire(
+            (key, blob, masked, wire.encode_masks(problem.seeds))
+        )
+        summary = wire.decode_summary(encoded, problem)
+        assert summary.shard_id == reference.shard_id
+        assert summary.const == reference.const
+        assert summary.deps == reference.deps
+        assert summary.steps == reference.steps
+        if masked:
+            # The engine this codec exists for: at least one dependency
+            # mask must be a negative ~strips composition.
+            assert any(
+                mask < 0
+                for entry in summary.deps.values()
+                for mask in entry.values()
+            )
+
+    @pytest.mark.parametrize("emit", ["value", "succ_or"])
+    @pytest.mark.parametrize("masked", [False, True])
+    def test_backsub_wire_matches_in_process(self, masked, emit):
+        import_values = [0b110000]
+        problem = _cyclic_problem(masked=masked, emit=emit)
+        reference = backsub_shard(
+            (_cyclic_problem(masked=masked, emit=emit), import_values)
+        )
+        key, blob = wire.encode_static(problem)
+        encoded = wire.backsub_shard_wire(
+            (
+                key,
+                blob,
+                emit,
+                wire.encode_masks(problem.seeds),
+                wire.encode_masks(import_values),
+            )
+        )
+        result, export_values = wire.decode_backsub(encoded, problem)
+        assert result.shard_id == reference.shard_id
+        assert result.values == reference.values
+        assert result.steps == reference.steps
+        # Export values are raw P, independent of the emit mode.
+        value_ref = backsub_shard(
+            (_cyclic_problem(masked=masked, emit="value"), import_values)
+        )
+        assert export_values == [
+            value_ref.values[local] for local in problem.exports
+        ]
+
+    def test_maskless_chain(self):
+        problem = _acyclic_problem()
+        import_values = [0b100000, 0b1000000]
+        reference = backsub_shard((_acyclic_problem(), import_values))
+        key, blob = wire.encode_static(problem)
+        encoded = wire.backsub_shard_wire(
+            (
+                key,
+                blob,
+                "value",
+                wire.encode_masks(problem.seeds),
+                wire.encode_masks(import_values),
+            )
+        )
+        result, export_values = wire.decode_backsub(encoded, problem)
+        assert result.values == reference.values
+        assert result.steps == reference.steps
+        assert export_values == [reference.values[i] for i in problem.exports]
