@@ -5,7 +5,7 @@ PY ?= python
 PP := PYTHONPATH=src
 
 .PHONY: test differential shard-differential bench-smoke bench \
-	bench-frontend profile server-smoke
+	bench-frontend bench-core profile server-smoke
 
 # Tier-1 gate: the full unit/integration/property suite.
 test:
@@ -18,7 +18,7 @@ test:
 differential:
 	$(PP) $(PY) -m pytest -q tests/test_differential.py tests/test_batch.py \
 	    tests/test_linearity_guard.py tests/test_persist_roundtrip.py \
-	    tests/test_frontend_equivalence.py
+	    tests/test_frontend_equivalence.py tests/test_fused_differential.py
 
 # The sharded-solver oracle: byte-equality against the monolithic
 # pipeline over the differential corpus, the fuzz sweep (shard counts
@@ -39,6 +39,8 @@ bench-smoke:
 	    --benchmark-disable
 	$(PP) $(PY) -m pytest -q benchmarks/test_bench_frontend.py -k smoke \
 	    --benchmark-disable
+	$(PP) $(PY) -m pytest -q benchmarks/test_bench_core.py -k smoke \
+	    --benchmark-disable
 
 # The full measured benchmark suite (slow).
 bench:
@@ -50,6 +52,13 @@ bench:
 # CK_FRONTEND_BENCH_PROCS / CK_FRONTEND_BENCH_REPEATS.
 bench-frontend:
 	$(PP) $(PY) -m pytest -q benchmarks/test_bench_frontend.py -s
+
+# The fused middle-end measurement (E12): writes BENCH_core.json at
+# the repo root and asserts the ≥1.5x fused-vs-legacy solve and ≥1.25x
+# end-to-end claims on the 10k workload.  Resize with
+# CK_CORE_BENCH_PROCS / CK_CORE_BENCH_REPEATS.
+bench-core:
+	$(PP) $(PY) -m pytest -q benchmarks/test_bench_core.py -s
 
 # Where does the time go?  Per-phase breakdown + cProfile hot spots on
 # a generated workload (see `ck-analyze profile --help` for knobs).

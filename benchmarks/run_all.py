@@ -8,11 +8,12 @@ Prints one table per experiment in DESIGN.md's index; EXPERIMENTS.md
 records a captured run.  Timings are medians of repeated runs on
 pre-built inputs (program generation excluded).
 
-Besides the human-readable tables, a run leaves three artifacts in
-``--out`` (default: the repo root): ``bench_report.txt`` (the full
-table text), ``BENCH_shard.json`` (the sharded-solver comparison,
-machine-readable), and ``BENCH_all.json`` (per-experiment wall times
-plus the shard record — the perf-trajectory document CI uploads).
+Besides the human-readable tables, a run leaves artifacts in ``--out``
+(default: the repo root): ``bench_report.txt`` (the full table text),
+``BENCH_shard.json`` (the sharded-solver comparison), the E12 run
+refreshes ``BENCH_core.json`` (fused vs legacy middle end), and
+``BENCH_all.json`` aggregates per-experiment wall times plus the shard
+and core records — the perf-trajectory document CI uploads.
 """
 
 from __future__ import annotations
@@ -416,6 +417,39 @@ def a4_lattice_instances():
           "Figure 3 must widen rows to '*'.")
 
 
+def e12_core(quick: bool):
+    header("E12", "Fused arena solve vs legacy per-kind path  [core/arena]")
+    from test_bench_core import measure_core_benchmark, write_bench_json
+
+    result = measure_core_benchmark(
+        scales=(("1k", 1000, 200),) if quick
+        else (("1k", 1000, 200), ("10k", 10000, 2000)),
+        repeats=2 if quick else 3,
+        end_to_end=not quick,
+    )
+    write_bench_json(result)
+    print(f"{'scale':>6} {'legacy solve(s)':>16} {'fused solve(s)':>15} "
+          f"{'speedup':>8} {'condensations':>22}")
+    for label, scale in sorted(result["scales"].items()):
+        print(f"{label:>6} {scale['legacy']['solve_s']:>16.3f} "
+              f"{scale['fused']['solve_s']:>15.3f} "
+              f"{scale['solve_speedup']:>7.2f}x "
+              f"{json.dumps(scale['condensations'], sort_keys=True):>22}")
+    if "end_to_end" in result:
+        e2e = result["end_to_end"]
+        line = "end-to-end (from source, fused): %.3fs" % e2e["end_to_end_s"]
+        if "end_to_end_speedup_vs_baseline" in e2e:
+            line += " = %.2fx the pre-arena baseline (%.2fs)" % (
+                e2e["end_to_end_speedup_vs_baseline"],
+                e2e["baseline"]["end_to_end_s"],
+            )
+        print(line)
+    print("-> one graph traversal, one condensation, and one site decode "
+          "serve both MOD and USE; every mask and counter stays "
+          "bit-identical to the per-kind path.")
+    return result
+
+
 def e10_shard(quick: bool):
     header("E10", "Sharded solver vs monolithic, bit-identical  [shard/]")
     from test_bench_shard import measure_shard_benchmark
@@ -476,6 +510,7 @@ def main() -> int:
         ("E8", lambda: e8_sections(ranks)),
         ("E9", e9_section_precision),
         ("E10", lambda: e10_shard(args.quick)),
+        ("E12", lambda: e12_core(args.quick)),
         ("A1", a1_incremental),
         ("A2", a2_constprop),
         ("A4", a4_lattice_instances),
@@ -488,6 +523,7 @@ def main() -> int:
     sys.stdout = _Tee(original_stdout, buffer)
     wall: dict = {}
     shard_result = None
+    core_result = None
     try:
         for name, run in experiments:
             tick = time.perf_counter()
@@ -495,6 +531,8 @@ def main() -> int:
             wall[name] = time.perf_counter() - tick
             if name == "E10":
                 shard_result = returned
+            elif name == "E12":
+                core_result = returned
         print()
     finally:
         sys.stdout = original_stdout
@@ -508,6 +546,7 @@ def main() -> int:
         "quick": args.quick,
         "experiment_seconds": wall,
         "shard": shard_result,
+        "core": core_result,
     }
     with open(out_dir / "BENCH_all.json", "w") as handle:
         json.dump(aggregate, handle, indent=2, sort_keys=True)

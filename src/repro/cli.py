@@ -59,12 +59,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         return 0
     print(summary.report())
     if args.sections:
+        from repro.core.arena import get_arena
         from repro.sections import analyze_sections
 
         print("\nregular sections (MOD, %s lattice):" % args.lattice)
         section_analysis = analyze_sections(
             resolved, EffectKind.MOD, summary.universe, summary.call_graph,
             lattice=args.lattice,
+            condensation=get_arena(resolved).call_condensation(),
         )
         for site in resolved.call_sites:
             rendered = section_analysis.describe_site(site)

@@ -37,7 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.core.bitvec import OpCounter
+from repro.core.bitvec import OpCounter, mask_of
 from repro.core.varsets import VariableUniverse
 from repro.lang.symbols import ProcSymbol, ResolvedProgram, VarSymbol
 
@@ -56,6 +56,10 @@ class AliasResult:
     pairs: List[Set[Pair]]
     #: Per pid: uid -> mask of uids it may be aliased to on entry.
     partner_mask: List[Dict[int, int]] = field(default_factory=list)
+    #: Per pid: mask of uids that have at least one alias partner (the
+    #: key set of ``partner_mask[pid]`` as a mask).  Lets the factoring
+    #: step detect "no pair of this set is aliased" with one AND.
+    domain_mask: List[int] = field(default_factory=list)
 
     def pairs_of(self, proc: ProcSymbol) -> Set[Pair]:
         return self.pairs[proc.pid]
@@ -65,6 +69,15 @@ class AliasResult:
 
     def may_alias(self, proc: ProcSymbol, a: VarSymbol, b: VarSymbol) -> bool:
         return _pair(a.uid, b.uid) in self.pairs[proc.pid]
+
+    def domains(self) -> List[int]:
+        """``domain_mask``, derived from ``partner_mask`` when this
+        result was built by hand (tests construct AliasResult directly)."""
+        if not self.domain_mask and self.partner_mask:
+            self.domain_mask = [
+                mask_of(partners.keys()) for partners in self.partner_mask
+            ]
+        return self.domain_mask
 
 
 def compute_aliases(
@@ -90,9 +103,42 @@ def compute_aliases(
         pairs = [set(pair_set) for pair_set in initial_pairs]
     else:
         pairs = [set() for _ in range(num_procs)]
+
+    # The pair sets are mirrored into per-procedure partner masks
+    # (uid -> mask of alias partners) and a domain mask (the key set as
+    # a mask), maintained incrementally.  Membership tests and rule 4's
+    # "every caller pair containing actual_i" become single AND/shift
+    # operations instead of scans over the whole pair set — that scan
+    # made the fixpoint quadratic in the pair count.
+    partner_mask: List[Dict[int, int]] = [{} for _ in range(num_procs)]
+    domain_mask: List[int] = [0] * num_procs
+    for pid in range(num_procs):
+        partners = partner_mask[pid]
+        for pair in pairs[pid]:
+            a, b = tuple(pair)
+            partners[a] = partners.get(a, 0) | (1 << b)
+            partners[b] = partners.get(b, 0) | (1 << a)
+            domain_mask[pid] |= (1 << a) | (1 << b)
+
+    def _add_pair(pid: int, a: int, b: int) -> None:
+        pairs[pid].add(frozenset((a, b)))
+        partners = partner_mask[pid]
+        partners[a] = partners.get(a, 0) | (1 << b)
+        partners[b] = partners.get(b, 0) | (1 << a)
+        domain_mask[pid] |= (1 << a) | (1 << b)
+
+    # Per-site by-reference bindings as uid pairs, derived once — the
+    # worklist revisits a caller many times and the formal/base symbols
+    # never change.
     sites_by_caller: List[List] = [[] for _ in range(num_procs)]
     for site in resolved.call_sites:
-        sites_by_caller[site.caller.pid].append(site)
+        callee = site.callee
+        ref = [
+            (callee.formals[b.position].uid, b.base.uid)
+            for b in site.bindings
+            if b.by_reference
+        ]
+        sites_by_caller[site.caller.pid].append((callee.pid, ref))
 
     extant_uid_mask: List[int] = [universe.extant_mask(p) for p in resolved.procs]
 
@@ -114,66 +160,68 @@ def compute_aliases(
         for nested in resolved.procs[caller_pid].nested:
             new_pairs = pairs[caller_pid] - pairs[nested.pid]
             if new_pairs:
-                pairs[nested.pid] |= new_pairs
+                for pair in new_pairs:
+                    a, b = tuple(pair)
+                    _add_pair(nested.pid, a, b)
                 if not queued[nested.pid]:
                     queued[nested.pid] = True
                     worklist.append(nested.pid)
         # Snapshot: on self-recursive sites the caller's and callee's
-        # pair sets are the same object, and rule 4 iterates one while
-        # inserting into the other.  New pairs are picked up by the
-        # worklist requeue.
-        caller_pairs = set(pairs[caller_pid])
-        for site in sites_by_caller[caller_pid]:
-            callee = site.callee
-            callee_pid = callee.pid
+        # partner tables are the same object, and rules 2/4 read one
+        # while rule insertions grow the other.  New pairs are picked
+        # up by the worklist requeue.
+        caller_partners = dict(partner_mask[caller_pid])
+        for callee_pid, ref in sites_by_caller[caller_pid]:
             callee_extant = extant_uid_mask[callee_pid]
-            ref = [
-                (callee.formals[b.position], b.base)
-                for b in site.bindings
-                if b.by_reference
-            ]
+            callee_partners = partner_mask[callee_pid]
             added = False
-            for index, (formal_i, actual_i) in enumerate(ref):
-                # Rule 3: actual still visible inside the callee.
-                if (callee_extant >> actual_i.uid) & 1:
-                    new = _pair(formal_i.uid, actual_i.uid)
-                    if len(new) == 2 and new not in pairs[callee_pid]:
-                        pairs[callee_pid].add(new)
-                        added = True
+            for index, (formal_uid, actual_uid) in enumerate(ref):
+                formal_partners = callee_partners.get(formal_uid, 0)
+                # Rule 3: actual still extant inside the callee.
+                if (
+                    (callee_extant >> actual_uid) & 1
+                    and actual_uid != formal_uid
+                    and not (formal_partners >> actual_uid) & 1
+                ):
+                    _add_pair(callee_pid, formal_uid, actual_uid)
+                    formal_partners |= 1 << actual_uid
+                    added = True
+                aliased_to_actual = caller_partners.get(actual_uid, 0)
                 # Rules 1 and 2: two actuals aliased in the caller.
-                for formal_j, actual_j in ref[index + 1:]:
-                    same = actual_i is actual_j
-                    known = _pair(actual_i.uid, actual_j.uid) in caller_pairs
-                    if same or known:
-                        new = _pair(formal_i.uid, formal_j.uid)
-                        if len(new) == 2 and new not in pairs[callee_pid]:
-                            pairs[callee_pid].add(new)
+                for formal_j_uid, actual_j_uid in ref[index + 1:]:
+                    same = actual_uid == actual_j_uid
+                    known = (aliased_to_actual >> actual_j_uid) & 1
+                    if (same or known) and formal_uid != formal_j_uid:
+                        if not (formal_partners >> formal_j_uid) & 1:
+                            _add_pair(callee_pid, formal_uid, formal_j_uid)
+                            formal_partners |= 1 << formal_j_uid
                             added = True
                 # Rule 4: actual aliased in the caller to a variable
-                # still visible inside the callee.
-                for pair in caller_pairs:
-                    if actual_i.uid in pair:
-                        other = next(iter(pair - {actual_i.uid}), None)
-                        if other is None:
-                            continue
-                        if (callee_extant >> other) & 1:
-                            new = _pair(formal_i.uid, other)
-                            if len(new) == 2 and new not in pairs[callee_pid]:
-                                pairs[callee_pid].add(new)
-                                added = True
+                # still extant inside the callee.  One AND finds every
+                # candidate; only genuinely new pairs are walked.
+                new_bits = (
+                    aliased_to_actual
+                    & callee_extant
+                    & ~formal_partners
+                    & ~(1 << formal_uid)
+                )
+                while new_bits:
+                    low = new_bits & -new_bits
+                    other = low.bit_length() - 1
+                    _add_pair(callee_pid, formal_uid, other)
+                    formal_partners |= low
+                    new_bits ^= low
+                    added = True
             if added and not queued[callee_pid]:
                 queued[callee_pid] = True
                 worklist.append(callee_pid)
 
-    partner_mask: List[Dict[int, int]] = []
-    for pid in range(num_procs):
-        partners: Dict[int, int] = {}
-        for pair in pairs[pid]:
-            a, b = tuple(pair)
-            partners[a] = partners.get(a, 0) | (1 << b)
-            partners[b] = partners.get(b, 0) | (1 << a)
-        partner_mask.append(partners)
-    return AliasResult(resolved=resolved, pairs=pairs, partner_mask=partner_mask)
+    return AliasResult(
+        resolved=resolved,
+        pairs=pairs,
+        partner_mask=partner_mask,
+        domain_mask=domain_mask,
+    )
 
 
 def factor_aliases_into(
@@ -186,14 +234,63 @@ def factor_aliases_into(
     alias pairs (one expansion step, as the paper specifies)."""
     if counter is None:
         counter = OpCounter()
+    domains = aliases.domains()
+    partner_mask = aliases.partner_mask
     result: List[int] = []
     for site in resolved.call_sites:
         mask = dmod_masks[site.site_id]
-        partners = aliases.partner_mask[site.caller.pid]
+        caller_pid = site.caller.pid
+        # One AND selects exactly the members of DMOD(s) that have an
+        # alias partner; only those are expanded.  The counter charges
+        # one bit-vector step per expanded member — the same tally as
+        # walking the partner table and testing each key against the
+        # mask, which is what this replaces.
+        hits = mask & domains[caller_pid]
         expanded = mask
-        for uid, partner in partners.items():
-            if (mask >> uid) & 1:
-                expanded |= partner
-                counter.bit_vector_steps += 1
+        if hits:
+            partners = partner_mask[caller_pid]
+            counter.bit_vector_steps += hits.bit_count()
+            while hits:
+                low = hits & -hits
+                expanded |= partners[low.bit_length() - 1]
+                hits ^= low
         result.append(expanded)
+    return result
+
+
+def factor_aliases_fused(
+    dmod_rows: Sequence[Sequence[int]],
+    aliases: AliasResult,
+    arena,
+    num_kinds: int,
+    counters: Sequence[OpCounter],
+) -> List[List[int]]:
+    """Section 5 step (2) over the per-kind per-site DMOD rows.
+
+    The caller decode and domain lookup run once per site and feed
+    every lane; expansion happens lane by lane (the partner tables are
+    per-uid), so each kind's counter is charged exactly the legacy
+    tally: one bit-vector step per expanded member of that kind's set.
+    """
+    domains = aliases.domains()
+    partner_mask = aliases.partner_mask
+    site_caller = arena.site_caller
+    num_sites = len(site_caller)
+    result: List[List[int]] = [list(row) for row in dmod_rows]
+    for sid in range(num_sites):
+        caller_pid = site_caller[sid]
+        domain = domains[caller_pid]
+        if not domain:
+            continue
+        partners = partner_mask[caller_pid]
+        for k in range(num_kinds):
+            hits = dmod_rows[k][sid] & domain
+            if hits:
+                counters[k].bit_vector_steps += hits.bit_count()
+                expanded = result[k][sid]
+                while hits:
+                    low = hits & -hits
+                    expanded |= partners[low.bit_length() - 1]
+                    hits ^= low
+                result[k][sid] = expanded
     return result

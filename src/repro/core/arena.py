@@ -1,0 +1,282 @@
+"""The middle-end kernel layer: one flat, shared lowering per program.
+
+``analyze_side_effects`` solves the same two graphs twice (once per
+:class:`~repro.core.varsets.EffectKind`), and every phase re-derives
+structure the previous phase already had: ``tarjan_scc`` over β and the
+call multi-graph, per-site binding walks through ``CallSite`` /
+``Binding`` objects, ``~LOCAL(p)`` negations materialised per edge.
+:class:`ProgramArena` lowers a resolved program **once** into
+compressed-sparse-row int arrays and per-site flat binding tables, and
+caches the SCC condensation of each graph so every consumer — the fused
+solvers, the sections solver, the shard partitioner, incremental
+re-analysis — shares a single ``tarjan_scc``-equivalent pass per graph.
+
+The fused one-pass MOD+USE solve carries a *pair of masks per node* —
+one per-kind lane, advanced side by side inside a single traversal —
+so the graph bookkeeping (DFS frames, lowlinks, stacks, site/binding
+decoding) is paid once instead of once per kind, while each lane's
+masks stay exactly as wide as the legacy per-kind masks.  (Packing the
+lanes into one wide int was measured and rejected: a packed value is
+forced to ``K × |V|`` bits even when the underlying sets are small, so
+at 10k-procedure scale it *loses* to the per-kind path on big-int byte
+traffic.)  The only packed state is RMOD's per-β-node booleans, which
+fit ``K`` *bits* per node.
+
+Everything here is plain ints and lists: the arena pickles (so a
+cached lowering can cross a process boundary with the program) and is
+cheap to build — one sweep over the call sites and one over β.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.local import LocalAnalysis, lmod_of, luse_of
+from repro.core.varsets import EffectKind, VariableUniverse
+from repro.graphs.binding import BindingMultiGraph, build_binding_graph
+from repro.graphs.callgraph import CallMultiGraph, build_call_graph
+from repro.graphs.scc import Condensation, tarjan_scc_csr
+from repro.lang.symbols import ResolvedProgram
+
+
+class CSRGraph:
+    """A multi-graph as three flat int arrays.
+
+    ``succ[heads[n]:heads[n+1]]`` lists node ``n``'s successors in the
+    same order as the originating list-of-lists adjacency, so every
+    traversal order (and therefore every Tarjan output) is preserved.
+    ``edge_site`` is aligned with ``succ`` and carries the originating
+    call site id of each edge.
+    """
+
+    __slots__ = ("num_nodes", "heads", "succ", "edge_site")
+
+    def __init__(
+        self,
+        num_nodes: int,
+        heads: List[int],
+        succ: List[int],
+        edge_site: List[int],
+    ):
+        self.num_nodes = num_nodes
+        self.heads = heads
+        self.succ = succ
+        self.edge_site = edge_site
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.succ)
+
+    def successors_of(self, node: int) -> List[int]:
+        return self.succ[self.heads[node]:self.heads[node + 1]]
+
+    def __getstate__(self):
+        return (self.num_nodes, self.heads, self.succ, self.edge_site)
+
+    def __setstate__(self, state):
+        self.num_nodes, self.heads, self.succ, self.edge_site = state
+
+
+class ProgramArena:
+    """Shared flat lowering of one resolved program (see module doc).
+
+    Build with :func:`get_arena` (cached) or :meth:`ProgramArena.build`.
+    """
+
+    def __init__(self, resolved: ResolvedProgram):
+        self.resolved = resolved
+        self.universe = VariableUniverse(resolved)
+        self.call_graph = build_call_graph(resolved)
+        self.binding_graph = build_binding_graph(resolved)
+        self.local = LocalAnalysis(resolved, self.universe)
+
+        #: Variable-universe width in bits (mask width of every lane).
+        self.width = max(1, self.universe.size)
+
+        heads, succ, edge_site = self.call_graph.to_csr()
+        self.call_csr = CSRGraph(self.call_graph.num_nodes, heads, succ, edge_site)
+        heads, succ, edge_site = self.binding_graph.to_csr()
+        self.beta_csr = CSRGraph(
+            self.binding_graph.num_formals, heads, succ, edge_site
+        )
+
+        # β node attributes as parallel arrays (owner pid, variable uid)
+        # so the RMOD sweeps never touch a VarSymbol.
+        self.beta_formal_pid: List[int] = []
+        self.beta_formal_uid: List[int] = []
+        for formal in self.binding_graph.formals:
+            self.beta_formal_pid.append(formal.proc.pid)
+            self.beta_formal_uid.append(formal.uid)
+
+        # Per-call-site flat tables.  The by-reference bindings of site
+        # ``s`` occupy ``ref_*[site_ref_heads[s]:site_ref_heads[s+1]]``.
+        num_sites = resolved.num_call_sites
+        self.site_caller: List[int] = [0] * num_sites
+        self.site_callee: List[int] = [0] * num_sites
+        #: LMOD/LUSE of the call statement itself (subscript/value-arg
+        #: evaluation) — equation (2)'s ``LMOD(s)`` term.
+        self.site_lmod: List[int] = [0] * num_sites
+        self.site_luse: List[int] = [0] * num_sites
+        self.site_ref_heads: List[int] = [0] * (num_sites + 1)
+        self.ref_formal_uid: List[int] = []
+        self.ref_base_uid: List[int] = []
+        #: β node id of the bound formal (for RMOD lookups).
+        self.ref_formal_node: List[int] = []
+        node_of_uid = self.binding_graph.node_of_uid
+        for site in resolved.call_sites:
+            sid = site.site_id
+            self.site_caller[sid] = site.caller.pid
+            self.site_callee[sid] = site.callee.pid
+            self.site_lmod[sid] = lmod_of(site.stmt)
+            self.site_luse[sid] = luse_of(site.stmt)
+        for site in resolved.call_sites:
+            formals = site.callee.formals
+            for binding in site.bindings:
+                if not binding.by_reference:
+                    continue
+                formal = formals[binding.position]
+                self.ref_formal_uid.append(formal.uid)
+                self.ref_base_uid.append(binding.base.uid)
+                self.ref_formal_node.append(node_of_uid[formal.uid])
+            self.site_ref_heads[site.site_id + 1] = len(self.ref_formal_uid)
+
+        #: How many ``tarjan_scc``-equivalent passes have run per graph
+        #: ("beta", "call", and "call:level<i>" for the per-level
+        #: solver's filtered graphs).  Cached condensations do not
+        #: re-count — the whole point — so one fused analysis adds
+        #: exactly one count per graph it touches, and a second
+        #: analysis of the same program adds none for the cached ones.
+        self.condensation_counts: Dict[str, int] = {}
+        self._scc: Dict[str, Tuple[List[int], List[List[int]]]] = {}
+        self._condensations: Dict[str, Condensation] = {}
+        self._strip: Optional[List[int]] = None
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def build(cls, resolved: ResolvedProgram) -> "ProgramArena":
+        return cls(resolved)
+
+    # -- shared condensations -------------------------------------------------
+
+    def _scc_of(self, name: str, csr: CSRGraph) -> Tuple[List[int], List[List[int]]]:
+        cached = self._scc.get(name)
+        if cached is None:
+            cached = tarjan_scc_csr(csr.num_nodes, csr.heads, csr.succ)
+            self._scc[name] = cached
+            self.note_condensation(name)
+        return cached
+
+    def beta_condensation(self) -> Tuple[List[int], List[List[int]]]:
+        """``(component_of, components)`` of β — computed once, shared
+        by RMOD and RUSE (and anything else that asks)."""
+        return self._scc_of("beta", self.beta_csr)
+
+    def call_condensation(self) -> Tuple[List[int], List[List[int]]]:
+        """``(component_of, components)`` of the call multi-graph —
+        computed once, shared by the reference GMOD solver, the
+        sections solver, and the shard partitioner."""
+        return self._scc_of("call", self.call_csr)
+
+    def _condense_full(self, name: str, csr: CSRGraph) -> Condensation:
+        cached = self._condensations.get(name)
+        if cached is None:
+            component_of, components = self._scc_of(name, csr)
+            heads = csr.heads
+            succ = csr.succ
+            num_components = len(components)
+            comp_successors: List[List[int]] = [[] for _ in range(num_components)]
+            last_seen = [-1] * num_components
+            for comp_index, members in enumerate(components):
+                for node in members:
+                    for target in succ[heads[node]:heads[node + 1]]:
+                        succ_comp = component_of[target]
+                        if succ_comp == comp_index:
+                            continue
+                        if last_seen[succ_comp] != comp_index:
+                            last_seen[succ_comp] = comp_index
+                            comp_successors[comp_index].append(succ_comp)
+            cached = Condensation(
+                component_of=component_of,
+                components=components,
+                successors=comp_successors,
+            )
+            self._condensations[name] = cached
+        return cached
+
+    def call_condense_full(self) -> Condensation:
+        """The call graph's full :class:`Condensation` (deduplicated
+        cross-component successors), derived from the cached SCC pass —
+        no additional Tarjan run."""
+        return self._condense_full("call", self.call_csr)
+
+    def beta_condense_full(self) -> Condensation:
+        """β's full :class:`Condensation`, from the cached SCC pass."""
+        return self._condense_full("beta", self.beta_csr)
+
+    def note_condensation(self, name: str) -> None:
+        """Record one condensation-equivalent pass over graph ``name``
+        (an explicit Tarjan run, or an embedded Tarjan-adapted walk
+        like Figure 2's)."""
+        self.condensation_counts[name] = self.condensation_counts.get(name, 0) + 1
+
+    def snapshot_condensations(self) -> Dict[str, int]:
+        return dict(self.condensation_counts)
+
+    # -- mask helpers ---------------------------------------------------------
+
+    def strip_masks(self) -> List[int]:
+        """Per pid: the *positive* complement of ``LOCAL(p)`` over the
+        universe width — ``GMOD(q) & strip[q]`` is equation (4)'s
+        ``GMOD(q) − LOCAL(q)``, kind-independent, so one table serves
+        every lane.  The legacy path negates ``LOCAL`` per edge; the
+        fused path pays the negation once per procedure."""
+        if self._strip is None:
+            limit = (1 << self.width) - 1
+            self._strip = [limit & ~mask for mask in self.universe.local_mask]
+        return self._strip
+
+    def site_local(self, kind: EffectKind) -> List[int]:
+        """``LMOD(s)``/``LUSE(s)`` per site id."""
+        if kind is EffectKind.MOD:
+            return self.site_lmod
+        return self.site_luse
+
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+
+#: Small LRU of arenas keyed by ResolvedProgram identity.  The cache
+#: holds strong references (an arena keeps its program alive), so it is
+#: bounded: long-running services (batch engine, analysis server) churn
+#: through many programs and must not accumulate one lowering each.
+_ARENA_CACHE: "Dict[int, ProgramArena]" = {}
+_ARENA_CACHE_LIMIT = 16
+
+
+def get_arena(resolved: ResolvedProgram) -> ProgramArena:
+    """The shared arena for ``resolved`` — built once per program,
+    then reused by every analysis (monolithic, sharded, incremental,
+    sections) that sees the same resolved object."""
+    key = id(resolved)
+    arena = _ARENA_CACHE.get(key)
+    if arena is not None and arena.resolved is resolved:
+        return arena
+    arena = ProgramArena(resolved)
+    if len(_ARENA_CACHE) >= _ARENA_CACHE_LIMIT:
+        # Drop the oldest insertion (dicts preserve insertion order).
+        _ARENA_CACHE.pop(next(iter(_ARENA_CACHE)))
+    _ARENA_CACHE[key] = arena
+    return arena
+
+
+def clear_arena_cache() -> None:
+    """Benchmark/test hook: force the next :func:`get_arena` to lower
+    from scratch."""
+    _ARENA_CACHE.clear()

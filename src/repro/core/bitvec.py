@@ -76,3 +76,12 @@ class OpCounter:
         self.bit_vector_steps = 0
         self.single_bit_steps = 0
         self.meet_operations = 0
+
+    def merge(self, other: "OpCounter") -> None:
+        """Add another counter's tallies into this one (the pipeline
+        accumulates per-kind counters, then folds them into the
+        program total — addition commutes, so the fold order never
+        changes the totals)."""
+        self.bit_vector_steps += other.bit_vector_steps
+        self.single_bit_steps += other.single_bit_steps
+        self.meet_operations += other.meet_operations

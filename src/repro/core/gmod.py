@@ -179,3 +179,141 @@ def findgmod(
         line17_count=line17,
         line22_count=line22,
     )
+
+
+@dataclass
+class FusedGmodResult:
+    """One Figure 2 walk solving all kinds: one per-pid GMOD mask row
+    per kind plus the shared structural tallies."""
+
+    gmod: List[List[int]]
+    dfn: List[int]
+    component_of: List[int]
+    line8_count: int = 0
+    line17_count: int = 0
+    line22_count: int = 0
+
+
+def findgmod_fused(
+    arena,
+    imod_plus_rows: Sequence[Sequence[int]],
+    num_kinds: int,
+    counters: Sequence[OpCounter],
+    roots: Optional[Sequence[int]] = None,
+    restart: bool = True,
+) -> FusedGmodResult:
+    """Figure 2 over the arena's call CSR, all kinds in one walk.
+
+    Each node carries one mask per kind, advanced side by side: the
+    DFS bookkeeping — frames, lowlinks, the component stack, the edge
+    classification — runs once instead of once per kind, while each
+    lane's set operations stay exactly the legacy ones.  The
+    ``−LOCAL(q)`` operand is the arena's precomputed *positive* strip
+    mask (the per-edge ``~`` of the legacy path paid once per
+    procedure instead).
+
+    Counter identity: Theorem 2's tallies are structural — line 8 fires
+    once per first visit, line 17 once per qualifying edge, line 22
+    once per vertex — so they are identical for every kind; each kind's
+    counter receives the same ``line8 + line17 + line22`` total the
+    legacy walk accumulates.  The walk is a Tarjan-adapted DFS, so it
+    registers one condensation-equivalent pass on the call graph.
+    """
+    csr = arena.call_csr
+    heads = csr.heads
+    succ = csr.succ
+    num_nodes = csr.num_nodes
+    strip = arena.strip_masks()
+
+    rows: List[List[int]] = [[0] * num_nodes for _ in range(num_kinds)]
+    dfn = [0] * num_nodes
+    lowlink = [0] * num_nodes
+    on_stack = [False] * num_nodes
+    component_of = [-1] * num_nodes
+    stack: List[int] = []
+    next_dfn = 1
+    num_components = 0
+    line8 = line17 = line22 = 0
+
+    if roots is None:
+        roots = [arena.resolved.main.pid]
+    search_roots = list(roots)
+    if restart:
+        search_roots += list(range(num_nodes))
+
+    for root in search_roots:
+        if dfn[root] != 0:
+            continue
+        dfn[root] = lowlink[root] = next_dfn
+        next_dfn += 1
+        for k in range(num_kinds):
+            rows[k][root] = imod_plus_rows[k][root]
+        line8 += 1
+        stack.append(root)
+        on_stack[root] = True
+        frames: List[List[object]] = [[root, iter(succ[heads[root]:heads[root + 1]])]]
+
+        while frames:
+            node, succ_iter = frames[-1]
+            descended = False
+            for target in succ_iter:
+                if dfn[target] == 0:
+                    dfn[target] = lowlink[target] = next_dfn
+                    next_dfn += 1
+                    for k in range(num_kinds):
+                        rows[k][target] = imod_plus_rows[k][target]
+                    line8 += 1
+                    stack.append(target)
+                    on_stack[target] = True
+                    frames.append(
+                        [target, iter(succ[heads[target]:heads[target + 1]])]
+                    )
+                    descended = True
+                    break
+                if dfn[target] < dfn[node] and on_stack[target]:
+                    if dfn[target] < lowlink[node]:
+                        lowlink[node] = dfn[target]
+                else:
+                    mask = strip[target]
+                    for row in rows:
+                        row[node] |= row[target] & mask
+                    line17 += 1
+            if descended:
+                continue
+
+            frames.pop()
+            if lowlink[node] == dfn[node]:
+                mask = strip[node]
+                outs = [row[node] & mask for row in rows]
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component_of[member] = num_components
+                    for k in range(num_kinds):
+                        rows[k][member] |= outs[k]
+                    line22 += 1
+                    if member == node:
+                        break
+                num_components += 1
+            if frames:
+                parent = frames[-1][0]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+                mask = strip[node]
+                for row in rows:
+                    row[parent] |= row[node] & mask
+                line17 += 1
+
+    arena.note_condensation("call")
+    total = line8 + line17 + line22
+    for counter in counters:
+        counter.bit_vector_steps += total
+
+    return FusedGmodResult(
+        gmod=rows,
+        dfn=dfn,
+        component_of=component_of,
+        line8_count=line8,
+        line17_count=line17,
+        line22_count=line22,
+    )

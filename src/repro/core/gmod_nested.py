@@ -330,3 +330,251 @@ def findgmod_multilevel(
                 counter.bit_vector_steps += 1
 
     return NestedGmodResult(kind=kind, gmod=gmod, counter=counter, method="multilevel")
+
+
+# ---------------------------------------------------------------------------
+# Fused (packed multi-kind) variants over the program arena.
+# ---------------------------------------------------------------------------
+
+
+def solve_equation4_reference_fused(
+    arena,
+    imod_plus_rows: Sequence[Sequence[int]],
+    num_kinds: int,
+    counters: Sequence[OpCounter],
+) -> List[List[int]]:
+    """The reference fixpoint for every kind over the arena's shared
+    call-graph condensation (one Tarjan pass total, not one per kind).
+
+    The reference solver's tally is **value-dependent** — a component
+    sweeps until that kind's values stop changing — and the kinds may
+    converge after different sweep counts.  The lanes never interact,
+    so lane ``k`` after fused sweep ``t`` equals the legacy kind-``k``
+    state after its sweep ``t``; a kind is charged the component's edge
+    total for every sweep up to and including its first no-change
+    sweep (the legacy loop's exact accounting), then drops out of the
+    remaining sweeps entirely — its lane is already at the component
+    fixpoint.
+    """
+    heads = arena.call_csr.heads
+    succ = arena.call_csr.succ
+    num_nodes = arena.call_csr.num_nodes
+    strip = arena.strip_masks()
+
+    rows = [list(row) for row in imod_plus_rows]
+    for counter in counters:
+        counter.bit_vector_steps += num_nodes
+
+    component_of, components = arena.call_condensation()
+    for members in components:
+        degree_total = sum(heads[m + 1] - heads[m] for m in members)
+        active = list(range(num_kinds))
+        while active:
+            still = []
+            for k in active:
+                row = rows[k]
+                changed = False
+                for node in members:
+                    value = row[node]
+                    for target in succ[heads[node]:heads[node + 1]]:
+                        value |= row[target] & strip[target]
+                    if value != row[node]:
+                        row[node] = value
+                        changed = True
+                counters[k].bit_vector_steps += degree_total
+                if changed:
+                    still.append(k)
+            active = still
+    return rows
+
+
+def findgmod_per_level_fused(
+    arena,
+    imod_plus_rows: Sequence[Sequence[int]],
+    num_kinds: int,
+    counters: Sequence[OpCounter],
+) -> List[List[int]]:
+    """The per-level repetition for every kind at once.
+
+    Each problem's filtered graph and its Tarjan pass are built once
+    and shared by all kinds (the legacy path rebuilds them per kind);
+    every tally here is structural — one per member seed, one per
+    cross-component edge, one per node fold — so each kind's counter
+    receives the identical total.
+    """
+    universe = arena.universe
+    resolved = arena.resolved
+    heads = arena.call_csr.heads
+    succ = arena.call_csr.succ
+    num_nodes = arena.call_csr.num_nodes
+    levels = [proc.level for proc in resolved.procs]
+    rows: List[List[int]] = [[0] * num_nodes for _ in range(num_kinds)]
+    steps = 0
+
+    for problem in range(1, len(universe.level_mask) + 1):
+        level_mask = universe.level_mask[problem - 1]
+        filtered: List[List[int]] = [[] for _ in range(num_nodes)]
+        for node in range(num_nodes):
+            for target in succ[heads[node]:heads[node + 1]]:
+                if levels[target] >= problem:
+                    filtered[node].append(target)
+        component_of, components = tarjan_scc(num_nodes, filtered)
+        arena.note_condensation("call:level%d" % problem)
+        comp_value = [[0] * len(components) for _ in range(num_kinds)]
+        for comp_index, members in enumerate(components):
+            values = [0] * num_kinds
+            for member in members:
+                for k in range(num_kinds):
+                    values[k] |= imod_plus_rows[k][member] & level_mask
+                steps += 1
+            for member in members:
+                for target in filtered[member]:
+                    succ_comp = component_of[target]
+                    if succ_comp != comp_index:
+                        for k in range(num_kinds):
+                            values[k] |= comp_value[k][succ_comp]
+                        steps += 1
+            for k in range(num_kinds):
+                comp_value[k][comp_index] = values[k]
+        for node in range(num_nodes):
+            comp_index = component_of[node]
+            for k in range(num_kinds):
+                rows[k][node] |= comp_value[k][comp_index]
+            steps += 1
+
+    for counter in counters:
+        counter.bit_vector_steps += steps
+    return rows
+
+
+def findgmod_multilevel_fused(
+    arena,
+    imod_plus_rows: Sequence[Sequence[int]],
+    num_kinds: int,
+    counters: Sequence[OpCounter],
+    check_invariants: bool = False,
+) -> List[List[int]]:
+    """The single-DFS multi-level algorithm for every kind in one walk.
+
+    The DFS skeleton — lowlink vectors, per-level stacks, the
+    correction sweep — runs once; each kind's GMOD row rides along as a
+    separate mask lane.  Every tally is structural (first visit,
+    non-tree edge, member pop, tree fall-through), identical across
+    kinds, so each counter receives the same total the legacy walk
+    accumulates.  The walk registers one condensation-equivalent pass
+    on the call graph.
+    """
+    resolved = arena.resolved
+    universe = arena.universe
+    heads = arena.call_csr.heads
+    succ = arena.call_csr.succ
+    num_nodes = arena.call_csr.num_nodes
+    levels = [proc.level for proc in resolved.procs]
+    d_p = max(levels) if levels else 0
+    arena.note_condensation("call")
+    if d_p == 0:
+        return [list(row) for row in imod_plus_rows]
+    below = _below_masks(universe, d_p)
+    level_mask = list(universe.level_mask) + [0] * (
+        d_p + 1 - len(universe.level_mask)
+    )
+
+    rows: List[List[int]] = [[0] * num_nodes for _ in range(num_kinds)]
+    dfn = [0] * num_nodes
+    lowlink: List[Optional[List[int]]] = [None] * num_nodes
+    stack_level = [0] * num_nodes
+    stacks: List[List[int]] = [[] for _ in range(d_p + 1)]
+    next_dfn = 1
+    steps = 0
+
+    roots = [resolved.main.pid] + list(range(num_nodes))
+    for root in roots:
+        if dfn[root] != 0:
+            continue
+        dfn[root] = next_dfn
+        next_dfn += 1
+        for k in range(num_kinds):
+            rows[k][root] = imod_plus_rows[k][root]
+        steps += 1
+        lowlink[root] = [dfn[root]] * (d_p + 1)
+        stack_level[root] = d_p
+        for level in range(1, d_p + 1):
+            stacks[level].append(root)
+        frames: List[List[object]] = [[root, iter(succ[heads[root]:heads[root + 1]])]]
+
+        while frames:
+            node, succ_iter = frames[-1]
+            descended = False
+            for target in succ_iter:
+                if dfn[target] == 0:
+                    dfn[target] = next_dfn
+                    next_dfn += 1
+                    for k in range(num_kinds):
+                        rows[k][target] = imod_plus_rows[k][target]
+                    steps += 1
+                    lowlink[target] = [dfn[target]] * (d_p + 1)
+                    stack_level[target] = d_p
+                    for level in range(1, d_p + 1):
+                        stacks[level].append(target)
+                    frames.append(
+                        [target, iter(succ[heads[target]:heads[target + 1]])]
+                    )
+                    descended = True
+                    break
+                mask = below[levels[target]]
+                for row in rows:
+                    row[node] |= row[target] & mask
+                steps += 1
+                if dfn[target] < dfn[node]:
+                    slot = min(levels[target], stack_level[target])
+                    if slot >= 1 and dfn[target] < lowlink[node][slot]:
+                        lowlink[node][slot] = dfn[target]
+            if descended:
+                continue
+
+            frames.pop()
+            node_low = lowlink[node]
+            for level in range(d_p - 1, 0, -1):
+                if node_low[level + 1] < node_low[level]:
+                    node_low[level] = node_low[level + 1]
+            if check_invariants:
+                for level in range(1, d_p):
+                    assert node_low[level] <= node_low[level + 1], (
+                        "lowlink vector not monotone at node %d" % node
+                    )
+                closing = [
+                    level
+                    for level in range(1, d_p + 1)
+                    if node_low[level] == dfn[node]
+                ]
+                if closing:
+                    assert closing == list(
+                        range(closing[0], d_p + 1)
+                    ), "closing levels are not a suffix at node %d" % node
+            for level in range(d_p, 0, -1):
+                if node_low[level] != dfn[node]:
+                    break
+                lm = level_mask[level - 1]
+                slices = [row[node] & lm for row in rows]
+                while True:
+                    member = stacks[level].pop()
+                    stack_level[member] = level - 1
+                    for k in range(num_kinds):
+                        rows[k][member] |= slices[k]
+                    steps += 1
+                    if member == node:
+                        break
+            if frames:
+                parent = frames[-1][0]
+                parent_low = lowlink[parent]
+                for level in range(1, levels[node] + 1):
+                    if node_low[level] < parent_low[level]:
+                        parent_low[level] = node_low[level]
+                mask = below[levels[node]]
+                for row in rows:
+                    row[parent] |= row[node] & mask
+                steps += 1
+
+    for counter in counters:
+        counter.bit_vector_steps += steps
+    return rows

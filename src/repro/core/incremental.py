@@ -31,13 +31,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.core.aliases import compute_aliases, factor_aliases_into
-from repro.core.bitvec import iter_bits
-from repro.core.dmod import compute_dmod
-from repro.core.imod_plus import compute_imod_plus
+from repro.core.aliases import compute_aliases, factor_aliases_fused, factor_aliases_into
+from repro.core.arena import ProgramArena, get_arena
+from repro.core.bitvec import OpCounter, iter_bits
+from repro.core.dmod import compute_dmod, compute_dmod_fused
+from repro.core.imod_plus import compute_imod_plus, compute_imod_plus_fused
 from repro.core.local import LocalAnalysis
 from repro.core.pipeline import analyze_side_effects
-from repro.core.rmod import RmodResult, solve_rmod
+from repro.core.rmod import RmodResult, solve_rmod, solve_rmod_fused
 from repro.core.summary import EffectSolution, SideEffectSummary
 from repro.core.varsets import EffectKind, VariableUniverse
 from repro.graphs.binding import build_binding_graph
@@ -126,7 +127,15 @@ def _uid_permutation(old_resolved: ResolvedProgram,
 
 def _remap_mask(mask: int, permutation: Optional[List[int]]) -> int:
     """Translate a variable mask between uid spaces (identity when the
-    permutation is None)."""
+    permutation is None).
+
+    The ``iter_bits`` walk here is inherent, not a hot-path oversight:
+    an arbitrary uid permutation moves each bit independently, so there
+    is no whole-vector operation that applies it — in the paper's cost
+    model this is one single-bit step per member, charged only on the
+    rare edits that change the uid space (``permutation is None`` — the
+    common body edit — never enters the loop).
+    """
     if permutation is None:
         return mask
     out = 0
@@ -196,6 +205,61 @@ def _solve_region(
                     gmod[node] = value
                     changed = True
     return gmod
+
+
+def _solve_region_fused(
+    arena: ProgramArena,
+    imod_plus_rows: List[List[int]],
+    affected: List[bool],
+    reused_rows: List[Dict[int, int]],
+    num_kinds: int,
+) -> List[List[int]]:
+    """:func:`_solve_region` for every kind at once: the region graph
+    is built and condensed **once** (the legacy path re-ran Tarjan per
+    kind) and the per-component fixpoint advances every kind's mask
+    lane over the shared member order."""
+    heads = arena.call_csr.heads
+    succ = arena.call_csr.succ
+    num_nodes = arena.call_csr.num_nodes
+    strip = arena.strip_masks()
+
+    rows: List[List[int]] = [[0] * num_nodes for _ in range(num_kinds)]
+    for pid in range(num_nodes):
+        if not affected[pid]:
+            for k in range(num_kinds):
+                rows[k][pid] = reused_rows[k].get(pid, 0)
+
+    region_successors: List[List[int]] = [[] for _ in range(num_nodes)]
+    for node in range(num_nodes):
+        if affected[node]:
+            region_successors[node] = succ[heads[node]:heads[node + 1]]
+
+    component_of, components = tarjan_scc(num_nodes, region_successors)
+    arena.note_condensation("call:region")
+    for members in components:
+        members = [m for m in members if affected[m]]
+        if not members:
+            continue
+        for row, imod_row in zip(rows, imod_plus_rows):
+            for node in members:
+                row[node] = imod_row[node]
+        active = list(range(num_kinds))
+        while active:
+            still = []
+            for k in active:
+                row = rows[k]
+                changed = False
+                for node in members:
+                    value = row[node]
+                    for target in succ[heads[node]:heads[node + 1]]:
+                        value |= row[target] & strip[target]
+                    if value != row[node]:
+                        row[node] = value
+                        changed = True
+                if changed:
+                    still.append(k)
+            active = still
+    return rows
 
 
 def _incremental_aliases(
@@ -278,10 +342,14 @@ def incremental_update(
     else:
         dirty_names = dirty_procedures(old_resolved, new_resolved)
 
-    universe = VariableUniverse(new_resolved)
-    call_graph = build_call_graph(new_resolved)
-    binding_graph = build_binding_graph(new_resolved)
-    local = LocalAnalysis(new_resolved, universe)
+    # One lowering serves this update and any later analyses of the
+    # same resolved program (the analysis server re-analyzes the same
+    # session object repeatedly).
+    arena = get_arena(new_resolved)
+    universe = arena.universe
+    call_graph = arena.call_graph
+    binding_graph = arena.binding_graph
+    local = arena.local
 
     dirty_pids = [
         proc.pid for proc in new_resolved.procs if proc.qualified_name in dirty_names
@@ -302,31 +370,45 @@ def incremental_update(
         total_procs=call_graph.num_nodes,
     )
 
-    solutions: Dict[EffectKind, EffectSolution] = {}
-    for kind in kinds:
-        rmod = solve_rmod(binding_graph, local, kind)
-        imod_plus = compute_imod_plus(new_resolved, local, rmod, kind)
-        old_solution = old_summary.solutions[kind]
-        reused: Dict[int, int] = {}
-        for proc in new_resolved.procs:
-            if affected[proc.pid]:
-                continue
-            old_pid = old_pid_by_name.get(proc.qualified_name)
-            if old_pid is None:
-                continue
-            reused[proc.pid] = _remap_mask(
-                old_solution.gmod[old_pid], permutation
+    # The fused phases: one β sweep and one region condensation serve
+    # every kind, each kind's masks riding along as a separate lane.
+    kind_list = list(kinds)
+    num_kinds = len(kind_list)
+    kind_counters = [OpCounter() for _ in kind_list]
+    rmod_results, rmod_bits = solve_rmod_fused(arena, kind_list, kind_counters)
+    imod_plus_rows = compute_imod_plus_fused(
+        arena, rmod_bits, kind_list, kind_counters
+    )
+
+    reused_rows: List[Dict[int, int]] = [{} for _ in kind_list]
+    for proc in new_resolved.procs:
+        if affected[proc.pid]:
+            continue
+        old_pid = old_pid_by_name.get(proc.qualified_name)
+        if old_pid is None:
+            continue
+        for k, kind in enumerate(kind_list):
+            reused_rows[k][proc.pid] = _remap_mask(
+                old_summary.solutions[kind].gmod[old_pid], permutation
             )
-        gmod = _solve_region(call_graph, imod_plus, universe, affected, reused)
-        dmod = compute_dmod(new_resolved, gmod, universe, kind)
-        mod = factor_aliases_into(dmod, aliases, new_resolved)
+
+    gmod_rows = _solve_region_fused(
+        arena, imod_plus_rows, affected, reused_rows, num_kinds
+    )
+    dmod_rows = compute_dmod_fused(arena, gmod_rows, kind_list, kind_counters)
+    mod_rows = factor_aliases_fused(
+        dmod_rows, aliases, arena, num_kinds, kind_counters
+    )
+
+    solutions: Dict[EffectKind, EffectSolution] = {}
+    for k, kind in enumerate(kind_list):
         solutions[kind] = EffectSolution(
             kind=kind,
-            rmod=rmod,
-            imod_plus=imod_plus,
-            gmod=gmod,
-            dmod=dmod,
-            mod=mod,
+            rmod=rmod_results[k],
+            imod_plus=imod_plus_rows[k],
+            gmod=gmod_rows[k],
+            dmod=dmod_rows[k],
+            mod=mod_rows[k],
             gmod_method="incremental",
         )
 
@@ -338,5 +420,6 @@ def incremental_update(
         local=local,
         aliases=aliases,
         solutions=solutions,
+        kind_counters=dict(zip(kind_list, kind_counters)),
     )
     return summary, stats

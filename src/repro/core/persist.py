@@ -97,11 +97,13 @@ def summary_to_dict(summary: SideEffectSummary, include_sections: bool = False) 
         },
     }
     if include_sections:
+        from repro.core.arena import get_arena
         from repro.core.varsets import EffectKind as _Kind
         from repro.sections import analyze_sections
 
         section_analysis = analyze_sections(
-            resolved, _Kind.MOD, universe, summary.call_graph
+            resolved, _Kind.MOD, universe, summary.call_graph,
+            condensation=get_arena(resolved).call_condensation(),
         )
         payload["sections"] = {
             "lattice": "figure3",

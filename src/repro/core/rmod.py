@@ -27,7 +27,7 @@ accordingly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bitvec import OpCounter
 from repro.core.local import LocalAnalysis
@@ -127,3 +127,94 @@ def solve_rmod(
         proc_mask=proc_mask,
         counter=counter,
     )
+
+
+def solve_rmod_fused(
+    arena,
+    kinds: Sequence[EffectKind],
+    counters: Sequence[OpCounter],
+) -> Tuple[List[RmodResult], List[int]]:
+    """Figure 1 for every kind in one sweep over the arena's β CSR.
+
+    The per-node state is a K-bit int (bit ``k`` = kind ``k``'s
+    boolean), so one integer OR advances all kinds, and the SCC
+    condensation comes from the arena — computed once and shared with
+    anything else that asks.  Returns the per-kind :class:`RmodResult`
+    list plus the packed K-bit node vector (consumed directly by
+    :func:`repro.core.imod_plus.compute_imod_plus_fused`).
+
+    Counter identity with the legacy path: Figure 1 charges one
+    single-bit step per node in each of steps (init), (2) and (4) and
+    one per β edge in step (3) — all structural, identical for every
+    kind — so each kind's counter receives exactly ``3·Nβ + Eβ``, the
+    same tally :func:`solve_rmod` accumulates one increment at a time.
+    """
+    resolved = arena.resolved
+    local = arena.local
+    csr = arena.beta_csr
+    heads = csr.heads
+    succ = csr.succ
+    num_nodes = csr.num_nodes
+    num_kinds = len(kinds)
+
+    initial = [local.initial(kind) for kind in kinds]
+    formal_pid = arena.beta_formal_pid
+    formal_uid = arena.beta_formal_uid
+
+    node_imod = [0] * num_nodes
+    for node in range(num_nodes):
+        pid = formal_pid[node]
+        uid = formal_uid[node]
+        bits = 0
+        for k in range(num_kinds):
+            bits |= ((initial[k][pid] >> uid) & 1) << k
+        node_imod[node] = bits
+
+    # Step (1): the shared condensation of β.
+    component_of, components = arena.beta_condensation()
+
+    # Step (2): representer IMOD = OR of member IMODs.
+    num_components = len(components)
+    comp_value = [0] * num_components
+    for comp_index, members in enumerate(components):
+        value = 0
+        for member in members:
+            value |= node_imod[member]
+        comp_value[comp_index] = value
+
+    # Step (3): leaves-to-roots sweep applying equation (6); components
+    # are in reverse topological order, so successors are final.
+    for comp_index, members in enumerate(components):
+        value = comp_value[comp_index]
+        for member in members:
+            for target in succ[heads[member]:heads[member + 1]]:
+                value |= comp_value[component_of[target]]
+        comp_value[comp_index] = value
+
+    # Step (4): copy back.
+    node_bits = [0] * num_nodes
+    for comp_index, members in enumerate(components):
+        value = comp_value[comp_index]
+        for member in members:
+            node_bits[member] = value
+
+    per_kind_steps = 3 * num_nodes + csr.num_edges
+    num_procs = resolved.num_procs
+    results: List[RmodResult] = []
+    for k, kind in enumerate(kinds):
+        counters[k].single_bit_steps += per_kind_steps
+        node_value = [bool((bits >> k) & 1) for bits in node_bits]
+        proc_mask = [0] * num_procs
+        for node in range(num_nodes):
+            if node_value[node]:
+                proc_mask[formal_pid[node]] |= 1 << formal_uid[node]
+        results.append(
+            RmodResult(
+                kind=kind,
+                graph=arena.binding_graph,
+                node_value=node_value,
+                proc_mask=proc_mask,
+                counter=counters[k],
+            )
+        )
+    return results, node_bits

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.core.aliases import AliasResult
-from repro.core.bitvec import OpCounter, iter_bits
+from repro.core.bitvec import OpCounter
 from repro.core.local import LocalAnalysis
 from repro.core.rmod import RmodResult
 from repro.core.varsets import EffectKind, VariableUniverse
@@ -52,6 +52,14 @@ class SideEffectSummary:
     #: Partition/stitch statistics when the sharded solver produced
     #: this summary (:mod:`repro.shard`); None for monolithic runs.
     shard_info: Optional[Dict] = None
+    #: Per-kind operation tallies (the program total ``counter`` is
+    #: their fold plus the kind-independent phases).  Populated by both
+    #: pipeline paths so the differential suite can compare the fused
+    #: and legacy tallies kind by kind; not serialized.
+    kind_counters: Optional[Dict[EffectKind, OpCounter]] = None
+    #: Snapshot of the arena's condensation-pass counts taken when this
+    #: analysis finished (fused path only); not serialized.
+    condensations: Optional[Dict[str, int]] = None
 
     # -- mask accessors -------------------------------------------------------
 

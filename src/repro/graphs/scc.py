@@ -85,6 +85,71 @@ def tarjan_scc(num_nodes: int, successors: Sequence[Sequence[int]]) -> Tuple[Lis
     return component_of, components
 
 
+def tarjan_scc_csr(
+    num_nodes: int, heads: Sequence[int], succ: Sequence[int]
+) -> Tuple[List[int], List[List[int]]]:
+    """:func:`tarjan_scc` over a CSR adjacency (``heads``/``succ`` flat
+    arrays, node ``n``'s successors at ``succ[heads[n]:heads[n+1]]``).
+
+    Successors are visited in the same order as the list-of-lists form,
+    so the output — including the reverse topological component order —
+    is identical to ``tarjan_scc`` on the equivalent adjacency.  The
+    arena's shared condensations rely on that: a solver may consume
+    either form and see the same components.
+    """
+    index_of = [-1] * num_nodes
+    lowlink = [0] * num_nodes
+    on_stack = [False] * num_nodes
+    component_of = [-1] * num_nodes
+    stack: List[int] = []
+    components: List[List[int]] = []
+    counter = 0
+
+    for root in range(num_nodes):
+        if index_of[root] != -1:
+            continue
+        work: List[List[object]] = [[root, iter(succ[heads[root]:heads[root + 1]])]]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, succ_iter = work[-1]
+            advanced = False
+            for target in succ_iter:
+                if index_of[target] == -1:
+                    index_of[target] = lowlink[target] = counter
+                    counter += 1
+                    stack.append(target)
+                    on_stack[target] = True
+                    work.append(
+                        [target, iter(succ[heads[target]:heads[target + 1]])]
+                    )
+                    advanced = True
+                    break
+                if on_stack[target]:
+                    if index_of[target] < lowlink[node]:
+                        lowlink[node] = index_of[target]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+            if lowlink[node] == index_of[node]:
+                component: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component_of[member] = len(components)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return component_of, components
+
+
 @dataclass
 class Condensation:
     """The DAG of strongly connected components of a multi-graph.

@@ -56,10 +56,24 @@ class DependenceTester:
                  call_graph: Optional[CallMultiGraph] = None,
                  lattice=None):
         self.resolved = resolved
+        condensation = None
+        if call_graph is None:
+            # Both kind runs share the arena's graph and its single
+            # Tarjan pass instead of condensing twice.
+            from repro.core.arena import get_arena
+
+            arena = get_arena(resolved)
+            call_graph = arena.call_graph
+            condensation = arena.call_condensation()
+            if universe is None:
+                universe = arena.universe
         self.mod = analyze_sections(resolved, EffectKind.MOD, universe,
-                                    call_graph, lattice=lattice)
+                                    call_graph, lattice=lattice,
+                                    condensation=condensation)
         self.use = analyze_sections(resolved, EffectKind.USE,
-                                    self.mod.universe, lattice=lattice)
+                                    self.mod.universe, call_graph,
+                                    lattice=lattice,
+                                    condensation=condensation)
 
     def _site_tables(self, site: CallSite) -> Tuple[Dict[int, Section], Dict[int, Section]]:
         return (

@@ -148,12 +148,18 @@ def analyze_sections(
     universe: Optional[VariableUniverse] = None,
     call_graph: Optional[CallMultiGraph] = None,
     lattice=None,
+    condensation=None,
 ) -> SectionAnalysis:
     """Solve the sectioned side-effect system for ``resolved``.
 
     ``lattice`` selects the section representation: a
     :class:`repro.sections.framework.SectionLattice`, or one of the
     names ``"figure3"`` (default) / ``"ranges"``.
+
+    ``condensation``, when given, is a ``(component_of, components)``
+    pair for the call multi-graph (e.g. the program arena's shared
+    Tarjan pass) and skips the solver's own SCC run — the dependence
+    tester calls this twice (``MOD`` and ``USE``) on one graph.
     """
     if lattice is None:
         lattice = _default_lattice()
@@ -176,7 +182,12 @@ def analyze_sections(
     for site in resolved.call_sites:
         sites_by_caller[site.caller.pid].append(site)
 
-    component_of, components = tarjan_scc(call_graph.num_nodes, call_graph.successors)
+    if condensation is not None:
+        component_of, components = condensation
+    else:
+        component_of, components = tarjan_scc(
+            call_graph.num_nodes, call_graph.successors
+        )
     component_iterations: List[int] = []
     for comp_index, members in enumerate(components):
         sweeps = 0

@@ -139,12 +139,18 @@ def partition_graph(
     successors: Sequence[Sequence[int]],
     num_shards: int,
     strategy: str = "greedy",
+    condensation: Optional[object] = None,
 ) -> ShardPlan:
     """Partition a multi-graph into at most ``num_shards`` shards.
 
     Whole SCCs are assigned, never split.  The effective shard count is
     ``min(num_shards, number of components)`` (and 1 for an empty
     graph, so every plan has at least one — possibly empty — shard).
+
+    ``condensation``, when given, must be the
+    :class:`~repro.graphs.scc.Condensation` of exactly this graph
+    (e.g. the program arena's shared one) — the internal Tarjan pass is
+    then skipped.
     """
     if strategy not in STRATEGIES:
         raise ValueError(
@@ -166,7 +172,7 @@ def partition_graph(
             quotient=[[]],
         )
 
-    cond = condense(num_nodes, successors)
+    cond = condensation if condensation is not None else condense(num_nodes, successors)
     num_components = cond.num_components
     largest = max(len(members) for members in cond.components)
     effective = max(1, min(num_shards, num_components))

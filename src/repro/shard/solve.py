@@ -140,6 +140,11 @@ def _stitch(
                 target = problem.imports[import_index]
                 deps[bindex].append((index_of[target], mask))
         else:
+            # Maskless summaries encode the dependency set as a bit
+            # mask over import indices; decoding it into edge records
+            # is inherently per-bit (each bit names a different target
+            # node).  Bounded by the cut size, not the graph — the
+            # steps tally below charges it.
             for import_index in iter_bits(entry):
                 target = problem.imports[import_index]
                 deps[bindex].append((index_of[target], -1))
@@ -886,22 +891,33 @@ def analyze_side_effects_sharded(
         tick = _mark("compile", tick)
 
     counter = OpCounter()
-    universe = VariableUniverse(resolved)
-    from repro.graphs.binding import build_binding_graph
-    from repro.graphs.callgraph import build_call_graph
+    from repro.core.arena import get_arena
 
-    call_graph = build_call_graph(resolved)
-    binding_graph = build_binding_graph(resolved)
-    local = LocalAnalysis(resolved, universe)
+    # The shared lowering: graphs, local sets, and — crucially here —
+    # the two cached condensations the partitioner would otherwise
+    # recompute with its own Tarjan passes.
+    arena = get_arena(resolved)
+    universe = arena.universe
+    call_graph = arena.call_graph
+    binding_graph = arena.binding_graph
+    local = arena.local
     tick = _mark("graphs", tick)
     aliases = compute_aliases(resolved, universe, counter)
     tick = _mark("aliases", tick)
 
     beta_plan = partition_graph(
-        binding_graph.num_formals, binding_graph.successors, num_shards, strategy
+        binding_graph.num_formals,
+        binding_graph.successors,
+        num_shards,
+        strategy,
+        condensation=arena.beta_condense_full(),
     )
     call_plan = partition_graph(
-        call_graph.num_nodes, call_graph.successors, num_shards, strategy
+        call_graph.num_nodes,
+        call_graph.successors,
+        num_shards,
+        strategy,
+        condensation=arena.call_condense_full(),
     )
     # Build the two sharded systems once; MOD and USE reuse them with
     # different seed vectors.

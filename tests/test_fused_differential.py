@@ -1,0 +1,229 @@
+"""Differential oracle for the fused middle-end path.
+
+The fused solver (``analyze_side_effects(..., fused=True)``, the
+default) must be **bit-identical** to the legacy per-kind path — every
+set (RMOD, IMOD+, GMOD, DMOD, MOD), per site and per procedure, *and*
+every per-kind :class:`~repro.core.bitvec.OpCounter` tally, so the
+Theorem 2/4 exact-equality guards in ``test_linearity_guard.py`` hold
+no matter which path ran.  Any fused-path optimisation that changes an
+answer or a tally fails here first.
+
+Also covered: the arena's condensation accounting (exactly one
+``tarjan_scc``-equivalent pass per graph per analysis, shared across
+kinds and across subsystems), arena pickling, and a 50k-procedure
+deep-chain regression guarding the iterative (non-recursive) graph
+traversals.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.arena import clear_arena_cache, get_arena
+from repro.core.pipeline import analyze_side_effects
+from repro.core.varsets import EffectKind
+from repro.lang.semantic import compile_source
+from repro.workloads.generator import GeneratorConfig, generate_resolved
+from repro.workloads.patterns import chain
+from tests.test_differential import CONFIGS, _config_id
+
+KINDS = (EffectKind.MOD, EffectKind.USE)
+
+
+def _methods_for(resolved):
+    methods = ["multilevel", "per-level", "reference", "auto"]
+    if resolved.max_nesting_level <= 1:
+        methods.append("figure2")
+    return methods
+
+
+def _assert_fused_identical(resolved, method):
+    fused = analyze_side_effects(resolved, gmod_method=method, fused=True)
+    legacy = analyze_side_effects(resolved, gmod_method=method, fused=False)
+    for kind in KINDS:
+        fast = fused.solutions[kind]
+        slow = legacy.solutions[kind]
+        tag = (method, kind)
+        assert fast.rmod.node_value == slow.rmod.node_value, (tag, "RMOD")
+        assert fast.rmod.proc_mask == slow.rmod.proc_mask, (tag, "RMOD mask")
+        assert fast.imod_plus == slow.imod_plus, (tag, "IMOD+")
+        assert fast.gmod == slow.gmod, (tag, "GMOD")
+        assert fast.dmod == slow.dmod, (tag, "DMOD")
+        assert fast.mod == slow.mod, (tag, "MOD")
+        assert fast.gmod_method == slow.gmod_method, tag
+        # The linearity theorems are stated as exact operation counts:
+        # the fused path must charge each kind precisely the steps the
+        # per-kind solver would have executed.
+        assert fused.kind_counters[kind] == legacy.kind_counters[kind], (
+            tag, fused.kind_counters[kind], legacy.kind_counters[kind]
+        )
+    assert fused.counter == legacy.counter, method
+    for site in resolved.call_sites:
+        assert fused.mod(site) == legacy.mod(site), (method, site)
+        assert fused.use(site) == legacy.use(site), (method, site)
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=_config_id)
+def test_fused_matches_legacy_generated(config):
+    """Bit-identity over the 30-program structural sweep, under every
+    applicable GMOD solver."""
+    resolved = generate_resolved(config)
+    for method in _methods_for(resolved):
+        _assert_fused_identical(resolved, method)
+
+
+def test_fused_matches_legacy_corpus(corpus_programs):
+    """Bit-identity over the hand-written corpus (includes the deeply
+    nested and aliasing-heavy programs)."""
+    for name, resolved in corpus_programs.items():
+        for method in _methods_for(resolved):
+            _assert_fused_identical(resolved, method)
+
+
+def test_single_kind_slices_match_the_fused_pair():
+    """Packing is per-slot independent: solving one kind alone gives
+    the same masks and the same tallies as that kind's slot of the
+    fused MOD+USE run."""
+    resolved = generate_resolved(CONFIGS[0])
+    both = analyze_side_effects(resolved, gmod_method="reference")
+    for kind in KINDS:
+        alone = analyze_side_effects(
+            resolved, kinds=(kind,), gmod_method="reference"
+        )
+        assert alone.solutions[kind].gmod == both.solutions[kind].gmod
+        assert alone.solutions[kind].mod == both.solutions[kind].mod
+        assert alone.kind_counters[kind] == both.kind_counters[kind]
+
+
+def _flat_config():
+    return GeneratorConfig(
+        num_procs=16, num_globals=6, seed=77, max_depth=1, nesting_prob=0.0
+    )
+
+
+def _nested_config():
+    return GeneratorConfig(
+        num_procs=16, num_globals=6, seed=78, max_depth=3, nesting_prob=0.7
+    )
+
+
+def test_condensation_counts_walk_methods():
+    """One β Tarjan and one call-graph walk per analysis; the β pass is
+    cached on the arena, so a second analysis re-runs only the embedded
+    Figure 2 / multi-level walk."""
+    for config, method in (
+        (_flat_config(), "figure2"),
+        (_nested_config(), "multilevel"),
+    ):
+        resolved = generate_resolved(config)
+        clear_arena_cache()
+        first = analyze_side_effects(resolved, gmod_method=method)
+        assert first.condensations == {"beta": 1, "call": 1}, method
+        second = analyze_side_effects(resolved, gmod_method=method)
+        assert second.condensations == {"call": 1}, method
+
+
+def test_condensation_counts_reference_method():
+    """The reference solver consumes the arena's cached call-graph
+    condensation, so a re-analysis runs no Tarjan pass at all."""
+    resolved = generate_resolved(_nested_config())
+    clear_arena_cache()
+    first = analyze_side_effects(resolved, gmod_method="reference")
+    assert first.condensations == {"beta": 1, "call": 1}
+    second = analyze_side_effects(resolved, gmod_method="reference")
+    assert second.condensations == {}
+
+
+def test_condensation_counts_per_level_method():
+    """The per-level solver condenses one *filtered* graph per nesting
+    level — a distinct graph each, so one pass per graph per analysis."""
+    resolved = generate_resolved(_nested_config())
+    assert resolved.max_nesting_level >= 2
+    clear_arena_cache()
+    first = analyze_side_effects(resolved, gmod_method="per-level")
+    assert first.condensations.pop("beta") == 1
+    assert first.condensations, "expected per-level filtered graphs"
+    assert all(
+        name.startswith("call:level") and count == 1
+        for name, count in first.condensations.items()
+    )
+
+
+def test_sections_and_partitioner_share_the_arena_condensation():
+    """The §6 sections solver and the shard partitioner reuse the
+    arena's call-graph condensation instead of running their own."""
+    from repro.sections.dependence import DependenceTester
+    from repro.shard.partition import partition_graph
+
+    resolved = generate_resolved(_flat_config())
+    clear_arena_cache()
+    arena = get_arena(resolved)
+    analyze_side_effects(resolved, gmod_method="reference", arena=arena)
+    base = arena.snapshot_condensations()
+    assert base == {"beta": 1, "call": 1}
+
+    tester = DependenceTester(resolved)  # Solves both MOD and USE.
+    assert arena.snapshot_condensations() == base
+    assert tester.mod.grs and tester.use.grs
+
+    plan = partition_graph(
+        arena.call_csr.num_nodes,
+        arena.call_graph.successors,
+        4,
+        condensation=arena.call_condense_full(),
+    )
+    assert arena.snapshot_condensations() == base
+    assert plan.num_nodes == resolved.num_procs
+
+
+def test_arena_pickle_round_trip():
+    """The arena crosses process boundaries: a pickled clone carries
+    the same lowering and produces the same analysis."""
+    resolved = generate_resolved(_nested_config())
+    clear_arena_cache()
+    arena = get_arena(resolved)
+    baseline = analyze_side_effects(resolved, gmod_method="reference", arena=arena)
+
+    clone = pickle.loads(pickle.dumps(arena))
+    assert clone is not arena
+    assert clone.call_csr.heads == arena.call_csr.heads
+    assert clone.call_csr.succ == arena.call_csr.succ
+    assert clone.beta_csr.heads == arena.beta_csr.heads
+    assert clone.beta_csr.succ == arena.beta_csr.succ
+    assert clone.site_ref_heads == arena.site_ref_heads
+    assert clone.ref_base_uid == arena.ref_base_uid
+    assert clone.width == arena.width
+
+    redo = analyze_side_effects(
+        clone.resolved, gmod_method="reference", arena=clone
+    )
+    for kind in KINDS:
+        assert redo.solutions[kind].gmod == baseline.solutions[kind].gmod
+        assert redo.solutions[kind].mod == baseline.solutions[kind].mod
+        assert redo.kind_counters[kind] == baseline.kind_counters[kind]
+
+
+def test_deep_chain_50k_procs_stays_iterative():
+    """``main → c1 → … → c50000``: every graph walk (Tarjan over β and
+    the call graph, Figure 2's DFS, the RMOD sweep) must be iterative —
+    a recursive formulation dies at Python's recursion limit three
+    orders of magnitude earlier.  Closed form: RMOD(ci) = {x} all the
+    way up and MOD of main's call is exactly {g}."""
+    resolved = compile_source(chain(50_000))
+    clear_arena_cache()
+    try:
+        summary = analyze_side_effects(
+            resolved, kinds=(EffectKind.MOD,), gmod_method="figure2"
+        )
+        solution = summary.solutions[EffectKind.MOD]
+        assert all(solution.rmod.node_value)
+        (main_site,) = [
+            site for site in resolved.call_sites
+            if site.caller is resolved.main
+        ]
+        assert {v.qualified_name for v in summary.mod(main_site)} == {"g"}
+        assert summary.condensations == {"beta": 1, "call": 1}
+    finally:
+        clear_arena_cache()  # Drop the 50k-node arena.
