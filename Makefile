@@ -4,8 +4,9 @@
 PY ?= python
 PP := PYTHONPATH=src
 
-.PHONY: test differential shard-differential bench-smoke bench \
-	bench-frontend bench-core profile server-smoke
+.PHONY: test differential shard-differential incremental-differential \
+	bench-smoke bench bench-frontend bench-core bench-incremental \
+	profile server-smoke
 
 # Tier-1 gate: the full unit/integration/property suite.
 test:
@@ -28,6 +29,14 @@ shard-differential:
 	$(PP) $(PY) -m pytest -q tests/test_shard.py tests/test_shard_equivalence.py \
 	    tests/test_shard_wire.py
 
+# The incremental-engine oracle: randomized edit-sequence fuzzing
+# (byte-identity against scratch on both solver paths after every
+# step), the invalidation-region soundness property, the incremental
+# unit suite, and the dependency-index persistence round-trips.
+incremental-differential:
+	$(PP) $(PY) -m pytest -q tests/test_incremental_fuzz.py \
+	    tests/test_incremental.py tests/test_depindex.py
+
 # One tiny batch benchmark plus the shard-benchmark smoke (which
 # writes BENCH_shard.json), timing assertions disabled — keeps the
 # benchmark suite import-clean without paying for a real measurement
@@ -40,6 +49,8 @@ bench-smoke:
 	$(PP) $(PY) -m pytest -q benchmarks/test_bench_frontend.py -k smoke \
 	    --benchmark-disable
 	$(PP) $(PY) -m pytest -q benchmarks/test_bench_core.py -k smoke \
+	    --benchmark-disable
+	$(PP) $(PY) -m pytest -q benchmarks/test_bench_incremental.py -k smoke \
 	    --benchmark-disable
 
 # The full measured benchmark suite (slow).
@@ -59,6 +70,15 @@ bench-frontend:
 # CK_CORE_BENCH_PROCS / CK_CORE_BENCH_REPEATS.
 bench-core:
 	$(PP) $(PY) -m pytest -q benchmarks/test_bench_core.py -s
+
+# The incremental-engine measurement (E13): writes
+# BENCH_incremental.json at the repo root and asserts the ≥10x
+# update-vs-scratch claims (warm and after an index reload) on the
+# 10k workload.  Resize with CK_INCR_BENCH_PROCS /
+# CK_INCR_BENCH_REPEATS; set CK_INCR_BENCH_100K=1 to add the
+# 100k-procedure region check.
+bench-incremental:
+	$(PP) $(PY) -m pytest -q benchmarks/test_bench_incremental.py -s
 
 # Where does the time go?  Per-phase breakdown + cProfile hot spots on
 # a generated workload (see `ck-analyze profile --help` for knobs).

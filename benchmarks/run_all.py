@@ -11,9 +11,11 @@ pre-built inputs (program generation excluded).
 Besides the human-readable tables, a run leaves artifacts in ``--out``
 (default: the repo root): ``bench_report.txt`` (the full table text),
 ``BENCH_shard.json`` (the sharded-solver comparison), the E12 run
-refreshes ``BENCH_core.json`` (fused vs legacy middle end), and
-``BENCH_all.json`` aggregates per-experiment wall times plus the shard
-and core records — the perf-trajectory document CI uploads.
+refreshes ``BENCH_core.json`` (fused vs legacy middle end), the E13
+run refreshes ``BENCH_incremental.json`` (demand-driven update vs
+scratch), and ``BENCH_all.json`` aggregates per-experiment wall times
+plus the shard, core, and incremental records — the perf-trajectory
+document CI uploads.
 """
 
 from __future__ import annotations
@@ -450,6 +452,37 @@ def e12_core(quick: bool):
     return result
 
 
+def e13_incremental(quick: bool):
+    header("E13", "Demand-driven update vs scratch, warm + reloaded  "
+                  "[core/incremental]")
+    from test_bench_incremental import (
+        measure_incremental_benchmark,
+        write_bench_json,
+    )
+
+    result = measure_incremental_benchmark(
+        num_procs=1000 if quick else 10000,
+        repeats=1 if quick else 2,
+    )
+    write_bench_json(result)
+    warm = result["warm_stats"]
+    print(f"{'path':>10} {'time(s)':>9} {'speedup':>8}")
+    print(f"{'scratch':>10} {result['scratch_s']:>9.3f} {'1.00x':>8}")
+    print(f"{'warm':>10} {result['warm_s']:>9.3f} "
+          f"{result['warm_speedup']:>7.1f}x")
+    print(f"{'reloaded':>10} {result['reloaded_s']:>9.3f} "
+          f"{result['reloaded_speedup']:>7.1f}x")
+    print("region: %d of %d procs re-solved (%d of %d SCCs), index %.2f MB"
+          % (warm["region_procs"], warm["total_procs"],
+             warm["affected_sccs"], warm["total_sccs"],
+             result["index_bytes"] / 1e6))
+    print("-> a leaf edit re-solves only its condensation region plus the "
+          "downstream stitch; the summary bytes are identical to a "
+          "from-scratch solve on every path, including after an index "
+          "reload in a fresh process.")
+    return result
+
+
 def e10_shard(quick: bool):
     header("E10", "Sharded solver vs monolithic, bit-identical  [shard/]")
     from test_bench_shard import measure_shard_benchmark
@@ -511,6 +544,7 @@ def main() -> int:
         ("E9", e9_section_precision),
         ("E10", lambda: e10_shard(args.quick)),
         ("E12", lambda: e12_core(args.quick)),
+        ("E13", lambda: e13_incremental(args.quick)),
         ("A1", a1_incremental),
         ("A2", a2_constprop),
         ("A4", a4_lattice_instances),
@@ -524,6 +558,7 @@ def main() -> int:
     wall: dict = {}
     shard_result = None
     core_result = None
+    incremental_result = None
     try:
         for name, run in experiments:
             tick = time.perf_counter()
@@ -533,6 +568,8 @@ def main() -> int:
                 shard_result = returned
             elif name == "E12":
                 core_result = returned
+            elif name == "E13":
+                incremental_result = returned
         print()
     finally:
         sys.stdout = original_stdout
@@ -547,6 +584,7 @@ def main() -> int:
         "experiment_seconds": wall,
         "shard": shard_result,
         "core": core_result,
+        "incremental": incremental_result,
     }
     with open(out_dir / "BENCH_all.json", "w") as handle:
         json.dump(aggregate, handle, indent=2, sort_keys=True)

@@ -346,6 +346,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_max_entries=args.cache_max_entries,
         drain_timeout=args.drain_timeout,
         shard_jobs=args.shard_jobs,
+        state_dir=args.state_dir,
     )
     server = AnalysisServer(config)
 
@@ -634,6 +635,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-jobs", type=int, default=1,
         help="shard worker processes for analyze requests with 'shards'"
              " (default 1: in-process)",
+    )
+    serve_cmd.add_argument(
+        "--state-dir", default="",
+        help="persist session summaries + dependency indexes here so"
+             " incremental sessions survive a daemon restart",
     )
     serve_cmd.add_argument(
         "--metrics-json", default="",

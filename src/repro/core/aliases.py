@@ -224,6 +224,184 @@ def compute_aliases(
     )
 
 
+class LazyPartnerTables:
+    """A list-like view of per-procedure partner tables, materialized
+    per pid on first access from the backing pair sets.
+
+    The incremental alias path carries final pair sets forward by
+    reference; rebuilding every partner table eagerly costs more than
+    the whole warm fixpoint (each entry is a big-int of universe
+    width), while only the procedures the worklist or the per-site
+    factoring actually touches need one.  Entries for procedures whose
+    pairs are re-derived are written through :meth:`materialize` before
+    mutation, so shared state is never modified.
+    """
+
+    def __init__(self, pairs: List[Set[Pair]]):
+        self._pairs = pairs
+        self._tables: Dict[int, Dict[int, int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __getitem__(self, pid: int) -> Dict[int, int]:
+        table = self._tables.get(pid)
+        if table is None:
+            table = {}
+            for pair in self._pairs[pid]:
+                a, b = tuple(pair)
+                table[a] = table.get(a, 0) | (1 << b)
+                table[b] = table.get(b, 0) | (1 << a)
+            self._tables[pid] = table
+        return table
+
+    def materialize(self, pid: int, table: Dict[int, int]) -> None:
+        self._tables[pid] = table
+
+
+def compute_aliases_incremental(
+    arena,
+    carried_pairs: List[Optional[Set[Pair]]],
+    carried_domains: Sequence[int],
+    seed_pids: List[int],
+    counter: Optional[OpCounter] = None,
+) -> AliasResult:
+    """Warm alias fixpoint with structural sharing of final pair sets.
+
+    ``carried_pairs[pid]`` is the previous version's final pair set for
+    a procedure outside the forward-affected region — shared **by
+    reference**, never copied: pairs flow caller → callee and parent →
+    nested, so a procedure not forward-reachable from any edit has no
+    path from a changed contribution and its set is already the least
+    fixpoint.  Region procedures pass ``None`` and are re-derived from
+    scratch (which is what makes shrinking edits exact).  Valid only
+    when the uid space is unchanged; the caller falls back to
+    :func:`compute_aliases` with remapped initial pairs otherwise.
+
+    The result is value-identical to a from-scratch
+    :func:`compute_aliases` — the least fixpoint is unique and every
+    carried set already holds its final value.
+    """
+    if counter is None:
+        counter = OpCounter()
+    resolved = arena.resolved
+    universe = arena.universe
+    num_procs = resolved.num_procs
+
+    pairs: List[Set[Pair]] = [
+        set() if carried is None else carried for carried in carried_pairs
+    ]
+    partner_mask = LazyPartnerTables(pairs)
+    domain_mask: List[int] = [
+        0 if carried_pairs[pid] is None else carried_domains[pid]
+        for pid in range(num_procs)
+    ]
+
+    def _add_pair(pid: int, a: int, b: int) -> None:
+        pairs[pid].add(frozenset((a, b)))
+        partners = partner_mask[pid]
+        partners[a] = partners.get(a, 0) | (1 << b)
+        partners[b] = partners.get(b, 0) | (1 << a)
+        domain_mask[pid] |= (1 << a) | (1 << b)
+
+    # Per-caller site decode, lazily, from the arena's flat tables —
+    # the worklist only ever touches the region and its frontier.
+    site_callee = arena.site_callee
+    ref_heads = arena.site_ref_heads
+    ref_formal_uid = arena.ref_formal_uid
+    ref_base_uid = arena.ref_base_uid
+    by_caller: List[List[int]] = [[] for _ in range(num_procs)]
+    for sid, caller_pid in enumerate(arena.site_caller):
+        by_caller[caller_pid].append(sid)
+    site_cache: Dict[int, List] = {}
+
+    def _sites_of(pid: int) -> List:
+        cached = site_cache.get(pid)
+        if cached is None:
+            cached = []
+            for sid in by_caller[pid]:
+                ref = [
+                    (ref_formal_uid[r], ref_base_uid[r])
+                    for r in range(ref_heads[sid], ref_heads[sid + 1])
+                ]
+                cached.append((site_callee[sid], ref))
+            site_cache[pid] = cached
+        return cached
+
+    extant_cache: Dict[int, int] = {}
+
+    def _extant(pid: int) -> int:
+        cached = extant_cache.get(pid)
+        if cached is None:
+            cached = universe.extant_mask(resolved.procs[pid])
+            extant_cache[pid] = cached
+        return cached
+
+    worklist = list(seed_pids)
+    queued = [False] * num_procs
+    for pid in worklist:
+        queued[pid] = True
+    while worklist:
+        caller_pid = worklist.pop()
+        queued[caller_pid] = False
+        for nested in resolved.procs[caller_pid].nested:
+            new_pairs = pairs[caller_pid] - pairs[nested.pid]
+            if new_pairs:
+                for pair in new_pairs:
+                    a, b = tuple(pair)
+                    _add_pair(nested.pid, a, b)
+                if not queued[nested.pid]:
+                    queued[nested.pid] = True
+                    worklist.append(nested.pid)
+        caller_partners = dict(partner_mask[caller_pid])
+        for callee_pid, ref in _sites_of(caller_pid):
+            callee_extant = _extant(callee_pid)
+            callee_partners = partner_mask[callee_pid]
+            added = False
+            for index, (formal_uid, actual_uid) in enumerate(ref):
+                formal_partners = callee_partners.get(formal_uid, 0)
+                if (
+                    (callee_extant >> actual_uid) & 1
+                    and actual_uid != formal_uid
+                    and not (formal_partners >> actual_uid) & 1
+                ):
+                    _add_pair(callee_pid, formal_uid, actual_uid)
+                    formal_partners |= 1 << actual_uid
+                    added = True
+                aliased_to_actual = caller_partners.get(actual_uid, 0)
+                for formal_j_uid, actual_j_uid in ref[index + 1:]:
+                    same = actual_uid == actual_j_uid
+                    known = (aliased_to_actual >> actual_j_uid) & 1
+                    if (same or known) and formal_uid != formal_j_uid:
+                        if not (formal_partners >> formal_j_uid) & 1:
+                            _add_pair(callee_pid, formal_uid, formal_j_uid)
+                            formal_partners |= 1 << formal_j_uid
+                            added = True
+                new_bits = (
+                    aliased_to_actual
+                    & callee_extant
+                    & ~formal_partners
+                    & ~(1 << formal_uid)
+                )
+                while new_bits:
+                    low = new_bits & -new_bits
+                    other = low.bit_length() - 1
+                    _add_pair(callee_pid, formal_uid, other)
+                    formal_partners |= low
+                    new_bits ^= low
+                    added = True
+            if added and not queued[callee_pid]:
+                queued[callee_pid] = True
+                worklist.append(callee_pid)
+
+    return AliasResult(
+        resolved=resolved,
+        pairs=pairs,
+        partner_mask=partner_mask,
+        domain_mask=domain_mask,
+    )
+
+
 def factor_aliases_into(
     dmod_masks: Sequence[int],
     aliases: AliasResult,

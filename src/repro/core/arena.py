@@ -252,6 +252,226 @@ class ProgramArena:
         self.__dict__.update(state)
 
 
+def _spliced_universe(new_resolved, donor, dirty_pids) -> VariableUniverse:
+    """The universe from the donor's structural masks when it carries
+    them (dependency indexes do), else rebuilt from declarations."""
+    donor_local = getattr(donor, "universe_local", None)
+    if donor_local is None:
+        return VariableUniverse(new_resolved)
+    return VariableUniverse.spliced(
+        new_resolved,
+        donor.universe_global,
+        donor_local,
+        donor.universe_formal,
+        donor.universe_level,
+        dirty_pids,
+    )
+
+
+def patch_arena(
+    new_resolved: ResolvedProgram,
+    donor,
+    dirty_pids: Sequence[int],
+    site_map: Sequence[int],
+    fast: bool = False,
+) -> ProgramArena:
+    """Build an arena for ``new_resolved`` by splicing a previous
+    version's flat site tables instead of re-walking every call
+    statement.
+
+    ``donor`` is anything exposing the previous version's tables —
+    in practice a :class:`~repro.core.depindex.DependencyIndex` —
+    with attributes ``imod_plain``/``iuse_plain`` (per-pid masks) and
+    ``site_caller``/``site_callee``/``site_lmod``/``site_luse``/
+    ``site_ref_heads``/``ref_formal_uid``/``ref_base_uid`` (per old
+    site id).  ``site_map[new_sid]`` gives the old site id whose tables
+    are still valid (same caller, same statement) or ``-1`` to
+    recompute — the caller guarantees mapped sites belong to procedures
+    whose bodies did not change.
+
+    Precondition (checked by the caller): the pid and uid spaces of
+    both versions are identical — qualified procedure and variable name
+    lists match positionally.
+
+    ``fast`` asserts a stronger precondition the incremental engine
+    proves before calling: every site id is unchanged (per-caller site
+    counts survived the edit) *and* every edited procedure is
+    binding-clean (callees and by-reference bindings intact, ordinal
+    for ordinal).  The donor's site tables are then valid wholesale —
+    bulk list copies instead of a per-site splice — and both graphs'
+    CSR forms are derived straight from the flat binding tables; only
+    the ``LMOD``/``LUSE`` of the edited procedures' own call statements
+    (their subscript expressions may have changed) are re-walked.
+
+    The result is field-for-field identical to ``ProgramArena.build``
+    on the same program — the patched-arena differential test asserts
+    it — so every downstream solver is oblivious to the splice.
+    """
+    arena = object.__new__(ProgramArena)
+    arena.resolved = new_resolved
+    arena.universe = _spliced_universe(new_resolved, donor, dirty_pids)
+    arena.local = LocalAnalysis.patched(
+        new_resolved, arena.universe, donor.imod_plain, donor.iuse_plain,
+        dirty_pids,
+    )
+    arena.width = max(1, arena.universe.size)
+    num_sites = new_resolved.num_call_sites
+    num_procs = new_resolved.num_procs
+
+    if fast:
+        # -- site tables: valid wholesale (see docstring) -------------
+        arena.site_caller = list(donor.site_caller)
+        arena.site_callee = list(donor.site_callee)
+        arena.site_lmod = list(donor.site_lmod)
+        arena.site_luse = list(donor.site_luse)
+        arena.site_ref_heads = list(donor.site_ref_heads)
+        arena.ref_formal_uid = list(donor.ref_formal_uid)
+        arena.ref_base_uid = list(donor.ref_base_uid)
+        dirty_set = set(dirty_pids)
+        call_sites = new_resolved.call_sites
+        for sid, caller in enumerate(arena.site_caller):
+            if caller in dirty_set:
+                stmt = call_sites[sid].stmt
+                arena.site_lmod[sid] = lmod_of(stmt)
+                arena.site_luse[sid] = luse_of(stmt)
+
+        # -- β nodes: one formals walk; edges straight from the flat
+        # ref tables (a by-reference base is an edge source exactly
+        # when it is itself a formal), in site order — the same event
+        # sequence build_binding_graph + to_csr would produce.
+        formals_list = []
+        node_of_uid: Dict[int, int] = {}
+        for proc in new_resolved.procs:
+            for formal in proc.formals:
+                node_of_uid[formal.uid] = len(formals_list)
+                formals_list.append(formal)
+        num_nodes = len(formals_list)
+        get_node = node_of_uid.get
+        arena.ref_formal_node = [
+            node_of_uid[uid] for uid in arena.ref_formal_uid
+        ]
+        succ_lists: List[List[int]] = [[] for _ in range(num_nodes)]
+        site_lists: List[List[int]] = [[] for _ in range(num_nodes)]
+        ref_heads = arena.site_ref_heads
+        ref_base = arena.ref_base_uid
+        ref_node = arena.ref_formal_node
+        for sid in range(num_sites):
+            for r in range(ref_heads[sid], ref_heads[sid + 1]):
+                source = get_node(ref_base[r])
+                if source is not None:
+                    succ_lists[source].append(ref_node[r])
+                    site_lists[source].append(sid)
+        arena.binding_graph = BindingMultiGraph(
+            resolved=new_resolved,
+            formals=formals_list,
+            node_of_uid=node_of_uid,
+            successors=succ_lists,
+        )
+        heads = [0] * (num_nodes + 1)
+        succ: List[int] = []
+        edge_site: List[int] = []
+        for node in range(num_nodes):
+            succ.extend(succ_lists[node])
+            edge_site.extend(site_lists[node])
+            heads[node + 1] = len(succ)
+        arena.beta_csr = CSRGraph(num_nodes, heads, succ, edge_site)
+
+        # -- call multi-graph from the flat tables, same edge order as
+        # build_call_graph's call-site sweep.
+        call_succ: List[List[int]] = [[] for _ in range(num_procs)]
+        call_sids: List[List[int]] = [[] for _ in range(num_procs)]
+        preds: List[List[int]] = [[] for _ in range(num_procs)]
+        site_caller = arena.site_caller
+        site_callee = arena.site_callee
+        for sid in range(num_sites):
+            caller = site_caller[sid]
+            callee = site_callee[sid]
+            call_succ[caller].append(callee)
+            call_sids[caller].append(sid)
+            preds[callee].append(caller)
+        arena.call_graph = CallMultiGraph(
+            resolved=new_resolved,
+            successors=call_succ,
+            edge_sites=[
+                [call_sites[sid] for sid in sids] for sids in call_sids
+            ],
+            predecessors=preds,
+        )
+        heads = [0] * (num_procs + 1)
+        succ = []
+        edge_site = []
+        for pid in range(num_procs):
+            succ.extend(call_succ[pid])
+            edge_site.extend(call_sids[pid])
+            heads[pid + 1] = len(succ)
+        arena.call_csr = CSRGraph(num_procs, heads, succ, edge_site)
+    else:
+        arena.call_graph = build_call_graph(new_resolved)
+        arena.binding_graph = build_binding_graph(new_resolved)
+        heads, succ, edge_site = arena.call_graph.to_csr()
+        arena.call_csr = CSRGraph(num_procs, heads, succ, edge_site)
+        heads, succ, edge_site = arena.binding_graph.to_csr()
+        arena.beta_csr = CSRGraph(
+            arena.binding_graph.num_formals, heads, succ, edge_site
+        )
+
+        arena.site_caller = [0] * num_sites
+        arena.site_callee = [0] * num_sites
+        arena.site_lmod = [0] * num_sites
+        arena.site_luse = [0] * num_sites
+        arena.site_ref_heads = [0] * (num_sites + 1)
+        arena.ref_formal_uid = []
+        arena.ref_base_uid = []
+        arena.ref_formal_node = []
+        node_of_uid = arena.binding_graph.node_of_uid
+        donor_heads = donor.site_ref_heads
+        donor_formal = donor.ref_formal_uid
+        donor_base = donor.ref_base_uid
+        for site in new_resolved.call_sites:
+            sid = site.site_id
+            arena.site_caller[sid] = site.caller.pid
+            arena.site_callee[sid] = site.callee.pid
+            old_sid = site_map[sid]
+            if old_sid >= 0:
+                arena.site_lmod[sid] = donor.site_lmod[old_sid]
+                arena.site_luse[sid] = donor.site_luse[old_sid]
+            else:
+                arena.site_lmod[sid] = lmod_of(site.stmt)
+                arena.site_luse[sid] = luse_of(site.stmt)
+        for site in new_resolved.call_sites:
+            old_sid = site_map[site.site_id]
+            if old_sid >= 0:
+                lo = donor_heads[old_sid]
+                hi = donor_heads[old_sid + 1]
+                for r in range(lo, hi):
+                    formal_uid = donor_formal[r]
+                    arena.ref_formal_uid.append(formal_uid)
+                    arena.ref_base_uid.append(donor_base[r])
+                    arena.ref_formal_node.append(node_of_uid[formal_uid])
+            else:
+                formals = site.callee.formals
+                for binding in site.bindings:
+                    if not binding.by_reference:
+                        continue
+                    formal = formals[binding.position]
+                    arena.ref_formal_uid.append(formal.uid)
+                    arena.ref_base_uid.append(binding.base.uid)
+                    arena.ref_formal_node.append(node_of_uid[formal.uid])
+            arena.site_ref_heads[site.site_id + 1] = len(arena.ref_formal_uid)
+
+    arena.beta_formal_pid = []
+    arena.beta_formal_uid = []
+    for formal in arena.binding_graph.formals:
+        arena.beta_formal_pid.append(formal.proc.pid)
+        arena.beta_formal_uid.append(formal.uid)
+
+    arena.condensation_counts = {}
+    arena._scc = {}
+    arena._condensations = {}
+    arena._strip = None
+    return arena
+
+
 #: Small LRU of arenas keyed by ResolvedProgram identity.  The cache
 #: holds strong references (an arena keeps its program alive), so it is
 #: bounded: long-running services (batch engine, analysis server) churn
@@ -274,6 +494,22 @@ def get_arena(resolved: ResolvedProgram) -> ProgramArena:
         _ARENA_CACHE.pop(next(iter(_ARENA_CACHE)))
     _ARENA_CACHE[key] = arena
     return arena
+
+
+def peek_arena(resolved: ResolvedProgram) -> Optional[ProgramArena]:
+    """The cached arena for ``resolved`` if one exists — never builds."""
+    arena = _ARENA_CACHE.get(id(resolved))
+    if arena is not None and arena.resolved is resolved:
+        return arena
+    return None
+
+
+def install_arena(resolved: ResolvedProgram, arena: ProgramArena) -> None:
+    """Register an externally built arena (e.g. a patched one) so later
+    :func:`get_arena` calls for the same program reuse it."""
+    if len(_ARENA_CACHE) >= _ARENA_CACHE_LIMIT:
+        _ARENA_CACHE.pop(next(iter(_ARENA_CACHE)))
+    _ARENA_CACHE[id(resolved)] = arena
 
 
 def clear_arena_cache() -> None:

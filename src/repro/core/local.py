@@ -149,9 +149,13 @@ class LocalAnalysis:
             self.imod_plain[proc.pid] = mod_mask
             self.iuse_plain[proc.pid] = use_mask
 
+        self._extend()
+
+    def _extend(self) -> None:
         # Nesting extension, innermost-first: process procedures in
         # descending level order so every Nest(p) member is final
         # before p is touched.
+        resolved = self.resolved
         self.imod: List[int] = list(self.imod_plain)
         self.iuse: List[int] = list(self.iuse_plain)
         for proc in sorted(resolved.procs, key=lambda p: -p.level):
@@ -159,6 +163,40 @@ class LocalAnalysis:
                 visible_above = ~self.universe.local_mask[nested.pid]
                 self.imod[proc.pid] |= self.imod[nested.pid] & visible_above
                 self.iuse[proc.pid] |= self.iuse[nested.pid] & visible_above
+
+    @classmethod
+    def patched(
+        cls,
+        resolved: ResolvedProgram,
+        universe: VariableUniverse,
+        imod_plain: List[int],
+        iuse_plain: List[int],
+        recompute_pids,
+    ) -> "LocalAnalysis":
+        """Build from donor plain rows, re-walking only ``recompute_pids``.
+
+        The donor rows come from a previous version of the program whose
+        pid and uid spaces are identical (the caller checks); a clean
+        procedure's ``∪ LMOD(s)`` depends only on its own body, so only
+        edited bodies are swept.  The §3.3 nesting extension is re-run in
+        full — it is linear in the procedure count, not the statement
+        count.
+        """
+        self = object.__new__(cls)
+        self.resolved = resolved
+        self.universe = universe
+        self.imod_plain = list(imod_plain)
+        self.iuse_plain = list(iuse_plain)
+        for pid in recompute_pids:
+            mod_mask = 0
+            use_mask = 0
+            for stmt in walk_statements(resolved.procs[pid].body):
+                mod_mask |= lmod_of(stmt)
+                use_mask |= luse_of(stmt)
+            self.imod_plain[pid] = mod_mask
+            self.iuse_plain[pid] = use_mask
+        self._extend()
+        return self
 
     def initial(self, kind: EffectKind) -> List[int]:
         """The extended initial sets for the requested problem."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.binio import (
     read_bytes,
@@ -35,14 +35,34 @@ from repro.lang.symbols import ResolvedProgram
 #: pairs and the optional per-site regular-section block.
 FORMAT_VERSION = 2
 
-#: Version of the binary *container* (format v3).  The container wraps
-#: the same logical payload as the v2 JSON form — ``version`` inside
-#: the payload stays :data:`FORMAT_VERSION` — but stores it as a
-#: struct-packed header, an interned string table, and tagged values
-#: with variable-set name lists compressed to index deltas or bit
-#: masks.  Loaders sniff :data:`BINARY_MAGIC` and fall back to JSON, so
-#: v2 files keep loading forever.
-BINARY_FORMAT_VERSION = 3
+#: Version of the binary *container*.  The container wraps the same
+#: logical payload as the v2 JSON form — ``version`` inside the payload
+#: stays :data:`FORMAT_VERSION` — but stores it as a struct-packed
+#: header, an interned string table, and tagged values with
+#: variable-set name lists compressed to index deltas or bit masks.
+#: Loaders sniff :data:`BINARY_MAGIC` and fall back to JSON, so v2
+#: files keep loading forever.
+#:
+#: History: 3 = header + string table + tagged body; 4 = appends a
+#: trailer of tagged sections after the body (the dependency index,
+#: :data:`SECTION_DEP_INDEX`, and the analysis server's session
+#: metadata, :data:`SECTION_SESSION_META`).  The writer emits a
+#: byte-identical v3 container whenever there are no sections, so v3
+#: readers only ever reject files that genuinely carry data they cannot
+#: represent.
+BINARY_FORMAT_VERSION = 4
+
+#: The newest container version carrying no section trailer.
+_SECTIONLESS_BINARY_VERSION = 3
+
+#: Section tag of a serialized :class:`repro.core.depindex.DependencyIndex`.
+SECTION_DEP_INDEX = 1
+
+#: Section tag of the analysis server's session metadata (a small JSON
+#: blob: session name, requested gmod method).  Written by ``ck-analyze
+#: serve --state-dir`` next to the index so a restarted daemon can
+#: resume ``update`` verbs for sessions it has never seen in memory.
+SECTION_SESSION_META = 2
 
 #: First bytes of every binary summary file.
 BINARY_MAGIC = b"CKSB"
@@ -85,12 +105,19 @@ def summary_to_dict(summary: SideEffectSummary, include_sections: bool = False) 
         "program": resolved.program.name,
         "procedures": {},
         "call_sites": [],
+        # Inner pairs sorted by name: a frozenset's iteration order
+        # depends on its construction history, and the serialized form
+        # must not (a set rebuilt from the dependency index would
+        # otherwise serialize differently than the identical set built
+        # by the alias solver).
         "aliases": {
             proc.qualified_name: sorted(
-                [
-                    resolved.variables[a].qualified_name,
-                    resolved.variables[b].qualified_name,
-                ]
+                sorted(
+                    [
+                        resolved.variables[a].qualified_name,
+                        resolved.variables[b].qualified_name,
+                    ]
+                )
                 for a, b in summary.aliases.pairs_of(proc)
             )
             for proc in resolved.procs
@@ -140,9 +167,34 @@ def summary_to_json(summary: SideEffectSummary, indent: Optional[int] = None) ->
     return json.dumps(summary_to_dict(summary), indent=indent, sort_keys=True)
 
 
-def summary_to_bytes(summary: SideEffectSummary, include_sections: bool = False) -> bytes:
-    """Serialize a live summary to the v3 binary container."""
-    return encode_summary_payload(summary_to_dict(summary, include_sections))
+def summary_to_bytes(
+    summary: SideEffectSummary,
+    include_sections: bool = False,
+    include_index: bool = False,
+) -> bytes:
+    """Serialize a live summary to the binary container.
+
+    ``include_index`` additionally embeds the fine-grained dependency
+    index as a v4 trailer section (building and caching it on the
+    summary if absent) so a later process can run demand-driven
+    incremental updates without re-deriving it; without it the output
+    is a plain v3 container, byte-identical to earlier writers.
+    """
+    payload = summary_to_dict(summary, include_sections)
+    if not include_index:
+        return encode_summary_payload(payload)
+    from repro.core.arena import peek_arena
+    from repro.core.depindex import build_dependency_index, index_to_bytes
+
+    index = summary.dep_index
+    if index is None:
+        index = build_dependency_index(
+            summary, arena=peek_arena(summary.resolved)
+        )
+        summary.dep_index = index
+    return encode_summary_payload(
+        payload, sections={SECTION_DEP_INDEX: index_to_bytes(index)}
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -221,9 +273,11 @@ def _encode_value(value, body: bytearray, intern) -> None:
         )
 
 
-def encode_summary_payload(payload: Dict) -> bytes:
+def encode_summary_payload(
+    payload: Dict, sections: Optional[Dict[int, bytes]] = None
+) -> bytes:
     """Encode a summary payload dict (the :func:`summary_to_dict` shape)
-    into the v3 binary container.
+    into the binary container.
 
     Round-trips exactly: ``decode_summary_payload(encode_summary_payload(p))
     == p`` for any JSON-safe payload.  Strings are interned in a table
@@ -231,6 +285,10 @@ def encode_summary_payload(payload: Dict) -> bytes:
     whenever their interned indices are ascending (which they are for
     every ``universe.to_names`` product, since those share one stable
     emission order).
+
+    ``sections`` maps section tags (e.g. :data:`SECTION_DEP_INDEX`) to
+    opaque blobs appended as a v4 trailer; when empty or None the output
+    is a v3 container, byte-for-byte what pre-v4 writers produced.
     """
     strings: List[str] = []
     index_of: Dict[str, int] = {}
@@ -249,11 +307,23 @@ def encode_summary_payload(payload: Dict) -> bytes:
     write_varint(table, len(strings))
     for text in strings:
         write_bytes(table, text.encode("utf-8"))
+    if not sections:
+        version = _SECTIONLESS_BINARY_VERSION
+        trailer = b""
+    else:
+        version = BINARY_FORMAT_VERSION
+        trailer_buf = bytearray()
+        write_varint(trailer_buf, len(sections))
+        for tag in sorted(sections):
+            write_varint(trailer_buf, tag)
+            write_bytes(trailer_buf, sections[tag])
+        trailer = bytes(trailer_buf)
     return (
         BINARY_MAGIC
-        + _HEADER.pack(BINARY_FORMAT_VERSION, len(table), len(body))
+        + _HEADER.pack(version, len(table), len(body))
         + bytes(table)
         + bytes(body)
+        + trailer
     )
 
 
@@ -316,11 +386,12 @@ def is_binary_summary(data: bytes) -> bool:
     return data[: len(BINARY_MAGIC)] == BINARY_MAGIC
 
 
-def decode_summary_payload(data: bytes) -> Dict:
-    """Decode a v3 binary container back into the payload dict.
+def decode_summary_container(data: bytes) -> "Tuple[Dict, Dict[int, bytes]]":
+    """Decode a binary container into its payload dict and trailer
+    sections (``{tag: blob}``; empty for a v3 file).
 
     Raises :class:`ValueError` with an explicit message when the magic
-    or the container version does not match — a v4 writer and a v3
+    or the container version does not match — a future writer and this
     reader must fail loudly, never misread.
     """
     magic = data[: len(BINARY_MAGIC)]
@@ -330,11 +401,11 @@ def decode_summary_payload(data: bytes) -> Dict:
             % (BINARY_MAGIC, bytes(magic))
         )
     version, table_len, body_len = _HEADER.unpack_from(data, len(BINARY_MAGIC))
-    if version != BINARY_FORMAT_VERSION:
+    if version not in (_SECTIONLESS_BINARY_VERSION, BINARY_FORMAT_VERSION):
         raise ValueError(
             "unsupported binary summary container version %d (this reader "
-            "supports version %d); re-export the summary or upgrade"
-            % (version, BINARY_FORMAT_VERSION)
+            "supports versions %d and %d); re-export the summary or upgrade"
+            % (version, _SECTIONLESS_BINARY_VERSION, BINARY_FORMAT_VERSION)
         )
     table_start = len(BINARY_MAGIC) + _HEADER.size
     body_start = table_start + table_len
@@ -350,6 +421,22 @@ def decode_summary_payload(data: bytes) -> Dict:
         blob, pos = read_bytes(data, pos)
         strings.append(blob.decode("utf-8"))
     payload, _ = _decode_value(data, body_start, strings)
+    sections: Dict[int, bytes] = {}
+    if version >= BINARY_FORMAT_VERSION:
+        pos = expected
+        count, pos = read_varint(data, pos)
+        for _ in range(count):
+            tag, pos = read_varint(data, pos)
+            blob, pos = read_bytes(data, pos)
+            sections[tag] = blob
+    return payload, sections
+
+
+def decode_summary_payload(data: bytes) -> Dict:
+    """Decode a binary container back into the payload dict, ignoring
+    any trailer sections (use :func:`decode_summary_container` to read
+    those)."""
+    payload, _ = decode_summary_container(data)
     return payload
 
 

@@ -60,6 +60,12 @@ class SideEffectSummary:
     #: Snapshot of the arena's condensation-pass counts taken when this
     #: analysis finished (fused path only); not serialized.
     condensations: Optional[Dict[str, int]] = None
+    #: Fine-grained dependency index driving demand-driven incremental
+    #: updates (:mod:`repro.core.depindex`).  Built lazily by
+    #: :func:`repro.core.incremental.incremental_update` and cached
+    #: here; serialized only into the v4 binary container's tagged
+    #: section, never into the dataclass payload.
+    dep_index: Optional[object] = None
 
     # -- mask accessors -------------------------------------------------------
 

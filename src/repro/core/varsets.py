@@ -53,6 +53,40 @@ class VariableUniverse:
             self.level_mask[var.level] |= 1 << var.uid
         self._visible_cache: Dict[int, int] = {}
 
+    @classmethod
+    def spliced(
+        cls,
+        resolved: ResolvedProgram,
+        global_mask: int,
+        local_mask: Iterable[int],
+        formal_mask: Iterable[int],
+        level_mask: Iterable[int],
+        dirty_pids: Iterable[int] = (),
+    ) -> "VariableUniverse":
+        """Rebuild a universe from a previous version's masks instead of
+        re-walking every declaration.
+
+        Valid only when the uid and pid spaces are pinned (identical
+        variable and procedure name lists — the incremental engine's
+        ``patchable`` precondition): every structural mask is then a
+        function of the declaration *names*, except the formal/local
+        split of an edited procedure, which is recomputed for the
+        ``dirty_pids``.
+        """
+        self = object.__new__(cls)
+        self.resolved = resolved
+        self.size = len(resolved.variables)
+        self.global_mask = global_mask
+        self.local_mask = list(local_mask)
+        self.formal_mask = list(formal_mask)
+        for pid in dirty_pids:
+            proc = resolved.procs[pid]
+            self.local_mask[pid] = mask_of(v.uid for v in proc.local_set())
+            self.formal_mask[pid] = mask_of(v.uid for v in proc.formals)
+        self.level_mask = list(level_mask)
+        self._visible_cache = {}
+        return self
+
     # -- translations -------------------------------------------------------
 
     def to_symbols(self, mask: int) -> List[VarSymbol]:

@@ -58,8 +58,19 @@ class BindingMultiGraph:
     node_of_uid: Dict[int, int] = field(default_factory=dict)
     #: successors[node] -> target node ids (one entry per binding event).
     successors: List[List[int]] = field(default_factory=list)
-    #: Full edge records aligned with nothing in particular (edge list).
-    edges: List[BindingEdge] = field(default_factory=list)
+    #: Full edge records (edge list), or ``None`` when built lazily —
+    #: the incremental arena patch derives ``successors`` straight from
+    #: its flat binding tables and only materializes the ``BindingEdge``
+    #: objects if a consumer (DOT rendering, the sections solver)
+    #: actually asks for them.
+    _edges: Optional[List[BindingEdge]] = None
+
+    @property
+    def edges(self) -> List[BindingEdge]:
+        """Full edge records aligned with nothing in particular."""
+        if self._edges is None:
+            self._edges = list(_binding_events(self.resolved))
+        return self._edges
 
     @property
     def num_formals(self) -> int:
@@ -127,31 +138,40 @@ class BindingMultiGraph:
         return "\n".join(lines)
 
 
-def build_binding_graph(resolved: ResolvedProgram) -> BindingMultiGraph:
-    """Construct β in time linear in its size (one sweep of the call
-    sites, Section 3.1)."""
-    graph = BindingMultiGraph(resolved=resolved)
-    for proc in resolved.procs:
-        for formal in proc.formals:
-            graph.node_of_uid[formal.uid] = len(graph.formals)
-            graph.formals.append(formal)
-    graph.successors = [[] for _ in range(len(graph.formals))]
-
+def _binding_events(resolved: ResolvedProgram):
+    """Every binding event, in call-site then binding order — the one
+    definition of β's edge sequence, shared by the eager construction
+    and the lazy ``edges`` materialization so both agree exactly."""
     for site in resolved.call_sites:
+        formals = site.callee.formals
         for binding in site.bindings:
             if not binding.by_reference:
                 continue
             base = binding.base
             if base is None or not base.is_formal:
                 continue
-            target = site.callee.formals[binding.position]
-            edge = BindingEdge(
+            yield BindingEdge(
                 source=base,
-                target=target,
+                target=formals[binding.position],
                 site=site,
                 position=binding.position,
                 subscripted=binding.subscripted,
             )
-            graph.edges.append(edge)
-            graph.successors[graph.node_of(base)].append(graph.node_of(target))
+
+
+def build_binding_graph(resolved: ResolvedProgram) -> BindingMultiGraph:
+    """Construct β in time linear in its size (one sweep of the call
+    sites, Section 3.1)."""
+    graph = BindingMultiGraph(resolved=resolved, _edges=[])
+    for proc in resolved.procs:
+        for formal in proc.formals:
+            graph.node_of_uid[formal.uid] = len(graph.formals)
+            graph.formals.append(formal)
+    graph.successors = [[] for _ in range(len(graph.formals))]
+
+    for edge in _binding_events(resolved):
+        graph._edges.append(edge)
+        graph.successors[graph.node_of(edge.source)].append(
+            graph.node_of(edge.target)
+        )
     return graph

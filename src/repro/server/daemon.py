@@ -34,6 +34,9 @@ Robustness contract (each clause has a test):
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import json
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -86,6 +89,12 @@ class ServerConfig:
     max_sessions: int = 32
     cache_dir: str = ""  # Optional disk summary cache (batch-shared).
     cache_max_entries: Optional[int] = None  # Disk-cache LRU bound.
+    #: Optional session-state directory.  When set, every session's
+    #: summary is persisted as a v4 container with its dependency index
+    #: after each analyze/update, and an ``update`` for a session this
+    #: process has never seen reloads that index and re-solves only the
+    #: invalidated region — incremental serving survives restarts.
+    state_dir: str = ""
     drain_timeout: float = 10.0  # Grace period for in-flight work.
     #: Shard worker processes for ``analyze`` requests that carry a
     #: ``"shards"`` field (1 = solve shards in-process; the solver
@@ -108,6 +117,7 @@ class ServerConfig:
             "max_sessions": self.max_sessions,
             "cache_dir": self.cache_dir,
             "cache_max_entries": self.cache_max_entries,
+            "state_dir": self.state_dir,
             "drain_timeout": self.drain_timeout,
             "shard_jobs": self.shard_jobs,
         }
@@ -129,6 +139,8 @@ class AnalysisServer:
             if self.config.cache_dir
             else None
         )
+        if self.config.state_dir:
+            os.makedirs(self.config.state_dir, exist_ok=True)
         self.address: Tuple[str, int] = (self.config.host, self.config.port)
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -345,6 +357,98 @@ class AnalysisServer:
             )
         return method
 
+    # -- session persistence -------------------------------------------------
+
+    def _session_state_path(self, name: str) -> str:
+        digest = hashlib.sha256(name.encode("utf-8")).hexdigest()[:24]
+        return os.path.join(self.config.state_dir, digest + ".cki")
+
+    def _persist_session(self, session: Session) -> None:
+        """Write a session's summary + dependency index + metadata as a
+        v4 container (atomic rename) — runs on the solver pool."""
+        from repro.core.arena import peek_arena
+        from repro.core.depindex import build_dependency_index, index_to_bytes
+        from repro.core.persist import (
+            SECTION_DEP_INDEX,
+            SECTION_SESSION_META,
+            encode_summary_payload,
+            summary_to_dict,
+        )
+
+        summary = session.summary
+        index = getattr(summary, "dep_index", None)
+        if index is None:
+            index = build_dependency_index(
+                summary, arena=peek_arena(summary.resolved)
+            )
+            summary.dep_index = index
+        meta = {"name": session.name, "gmod_method": session.gmod_method,
+                "key": session.key}
+        blob = encode_summary_payload(
+            summary_to_dict(summary),
+            sections={
+                SECTION_DEP_INDEX: index_to_bytes(index),
+                SECTION_SESSION_META: json.dumps(
+                    meta, sort_keys=True
+                ).encode("utf-8"),
+            },
+        )
+        path = self._session_state_path(session.name)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp, path)
+
+    async def _save_session_state(self, session: Session) -> None:
+        if not self.config.state_dir:
+            return
+        assert self._executor is not None
+        await asyncio.get_running_loop().run_in_executor(
+            self._executor, self._persist_session, session
+        )
+
+    def _load_session_state(self, name: str):
+        """``(dep_index or None, gmod_method)`` for a persisted session,
+        or ``None`` when nothing usable is on disk.  A legacy container
+        without an index section (or an index this reader cannot parse)
+        degrades to ``(None, method)`` — the update falls back to a
+        full re-solve instead of failing the session."""
+        if not self.config.state_dir:
+            return None
+        from repro.core.depindex import index_from_bytes
+        from repro.core.persist import (
+            SECTION_DEP_INDEX,
+            SECTION_SESSION_META,
+            decode_summary_container,
+        )
+
+        path = self._session_state_path(name)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            return None
+        try:
+            _payload, sections = decode_summary_container(blob)
+        except ValueError:
+            return None
+        method = "auto"
+        meta_blob = sections.get(SECTION_SESSION_META)
+        if meta_blob is not None:
+            try:
+                meta = json.loads(meta_blob.decode("utf-8"))
+                method = meta.get("gmod_method", method)
+            except (ValueError, UnicodeDecodeError):
+                pass
+        index = None
+        index_blob = sections.get(SECTION_DEP_INDEX)
+        if index_blob is not None:
+            try:
+                index = index_from_bytes(index_blob)
+            except ValueError:
+                index = None  # Version drift → full-re-solve downgrade.
+        return index, method
+
     # -- verbs ---------------------------------------------------------------
 
     async def _verb_ping(self, request_id: Any, request: Dict) -> Dict:
@@ -429,52 +533,84 @@ class AnalysisServer:
                     analyzes=1,
                 )
                 self.sessions.put(session)
+            await self._save_session_state(session)
             response["session"] = session.brief()
         return response
 
     async def _verb_update(self, request_id: Any, request: Dict) -> Dict:
-        from repro.core.incremental import incremental_update
+        from repro.core.incremental import (
+            _full_resolve,
+            incremental_update,
+            incremental_update_from_index,
+        )
+        from repro.core.varsets import EffectKind
         from repro.lang.semantic import compile_source
 
         session_name = require_str(request, "session")
         source = require_str(request, "source")
         session = self.sessions.get(session_name)
+        reloaded_index = None
         if session is None:
-            raise ProtocolError(
-                E_UNKNOWN_SESSION,
-                "no session %r; open one with analyze+session first" % session_name,
-            )
-        key = content_key(source, session.gmod_method)
+            # Not in memory — maybe a previous process persisted it.
+            state = self._load_session_state(session_name)
+            if state is None:
+                raise ProtocolError(
+                    E_UNKNOWN_SESSION,
+                    "no session %r; open one with analyze+session first"
+                    % session_name,
+                )
+            reloaded_index, method = state
+        else:
+            method = session.gmod_method
+        key = content_key(source, method)
         sleep = self._request_sleep(request)
-        old_summary = session.summary
+        old_summary = session.summary if session is not None else None
 
         def work():
             if sleep:
                 time.sleep(sleep)
             new_resolved = compile_source(source)
-            new_summary, stats = incremental_update(old_summary, new_resolved)
+            if old_summary is not None:
+                new_summary, stats = incremental_update(old_summary, new_resolved)
+            elif reloaded_index is not None:
+                new_summary, stats = incremental_update_from_index(
+                    reloaded_index, new_resolved, reloaded=True
+                )
+            else:
+                # Legacy state file without an index: correctness over
+                # reuse — solve from scratch, report it as such.
+                new_summary, stats = _full_resolve(
+                    new_resolved,
+                    [EffectKind.MOD, EffectKind.USE],
+                    set(),
+                    reloaded=True,
+                )
             return new_summary, payload_from_summary(new_summary), stats
 
         new_summary, payload, stats = await self._run_heavy(work)
-        self.metrics.observe_update(stats.reused_procs, stats.affected_procs)
+        self.metrics.observe_update(stats)
 
+        if session is None:
+            session = Session(
+                name=session_name,
+                key=key,
+                gmod_method=method,
+                summary=new_summary,
+                payload=payload,
+            )
+            self.sessions.put(session)
         session.key = key
         session.summary = new_summary
         session.payload = payload
         session.updates += 1
-        session.last_update = {
-            "dirty_procs": stats.dirty_procs,
-            "affected_procs": stats.affected_procs,
-            "reused_procs": stats.reused_procs,
-            "total_procs": stats.total_procs,
-            "reuse_fraction": stats.reuse_fraction,
-        }
+        session.last_update = stats.to_dict()
         # The incremental result is bit-identical to a from-scratch
         # solve (asserted by the test suite), so it may warm both
         # cache tiers under the new content key.
         self.lru.put(key, (new_summary, payload))
         if self.disk_cache is not None:
             self.disk_cache.put(key, payload)
+        await self._save_session_state(session)
 
         return ok_response(
             request_id,

@@ -77,6 +77,12 @@ class ServerMetrics:
         self.incremental_updates = 0
         self.reused_procs = 0
         self.affected_procs = 0
+        self.region_procs = 0
+        self.affected_sccs = 0
+        self.cutoff_sccs = 0
+        self.total_sccs = 0
+        self.reloaded_updates = 0
+        self.full_resolves = 0
         self.connections = 0
 
     def uptime(self) -> float:
@@ -103,10 +109,19 @@ class ServerMetrics:
         if shard_info is not None:
             self.last_shard_info = shard_info
 
-    def observe_update(self, reused_procs: int, affected_procs: int) -> None:
+    def observe_update(self, stats) -> None:
+        """Accumulate one ``UpdateStats`` from an ``update`` request."""
         self.incremental_updates += 1
-        self.reused_procs += reused_procs
-        self.affected_procs += affected_procs
+        self.reused_procs += stats.reused_procs
+        self.affected_procs += stats.affected_procs
+        self.region_procs += stats.region_procs
+        self.affected_sccs += stats.affected_sccs
+        self.cutoff_sccs += stats.cutoff_sccs
+        self.total_sccs += stats.total_sccs
+        if stats.index_reloaded:
+            self.reloaded_updates += 1
+        if stats.full_resolve:
+            self.full_resolves += 1
 
     def to_dict(self) -> Dict:
         touched = self.reused_procs + self.affected_procs
@@ -130,5 +145,16 @@ class ServerMetrics:
                 "reused_procs": self.reused_procs,
                 "affected_procs": self.affected_procs,
                 "reuse_fraction": self.reused_procs / touched if touched else 0.0,
+                "region_procs": self.region_procs,
+                "affected_sccs": self.affected_sccs,
+                "cutoff_sccs": self.cutoff_sccs,
+                "total_sccs": self.total_sccs,
+                "scc_reuse_fraction": (
+                    1.0 - self.affected_sccs / self.total_sccs
+                    if self.total_sccs
+                    else 0.0
+                ),
+                "reloaded_updates": self.reloaded_updates,
+                "full_resolves": self.full_resolves,
             },
         }

@@ -1,10 +1,12 @@
 """CI smoke for the analysis daemon, run as a real OS process.
 
-Launches ``ck-analyze serve`` as a subprocess on an ephemeral port,
-performs one ``analyze`` + one ``query`` through the client, shuts it
-down with the ``shutdown`` verb, and asserts a zero exit status plus a
-written ``--metrics-json`` dump.  Invoked by ``make server-smoke`` and
-the CI workflow — not collected by pytest (no ``test_`` prefix).
+Launches ``ck-analyze serve`` as a subprocess on an ephemeral port
+(with ``--state-dir`` so sessions persist), performs one ``analyze`` +
+one ``update`` + one ``query`` through the client, shuts it down with
+the ``shutdown`` verb, and asserts a zero exit status plus a written
+``--metrics-json`` dump carrying the incremental region counters.
+Invoked by ``make server-smoke`` and the CI workflow — not collected
+by pytest (no ``test_`` prefix).
 """
 
 from __future__ import annotations
@@ -26,12 +28,15 @@ from repro.workloads import patterns  # noqa: E402
 
 
 def main() -> int:
-    metrics_path = os.path.join(tempfile.mkdtemp(), "metrics.json")
+    workdir = tempfile.mkdtemp()
+    metrics_path = os.path.join(workdir, "metrics.json")
+    state_dir = os.path.join(workdir, "state")
     env = dict(os.environ, PYTHONPATH=REPO_SRC)
     daemon = subprocess.Popen(
         [
             sys.executable, "-m", "repro.cli", "serve",
             "--port", "0", "--metrics-json", metrics_path,
+            "--state-dir", state_dir,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -49,6 +54,13 @@ def main() -> int:
             analyzed = client.analyze(source, session="smoke")
             assert analyzed["ok"] and analyzed["num_procs"] == 6
 
+            edited = source.replace(
+                "proc c1(x)\n  begin", "proc c1(x)\n  begin\n    g := 9"
+            )
+            updated = client.update("smoke", edited)
+            assert updated["ok"]
+            assert updated["update_stats"]["reuse_fraction"] > 0.0
+
             result = client.query("smoke", "who_modifies", variable="g")["result"]
             assert "chain" in result["procedures"]
 
@@ -59,10 +71,18 @@ def main() -> int:
 
         returncode = daemon.wait(timeout=30)
         assert returncode == 0, "daemon exited with %d" % returncode
+        assert os.listdir(state_dir), "no session state persisted"
         with open(metrics_path) as handle:
             metrics = json.load(handle)
         assert metrics["requests"]["analyze"] == 1
+        assert metrics["requests"]["update"] == 1
         assert metrics["requests"]["query"] == 1
+        incremental = metrics["incremental"]
+        assert incremental["updates"] == 1
+        assert incremental["reused_procs"] > 0
+        assert incremental["region_procs"] >= 1
+        assert incremental["total_sccs"] > 0
+        assert 0.0 < incremental["scc_reuse_fraction"] <= 1.0
         print("server smoke: ok (port %d, %d requests)"
               % (port, sum(metrics["requests"].values())))
         return 0

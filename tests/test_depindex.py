@@ -1,0 +1,149 @@
+"""Dependency-index persistence: blob round-trips, container
+embedding, version fencing, and the restored-index update path.
+
+The index is what lets a *different process* run demand-driven
+incremental updates: everything the invalidation algorithm needs —
+fingerprints, condensation shapes, per-SCC verdicts, the variable
+universe — must survive ``index_to_bytes`` → ``index_from_bytes``
+exactly, and an update driven by the deserialized index must produce
+the same bytes as one driven by the live summary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.depindex import (
+    INDEX_FORMAT_VERSION,
+    INDEX_MAGIC,
+    build_dependency_index,
+    index_from_bytes,
+    index_to_bytes,
+)
+from repro.core.incremental import (
+    incremental_update,
+    incremental_update_from_index,
+)
+from repro.core.persist import (
+    BINARY_FORMAT_VERSION,
+    SECTION_DEP_INDEX,
+    decode_summary_container,
+    summary_to_bytes,
+)
+from repro.core.pipeline import analyze_side_effects
+from repro.lang.pretty import pretty
+from repro.lang.semantic import compile_source
+from repro.workloads import patterns
+from repro.workloads.generator import GeneratorConfig, generate_program
+
+NESTED = GeneratorConfig(seed=5, num_procs=30, num_globals=9,
+                         max_depth=3, nesting_prob=0.5)
+
+
+def _indexed_summary(source):
+    summary = analyze_side_effects(source)
+    index = build_dependency_index(summary)
+    summary.dep_index = index
+    return summary, index
+
+
+class TestBlobRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [patterns.chain(5), patterns.two_sccs_bridged(4),
+         pretty(generate_program(NESTED))],
+        ids=["chain", "two-sccs", "generated-nested"],
+    )
+    def test_all_fields_survive(self, source):
+        _summary, index = _indexed_summary(source)
+        again = index_from_bytes(index_to_bytes(index))
+        assert again == index  # Dataclass equality covers every field.
+
+    def test_universe_fields_survive(self):
+        _summary, index = _indexed_summary(patterns.chain(4))
+        again = index_from_bytes(index_to_bytes(index))
+        assert again.universe_global == index.universe_global
+        assert again.universe_local == index.universe_local
+        assert again.universe_formal == index.universe_formal
+        assert again.universe_level == index.universe_level
+
+    def test_serialization_is_deterministic(self):
+        _summary, index = _indexed_summary(patterns.chain(4))
+        assert index_to_bytes(index) == index_to_bytes(index)
+
+    def test_magic_mismatch_is_loud(self):
+        with pytest.raises(ValueError, match="magic"):
+            index_from_bytes(b"NOPE" + b"\x00" * 16)
+
+    def test_version_mismatch_is_loud(self):
+        _summary, index = _indexed_summary(patterns.chain(3))
+        blob = bytearray(index_to_bytes(index))
+        assert blob[len(INDEX_MAGIC)] == INDEX_FORMAT_VERSION
+        blob[len(INDEX_MAGIC)] = INDEX_FORMAT_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            index_from_bytes(bytes(blob))
+
+
+class TestContainerEmbedding:
+    def test_plain_summary_stays_v3(self):
+        summary, _index = _indexed_summary(patterns.chain(4))
+        blob = summary_to_bytes(summary)
+        version = int.from_bytes(blob[4:6], "little")
+        assert version == BINARY_FORMAT_VERSION - 1
+        _payload, sections = decode_summary_container(blob)
+        assert sections == {}
+
+    def test_include_index_writes_v4_trailer(self):
+        summary, index = _indexed_summary(patterns.chain(4))
+        blob = summary_to_bytes(summary, include_index=True)
+        version = int.from_bytes(blob[4:6], "little")
+        assert version == BINARY_FORMAT_VERSION
+        _payload, sections = decode_summary_container(blob)
+        assert index_from_bytes(sections[SECTION_DEP_INDEX]) == index
+
+    def test_v3_and_v4_payloads_agree(self):
+        summary, _index = _indexed_summary(patterns.chain(4))
+        plain, _ = decode_summary_container(summary_to_bytes(summary))
+        rich, _ = decode_summary_container(
+            summary_to_bytes(summary, include_index=True))
+        assert plain == rich
+
+
+class TestRestoredIndexUpdates:
+    """An update driven by a deserialized index (no live old summary,
+    fresh process simulation) must be byte-identical to both the live
+    warm path and a from-scratch solve."""
+
+    def test_reloaded_update_matches_warm_and_scratch(self):
+        base = patterns.chain(6)
+        edited = base.replace(
+            "proc c1(x)\n  begin", "proc c1(x)\n  begin\n    g := 9")
+        old, index = _indexed_summary(base)
+        blob = index_to_bytes(index)
+
+        warm, warm_stats = incremental_update(old, compile_source(edited))
+        reloaded, stats = incremental_update_from_index(
+            index_from_bytes(blob), compile_source(edited), reloaded=True)
+
+        scratch_bytes = summary_to_bytes(analyze_side_effects(edited))
+        assert summary_to_bytes(warm) == scratch_bytes
+        assert summary_to_bytes(reloaded) == scratch_bytes
+        assert stats.index_reloaded and not stats.full_resolve
+        assert not warm_stats.index_reloaded
+        assert stats.reuse_fraction > 0.0
+
+    def test_reloaded_update_reports_region_counters(self):
+        source = pretty(generate_program(NESTED))
+        old, index = _indexed_summary(source)
+        edited = source.replace(":= 1", ":= 4", 1)
+        assert edited != source
+        reloaded, stats = incremental_update_from_index(
+            index_from_bytes(index_to_bytes(index)),
+            compile_source(edited), reloaded=True)
+        assert summary_to_bytes(reloaded) == summary_to_bytes(
+            analyze_side_effects(edited))
+        assert stats.total_sccs > 0
+        assert stats.affected_sccs + stats.cutoff_sccs >= 0
+        assert stats.region_procs <= stats.total_procs
+        assert 0.0 <= stats.reuse_fraction <= 1.0
+        assert stats.to_dict()["index_reloaded"] is True

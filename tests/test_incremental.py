@@ -138,9 +138,13 @@ class TestEquivalence:
         incremental, stats = incremental_update(old, reparse(edited))
         scratch = analyze_side_effects(reparse(edited))
         assert_same_solution(incremental, scratch)
-        # The edit is inside the SCC: the whole ring plus main is
-        # affected; nothing else exists, so reuse is zero.
-        assert stats.affected_procs == stats.total_procs
+        # The edit is inside the SCC, so the whole ring re-solves as
+        # one region — but its GMOD exports come out unchanged, so the
+        # demand cutoff spares main's component.
+        assert stats.affected_procs == stats.total_procs - 1
+        assert stats.affected_sccs == 1
+        assert stats.cutoff_sccs == 1
+        assert "main" not in stats.affected_names
 
     @pytest.mark.parametrize("seed", range(8))
     def test_random_program_random_edit(self, seed):

@@ -75,9 +75,10 @@ class TestSchemaV2:
         payload = summary_to_dict(summary)
         assert "aliases" in payload
         # `call post(slot, book)` binds globals `slot` and `book` by
-        # reference to formals — both pairs must survive the round trip.
+        # reference to formals — both pairs must survive the round trip,
+        # each pair in canonical name order.
         post_pairs = payload["aliases"]["post"]
-        assert ["slot", "post::amt"] in post_pairs
+        assert ["post::amt", "slot"] in post_pairs
         assert ["book", "post::t"] in post_pairs
         assert payload["aliases"]["ledger"] == []
 

@@ -504,3 +504,98 @@ class TestCliIntegration:
         ]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["error"]["code"] == "unknown_session"
+
+
+class TestSessionPersistence:
+    """``--state-dir`` makes incremental sessions survive a daemon
+    restart: the summary + dependency index land in a v4 container on
+    disk, and the first post-restart ``update`` re-solves only the
+    affected region — byte-identical to scratch, with nonzero reuse."""
+
+    BASE = patterns.chain(6)
+    EDIT = BASE.replace("proc c1(x)\n  begin", "proc c1(x)\n  begin\n    g := 9")
+
+    def _open_session(self, state_dir, name="persist"):
+        with ServerThread(ServerConfig(port=0, state_dir=state_dir)) as handle:
+            with ServerClient(port=handle.port) as c:
+                c.analyze(self.BASE, session=name)
+            return handle.server._session_state_path(name)
+
+    def test_analyze_writes_state_file(self, tmp_path):
+        path = self._open_session(str(tmp_path))
+        import os
+        assert os.path.exists(path)
+        with open(path, "rb") as handle:
+            assert handle.read(4) == b"CKSB"
+
+    def test_update_survives_restart_with_reuse(self, tmp_path):
+        self._open_session(str(tmp_path))
+        with ServerThread(ServerConfig(port=0, state_dir=str(tmp_path))) as h:
+            with ServerClient(port=h.port) as c:
+                response = c.update("persist", self.EDIT)
+                stats = response["update_stats"]
+                assert stats["index_reloaded"] is True
+                assert stats["full_resolve"] is False
+                assert stats["reuse_fraction"] > 0.0
+                assert canon(response["summary"]) == canon(
+                    scratch_summary(self.EDIT))
+                snapshot = c.stats()["incremental"]
+                assert snapshot["reloaded_updates"] == 1
+                assert snapshot["full_resolves"] == 0
+                assert snapshot["region_procs"] >= 1
+                assert snapshot["total_sccs"] > 0
+                # A restored session keeps working like a live one.
+                second = c.update("persist", self.BASE)
+                assert second["update_stats"]["index_reloaded"] is False
+
+    def test_legacy_state_file_downgrades_to_full_resolve(self, tmp_path):
+        from repro.core.persist import summary_to_bytes
+        from repro.core.pipeline import analyze_side_effects
+
+        path = self._open_session(str(tmp_path), name="legacy")
+        # Overwrite with a v3 container: valid summary, no index section.
+        with open(path, "wb") as handle:
+            handle.write(summary_to_bytes(analyze_side_effects(self.BASE)))
+        with ServerThread(ServerConfig(port=0, state_dir=str(tmp_path))) as h:
+            with ServerClient(port=h.port) as c:
+                response = c.update("legacy", self.EDIT)
+                stats = response["update_stats"]
+                assert stats["full_resolve"] is True
+                assert stats["reuse_fraction"] == 0.0
+                assert canon(response["summary"]) == canon(
+                    scratch_summary(self.EDIT))
+                assert c.stats()["incremental"]["full_resolves"] == 1
+
+    def test_corrupt_state_file_is_unknown_session(self, tmp_path):
+        path = self._open_session(str(tmp_path), name="corrupt")
+        with open(path, "wb") as handle:
+            handle.write(b"not a container at all")
+        with ServerThread(ServerConfig(port=0, state_dir=str(tmp_path))) as h:
+            with ServerClient(port=h.port) as c:
+                with pytest.raises(ServerError) as excinfo:
+                    c.update("corrupt", self.EDIT)
+                assert excinfo.value.code == "unknown_session"
+
+    def test_no_state_dir_forgets_sessions_on_restart(self):
+        with ServerThread(ServerConfig(port=0)) as handle:
+            with ServerClient(port=handle.port) as c:
+                c.analyze(self.BASE, session="ephemeral")
+        with ServerThread(ServerConfig(port=0)) as handle:
+            with ServerClient(port=handle.port) as c:
+                with pytest.raises(ServerError) as excinfo:
+                    c.update("ephemeral", self.EDIT)
+                assert excinfo.value.code == "unknown_session"
+
+    def test_update_persists_refreshed_state(self, tmp_path):
+        """The state file tracks the session across edits: restart
+        after an update resumes from the *edited* version."""
+        self._open_session(str(tmp_path))
+        with ServerThread(ServerConfig(port=0, state_dir=str(tmp_path))) as h:
+            with ServerClient(port=h.port) as c:
+                c.update("persist", self.EDIT)
+        with ServerThread(ServerConfig(port=0, state_dir=str(tmp_path))) as h:
+            with ServerClient(port=h.port) as c:
+                response = c.update("persist", self.BASE)
+                assert response["update_stats"]["index_reloaded"] is True
+                assert canon(response["summary"]) == canon(
+                    scratch_summary(self.BASE))
