@@ -6,7 +6,7 @@ PP := PYTHONPATH=src
 
 .PHONY: test differential shard-differential incremental-differential \
 	bench-smoke bench bench-frontend bench-core bench-incremental \
-	profile server-smoke
+	bench-fleet profile server-smoke fleet-smoke
 
 # Tier-1 gate: the full unit/integration/property suite.
 test:
@@ -52,6 +52,8 @@ bench-smoke:
 	    --benchmark-disable
 	$(PP) $(PY) -m pytest -q benchmarks/test_bench_incremental.py -k smoke \
 	    --benchmark-disable
+	$(PP) $(PY) -m pytest -q benchmarks/test_bench_fleet.py -k smoke \
+	    --benchmark-disable
 
 # The full measured benchmark suite (slow).
 bench:
@@ -80,6 +82,14 @@ bench-core:
 bench-incremental:
 	$(PP) $(PY) -m pytest -q benchmarks/test_bench_incremental.py -s
 
+# The distributed-fleet measurement (E14): writes BENCH_fleet.json at
+# the repo root — loopback workers vs the in-process shard pool vs
+# monolithic, byte-identical across all three.  Resize with
+# CK_FLEET_BENCH_PROCS / CK_FLEET_BENCH_REPEATS /
+# CK_FLEET_BENCH_SHARDS / CK_FLEET_BENCH_WORKERS.
+bench-fleet:
+	$(PP) $(PY) -m pytest -q benchmarks/test_bench_fleet.py -s
+
 # Where does the time go?  Per-phase breakdown + cProfile hot spots on
 # a generated workload (see `ck-analyze profile --help` for knobs).
 profile:
@@ -90,3 +100,10 @@ profile:
 # down cleanly, and verify the --metrics-json dump.
 server-smoke:
 	$(PP) $(PY) tests/server_smoke.py
+
+# End-to-end fleet check: a `batch --fleet` coordinator plus two
+# `ck-analyze worker` OS processes over loopback TCP, run twice —
+# healthy, then with one worker SIGKILLed mid-run — asserting per-file
+# summary byte-equality against a fleetless run in both topologies.
+fleet-smoke:
+	$(PP) $(PY) tests/fleet_smoke.py

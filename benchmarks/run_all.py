@@ -13,9 +13,10 @@ Besides the human-readable tables, a run leaves artifacts in ``--out``
 ``BENCH_shard.json`` (the sharded-solver comparison), the E12 run
 refreshes ``BENCH_core.json`` (fused vs legacy middle end), the E13
 run refreshes ``BENCH_incremental.json`` (demand-driven update vs
-scratch), and ``BENCH_all.json`` aggregates per-experiment wall times
-plus the shard, core, and incremental records — the perf-trajectory
-document CI uploads.
+scratch), the E14 run refreshes ``BENCH_fleet.json`` (loopback fleet
+vs process pool), and ``BENCH_all.json`` aggregates per-experiment
+wall times plus the shard, core, incremental, and fleet records — the
+perf-trajectory document CI uploads.
 """
 
 from __future__ import annotations
@@ -483,6 +484,35 @@ def e13_incremental(quick: bool):
     return result
 
 
+def e14_fleet(quick: bool):
+    header("E14", "Distributed fleet vs process pool, bit-identical  "
+                  "[fleet/]")
+    from test_bench_fleet import measure_fleet_benchmark, write_bench_json
+
+    result = measure_fleet_benchmark(
+        num_procs=2000 if quick else 10000,
+        num_globals=400 if quick else 2000,
+        repeats=1 if quick else 2,
+    )
+    write_bench_json(result)
+    print(f"{'mode':>24} {'best(s)':>9} {'speedup':>8}")
+    print(f"{'monolithic':>24} {result['monolithic_s']:>9.3f} {'1.00x':>8}")
+    print(f"{'pool jobs=%d' % result['pool_jobs']:>24} "
+          f"{result['pool_s']:>9.3f} {result['speedup_pool']:>7.2f}x")
+    print(f"{'fleet %d loopback wkrs' % result['workers']:>24} "
+          f"{result['fleet_s']:>9.3f} {result['speedup_fleet']:>7.2f}x")
+    counters = result["counters"]
+    print("counters: %d tasks, %d steals, %d reassigned, %d retries, "
+          "%d local" % (
+              counters["tasks_completed"], counters["steals"],
+              counters["reassigned"], counters["retries"],
+              counters["local_tasks"]))
+    print("-> every topology produced byte-identical summaries; loopback "
+          "workers share the GIL, so fleet_s vs pool_s is the protocol + "
+          "scheduling overhead, not a scaling claim.")
+    return result
+
+
 def e10_shard(quick: bool):
     header("E10", "Sharded solver vs monolithic, bit-identical  [shard/]")
     from test_bench_shard import measure_shard_benchmark
@@ -545,6 +575,7 @@ def main() -> int:
         ("E10", lambda: e10_shard(args.quick)),
         ("E12", lambda: e12_core(args.quick)),
         ("E13", lambda: e13_incremental(args.quick)),
+        ("E14", lambda: e14_fleet(args.quick)),
         ("A1", a1_incremental),
         ("A2", a2_constprop),
         ("A4", a4_lattice_instances),
@@ -559,6 +590,7 @@ def main() -> int:
     shard_result = None
     core_result = None
     incremental_result = None
+    fleet_result = None
     try:
         for name, run in experiments:
             tick = time.perf_counter()
@@ -570,6 +602,8 @@ def main() -> int:
                 core_result = returned
             elif name == "E13":
                 incremental_result = returned
+            elif name == "E14":
+                fleet_result = returned
         print()
     finally:
         sys.stdout = original_stdout
@@ -585,6 +619,7 @@ def main() -> int:
         "shard": shard_result,
         "core": core_result,
         "incremental": incremental_result,
+        "fleet": fleet_result,
     }
     with open(out_dir / "BENCH_all.json", "w") as handle:
         json.dump(aggregate, handle, indent=2, sort_keys=True)

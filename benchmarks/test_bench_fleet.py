@@ -1,0 +1,232 @@
+"""Fleet benchmark (E14): loopback workers vs process pool vs monolithic.
+
+The distributed fleet's measurement: on the large flat scale-free
+workload (10k procedures by default), run the full side-effect
+pipeline three ways —
+
+* **monolithic** — the single-process pipeline;
+* **pool** — the sharded solver over the in-process
+  :class:`~repro.shard.runner.ShardRunner` process pool;
+* **fleet** — the same sharded solver fanned out over loopback TCP to
+  :class:`~repro.fleet.worker.WorkerThread` workers through the
+  work-stealing :class:`~repro.fleet.coordinator.FleetCoordinator`.
+
+Results are asserted byte-identical across all three before any number
+is reported.  Loopback worker threads share the benchmark process (and
+its interpreter lock), so the fleet number measures *protocol and
+scheduling overhead* — framing, content-addressed static dedup, the
+steal path — not multi-machine scaling; the interesting deltas are
+``fleet_s`` vs ``pool_s`` and the counters (steals, reassignments,
+per-worker task balance).
+
+The measured result is written to ``BENCH_fleet.json`` at the repo
+root; ``benchmarks/run_all.py`` aggregates it into ``BENCH_all.json``.
+
+Environment knobs: ``CK_FLEET_BENCH_PROCS`` (default 10000),
+``CK_FLEET_BENCH_REPEATS`` (default 2), ``CK_FLEET_BENCH_SHARDS``
+(default 8), ``CK_FLEET_BENCH_WORKERS`` (default 4) and
+``CK_FLEET_BENCH_JOBS`` (default 4) resize the slow test.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.core.persist import summary_to_json
+from repro.core.pipeline import analyze_side_effects
+from repro.fleet import FleetCoordinator, FleetRunner, WorkerThread
+from repro.shard.solve import analyze_side_effects_sharded
+from repro.workloads.generator import generate_resolved, large_scale_config
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_PROCS = 10000
+DEFAULT_GLOBALS = 2000
+DEFAULT_LOCALS_RANGE = (8, 12)
+DEFAULT_SEED = 11
+
+
+def _canonical(summary) -> str:
+    return summary_to_json(summary, indent=None)
+
+
+def measure_fleet_benchmark(
+    num_procs: int = DEFAULT_PROCS,
+    num_globals: int = DEFAULT_GLOBALS,
+    locals_range: Tuple[int, int] = DEFAULT_LOCALS_RANGE,
+    shards: int = 8,
+    workers: int = 4,
+    pool_jobs: int = 4,
+    repeats: int = 2,
+) -> Dict:
+    """Run the three-way comparison; returns the BENCH_fleet record.
+
+    Raises ``AssertionError`` if the pool or fleet summary differs from
+    the monolithic one by a single byte.
+    """
+    config = large_scale_config(
+        num_procs,
+        seed=DEFAULT_SEED,
+        num_globals=num_globals,
+        locals_range=locals_range,
+    )
+    resolved = generate_resolved(config)
+
+    best = {"monolithic": float("inf"), "pool": float("inf"),
+            "fleet": float("inf")}
+    reference = None
+    fleet_phase_times: Dict[str, float] = {}
+    fleet_span_times: Dict[str, float] = {}
+
+    # Loopback worker threads share this process's interpreter lock, so
+    # the monolithic/pool phases starve them for minutes at a stretch;
+    # failure detection is effectively disabled (it is measured by the
+    # kill tests, not here).
+    with FleetCoordinator(task_timeout=3600.0,
+                          heartbeat_timeout=3600.0) as coordinator:
+        threads = [
+            WorkerThread(coordinator.host, coordinator.port,
+                         name="bench-w%d" % i).start()
+            for i in range(workers)
+        ]
+        joined = coordinator.wait_for_workers(workers, timeout=30.0)
+        assert joined == workers, "only %d/%d workers joined" % (
+            joined, workers
+        )
+        runner = FleetRunner(coordinator)
+
+        gc.disable()
+        try:
+            for _ in range(repeats):
+                gc.collect()
+                tick = time.perf_counter()
+                reference = _canonical(analyze_side_effects(resolved))
+                best["monolithic"] = min(
+                    best["monolithic"], time.perf_counter() - tick
+                )
+
+                gc.collect()
+                tick = time.perf_counter()
+                pool = _canonical(analyze_side_effects_sharded(
+                    resolved, num_shards=shards, jobs=pool_jobs
+                ))
+                best["pool"] = min(best["pool"], time.perf_counter() - tick)
+
+                gc.collect()
+                runner.map_times.clear()
+                runner.span_times.clear()
+                tick = time.perf_counter()
+                fleet = _canonical(analyze_side_effects_sharded(
+                    resolved, num_shards=shards, runner=runner
+                ))
+                best["fleet"] = min(best["fleet"], time.perf_counter() - tick)
+                fleet_phase_times = dict(runner.map_times)
+                fleet_span_times = dict(runner.span_times)
+
+                assert pool == reference, "pool summary diverged"
+                assert fleet == reference, "fleet summary diverged"
+        finally:
+            gc.enable()
+
+        stats = coordinator.stats()
+        assert stats["live_workers"] == workers, (
+            "lost workers mid-benchmark: %s" % stats["counters"]
+        )
+    for thread in threads:
+        thread.join()
+
+    return {
+        "schema": "ck-bench-fleet/1",
+        "workload": {
+            "num_procs": resolved.num_procs,
+            "num_call_sites": resolved.num_call_sites,
+            "num_vars": len(resolved.variables),
+            "num_globals": num_globals,
+            "locals_range": list(locals_range),
+            "seed": DEFAULT_SEED,
+        },
+        "shards": shards,
+        "workers": workers,
+        "pool_jobs": pool_jobs,
+        "repeats": repeats,
+        "monolithic_s": best["monolithic"],
+        "pool_s": best["pool"],
+        "fleet_s": best["fleet"],
+        "speedup_pool": best["monolithic"] / best["pool"],
+        "speedup_fleet": best["monolithic"] / best["fleet"],
+        "fleet_vs_pool": best["pool"] / best["fleet"],
+        "identical": True,
+        # Coordinator-side dispatch time and worker-side compute span
+        # per solver phase, for the last fleet round.
+        "fleet_phase_times": fleet_phase_times,
+        "fleet_span_times": fleet_span_times,
+        "counters": stats["counters"],
+        "worker_stats": stats["workers"],
+    }
+
+
+def write_bench_json(result: Dict, path: Optional[Path] = None) -> Path:
+    if path is None:
+        path = REPO_ROOT / "BENCH_fleet.json"
+    with open(path, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def test_fleet_bench_smoke():
+    """Small three-way run: byte-identity + JSON schema, no speed
+    claim.  Still writes ``BENCH_fleet.json`` so the CI artifact upload
+    always has a file (a full run overwrites it with the 10k numbers).
+    """
+    # 2000 procs / 8 greedy shards is the smallest shape whose shard
+    # quotient has multi-shard waves, i.e. actually fans tasks out to
+    # the workers instead of solving every singleton wave in-process.
+    result = measure_fleet_benchmark(
+        num_procs=2000, num_globals=400, shards=8, workers=2, pool_jobs=2,
+        repeats=1,
+    )
+    assert result["identical"]
+    assert result["fleet_s"] > 0
+    assert result["counters"]["tasks_completed"] > 0
+    assert len(result["worker_stats"]) == 2
+    path = write_bench_json(result)
+    assert json.loads(path.read_text())["schema"] == "ck-bench-fleet/1"
+
+
+def test_fleet_bench_10k():
+    """The E14 measurement: fleet-over-loopback stays byte-identical at
+    scale and its overhead vs the in-process pool is bounded."""
+    num_procs = int(os.environ.get("CK_FLEET_BENCH_PROCS", DEFAULT_PROCS))
+    repeats = int(os.environ.get("CK_FLEET_BENCH_REPEATS", 2))
+    shards = int(os.environ.get("CK_FLEET_BENCH_SHARDS", 8))
+    workers = int(os.environ.get("CK_FLEET_BENCH_WORKERS", 4))
+    pool_jobs = int(os.environ.get("CK_FLEET_BENCH_JOBS", 4))
+    result = measure_fleet_benchmark(
+        num_procs=num_procs, repeats=repeats, shards=shards,
+        workers=workers, pool_jobs=pool_jobs,
+    )
+    assert result["identical"]
+    # A fleet benchmark that never dispatched a task silently measured
+    # the in-process path; the default shape has multi-shard waves.
+    assert result["counters"]["tasks_completed"] > 0, result["counters"]
+    path = write_bench_json(result)
+    print("\nE14 fleet benchmark (n=%d, %d shards, %d workers) -> %s"
+          % (num_procs, shards, workers, path))
+    print("monolithic %.3fs | pool %.3fs (%.2fx) | fleet %.3fs (%.2fx, "
+          "%.2fx vs pool)" % (
+              result["monolithic_s"],
+              result["pool_s"], result["speedup_pool"],
+              result["fleet_s"], result["speedup_fleet"],
+              result["fleet_vs_pool"]))
+    counters = result["counters"]
+    print("counters: %d tasks, %d steals, %d reassigned, %d retries, "
+          "%d local" % (
+              counters["tasks_completed"], counters["steals"],
+              counters["reassigned"], counters["retries"],
+              counters["local_tasks"]))

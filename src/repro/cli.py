@@ -28,8 +28,15 @@ Subcommands:
   :mod:`repro.shard`) and print the summary plus partition stats;
 * ``serve``          — run the long-lived analysis daemon: TCP,
   line-delimited JSON, incremental sessions (see :mod:`repro.server`);
+  ``--fleet-port`` additionally hosts a fleet coordinator so sharded
+  analyze requests fan out to connected workers;
 * ``query``          — one request against a running daemon, response
-  printed as JSON (scripting surface of :mod:`repro.server.client`).
+  printed as JSON (scripting surface of :mod:`repro.server.client`);
+* ``worker``         — join an analysis fleet: dial a coordinator
+  (``batch --fleet`` or ``serve --fleet-port``) and execute shard
+  tasks until told to stop (see :mod:`repro.fleet`);
+* ``store``          — run the content-addressed summary store: a
+  shared cache tier fleet front-ends consult before analyzing.
 """
 
 from __future__ import annotations
@@ -277,6 +284,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_endpoint(text: str, default_host: str = "127.0.0.1"):
+    """``[HOST:]PORT`` → ``(host, port)``."""
+    host, _, port = text.rpartition(":")
+    return host or default_host, int(port)
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     import os
 
@@ -290,16 +303,51 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if not args.no_cache:
         base = args.dir if os.path.isdir(args.dir) else os.path.dirname(args.dir) or "."
         cache_dir = args.cache_dir or os.path.join(base, ".ck-cache")
-    report = run_batch(
-        args.dir,
-        jobs=args.jobs,
-        gmod_method=args.gmod_method,
-        cache_dir=cache_dir,
-        timeout=args.timeout,
-        pattern=args.pattern,
-        cache_max_entries=args.cache_max_entries,
-        shards=args.shards if args.shards else None,
-    )
+    fleet = None
+    remote_store = None
+    try:
+        if args.fleet:
+            from repro.fleet import FleetCoordinator
+
+            host, port = _parse_endpoint(args.fleet)
+            fleet = FleetCoordinator(host=host, port=port).start()
+            # Parseable by scripts that launched us with port 0.
+            print(
+                "ck-analyze batch: fleet coordinator on %s:%d"
+                % (fleet.host, fleet.port),
+                flush=True,
+            )
+            if args.fleet_min_workers:
+                joined = fleet.wait_for_workers(
+                    args.fleet_min_workers, timeout=args.fleet_wait
+                )
+                print(
+                    "ck-analyze batch: %d/%d fleet worker(s) connected"
+                    % (joined, args.fleet_min_workers),
+                    flush=True,
+                )
+        if args.fleet_store:
+            from repro.fleet import RemoteSummaryStore
+
+            host, port = _parse_endpoint(args.fleet_store)
+            remote_store = RemoteSummaryStore(host, port)
+        report = run_batch(
+            args.dir,
+            jobs=args.jobs,
+            gmod_method=args.gmod_method,
+            cache_dir=cache_dir,
+            timeout=args.timeout,
+            pattern=args.pattern,
+            cache_max_entries=args.cache_max_entries,
+            shards=args.shards if args.shards else None,
+            fleet=fleet,
+            remote_store=remote_store,
+        )
+    finally:
+        if fleet is not None:
+            fleet.stop()
+        if remote_store is not None:
+            remote_store.close()
     if not report.results:
         # An empty corpus is a misconfiguration (wrong directory or
         # pattern), not a successful run of zero files.
@@ -347,6 +395,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout=args.drain_timeout,
         shard_jobs=args.shard_jobs,
         state_dir=args.state_dir,
+        fleet_port=args.fleet_port,
+        fleet_host=args.fleet_host,
+        fleet_store=args.fleet_store,
     )
     server = AnalysisServer(config)
 
@@ -354,6 +405,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host, port = await server.start()
         # Parseable by scripts that launched us with --port 0.
         print("ck-analyze serve: listening on %s:%d" % (host, port), flush=True)
+        if server.fleet is not None:
+            print(
+                "ck-analyze serve: fleet coordinator on %s:%d"
+                % (server.fleet.host, server.fleet.port),
+                flush=True,
+            )
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
             try:
@@ -406,6 +463,28 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 1
     print(json.dumps(response, indent=2, sort_keys=True))
     return 0 if response.get("ok") else 1
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.fleet.worker import run_worker
+
+    host, port = _parse_endpoint(args.connect)
+    return run_worker(
+        host,
+        port,
+        name=args.name,
+        max_tasks=args.max_tasks,
+        reconnect=args.reconnect,
+        reconnect_delay=args.reconnect_delay,
+    )
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.fleet.store import serve_store
+
+    return serve_store(
+        args.dir, host=args.host, port=args.port, max_entries=args.max_entries
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -563,6 +642,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="solve every file with the sharded subsystem "
              "(0 = monolithic; summaries are bit-identical either way)",
     )
+    batch_cmd.add_argument(
+        "--fleet", default="",
+        help="host a fleet coordinator on [HOST:]PORT (0 = ephemeral) and"
+             " fan per-shard work out to connected ck-analyze workers;"
+             " results stay bit-identical to the in-process run",
+    )
+    batch_cmd.add_argument(
+        "--fleet-min-workers", type=int, default=0,
+        help="wait for this many workers before starting (with --fleet)",
+    )
+    batch_cmd.add_argument(
+        "--fleet-wait", type=float, default=30.0,
+        help="max seconds to wait for --fleet-min-workers (default 30)",
+    )
+    batch_cmd.add_argument(
+        "--fleet-store", default="",
+        help="consult a fleet summary store at [HOST:]PORT after a local"
+             " cache miss and publish fresh results to it",
+    )
     batch_cmd.set_defaults(func=_cmd_batch)
 
     shard_cmd = sub.add_parser(
@@ -645,6 +743,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-json", default="",
         help="write the final stats snapshot to this path on exit",
     )
+    serve_cmd.add_argument(
+        "--fleet-port", type=int, default=None,
+        help="also host a fleet coordinator on this port (0 = ephemeral);"
+             " sharded analyze requests fan out to connected workers",
+    )
+    serve_cmd.add_argument(
+        "--fleet-host", default="127.0.0.1",
+        help="fleet coordinator bind host (with --fleet-port)",
+    )
+    serve_cmd.add_argument(
+        "--fleet-store", default="",
+        help="consult a fleet summary store at [HOST:]PORT between the"
+             " disk cache and a fresh solve",
+    )
     serve_cmd.set_defaults(func=_cmd_serve)
 
     query_cmd = sub.add_parser(
@@ -677,6 +789,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="solve with the sharded subsystem (analyze verb)",
     )
     query_cmd.set_defaults(func=_cmd_query)
+
+    worker_cmd = sub.add_parser(
+        "worker", help="join an analysis fleet and execute shard tasks"
+    )
+    worker_cmd.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address (from batch --fleet / serve --fleet-port)",
+    )
+    worker_cmd.add_argument(
+        "--name", default="", help="worker name shown in fleet stats"
+    )
+    worker_cmd.add_argument(
+        "--max-tasks", type=int, default=None,
+        help="drain and exit after this many tasks (rolling restarts)",
+    )
+    worker_cmd.add_argument(
+        "--reconnect", action="store_true",
+        help="redial the coordinator when the connection drops",
+    )
+    worker_cmd.add_argument(
+        "--reconnect-delay", type=float, default=1.0,
+        help="seconds between redial attempts (default 1)",
+    )
+    worker_cmd.set_defaults(func=_cmd_worker)
+
+    store_cmd = sub.add_parser(
+        "store", help="run the fleet's content-addressed summary store"
+    )
+    store_cmd.add_argument(
+        "--dir", required=True, help="cache directory backing the store"
+    )
+    store_cmd.add_argument("--host", default="127.0.0.1")
+    store_cmd.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 = ephemeral; the bound port is printed)",
+    )
+    store_cmd.add_argument(
+        "--max-entries", type=int, default=None,
+        help="bound the backing cache (LRU eviction; default unbounded)",
+    )
+    store_cmd.set_defaults(func=_cmd_store)
     return parser
 
 

@@ -80,8 +80,31 @@ def fingerprint_text(proc: ProcSymbol) -> str:
 
 
 def fingerprint_digest(proc: ProcSymbol) -> bytes:
-    """The fingerprint as a fixed-width digest (what the index stores)."""
+    """The fingerprint as a fixed-width digest (what the index stores).
+
+    Parsed procedures carry a token-span hash computed during the
+    parse, so the common case costs a field read instead of a full
+    pretty-print; ASTs built programmatically (no token stream) fall
+    back to hashing :func:`fingerprint_text`.  The two hash domains
+    are disjoint, so an index built from one provenance compared
+    against the other conservatively reports "changed" — a spurious
+    re-solve, never an unsound reuse.
+    """
+    if proc.token_hash:
+        return proc.token_hash
     return hashlib.sha256(fingerprint_text(proc).encode("utf-8")).digest()
+
+
+def fingerprints_equal(old_proc: ProcSymbol, new_proc: ProcSymbol) -> bool:
+    """Structural equality of two procedure versions.
+
+    Token hashes are compared only when *both* sides have them; a
+    mixed pair (one parsed, one AST-built) falls back to the exact
+    text fingerprint so programmatic edits still diff precisely.
+    """
+    if old_proc.token_hash and new_proc.token_hash:
+        return old_proc.token_hash == new_proc.token_hash
+    return fingerprint_text(old_proc) == fingerprint_text(new_proc)
 
 
 @dataclass

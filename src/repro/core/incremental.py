@@ -69,6 +69,7 @@ from repro.core.depindex import (
     build_dependency_index,
     fingerprint_digest,
     fingerprint_text,
+    fingerprints_equal,
 )
 from repro.core.rmod import RmodResult
 from repro.core.summary import EffectSolution, SideEffectSummary
@@ -161,7 +162,7 @@ def dirty_procedures(old: ResolvedProgram, new: ResolvedProgram) -> Set[str]:
         old_proc = old_procs.get(name)
         if old_proc is None:
             dirty.add(name)
-        elif fingerprint_text(old_proc) != fingerprint_text(new_proc):
+        elif not fingerprints_equal(old_proc, new_proc):
             dirty.add(name)
     for name, old_proc in old_procs.items():
         if name not in new_procs:

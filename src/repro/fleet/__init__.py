@@ -1,0 +1,47 @@
+"""Distributed analysis fleet: multi-node shard solving over TCP.
+
+The shard subsystem's process pool (:mod:`repro.shard.runner`) fans a
+sharded solve out within one machine.  This package promotes that to a
+horizontally scalable fleet while keeping the bit-identical guarantee
+across any worker topology:
+
+* :mod:`repro.fleet.proto` — length-prefixed binary framing shared by
+  every fleet connection (workers and the summary store), carrying the
+  existing :mod:`repro.shard.wire` task codec unchanged;
+* :mod:`repro.fleet.worker` — the ``ck-analyze worker`` daemon: dials a
+  coordinator, caches static shard blobs by content hash, and executes
+  summarize/back-substitute tasks with the same worker bodies the
+  process pool runs;
+* :mod:`repro.fleet.coordinator` — the work-stealing scheduler
+  (per-worker deques, idle workers steal from the longest queue,
+  heartbeat + timeout detection, bounded retry/backoff reassignment)
+  plus :class:`~repro.fleet.coordinator.FleetRunner`, the drop-in
+  :class:`~repro.shard.runner.ShardRunner` facade the sharded solver
+  maps over;
+* :mod:`repro.fleet.store` — the content-addressed summary store: a
+  small TCP service over the bounded disk
+  :class:`~repro.service.cache.SummaryCache` so a fleet of front-ends
+  (``batch --fleet``, ``serve`` with a fleet port) shares warm results.
+
+Correctness story: every task is a pure function from bytes to bytes
+(the wire codec's worker bodies), so *where* it runs — which worker,
+after how many retries, or in-process when the fleet is empty — cannot
+change the result.  The differential tests assert byte-identity to the
+monolithic pipeline at 1, 2, and 4 workers, including after a mid-run
+worker kill.
+"""
+
+from repro.fleet.coordinator import FleetCoordinator, FleetRunner
+from repro.fleet.store import RemoteSummaryStore, StoreThread, SummaryStoreServer
+from repro.fleet.worker import FleetWorker, WorkerThread, run_worker
+
+__all__ = [
+    "FleetCoordinator",
+    "FleetRunner",
+    "FleetWorker",
+    "RemoteSummaryStore",
+    "StoreThread",
+    "SummaryStoreServer",
+    "WorkerThread",
+    "run_worker",
+]

@@ -1,0 +1,629 @@
+"""The fleet coordinator: a work-stealing scheduler for shard tasks.
+
+The coordinator owns a background asyncio loop with a TCP server;
+workers (:mod:`repro.fleet.worker`) dial in and are handed tasks from
+per-worker deques:
+
+* **assignment** — a submitted batch round-robins its tasks across the
+  connected workers' deques;
+* **stealing** — a worker whose deque runs dry pops from the *tail* of
+  the longest live deque (the classic work-stealing discipline: owners
+  consume from the head, thieves from the tail), so an uneven batch or
+  a slow worker cannot idle the rest of the fleet;
+* **failure handling** — a worker that disconnects, errors a task, or
+  goes silent past the heartbeat/task timeouts is retired and its
+  queued + in-flight tasks are reassigned with a small backoff; a task
+  that exhausts ``max_retries`` attempts — and every task submitted
+  while zero workers are connected — runs in-process instead, so the
+  fleet *degrades* to the :class:`~repro.shard.runner.ShardRunner`
+  behaviour rather than failing the solve;
+* **identity** — tasks are the pure byte→byte worker bodies of
+  :mod:`repro.shard.wire`; scheduling choices cannot change results,
+  only wall time.  The differential tests pin byte-identity to the
+  monolithic pipeline at 1/2/4 workers and across a mid-run kill.
+
+:class:`FleetRunner` is the facade the sharded solver sees: the same
+``jobs`` / ``map`` / ``map_times`` / ``span_times`` surface as
+:class:`~repro.shard.runner.ShardRunner`, so
+:func:`repro.shard.solve.analyze_side_effects_sharded` takes it via
+its ``runner`` parameter unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import itertools
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.fleet import proto
+from repro.shard import wire
+
+
+class _Batch:
+    """One ``run_tasks`` call: an ordered result slot per task."""
+
+    __slots__ = ("results", "remaining", "event", "error")
+
+    def __init__(self, count: int):
+        self.results: List[Optional[bytes]] = [None] * count
+        self.remaining = count
+        self.event = asyncio.Event()
+        self.error: Optional[BaseException] = None
+
+
+class _Task:
+    __slots__ = ("batch", "index", "kind", "sha", "blob", "args", "thunk",
+                 "attempts", "task_id", "finished")
+
+    def __init__(self, batch, index, kind, sha, blob, args, thunk):
+        self.batch = batch
+        self.index = index
+        self.kind = kind
+        self.sha = sha
+        self.blob = blob
+        self.args = args
+        #: In-process fallback: calls the original wire worker body.
+        self.thunk = thunk
+        self.attempts = 0
+        self.task_id = 0
+        self.finished = False
+
+
+class _Worker:
+    __slots__ = ("wid", "name", "reader", "writer", "deque", "inflight",
+                 "has_static", "wake", "reply", "last_seen", "retired",
+                 "tasks_done", "steals", "pump_task", "reader_task")
+
+    def __init__(self, wid: int, name: str, reader, writer):
+        self.wid = wid
+        self.name = name
+        self.reader = reader
+        self.writer = writer
+        self.deque: deque = deque()
+        self.inflight: Dict[int, _Task] = {}
+        self.has_static: set = set()
+        self.wake = asyncio.Event()
+        self.reply: Optional[asyncio.Future] = None
+        self.last_seen = time.monotonic()
+        self.retired = False
+        self.tasks_done = 0
+        self.steals = 0
+        self.pump_task: Optional[asyncio.Task] = None
+        self.reader_task: Optional[asyncio.Task] = None
+
+
+class FleetCoordinator:
+    """Accepts workers, schedules batches, survives worker loss.
+
+    Thread-model: the event loop runs on a dedicated background
+    thread; ``run_tasks`` is called from solver threads and blocks on
+    a future.  Counter reads from other threads are snapshot-only.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        task_timeout: float = 60.0,
+        heartbeat_interval: float = 2.0,
+        heartbeat_timeout: float = 15.0,
+        max_retries: int = 3,
+        backoff: float = 0.05,
+    ):
+        self.host = host
+        self.port = port
+        self.task_timeout = task_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.counters: Dict[str, int] = {
+            "tasks_submitted": 0,
+            "tasks_dispatched": 0,
+            "tasks_completed": 0,
+            "steals": 0,
+            "retries": 0,
+            "reassigned": 0,
+            "local_tasks": 0,
+            "task_timeouts": 0,
+            "workers_connected": 0,
+            "workers_lost": 0,
+        }
+        self._workers: Dict[int, _Worker] = {}
+        self._worker_ids = itertools.count(1)
+        self._task_ids = itertools.count(1)
+        self._sha_by_key: Dict[int, bytes] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        #: Single thread: local fallbacks serialize, exactly like the
+        #: in-process ShardRunner they stand in for.
+        self._local_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="ck-fleet-local"
+        )
+        self._closing = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "FleetCoordinator":
+        self._thread = threading.Thread(
+            target=self._main, name="ck-fleet-coordinator", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):
+            raise RuntimeError("fleet coordinator failed to start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "fleet coordinator failed to start: %s" % self._startup_error
+            )
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is None or self._closing:
+            return
+        self._closing = True
+        try:
+            asyncio.run_coroutine_threadsafe(self._shutdown(), self._loop).result(
+                timeout=timeout
+            )
+        except Exception:
+            pass  # Already down — stop() must be idempotent and safe.
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+        self._local_pool.shutdown(wait=False)
+
+    def __enter__(self) -> "FleetCoordinator":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _main(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_worker, host=self.host, port=self.port
+            )
+        except OSError as error:
+            self._startup_error = error
+            self._started.set()
+            return
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._stop_event = asyncio.Event()
+        watchdog = asyncio.ensure_future(self._watchdog())
+        self._started.set()
+        await self._stop_event.wait()
+        watchdog.cancel()
+        self._server.close()
+        await self._server.wait_closed()
+        for worker in list(self._workers.values()):
+            try:
+                proto.write_frame(worker.writer, proto.OP_SHUTDOWN)
+                await worker.writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            self._retire(worker, lost=False)
+
+    async def _shutdown(self) -> None:
+        self._stop_event.set()
+
+    async def _watchdog(self) -> None:
+        """Ping idle workers; retire the silent ones.
+
+        Only *idle* workers are heartbeat-checked — a worker computing
+        a task inline cannot answer a ping, and the stall case for a
+        busy worker is already covered by ``task_timeout`` in the
+        pump.
+
+        Starvation guard: when the coordinator's own event loop was
+        stalled (the host process hogging the interpreter, a laptop
+        suspend), ``last_seen`` lags because queued PONGs were never
+        *processed*, not because workers went silent.  A watchdog tick
+        that arrives late by more than the heartbeat timeout therefore
+        amnesties everyone instead of retiring them — a truly dead
+        worker is caught on the next on-time cycle."""
+        nonce = 0
+        last_tick = time.monotonic()
+        while True:
+            await asyncio.sleep(self.heartbeat_interval)
+            now = time.monotonic()
+            starved = (now - last_tick) > self.heartbeat_timeout
+            last_tick = now
+            if starved:
+                for worker in self._workers.values():
+                    worker.last_seen = now
+            for worker in list(self._workers.values()):
+                if worker.inflight:
+                    worker.last_seen = now  # Busy: judged by task_timeout.
+                    continue
+                if now - worker.last_seen > self.heartbeat_timeout:
+                    self._retire(worker)
+                    continue
+                nonce += 1
+                try:
+                    proto.write_frame(
+                        worker.writer,
+                        proto.OP_PING,
+                        nonce.to_bytes(8, "little"),
+                    )
+                    await worker.writer.drain()
+                except (ConnectionError, OSError):
+                    self._retire(worker)
+
+    # -- introspection (any thread) ------------------------------------------
+
+    def live_worker_count(self) -> int:
+        return len(self._workers)
+
+    def wait_for_workers(self, count: int, timeout: float = 30.0) -> int:
+        """Block until ``count`` workers are connected (or the timeout
+        passes); returns the number connected."""
+        deadline = time.monotonic() + timeout
+        while len(self._workers) < count and time.monotonic() < deadline:
+            time.sleep(0.01)
+        return len(self._workers)
+
+    def stats(self) -> Dict:
+        """Snapshot for ``stats``/``--metrics-json``/batch reports."""
+        return {
+            "address": [self.host, self.port],
+            "live_workers": len(self._workers),
+            "counters": dict(self.counters),
+            "workers": [
+                {
+                    "name": worker.name,
+                    "tasks_done": worker.tasks_done,
+                    "steals": worker.steals,
+                    "queued": len(worker.deque),
+                }
+                for worker in self._workers.values()
+            ],
+        }
+
+    # -- connection handling (loop thread) -----------------------------------
+
+    async def _handle_worker(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            op, payload = await proto.read_frame(reader)
+            if op != proto.OP_HELLO:
+                raise proto.FleetProtocolError("expected HELLO")
+            hello = proto.decode_json(payload)
+            if hello.get("version") != proto.FLEET_PROTOCOL_VERSION:
+                raise proto.FleetProtocolError("fleet protocol version mismatch")
+            proto.write_frame(
+                writer,
+                proto.OP_WELCOME,
+                b'{"version": %d}' % proto.FLEET_PROTOCOL_VERSION,
+            )
+            await writer.drain()
+        except (proto.FleetProtocolError, ConnectionError, OSError,
+                asyncio.IncompleteReadError):
+            writer.close()
+            return
+        worker = _Worker(
+            next(self._worker_ids), str(hello.get("name", "")), reader, writer
+        )
+        self._workers[worker.wid] = worker
+        self.counters["workers_connected"] += 1
+        worker.pump_task = asyncio.ensure_future(self._pump(worker))
+        worker.reader_task = asyncio.ensure_future(self._read_replies(worker))
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _next_task(self, worker: _Worker) -> Optional[_Task]:
+        if worker.deque:
+            return worker.deque.popleft()
+        victim = None
+        for other in self._workers.values():
+            if other is not worker and other.deque:
+                if victim is None or len(other.deque) > len(victim.deque):
+                    victim = other
+        if victim is not None:
+            self.counters["steals"] += 1
+            worker.steals += 1
+            return victim.deque.pop()
+        return None
+
+    def _wake_all(self) -> None:
+        for worker in self._workers.values():
+            worker.wake.set()
+
+    async def _pump(self, worker: _Worker) -> None:
+        """Send tasks to one worker, one in flight at a time."""
+        try:
+            while not worker.retired:
+                task = self._next_task(worker)
+                if task is None:
+                    worker.wake.clear()
+                    await worker.wake.wait()
+                    continue
+                task.task_id = next(self._task_ids)
+                worker.inflight[task.task_id] = task
+                blob = None
+                if task.sha not in worker.has_static:
+                    blob = task.blob
+                    worker.has_static.add(task.sha)
+                proto.write_frame(
+                    worker.writer,
+                    proto.OP_TASK,
+                    proto.encode_task(
+                        task.task_id, task.kind, task.sha, blob, task.args
+                    ),
+                )
+                self.counters["tasks_dispatched"] += 1
+                worker.reply = asyncio.get_running_loop().create_future()
+                await worker.writer.drain()
+                try:
+                    await asyncio.wait_for(worker.reply, timeout=self.task_timeout)
+                except asyncio.TimeoutError:
+                    self.counters["task_timeouts"] += 1
+                    raise ConnectionError("task timed out; worker stalled")
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            self._retire(worker)
+        except asyncio.CancelledError:
+            pass
+
+    async def _read_replies(self, worker: _Worker) -> None:
+        try:
+            while not worker.retired:
+                op, payload = await proto.read_frame(worker.reader)
+                worker.last_seen = time.monotonic()
+                if op == proto.OP_PONG:
+                    continue
+                if op == proto.OP_RESULT:
+                    task_id, blob = proto.decode_result(payload)
+                    task = worker.inflight.pop(task_id, None)
+                    if task is not None:
+                        worker.tasks_done += 1
+                        self._complete(task, blob)
+                    self._signal_reply(worker)
+                elif op == proto.OP_ERROR:
+                    task_id, message = proto.decode_error(payload)
+                    task = worker.inflight.pop(task_id, None)
+                    if task is not None:
+                        self._handle_task_error(worker, task, message)
+                    self._signal_reply(worker)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            self._retire(worker)
+        except asyncio.CancelledError:
+            pass
+
+    @staticmethod
+    def _signal_reply(worker: _Worker) -> None:
+        if worker.reply is not None and not worker.reply.done():
+            worker.reply.set_result(None)
+
+    def _handle_task_error(self, worker: _Worker, task: _Task, message: str) -> None:
+        if message.startswith(proto.NOSTATIC):
+            # The worker evicted the static blob; clear our record so
+            # the next send re-ships it.  Not a real failure: no retry
+            # charged, the task just goes around again.
+            worker.has_static.discard(task.sha)
+            self._requeue(task, prefer=worker)
+            return
+        task.attempts += 1
+        self.counters["retries"] += 1
+        if task.attempts > self.max_retries:
+            asyncio.ensure_future(self._run_local(task))
+            return
+        # Backoff before the retry lands in another deque — a worker
+        # with a systematic problem should not spin the batch hot.
+        delay = self.backoff * task.attempts
+        asyncio.get_running_loop().call_later(
+            delay, self._requeue, task, worker
+        )
+
+    def _requeue(self, task: _Task, avoid: Optional[_Worker] = None,
+                 prefer: Optional[_Worker] = None) -> None:
+        if task.finished:
+            return
+        target = prefer if prefer is not None and not prefer.retired else None
+        if target is None:
+            for worker in self._workers.values():
+                if worker is avoid:
+                    continue
+                if target is None or len(worker.deque) < len(target.deque):
+                    target = worker
+        if target is None:
+            asyncio.ensure_future(self._run_local(task))
+            return
+        target.deque.append(task)
+        target.wake.set()
+
+    def _retire(self, worker: _Worker, lost: bool = True) -> None:
+        """Remove a dead/stalled worker and reassign its tasks."""
+        if worker.retired:
+            return
+        worker.retired = True
+        self._workers.pop(worker.wid, None)
+        if lost:
+            self.counters["workers_lost"] += 1
+        self._signal_reply(worker)  # Unblock the pump if it is waiting.
+        for task_source in (list(worker.inflight.values()), list(worker.deque)):
+            for task in task_source:
+                task.attempts += 1
+                if task.attempts > self.max_retries:
+                    asyncio.ensure_future(self._run_local(task))
+                else:
+                    self.counters["reassigned"] += 1
+                    self._requeue(task, avoid=worker)
+        worker.inflight.clear()
+        worker.deque.clear()
+        for pending in (worker.pump_task, worker.reader_task):
+            if pending is not None and pending is not asyncio.current_task():
+                pending.cancel()
+        try:
+            worker.writer.close()
+        except Exception:
+            pass
+
+    # -- completion ----------------------------------------------------------
+
+    def _complete(self, task: _Task, blob: bytes) -> None:
+        if task.finished:
+            return  # A reassigned duplicate already answered.
+        task.finished = True
+        batch = task.batch
+        batch.results[task.index] = blob
+        batch.remaining -= 1
+        self.counters["tasks_completed"] += 1
+        if batch.remaining == 0:
+            batch.event.set()
+
+    async def _run_local(self, task: _Task) -> None:
+        """In-process execution: the zero-worker degradation and the
+        retry-exhausted last resort.  Same worker body, same bytes."""
+        if task.finished:
+            return
+        self.counters["local_tasks"] += 1
+        loop = asyncio.get_running_loop()
+        try:
+            blob = await loop.run_in_executor(self._local_pool, task.thunk)
+        except BaseException as error:
+            task.batch.error = error
+            task.batch.event.set()
+            return
+        self._complete(task, blob)
+
+    # -- submission (solver threads) -----------------------------------------
+
+    def sha_of(self, wire_key: int, static_blob: bytes) -> bytes:
+        """Content hash of a static blob, computed once per wire key."""
+        sha = self._sha_by_key.get(wire_key)
+        if sha is None:
+            sha = hashlib.sha256(static_blob).digest()
+            self._sha_by_key[wire_key] = sha
+        return sha
+
+    def run_tasks(
+        self,
+        specs: Sequence[Tuple[int, bytes, bytes, bytes]],
+        thunks: Sequence[Callable[[], bytes]],
+    ) -> List[bytes]:
+        """Execute ``specs`` (``(kind, sha, static_blob, args)``) across
+        the fleet; blocks the calling thread, preserves order."""
+        assert self._loop is not None, "coordinator not started"
+        future = asyncio.run_coroutine_threadsafe(
+            self._run_batch(specs, thunks), self._loop
+        )
+        return future.result()
+
+    async def _run_batch(self, specs, thunks) -> List[bytes]:
+        batch = _Batch(len(specs))
+        self.counters["tasks_submitted"] += len(specs)
+        tasks = [
+            _Task(batch, index, kind, sha, blob, args, thunk)
+            for index, ((kind, sha, blob, args), thunk)
+            in enumerate(zip(specs, thunks))
+        ]
+        workers = list(self._workers.values())
+        if not workers:
+            for task in tasks:
+                await self._run_local(task)
+                if batch.error is not None:
+                    break
+        else:
+            for index, task in enumerate(tasks):
+                workers[index % len(workers)].deque.append(task)
+            self._wake_all()
+            await batch.event.wait()
+        if batch.error is not None:
+            raise batch.error
+        return batch.results
+
+
+#: fn → task kind for the two wire worker bodies the solver maps.
+_KIND_OF = {
+    wire.summarize_shard_wire: proto.KIND_SUMMARIZE,
+    wire.backsub_shard_wire: proto.KIND_BACKSUB,
+}
+
+
+class FleetRunner:
+    """The :class:`~repro.shard.runner.ShardRunner` facade over a
+    coordinator — inject via ``analyze_side_effects_sharded(...,
+    runner=FleetRunner(coordinator))``.
+
+    ``jobs`` tracks the live fleet: ``workers + 1`` so even a single
+    worker engages the wire-codec path, and exactly 1 when the fleet
+    is empty — which routes the sharded solver down its in-process
+    direct path, the graceful zero-worker degradation.  ``close`` is a
+    no-op: the coordinator outlives any one solve and is shut down by
+    whoever started it.
+    """
+
+    def __init__(self, coordinator: FleetCoordinator):
+        self.coordinator = coordinator
+        self.map_times: Dict[str, float] = {}
+        self.span_times: Dict[str, float] = {}
+
+    @property
+    def jobs(self) -> int:
+        live = self.coordinator.live_worker_count()
+        return live + 1 if live else 1
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "FleetRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @staticmethod
+    def _spec(coordinator: FleetCoordinator, kind: int, item) -> Tuple:
+        if kind == proto.KIND_SUMMARIZE:
+            key, static_blob, masked, seeds_blob = item
+            args = proto.encode_summarize_args(masked, seeds_blob)
+        else:
+            key, static_blob, emit, seeds_blob, imports_blob = item
+            args = proto.encode_backsub_args(emit, seeds_blob, imports_blob)
+        return kind, coordinator.sha_of(key, static_blob), static_blob, args
+
+    def map(
+        self,
+        fn: Callable,
+        items: Sequence,
+        label: str = "map",
+        decode: Optional[Callable] = None,
+    ) -> List:
+        tick = time.perf_counter()
+        kind = _KIND_OF.get(fn)
+        if (
+            kind is None
+            or len(items) <= 1
+            or self.coordinator.live_worker_count() == 0
+        ):
+            # Non-wire payloads (single-shard plans) and empty fleets
+            # run exactly like ShardRunner(jobs=1).
+            results = [fn(item) for item in items]
+        else:
+            coordinator = self.coordinator
+            specs = [self._spec(coordinator, kind, item) for item in items]
+            thunks = [(lambda item=item: fn(item)) for item in items]
+            results = coordinator.run_tasks(specs, thunks)
+        if decode is not None:
+            results = [
+                decode(result, index) for index, result in enumerate(results)
+            ]
+        elapsed = time.perf_counter() - tick
+        self.map_times[label] = self.map_times.get(label, 0.0) + elapsed
+        span = max(
+            (getattr(r, "elapsed", 0.0) for r in results), default=0.0
+        )
+        self.span_times[label] = self.span_times.get(label, 0.0) + span
+        return results

@@ -1,0 +1,255 @@
+"""Binary framing for fleet connections.
+
+One frame = a 5-byte little-endian header (opcode byte + payload
+length) followed by the payload.  The payloads themselves reuse the
+:mod:`repro.core.binio` varint dialect and carry :mod:`repro.shard.wire`
+blobs verbatim — the fleet adds *transport*, not a new task encoding.
+
+Two connection flavours share the framing:
+
+* **worker channel** (coordinator ⇄ worker): HELLO/WELCOME handshake,
+  TASK frames carrying a wire-codec task (static blob sent only the
+  first time a worker sees its content hash), RESULT/ERROR replies,
+  PING/PONG heartbeats, SHUTDOWN for graceful drain;
+* **store channel** (front-end ⇄ summary store): GET/PUT/HAS on
+  SHA-256 hex keys, BLOB/MISSING/OK replies.
+
+Both async (:func:`read_frame`/:func:`write_frame`) and blocking-socket
+(:func:`recv_frame`/:func:`send_frame`) helpers are provided; the
+coordinator and workers are asyncio, the store client is plain sockets
+so the synchronous batch driver can use it directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Dict, Optional, Tuple
+
+from repro.core.binio import read_varint, write_varint
+
+#: Version of the fleet framing + task payload layout.  A worker and a
+#: coordinator with different versions refuse the handshake instead of
+#: misreading frames.
+FLEET_PROTOCOL_VERSION = 1
+
+#: Sanity bound on one frame (a static blob for a very large shard is
+#: the biggest payload; 256 MiB is far past anything real).
+MAX_FRAME = 256 * 1024 * 1024
+
+_HEADER = struct.Struct("<BI")
+
+# -- worker channel opcodes --------------------------------------------------
+OP_HELLO = 1  # worker → coordinator: json {name, pid, version}
+OP_WELCOME = 2  # coordinator → worker: json {version}
+OP_TASK = 3  # coordinator → worker: task frame (see encode_task)
+OP_RESULT = 4  # worker → coordinator: varint task id + result blob
+OP_ERROR = 5  # worker → coordinator: varint task id + utf-8 message
+OP_PING = 6  # coordinator → worker: opaque 8-byte nonce
+OP_PONG = 7  # worker → coordinator: the nonce echoed
+OP_SHUTDOWN = 8  # coordinator → worker: drain and exit
+
+# -- store channel opcodes ---------------------------------------------------
+OP_GET = 16  # client → store: key bytes
+OP_BLOB = 17  # store → client: record blob
+OP_MISSING = 18  # store → client: no entry
+OP_PUT = 19  # client → store: varint key length + key + record blob
+OP_OK = 20  # store → client: put/has acknowledged
+OP_HAS = 21  # client → store: key bytes
+
+#: Task kinds — which :mod:`repro.shard.wire` worker body to run.
+KIND_SUMMARIZE = 0
+KIND_BACKSUB = 1
+
+#: Worker error detail when a task referenced a static blob the worker
+#: has evicted; the coordinator re-sends the blob, no retry charged.
+NOSTATIC = "nostatic"
+
+
+class FleetProtocolError(ConnectionError):
+    """A frame that violates the fleet framing contract."""
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME:
+        raise FleetProtocolError("frame of %d bytes exceeds MAX_FRAME" % length)
+
+
+# ---------------------------------------------------------------------------
+# Async framing (coordinator and worker event loops).
+# ---------------------------------------------------------------------------
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Tuple[int, bytes]:
+    header = await reader.readexactly(_HEADER.size)
+    op, length = _HEADER.unpack(header)
+    _check_length(length)
+    payload = await reader.readexactly(length) if length else b""
+    return op, payload
+
+
+def write_frame(writer: asyncio.StreamWriter, op: int, payload: bytes = b"") -> None:
+    writer.write(_HEADER.pack(op, len(payload)))
+    if payload:
+        writer.write(payload)
+
+
+# ---------------------------------------------------------------------------
+# Blocking-socket framing (the synchronous store client).
+# ---------------------------------------------------------------------------
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    while count:
+        chunk = sock.recv(count)
+        if not chunk:
+            raise ConnectionError("fleet peer closed mid-frame")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[int, bytes]:
+    op, length = _HEADER.unpack(_recv_exactly(sock, _HEADER.size))
+    _check_length(length)
+    payload = _recv_exactly(sock, length) if length else b""
+    return op, payload
+
+
+def send_frame(sock: socket.socket, op: int, payload: bytes = b"") -> None:
+    sock.sendall(_HEADER.pack(op, len(payload)) + payload)
+
+
+# ---------------------------------------------------------------------------
+# Handshake payloads.
+# ---------------------------------------------------------------------------
+
+
+def encode_hello(name: str, pid: int) -> bytes:
+    return json.dumps(
+        {"name": name, "pid": pid, "version": FLEET_PROTOCOL_VERSION},
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def decode_json(payload: bytes) -> Dict:
+    try:
+        decoded = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise FleetProtocolError("bad handshake payload: %s" % error)
+    if not isinstance(decoded, dict):
+        raise FleetProtocolError("handshake payload must be an object")
+    return decoded
+
+
+# ---------------------------------------------------------------------------
+# Task frames.
+#
+# Layout: varint task id · kind byte · 32-byte static SHA-256 ·
+# has-blob byte · [varint blob length · blob] · kind-specific args.
+# Args for KIND_SUMMARIZE: masked byte · varint len · seeds blob.
+# Args for KIND_BACKSUB: varint len · emit utf-8 · varint len · seeds
+# blob · varint len · imports blob.
+# ---------------------------------------------------------------------------
+
+
+def encode_task(
+    task_id: int,
+    kind: int,
+    static_sha: bytes,
+    static_blob: Optional[bytes],
+    args: bytes,
+) -> bytes:
+    out = bytearray()
+    write_varint(out, task_id)
+    out.append(kind)
+    out += static_sha
+    if static_blob is None:
+        out.append(0)
+    else:
+        out.append(1)
+        write_varint(out, len(static_blob))
+        out += static_blob
+    out += args
+    return bytes(out)
+
+
+def decode_task(payload: bytes) -> Tuple[int, int, bytes, Optional[bytes], bytes]:
+    """``(task_id, kind, static_sha, static_blob or None, args)``."""
+    task_id, pos = read_varint(payload, 0)
+    kind = payload[pos]
+    pos += 1
+    static_sha = payload[pos : pos + 32]
+    pos += 32
+    static_blob = None
+    if payload[pos]:
+        length, pos2 = read_varint(payload, pos + 1)
+        static_blob = payload[pos2 : pos2 + length]
+        pos = pos2 + length
+    else:
+        pos += 1
+    return task_id, kind, static_sha, static_blob, payload[pos:]
+
+
+def encode_summarize_args(masked: bool, seeds_blob: bytes) -> bytes:
+    out = bytearray()
+    out.append(1 if masked else 0)
+    write_varint(out, len(seeds_blob))
+    out += seeds_blob
+    return bytes(out)
+
+
+def decode_summarize_args(args: bytes) -> Tuple[bool, bytes]:
+    masked = bool(args[0])
+    length, pos = read_varint(args, 1)
+    return masked, args[pos : pos + length]
+
+
+def encode_backsub_args(emit: str, seeds_blob: bytes, imports_blob: bytes) -> bytes:
+    out = bytearray()
+    emit_bytes = emit.encode("utf-8")
+    write_varint(out, len(emit_bytes))
+    out += emit_bytes
+    write_varint(out, len(seeds_blob))
+    out += seeds_blob
+    write_varint(out, len(imports_blob))
+    out += imports_blob
+    return bytes(out)
+
+
+def decode_backsub_args(args: bytes) -> Tuple[str, bytes, bytes]:
+    length, pos = read_varint(args, 0)
+    emit = args[pos : pos + length].decode("utf-8")
+    pos += length
+    length, pos = read_varint(args, pos)
+    seeds_blob = args[pos : pos + length]
+    pos += length
+    length, pos = read_varint(args, pos)
+    return emit, seeds_blob, args[pos : pos + length]
+
+
+def encode_result(task_id: int, blob: bytes) -> bytes:
+    out = bytearray()
+    write_varint(out, task_id)
+    out += blob
+    return bytes(out)
+
+
+def decode_result(payload: bytes) -> Tuple[int, bytes]:
+    task_id, pos = read_varint(payload, 0)
+    return task_id, payload[pos:]
+
+
+def encode_error(task_id: int, message: str) -> bytes:
+    out = bytearray()
+    write_varint(out, task_id)
+    out += message.encode("utf-8", "replace")
+    return bytes(out)
+
+
+def decode_error(payload: bytes) -> Tuple[int, str]:
+    task_id, pos = read_varint(payload, 0)
+    return task_id, payload[pos:].decode("utf-8", "replace")

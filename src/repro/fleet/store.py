@@ -1,0 +1,315 @@
+"""The content-addressed summary store service.
+
+A tiny TCP daemon (``ck-analyze store --dir DIR``) exposing get / put /
+has on the SHA-256 content keys of :mod:`repro.service.cache`, backed
+by a bounded on-disk :class:`~repro.service.cache.SummaryCache`.  A
+fleet of front-ends (``batch --fleet-store``, ``serve`` with a store
+configured) consults it before analyzing a file, so only one node in
+the fleet ever pays for a given source revision.
+
+Records travel as the same validated envelope the disk cache writes
+(:func:`repro.service.cache.encode_record`): the server refuses to
+store a blob that does not validate for its key, and the client
+re-validates every blob it receives — a corrupt or mismatched record
+degrades to a cache miss, never to a wrong answer.
+
+The client (:class:`RemoteSummaryStore`) is a blocking-socket class so
+the synchronous batch driver and server worker threads use it
+directly; it reconnects once per operation on a dropped connection and
+treats an unreachable store as a miss (``stats.errors``), so fleet
+front-ends keep working when the store goes away.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from typing import Dict, Optional
+
+from repro.core.binio import read_varint, write_varint
+from repro.fleet import proto
+from repro.service.cache import (
+    SummaryCache,
+    encode_record,
+    validate_record_blob,
+)
+
+
+def encode_put(key: str, blob: bytes) -> bytes:
+    out = bytearray()
+    key_bytes = key.encode("utf-8")
+    write_varint(out, len(key_bytes))
+    out += key_bytes
+    out += blob
+    return bytes(out)
+
+
+def decode_put(payload: bytes):
+    length, pos = read_varint(payload, 0)
+    key = payload[pos : pos + length].decode("utf-8")
+    return key, payload[pos + length :]
+
+
+class SummaryStoreServer:
+    """Asyncio TCP front of one :class:`SummaryCache`, on a background
+    thread.  All cache access happens on the loop thread, so the
+    underlying cache needs no locking of its own."""
+
+    def __init__(
+        self,
+        cache: SummaryCache,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.cache = cache
+        self.host = host
+        self.port = port
+        self.requests = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> "SummaryStoreServer":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._amain()),
+            name="ck-fleet-store",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):
+            raise RuntimeError("summary store failed to start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "summary store failed to start: %s" % self._startup_error
+            )
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is None:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        except RuntimeError:
+            return  # Loop already gone.
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "SummaryStoreServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._handle_client, host=self.host, port=self.port
+            )
+        except OSError as error:
+            self._startup_error = error
+            self._started.set()
+            return
+        sockname = server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._started.set()
+        await self._stop_event.wait()
+        server.close()
+        await server.wait_closed()
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    op, payload = await proto.read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    return
+                self.requests += 1
+                if op == proto.OP_GET:
+                    blob = self.cache.get_blob(payload.decode("utf-8"))
+                    if blob is None:
+                        proto.write_frame(writer, proto.OP_MISSING)
+                    else:
+                        proto.write_frame(writer, proto.OP_BLOB, blob)
+                elif op == proto.OP_HAS:
+                    if self.cache.has(payload.decode("utf-8")):
+                        proto.write_frame(writer, proto.OP_OK)
+                    else:
+                        proto.write_frame(writer, proto.OP_MISSING)
+                elif op == proto.OP_PUT:
+                    key, blob = decode_put(payload)
+                    if self.cache.put_blob(key, blob):
+                        proto.write_frame(writer, proto.OP_OK)
+                    else:
+                        proto.write_frame(writer, proto.OP_MISSING)
+                else:
+                    return  # Unknown opcode: drop the connection.
+                await writer.drain()
+        finally:
+            writer.close()
+
+    def stats(self) -> Dict:
+        return {
+            "address": [self.host, self.port],
+            "requests": self.requests,
+            "cache": self.cache.stats.to_dict(),
+        }
+
+
+class StoreThread:
+    """Convenience embedding: a cache directory + store server with a
+    context-manager lifetime (tests, ``make fleet-smoke``)."""
+
+    def __init__(
+        self,
+        root: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_entries: Optional[int] = None,
+    ):
+        self.cache = SummaryCache(root, max_entries=max_entries)
+        self.server = SummaryStoreServer(self.cache, host=host, port=port)
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def __enter__(self) -> "StoreThread":
+        self.server.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.server.stop()
+
+
+class RemoteStoreStats:
+    __slots__ = ("hits", "misses", "stores", "errors")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.errors = 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "errors": self.errors,
+        }
+
+
+class RemoteSummaryStore:
+    """Blocking client for one summary store.
+
+    Mirrors the :class:`SummaryCache` get/put surface on analysis
+    payloads, so batch/server code consults either interchangeably.
+    Unreachable store ⇒ miss; one reconnect attempt per operation.
+    Not thread-safe — give each worker thread its own instance.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.stats = RemoteStoreStats()
+        self._sock: Optional[socket.socket] = None
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "RemoteSummaryStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _connection(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        return self._sock
+
+    def _round_trip(self, op: int, payload: bytes):
+        """One request/reply, retrying once on a stale connection;
+        None when the store is unreachable."""
+        for attempt in (0, 1):
+            try:
+                sock = self._connection()
+                proto.send_frame(sock, op, payload)
+                return proto.recv_frame(sock)
+            except (ConnectionError, OSError):
+                self.close()
+                if attempt:
+                    self.stats.errors += 1
+                    return None
+        return None
+
+    def get(self, key: str) -> Optional[Dict]:
+        reply = self._round_trip(proto.OP_GET, key.encode("utf-8"))
+        if reply is None:
+            return None
+        op, blob = reply
+        if op != proto.OP_BLOB:
+            self.stats.misses += 1
+            return None
+        result = validate_record_blob(key, blob)
+        if result is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: Dict) -> bool:
+        reply = self._round_trip(
+            proto.OP_PUT, encode_put(key, encode_record(key, result))
+        )
+        if reply is None or reply[0] != proto.OP_OK:
+            return False
+        self.stats.stores += 1
+        return True
+
+    def has(self, key: str) -> bool:
+        reply = self._round_trip(proto.OP_HAS, key.encode("utf-8"))
+        return reply is not None and reply[0] == proto.OP_OK
+
+
+def serve_store(
+    root: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_entries: Optional[int] = None,
+) -> int:
+    """Blocking CLI body for ``ck-analyze store``."""
+    server = SummaryStoreServer(SummaryCache(root, max_entries=max_entries),
+                                host=host, port=port)
+    try:
+        server.start()
+    except RuntimeError as error:
+        print("ck-analyze store: %s" % error)
+        return 1
+    print("ck-analyze store: serving %s on %s:%d" % (root, server.host, server.port),
+          flush=True)
+    try:
+        while True:
+            threading.Event().wait(3600.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0

@@ -1,0 +1,246 @@
+"""The fleet worker daemon: ``ck-analyze worker --connect HOST:PORT``.
+
+A worker dials the coordinator, introduces itself, then executes task
+frames with the exact worker bodies the process pool runs
+(:func:`repro.shard.wire.summarize_shard_wire` /
+:func:`repro.shard.wire.backsub_shard_wire`) — bytes in, bytes out, so
+a task's result is independent of which worker ran it.
+
+Static shard blobs are content-addressed: the coordinator ships each
+blob only the first time a worker sees its SHA-256; afterwards tasks
+reference the hash alone and the worker serves the decode from its
+bounded blob cache (the decoded-problem cache inside
+:mod:`repro.shard.wire` is reused on top, keyed by a per-process wire
+key allocated per hash).  If a hash arrives without its blob after an
+eviction, the worker answers with a ``nostatic`` error and the
+coordinator re-sends the blob — no retry is charged.
+
+``max_tasks`` drains the worker after N completed tasks (rolling
+restarts; also the graceful-disconnect test hook) and ``fail_after``
+kills the connection *without replying* on task N+1 — the
+crash-simulation hook the reassignment tests use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import traceback
+from typing import Dict, Optional
+
+from repro.fleet import proto
+from repro.shard import wire
+
+#: Bound on the per-worker static-blob cache.  Mirrors the discipline
+#: of ``wire._DECODED`` (drop the oldest half) but is deliberately
+#: larger: blobs are compact and re-requesting one costs a round trip.
+STATIC_LIMIT = 256
+
+
+class FleetWorker:
+    """One worker connection; ``await run()`` until the coordinator
+    hangs up or the drain/crash hooks fire."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        name: str = "",
+        max_tasks: Optional[int] = None,
+        fail_after: Optional[int] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.name = name or "worker-%d" % os.getpid()
+        self.max_tasks = max_tasks
+        self.fail_after = fail_after
+        self.tasks_done = 0
+        #: static SHA-256 → raw blob, insertion-ordered for eviction.
+        self._blobs: Dict[bytes, bytes] = {}
+        #: static SHA-256 → process-local wire key (shared allocator
+        #: with the in-process fallback path, so keys never collide
+        #: even when a worker runs as a thread inside the parent).
+        self._keys: Dict[bytes, int] = {}
+
+    # -- static blob registry ------------------------------------------------
+
+    def _register_static(self, sha: bytes, blob: Optional[bytes]) -> Optional[int]:
+        """The wire key for ``sha``, caching ``blob`` when provided;
+        None when the blob is needed but unknown (evicted)."""
+        if blob is not None and sha not in self._blobs:
+            if len(self._blobs) >= STATIC_LIMIT:
+                for stale in list(self._blobs)[: STATIC_LIMIT // 2]:
+                    del self._blobs[stale]
+                    self._keys.pop(stale, None)
+            self._blobs[sha] = blob
+        if sha not in self._blobs:
+            return None
+        key = self._keys.get(sha)
+        if key is None:
+            key = next(wire._KEYS)
+            self._keys[sha] = key
+        return key
+
+    # -- task execution ------------------------------------------------------
+
+    def _execute(self, kind: int, key: int, blob: bytes, args: bytes) -> bytes:
+        if kind == proto.KIND_SUMMARIZE:
+            masked, seeds_blob = proto.decode_summarize_args(args)
+            return wire.summarize_shard_wire((key, blob, masked, seeds_blob))
+        if kind == proto.KIND_BACKSUB:
+            emit, seeds_blob, imports_blob = proto.decode_backsub_args(args)
+            return wire.backsub_shard_wire(
+                (key, blob, emit, seeds_blob, imports_blob)
+            )
+        raise ValueError("unknown task kind %d" % kind)
+
+    # -- main loop -----------------------------------------------------------
+
+    async def run(self) -> None:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            proto.write_frame(
+                writer, proto.OP_HELLO, proto.encode_hello(self.name, os.getpid())
+            )
+            await writer.drain()
+            op, payload = await proto.read_frame(reader)
+            if op != proto.OP_WELCOME:
+                raise proto.FleetProtocolError(
+                    "expected WELCOME, got opcode %d" % op
+                )
+            welcome = proto.decode_json(payload)
+            if welcome.get("version") != proto.FLEET_PROTOCOL_VERSION:
+                raise proto.FleetProtocolError(
+                    "coordinator speaks fleet protocol %r, worker speaks %d"
+                    % (welcome.get("version"), proto.FLEET_PROTOCOL_VERSION)
+                )
+            received = 0
+            while True:
+                try:
+                    op, payload = await proto.read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # Coordinator hung up.
+                if op == proto.OP_PING:
+                    proto.write_frame(writer, proto.OP_PONG, payload)
+                    await writer.drain()
+                    continue
+                if op == proto.OP_SHUTDOWN:
+                    return
+                if op != proto.OP_TASK:
+                    continue  # Forward-compatible: ignore unknown frames.
+                received += 1
+                if self.fail_after is not None and received > self.fail_after:
+                    # Crash simulation: vanish with the task unanswered.
+                    writer.transport.abort()
+                    return
+                task_id, kind, sha, blob, args = proto.decode_task(payload)
+                key = self._register_static(sha, blob)
+                if key is None:
+                    proto.write_frame(
+                        writer,
+                        proto.OP_ERROR,
+                        proto.encode_error(
+                            task_id, "%s:%s" % (proto.NOSTATIC, sha.hex())
+                        ),
+                    )
+                    await writer.drain()
+                    continue
+                try:
+                    result = self._execute(kind, key, self._blobs[sha], args)
+                except Exception:
+                    proto.write_frame(
+                        writer,
+                        proto.OP_ERROR,
+                        proto.encode_error(
+                            task_id, traceback.format_exc(limit=3)
+                        ),
+                    )
+                    await writer.drain()
+                    continue
+                proto.write_frame(
+                    writer, proto.OP_RESULT, proto.encode_result(task_id, result)
+                )
+                await writer.drain()
+                self.tasks_done += 1
+                if self.max_tasks is not None and self.tasks_done >= self.max_tasks:
+                    return  # Graceful drain: result delivered, then leave.
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+def run_worker(
+    host: str,
+    port: int,
+    name: str = "",
+    max_tasks: Optional[int] = None,
+    fail_after: Optional[int] = None,
+    reconnect: bool = False,
+    reconnect_delay: float = 1.0,
+) -> int:
+    """Blocking entry point (the CLI body).  With ``reconnect`` the
+    worker redials after the coordinator goes away — the long-lived
+    daemon mode; otherwise one connection, then exit 0."""
+
+    async def _amain() -> None:
+        while True:
+            worker = FleetWorker(
+                host, port, name=name, max_tasks=max_tasks, fail_after=fail_after
+            )
+            try:
+                await worker.run()
+            except (ConnectionError, OSError):
+                if not reconnect:
+                    raise
+            if not reconnect or worker.max_tasks is not None:
+                return
+            await asyncio.sleep(reconnect_delay)
+
+    try:
+        asyncio.run(_amain())
+    except (ConnectionError, OSError) as error:
+        print("ck-analyze worker: %s" % error)
+        return 1
+    return 0
+
+
+class WorkerThread:
+    """An in-process worker on a background thread — the loopback
+    embedding the tests and the benchmark smoke path use.
+
+    Sharing the process with the coordinator is safe: the worker's
+    wire keys come from the same allocator as the in-process fallback
+    path, so the decoded-problem cache never aliases two shards.
+    """
+
+    def __init__(self, host: str, port: int, **kwargs):
+        self.worker = FleetWorker(host, port, **kwargs)
+        self._thread: Optional[threading.Thread] = None
+        self.error: Optional[BaseException] = None
+
+    def start(self) -> "WorkerThread":
+        self._thread = threading.Thread(
+            target=self._main, name="ck-fleet-worker", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self.worker.run())
+        except (ConnectionError, OSError, asyncio.IncompleteReadError) as error:
+            self.error = error  # Coordinator died first; benign in tests.
+
+    def join(self, timeout: float = 30.0) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "WorkerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.join()

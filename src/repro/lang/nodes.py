@@ -198,6 +198,10 @@ class ProcDecl:
     body: List[Stmt] = field(default_factory=list)
     line: int = 0
     column: int = 0
+    #: Structural fingerprint hashed from this procedure's token span
+    #: at parse time (nested bodies replaced by name/arity markers);
+    #: ``b""`` for ASTs built programmatically rather than parsed.
+    token_hash: bytes = b""
 
 
 @dataclass(slots=True)
@@ -214,6 +218,8 @@ class Program:
     body: List[Stmt] = field(default_factory=list)
     line: int = 0
     column: int = 0
+    #: Token-span fingerprint of the main body (see ProcDecl.token_hash).
+    token_hash: bytes = b""
 
 
 def walk_statements(body: List[Stmt]):

@@ -37,7 +37,8 @@ replaced.
 
 from __future__ import annotations
 
-from typing import List
+import hashlib
+from typing import List, Tuple
 
 from repro.lang.errors import ParseError
 from repro.lang.lexer import TokenStream, tokenize_stream
@@ -150,6 +151,50 @@ class _Parser:
             pos += 1
         self.pos = pos
 
+    def _span_hash(
+        self,
+        salt: bytes,
+        start: int,
+        end: int,
+        child_spans: List[Tuple[int, int, ProcDecl]],
+    ) -> bytes:
+        """Fingerprint of the token span ``[start, end)`` with each
+        directly nested procedure's span replaced by a name/arity
+        marker — so an inner edit changes only the inner fingerprint.
+
+        This is the cheap replacement for pretty-printing the AST in
+        the incremental engine's structural diff: the token span fully
+        determines the parsed structure (it can only be *over*-
+        sensitive, e.g. to redundant separators, which merely costs a
+        spurious re-solve — never an unsound reuse).
+        """
+        hasher = hashlib.sha256(salt)
+        codes = self.codes
+        values = self.values
+        pos = start
+        for child_start, child_end, child in child_spans:
+            self._hash_segment(hasher, codes, values, pos, child_start)
+            hasher.update(
+                b"\x01%s/%d" % (child.name.encode("utf-8"), len(child.params))
+            )
+            pos = child_end
+        self._hash_segment(hasher, codes, values, pos, end)
+        return hasher.digest()
+
+    @staticmethod
+    def _hash_segment(hasher, codes, values, lo: int, hi: int) -> None:
+        if hi <= lo:
+            return
+        hasher.update(bytes(codes[lo:hi]))  # Kind codes are < 256.
+        hasher.update(
+            b"\x00".join(
+                str(value).encode("utf-8")
+                for value in values[lo:hi]
+                if value is not None
+            )
+        )
+        hasher.update(b"\x02")  # Segment boundary.
+
     # -- program and declarations -------------------------------------------
 
     def parse_program(self) -> Program:
@@ -168,9 +213,15 @@ class _Parser:
             else:
                 break
             self.skip_separators()
-        self.expect(TokenKind.BEGIN, "program body")
+        begin_at = self.expect(TokenKind.BEGIN, "program body")
         body = self.parse_statements()
-        self.expect(TokenKind.END, "program body")
+        end_at = self.expect(TokenKind.END, "program body")
+        # Main's fingerprint covers its name and body span only —
+        # mirroring fingerprint_text, which handles globals and
+        # procedure declarations through their own fingerprints.
+        token_hash = self._span_hash(
+            b"main\x00%s\x00" % name.encode("utf-8"), begin_at, end_at + 1, []
+        )
         self.skip_separators()
         pos = self.pos
         if codes[pos] != _EOF_C:
@@ -186,6 +237,7 @@ class _Parser:
             body=body,
             line=self.lines[start],
             column=self.columns[start],
+            token_hash=token_hash,
         )
 
     def parse_var_decls(self, keyword: TokenKind) -> List[VarDecl]:
@@ -241,6 +293,7 @@ class _Parser:
         self.expect(TokenKind.RPAREN, "parameter list")
         locals_: List[VarDecl] = []
         nested: List[ProcDecl] = []
+        child_spans: List[Tuple[int, int, ProcDecl]] = []
         codes = self.codes
         self.skip_separators()
         while True:
@@ -248,13 +301,16 @@ class _Parser:
             if code == _LOCAL_C:
                 locals_.extend(self.parse_var_decls(TokenKind.LOCAL))
             elif code == _PROC_C:
-                nested.append(self.parse_proc())
+                child_start = self.pos
+                child = self.parse_proc()
+                nested.append(child)
+                child_spans.append((child_start, self.pos, child))
             else:
                 break
             self.skip_separators()
         self.expect(TokenKind.BEGIN, "procedure body")
         body = self.parse_statements()
-        self.expect(TokenKind.END, "procedure body")
+        end_at = self.expect(TokenKind.END, "procedure body")
         return ProcDecl(
             name=name,
             params=params,
@@ -263,6 +319,9 @@ class _Parser:
             body=body,
             line=self.lines[start],
             column=self.columns[start],
+            token_hash=self._span_hash(
+                b"proc\x00", start, end_at + 1, child_spans
+            ),
         )
 
     # -- statements -----------------------------------------------------------

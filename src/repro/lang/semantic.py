@@ -99,7 +99,13 @@ class _Analyzer:
         proc.scope[symbol.name] = symbol
 
     def build_main(self) -> ProcSymbol:
-        main = ProcSymbol(pid=0, name=self.program.name, level=0, parent=None)
+        main = ProcSymbol(
+            pid=0,
+            name=self.program.name,
+            level=0,
+            parent=None,
+            token_hash=self.program.token_hash,
+        )
         main.body = self.program.body
         self.procs.append(main)
         for decl in self.program.globals:
@@ -120,6 +126,7 @@ class _Analyzer:
             level=parent.level + 1,
             parent=parent,
             decl=decl,
+            token_hash=decl.token_hash,
         )
         proc.body = decl.body
         self.procs.append(proc)

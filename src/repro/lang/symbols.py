@@ -108,6 +108,10 @@ class ProcSymbol:
     # (``nested_by_name``).
     scope: Dict[str, VarSymbol] = field(default_factory=dict)
     nested_by_name: Dict[str, "ProcSymbol"] = field(default_factory=dict)
+    #: Parse-time token-span fingerprint (copied from the declaration;
+    #: ``b""`` for ASTs built programmatically).  Lets the incremental
+    #: engine's structural diff skip pretty-printing unchanged bodies.
+    token_hash: bytes = b""
 
     @property
     def is_main(self) -> bool:

@@ -100,6 +100,16 @@ class ServerConfig:
     #: ``"shards"`` field (1 = solve shards in-process; the solver
     #: thread pool is the daemon's primary concurrency).
     shard_jobs: int = 1
+    #: Fleet coordinator port (None = no fleet; 0 = ephemeral).  When
+    #: set the daemon hosts a :class:`repro.fleet.FleetCoordinator`;
+    #: ``ck-analyze worker`` processes dial in and sharded analyze
+    #: requests fan their per-shard work out to them.  With no workers
+    #: connected the solve runs in-process — never fails.
+    fleet_port: Optional[int] = None
+    fleet_host: str = "127.0.0.1"
+    #: ``HOST:PORT`` of a fleet summary store to consult between the
+    #: disk cache and a fresh solve ("" = none).
+    fleet_store: str = ""
     #: Test hook: honor a ``"sleep": seconds`` request field inside the
     #: worker (deterministic timeout/overload tests).  Never enable in
     #: production serving.
@@ -120,6 +130,9 @@ class ServerConfig:
             "state_dir": self.state_dir,
             "drain_timeout": self.drain_timeout,
             "shard_jobs": self.shard_jobs,
+            "fleet_port": self.fleet_port,
+            "fleet_host": self.fleet_host,
+            "fleet_store": self.fleet_store,
         }
 
 
@@ -142,6 +155,11 @@ class AnalysisServer:
         if self.config.state_dir:
             os.makedirs(self.config.state_dir, exist_ok=True)
         self.address: Tuple[str, int] = (self.config.host, self.config.port)
+        #: Fleet pieces, live between start() and shutdown when
+        #: configured (see ServerConfig.fleet_port / fleet_store).
+        self.fleet = None
+        self.remote_store = None
+        self._store_lock = threading.Lock()
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._semaphore: Optional[asyncio.Semaphore] = None
@@ -162,6 +180,19 @@ class AnalysisServer:
             max_workers=self.config.max_concurrent,
             thread_name_prefix="ck-solver",
         )
+        if self.config.fleet_port is not None:
+            from repro.fleet.coordinator import FleetCoordinator
+
+            self.fleet = FleetCoordinator(
+                host=self.config.fleet_host, port=self.config.fleet_port
+            ).start()
+        if self.config.fleet_store:
+            from repro.fleet.store import RemoteSummaryStore
+
+            host, _, port = self.config.fleet_store.rpartition(":")
+            self.remote_store = RemoteSummaryStore(
+                host or "127.0.0.1", int(port)
+            )
         self._server = await asyncio.start_server(
             self._handle_connection,
             host=self.config.host,
@@ -198,6 +229,10 @@ class AnalysisServer:
                 await asyncio.wait(tasks, timeout=1.0)
             if self._executor is not None:
                 self._executor.shutdown(wait=False)
+            if self.fleet is not None:
+                self.fleet.stop()
+            if self.remote_store is not None:
+                self.remote_store.close()
 
     async def run(self) -> None:
         await self.start()
@@ -454,6 +489,16 @@ class AnalysisServer:
     async def _verb_ping(self, request_id: Any, request: Dict) -> Dict:
         return ok_response(request_id, "ping", protocol=PROTOCOL_VERSION)
 
+    def _store_get(self, key: str):
+        """Serialized access to the (not thread-safe) store client from
+        the solver threads; an unreachable store is a miss."""
+        with self._store_lock:
+            return self.remote_store.get(key)
+
+    def _store_put(self, key: str, payload: Dict) -> None:
+        with self._store_lock:
+            self.remote_store.put(key, payload)
+
     async def _verb_analyze(self, request_id: Any, request: Dict) -> Dict:
         source = require_str(request, "source")
         method = self._gmod_method(request)
@@ -488,23 +533,46 @@ class AnalysisServer:
                 def work():
                     if sleep:
                         time.sleep(sleep)
+                    # The fleet store is a payload-only tier like the
+                    # disk cache, so sessions (which need the live
+                    # summary) skip it.  Consulted off the event loop:
+                    # its get is a blocking round trip.
+                    if self.remote_store is not None and session_name is None:
+                        hit = self._store_get(key)
+                        if hit is not None:
+                            return None, hit
                     if shards is not None:
                         from repro.shard.solve import analyze_side_effects_sharded
 
+                        runner = None
+                        if self.fleet is not None:
+                            from repro.fleet.coordinator import FleetRunner
+
+                            runner = FleetRunner(self.fleet)
                         live = analyze_side_effects_sharded(
-                            source, num_shards=shards, jobs=shard_jobs
+                            source,
+                            num_shards=shards,
+                            jobs=shard_jobs,
+                            runner=runner,
                         )
                     else:
                         live = analyze_side_effects(source, gmod_method=method)
                     return live, payload_from_summary(live)
 
                 summary, payload = await self._run_heavy(work)
-                self.metrics.observe_phases(summary.timings)
-                if shards is not None:
-                    self.metrics.observe_sharded(payload.get("shard_info"))
-                self.lru.put(key, (summary, payload))
-                if self.disk_cache is not None:
-                    self.disk_cache.put(key, payload)
+                if summary is None:
+                    cached = "store"
+                    if self.disk_cache is not None:
+                        self.disk_cache.put(key, payload)
+                else:
+                    self.metrics.observe_phases(summary.timings)
+                    if shards is not None:
+                        self.metrics.observe_sharded(payload.get("shard_info"))
+                    self.lru.put(key, (summary, payload))
+                    if self.disk_cache is not None:
+                        self.disk_cache.put(key, payload)
+                    if self.remote_store is not None:
+                        self._store_put(key, payload)
 
         response = ok_response(
             request_id,
@@ -705,6 +773,12 @@ class AnalysisServer:
                     else None
                 ),
                 "sessions": self.sessions.to_dict(),
+                "fleet": self.fleet.stats() if self.fleet is not None else None,
+                "remote_store": (
+                    self.remote_store.stats.to_dict()
+                    if self.remote_store is not None
+                    else None
+                ),
             }
         )
         return snapshot

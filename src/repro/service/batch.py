@@ -16,6 +16,17 @@ with three guarantees the single-file CLI cannot give:
 Workers run :func:`repro.core.pipeline.analyze_source_payload`, a
 module-level picklable entry point, via
 :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Fleet mode (``batch --fleet``) replaces the process pool with a
+distributed fan-out: the driver hosts a
+:class:`~repro.fleet.coordinator.FleetCoordinator`, remote workers
+dial in, and each file is solved through the sharded pipeline with a
+:class:`~repro.fleet.coordinator.FleetRunner` so the per-shard work
+spreads across the fleet.  A
+:class:`~repro.fleet.store.RemoteSummaryStore` adds a shared cache
+tier consulted between the local disk cache and a fresh solve, and
+populated on every fresh result — so one node's work warms the whole
+fleet.  Payloads stay byte-identical across all of these paths.
 """
 
 from __future__ import annotations
@@ -75,6 +86,9 @@ class FileResult:
     error: str = ""
     key: str = ""  # Content-hash cache key ("" if the source was unreadable).
     elapsed: float = 0.0  # Wall seconds spent obtaining this result.
+    #: True when the result came from the fleet summary store (a
+    #: remote hit is also counted in ``cached``).
+    remote: bool = False
 
     @property
     def ok(self) -> bool:
@@ -91,6 +105,8 @@ class FileResult:
             entry["error"] = self.error
         if self.key:
             entry["key"] = self.key
+        if self.remote:
+            entry["remote"] = True
         if self.result is not None:
             entry["timings"] = self.result["timings"]
             entry["ops"] = self.result["ops"]
@@ -114,6 +130,10 @@ class BatchReport:
     cache_stats: Optional[CacheStats] = None
     #: Shard count per file (None = monolithic solver).
     shards: Optional[int] = None
+    #: Coordinator snapshot when the run used a fleet (None otherwise).
+    fleet_stats: Optional[Dict] = None
+    #: Remote summary store client stats (None when no store was used).
+    store_stats: Optional[Dict] = None
 
     def _count(self, status: str) -> int:
         return sum(1 for r in self.results if r.status == status)
@@ -156,6 +176,8 @@ class BatchReport:
             "files": [r.to_dict(include_summaries) for r in self.results],
             "cache": self.cache_stats.to_dict() if self.cache_stats else None,
             "cache_dir": self.cache_dir,
+            "fleet": self.fleet_stats,
+            "remote_store": self.store_stats,
         }
 
 
@@ -177,6 +199,32 @@ def discover_files(root: str, pattern: str = "*.ck") -> List[str]:
     return found
 
 
+def _analyze_fleet_task(path: str, source: str, shards: int, runner) -> Dict:
+    """Fleet-mode body: solve one file through the sharded pipeline
+    with the per-shard maps spread across the fleet.  Same outcome
+    envelope and failure isolation as :func:`_analyze_task`."""
+    from repro.core.pipeline import payload_from_summary
+    from repro.shard.solve import analyze_side_effects_sharded
+
+    try:
+        summary = analyze_side_effects_sharded(
+            source, num_shards=shards, runner=runner
+        )
+        return {
+            "status": STATUS_OK,
+            "path": path,
+            "result": payload_from_summary(summary),
+        }
+    except CkError as error:
+        message = "%s: %s" % (type(error).__name__, error)
+        return {"status": STATUS_ERROR, "path": path, "error": message}
+    except Exception as error:
+        message = "".join(
+            traceback.format_exception_only(type(error), error)
+        ).strip()
+        return {"status": STATUS_ERROR, "path": path, "error": message}
+
+
 def run_batch(
     root: Union[str, Sequence[str]],
     jobs: Optional[int] = None,
@@ -186,6 +234,8 @@ def run_batch(
     pattern: str = "*.ck",
     cache_max_entries: Optional[int] = None,
     shards: Optional[int] = None,
+    fleet=None,
+    remote_store=None,
 ) -> BatchReport:
     """Analyze a corpus; the batch engine's programmatic entry point.
 
@@ -203,6 +253,15 @@ def run_batch(
     across solvers, so a hit may legitimately return a payload the
     other solver produced (``shard_info``/``timings`` reflect the
     producing run).
+
+    ``fleet`` (a started :class:`~repro.fleet.FleetCoordinator`, not
+    owned by this call) replaces the process pool: files are solved in
+    the driver through the sharded pipeline with the per-shard maps
+    fanned out to the fleet's workers — with zero workers connected the
+    solve degrades to in-process, never fails.  ``remote_store`` (a
+    :class:`~repro.fleet.RemoteSummaryStore`) is consulted after a
+    local cache miss and populated on every fresh result; summaries
+    are bit-identical regardless of which tier answered.
     """
     if gmod_method not in GMOD_METHODS:
         raise ValueError(
@@ -244,6 +303,16 @@ def run_batch(
                 record.cached = True
                 record.result = hit
                 continue
+        if remote_store is not None:
+            hit = remote_store.get(key)
+            if hit is not None:
+                record.status = STATUS_OK
+                record.cached = True
+                record.remote = True
+                record.result = hit
+                if cache is not None:
+                    cache.put(key, hit)  # Warm the local tier too.
+                continue
         sources[path] = source
         work.append(record)
 
@@ -256,10 +325,24 @@ def run_batch(
         record.result = outcome.get("result")
         record.error = outcome.get("error", "")
         record.elapsed = elapsed
-        if cache is not None and record.status == STATUS_OK:
-            cache.put(record.key, record.result)
+        if record.status == STATUS_OK:
+            if cache is not None:
+                cache.put(record.key, record.result)
+            if remote_store is not None:
+                remote_store.put(record.key, record.result)
 
-    if effective_jobs <= 1:
+    if fleet is not None:
+        from repro.fleet.coordinator import FleetRunner
+
+        runner = FleetRunner(fleet)
+        fleet_shards = shards or 4
+        for record in work:
+            tick = time.perf_counter()
+            outcome = _analyze_fleet_task(
+                record.path, sources[record.path], fleet_shards, runner
+            )
+            _apply(record, outcome, time.perf_counter() - tick)
+    elif effective_jobs <= 1:
         for record in work:
             tick = time.perf_counter()
             outcome = _analyze_task(
@@ -304,4 +387,8 @@ def run_batch(
         cache_dir=cache_dir or "",
         cache_stats=cache.stats if cache is not None else None,
         shards=shards,
+        fleet_stats=fleet.stats() if fleet is not None else None,
+        store_stats=(
+            remote_store.stats.to_dict() if remote_store is not None else None
+        ),
     )

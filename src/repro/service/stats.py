@@ -72,6 +72,8 @@ def aggregate_stats(report: BatchReport) -> Dict:
         "phases": phases,
         "ops": ops,
         "cache": report.cache_stats.to_dict() if report.cache_stats else None,
+        "fleet": report.fleet_stats,
+        "remote_store": report.store_stats,
         "throughput": {
             "wall_time": report.wall_time,
             "files_per_second": (
@@ -120,6 +122,27 @@ def render_stats(report: BatchReport) -> str:
                 stats["cache"]["hits"],
                 stats["cache"]["misses"],
                 100.0 * stats["cache"]["hit_rate"],
+            )
+        )
+    if stats["remote_store"] is not None:
+        store = stats["remote_store"]
+        lines.append(
+            "store: %d hits / %d misses, %d stored, %d errors"
+            % (store["hits"], store["misses"], store["stores"], store["errors"])
+        )
+    if stats["fleet"] is not None:
+        fleet = stats["fleet"]
+        counters = fleet["counters"]
+        lines.append(
+            "fleet: %d workers, %d tasks (%d steals, %d reassigned,"
+            " %d retries, %d local)"
+            % (
+                fleet["live_workers"],
+                counters["tasks_completed"],
+                counters["steals"],
+                counters["reassigned"],
+                counters["retries"],
+                counters["local_tasks"],
             )
         )
     return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""CI smoke for the analysis fleet, run with real OS processes.
+
+Launches a ``ck-analyze batch --fleet`` coordinator plus two
+``ck-analyze worker`` subprocesses over loopback TCP, analyzes a small
+corpus, then repeats the run with one worker SIGKILLed mid-flight and
+asserts the per-file summary payloads (read back from each run's
+content-addressed cache) are byte-equal in both topologies — and equal
+to a fleetless in-process run.  Exercises the wire protocol, the
+work-stealing scheduler, and dead-worker reassignment across genuine
+process boundaries.  Invoked by ``make fleet-smoke`` and the CI
+workflow — not collected by pytest (no ``test_`` prefix).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO_SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+sys.path.insert(0, REPO_SRC)
+
+from repro.lang.pretty import pretty  # noqa: E402
+from repro.service.cache import SummaryCache, content_key  # noqa: E402
+from repro.workloads.generator import (  # noqa: E402
+    GeneratorConfig,
+    generate_program,
+)
+
+ENV = dict(os.environ, PYTHONPATH=REPO_SRC)
+
+
+def write_corpus(root: str) -> dict:
+    """Generate the corpus; return {path: content-addressed cache key}."""
+    keys = {}
+    for seed in (901, 902, 903, 904):
+        program = generate_program(
+            GeneratorConfig(seed=seed, num_procs=120, num_globals=12,
+                            max_depth=3, nesting_prob=0.5)
+        )
+        source = pretty(program)
+        path = os.path.join(root, "p%d.ck" % seed)
+        with open(path, "w") as handle:
+            handle.write(source)
+        keys[path] = content_key(source)
+    return keys
+
+
+def spawn_worker(port: int, name: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "worker",
+            "--connect", "127.0.0.1:%d" % port, "--name", name,
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env=ENV,
+    )
+
+
+def payloads(cache_dir: str, keys: dict) -> dict:
+    """{path: canonical summary payload} read back from one run's cache."""
+    cache = SummaryCache(cache_dir)
+    out = {}
+    for path, key in keys.items():
+        record = cache.get(key)
+        assert record is not None, "no cache entry for %s" % path
+        out[path] = json.dumps(record["summary"], sort_keys=True)
+    return out
+
+
+def fleet_batch(corpus: str, cache_dir: str, stats_path: str,
+                kill_one: bool) -> dict:
+    """Run ``batch --fleet`` with two worker processes; optionally
+    SIGKILL one worker shortly after the run starts.  Returns the
+    aggregated stats report (which carries the fleet counters)."""
+    batch = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "batch", corpus,
+            "--fleet", "127.0.0.1:0", "--fleet-min-workers", "2",
+            "--fleet-wait", "30", "--shards", "8",
+            "--cache-dir", cache_dir, "--stats-json", stats_path,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=ENV,
+    )
+    banner = batch.stdout.readline()
+    match = re.search(r"fleet coordinator on [\d.]+:(\d+)", banner)
+    assert match, "unexpected banner: %r" % banner
+    port = int(match.group(1))
+
+    workers = [spawn_worker(port, "w1"), spawn_worker(port, "w2")]
+    if kill_one:
+        def assassin() -> None:
+            # Aim for the middle of the run; if the batch happens to
+            # finish first the run degrades to a healthy-topology
+            # check, and byte-equality must hold either way.
+            time.sleep(0.4)
+            workers[0].send_signal(signal.SIGKILL)
+
+        threading.Thread(target=assassin, daemon=True).start()
+
+    output = batch.communicate(timeout=300)[0]
+    assert batch.returncode == 0, "batch exited %d:\n%s" % (
+        batch.returncode, output
+    )
+    for worker in workers:
+        if worker.poll() is None:
+            worker.terminate()
+        worker.wait(timeout=30)
+    with open(stats_path) as handle:
+        return json.load(handle)
+
+
+def plain_batch(corpus: str, cache_dir: str) -> None:
+    subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "batch", corpus,
+            "--jobs", "1", "--shards", "8", "--cache-dir", cache_dir,
+        ],
+        check=True,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
+        env=ENV,
+    )
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp()
+    corpus = os.path.join(workdir, "corpus")
+    os.makedirs(corpus)
+    keys = write_corpus(corpus)
+
+    plain_cache = os.path.join(workdir, "cache-plain")
+    plain_batch(corpus, plain_cache)
+    baseline = payloads(plain_cache, keys)
+
+    healthy_cache = os.path.join(workdir, "cache-fleet")
+    healthy = fleet_batch(corpus, healthy_cache,
+                          os.path.join(workdir, "fleet.json"), kill_one=False)
+    assert payloads(healthy_cache, keys) == baseline, "healthy fleet diverged"
+    counters = healthy["fleet"]["counters"]
+    assert counters["tasks_completed"] > 0, counters
+
+    kill_cache = os.path.join(workdir, "cache-kill")
+    wounded = fleet_batch(corpus, kill_cache,
+                          os.path.join(workdir, "kill.json"), kill_one=True)
+    assert payloads(kill_cache, keys) == baseline, "post-kill fleet diverged"
+    kill_counters = wounded["fleet"]["counters"]
+    assert kill_counters["tasks_completed"] > 0, kill_counters
+
+    print("fleet smoke OK: %d files byte-equal across plain / 2-worker / "
+          "kill topologies (healthy: %d tasks, %d steals; kill: %d tasks, "
+          "%d reassigned, %d workers lost)" % (
+              len(baseline),
+              counters["tasks_completed"], counters["steals"],
+              kill_counters["tasks_completed"], kill_counters["reassigned"],
+              kill_counters["workers_lost"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,380 @@
+"""The distributed analysis fleet: identity, failure, and store tests.
+
+The fleet's contract is the sharded subsystem's contract extended over
+a network: for any worker topology — zero workers, one, many, or a
+fleet that loses a worker mid-run — the serialized summary must be
+byte-equal to the monolithic pipeline's.  These tests run coordinator
+and workers in-process (loopback TCP threads, the
+:class:`~repro.fleet.worker.WorkerThread` embedding), which exercises
+the real protocol end to end; ``tests/fleet_smoke.py`` repeats the
+kill scenario with real worker *processes* and SIGKILL.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import pytest
+
+from repro.core.persist import summary_to_json
+from repro.core.pipeline import analyze_side_effects
+from repro.fleet import (
+    FleetCoordinator,
+    FleetRunner,
+    RemoteSummaryStore,
+    StoreThread,
+    WorkerThread,
+)
+from repro.fleet import proto
+from repro.fleet.store import encode_put
+from repro.service.cache import (
+    SummaryCache,
+    content_key,
+    encode_record,
+    validate_record_blob,
+)
+from repro.shard.solve import analyze_side_effects_sharded
+from repro.workloads.generator import GeneratorConfig, generate_resolved
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+def canonical(summary) -> str:
+    return summary_to_json(summary, indent=None)
+
+
+_CONFIGS = [
+    GeneratorConfig(seed=6101, num_procs=24, num_globals=8, max_depth=2,
+                    nesting_prob=0.5),
+    GeneratorConfig(seed=6102, num_procs=40, num_globals=10, max_depth=3,
+                    nesting_prob=0.55, allow_recursion=True,
+                    recursion_prob=0.3),
+]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """(resolved program, monolithic canonical form) pairs."""
+    out = []
+    for config in _CONFIGS:
+        resolved = generate_resolved(config)
+        out.append((resolved, canonical(analyze_side_effects(resolved))))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Protocol frames.
+# ---------------------------------------------------------------------------
+
+
+class TestProto:
+    def test_task_frame_round_trip_with_blob(self):
+        payload = proto.encode_task(9, proto.KIND_SUMMARIZE, b"\x07" * 32,
+                                    b"static-bytes", b"args")
+        task_id, kind, sha, blob, args = proto.decode_task(payload)
+        assert (task_id, kind, sha, blob, args) == (
+            9, proto.KIND_SUMMARIZE, b"\x07" * 32, b"static-bytes", b"args"
+        )
+
+    def test_task_frame_round_trip_without_blob(self):
+        payload = proto.encode_task(300, proto.KIND_BACKSUB, b"\x01" * 32,
+                                    None, b"")
+        task_id, kind, sha, blob, args = proto.decode_task(payload)
+        assert (task_id, kind, sha, blob, args) == (
+            300, proto.KIND_BACKSUB, b"\x01" * 32, None, b""
+        )
+
+    def test_summarize_args_round_trip(self):
+        for masked in (False, True):
+            args = proto.encode_summarize_args(masked, b"seed-blob")
+            assert proto.decode_summarize_args(args) == (masked, b"seed-blob")
+
+    def test_backsub_args_round_trip(self):
+        args = proto.encode_backsub_args("succ_or", b"seeds", b"imports")
+        assert proto.decode_backsub_args(args) == (
+            "succ_or", b"seeds", b"imports"
+        )
+
+    def test_result_and_error_round_trip(self):
+        assert proto.decode_result(proto.encode_result(77, b"blob")) == (
+            77, b"blob"
+        )
+        assert proto.decode_error(proto.encode_error(78, "boom")) == (
+            78, "boom"
+        )
+
+    def test_hello_payload(self):
+        hello = proto.decode_json(proto.encode_hello("w1", 4242))
+        assert hello["name"] == "w1"
+        assert hello["pid"] == 4242
+        assert hello["version"] == proto.FLEET_PROTOCOL_VERSION
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(proto.FleetProtocolError):
+            proto._check_length(proto.MAX_FRAME + 1)
+
+
+# ---------------------------------------------------------------------------
+# Byte-identity across topologies.
+# ---------------------------------------------------------------------------
+
+
+class TestFleetIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_identical_to_monolithic(self, corpus, workers):
+        with FleetCoordinator() as coordinator:
+            threads = [
+                WorkerThread(coordinator.host, coordinator.port,
+                             name="w%d" % i).start()
+                for i in range(workers)
+            ]
+            assert coordinator.wait_for_workers(workers) == workers
+            runner = FleetRunner(coordinator)
+            assert runner.jobs == workers + 1
+            for resolved, expected in corpus:
+                for strategy in ("greedy", "chunk"):
+                    sharded = analyze_side_effects_sharded(
+                        resolved, num_shards=4, strategy=strategy,
+                        runner=runner,
+                    )
+                    assert canonical(sharded) == expected, (workers, strategy)
+            assert coordinator.counters["tasks_completed"] > 0
+        for thread in threads:
+            thread.join()
+
+    def test_zero_workers_degrades_to_direct_path(self, corpus):
+        with FleetCoordinator() as coordinator:
+            runner = FleetRunner(coordinator)
+            assert runner.jobs == 1
+            resolved, expected = corpus[0]
+            sharded = analyze_side_effects_sharded(
+                resolved, num_shards=4, runner=runner
+            )
+            assert canonical(sharded) == expected
+            assert sharded.shard_info["jobs"] == 1
+
+    def test_worker_killed_mid_run_is_reassigned(self, corpus):
+        """A worker that vanishes without replying (transport abort
+        after its first task) must not change a byte: its queued and
+        in-flight tasks are reassigned to the survivor."""
+        resolved, expected = corpus[1]
+        with FleetCoordinator(task_timeout=30.0) as coordinator:
+            doomed = WorkerThread(coordinator.host, coordinator.port,
+                                  name="doomed", fail_after=1).start()
+            steady = WorkerThread(coordinator.host, coordinator.port,
+                                  name="steady").start()
+            assert coordinator.wait_for_workers(2) == 2
+            runner = FleetRunner(coordinator)
+            sharded = analyze_side_effects_sharded(
+                resolved, num_shards=8, runner=runner
+            )
+            assert canonical(sharded) == expected
+            assert coordinator.counters["workers_lost"] == 1
+            assert coordinator.counters["reassigned"] > 0
+        doomed.join()
+        steady.join()
+
+    def test_graceful_drain_leaves_no_task_behind(self, corpus):
+        """``max_tasks`` makes a worker leave cleanly between tasks —
+        remaining work is reassigned, results stay identical."""
+        resolved, expected = corpus[1]
+        with FleetCoordinator(task_timeout=30.0) as coordinator:
+            brief = WorkerThread(coordinator.host, coordinator.port,
+                                 name="brief", max_tasks=1).start()
+            steady = WorkerThread(coordinator.host, coordinator.port,
+                                  name="steady").start()
+            assert coordinator.wait_for_workers(2) == 2
+            runner = FleetRunner(coordinator)
+            sharded = analyze_side_effects_sharded(
+                resolved, num_shards=8, runner=runner
+            )
+            assert canonical(sharded) == expected
+        brief.join()
+        steady.join()
+
+    def test_runner_map_times_accumulate(self, corpus):
+        with FleetCoordinator() as coordinator:
+            thread = WorkerThread(coordinator.host, coordinator.port).start()
+            coordinator.wait_for_workers(1)
+            runner = FleetRunner(coordinator)
+            analyze_side_effects_sharded(corpus[0][0], num_shards=4,
+                                         runner=runner)
+            assert runner.map_times  # At least one labelled phase.
+            assert all(t >= 0.0 for t in runner.map_times.values())
+        thread.join()
+
+    def test_runner_falls_back_for_non_wire_functions(self):
+        with FleetCoordinator() as coordinator:
+            runner = FleetRunner(coordinator)
+            doubled = runner.map(lambda x: x * 2, [1, 2, 3], label="other")
+            assert doubled == [2, 4, 6]
+
+
+# ---------------------------------------------------------------------------
+# The content-addressed summary store.
+# ---------------------------------------------------------------------------
+
+
+class TestSummaryStore:
+    def test_round_trip_and_has(self):
+        payload = {"summary": {"program": "p"}, "timings": {},
+                   "ops": {}, "num_procs": 1, "num_call_sites": 0}
+        key = content_key("program p begin end", "auto")
+        with StoreThread(tempfile.mkdtemp()) as store:
+            with RemoteSummaryStore(store.host, store.port) as client:
+                assert client.get(key) is None
+                assert not client.has(key)
+                assert client.put(key, payload)
+                assert client.has(key)
+                assert client.get(key) == payload
+                assert client.stats.hits == 1
+                assert client.stats.stores == 1
+
+    def test_shared_between_clients(self):
+        payload = {"result": 42}
+        with StoreThread(tempfile.mkdtemp()) as store:
+            with RemoteSummaryStore(store.host, store.port) as one:
+                one.put("k" * 64, payload)
+            with RemoteSummaryStore(store.host, store.port) as two:
+                assert two.get("k" * 64) == payload
+
+    def test_unreachable_store_is_a_miss_not_a_crash(self):
+        client = RemoteSummaryStore("127.0.0.1", 1)  # Nothing listens here.
+        assert client.get("deadbeef") is None
+        assert not client.put("deadbeef", {"x": 1})
+        assert not client.has("deadbeef")
+        assert client.stats.errors > 0
+        client.close()
+
+    def test_server_rejects_invalid_blob(self):
+        with StoreThread(tempfile.mkdtemp()) as store:
+            with RemoteSummaryStore(store.host, store.port) as client:
+                reply = client._round_trip(
+                    proto.OP_PUT, encode_put("somekey", b"not a record")
+                )
+                assert reply[0] == proto.OP_MISSING
+                assert not client.has("somekey")
+
+    def test_record_blob_helpers(self):
+        blob = encode_record("abc", {"v": 1})
+        assert validate_record_blob("abc", blob) == {"v": 1}
+        assert validate_record_blob("other-key", blob) is None
+        assert validate_record_blob("abc", b"garbage") is None
+
+    def test_cache_raw_blob_surface(self):
+        cache = SummaryCache(tempfile.mkdtemp())
+        assert cache.get_blob("missing" * 8) is None
+        assert not cache.put_blob("k1", b"junk")
+        blob = encode_record("k1", {"v": 2})
+        assert cache.put_blob("k1", blob)
+        assert cache.has("k1")
+        assert validate_record_blob("k1", cache.get_blob("k1")) == {"v": 2}
+        # The blob surface shares the entry files with the dict surface.
+        assert cache.get("k1") == {"v": 2}
+
+
+# ---------------------------------------------------------------------------
+# Front-end integration: batch and the daemon.
+# ---------------------------------------------------------------------------
+
+
+class TestFrontEnds:
+    def _write_corpus(self, root):
+        import os
+
+        from repro.lang.pretty import pretty
+        from repro.workloads.generator import generate_program
+
+        paths = []
+        for seed in (71, 72, 73):
+            source = pretty(
+                generate_program(GeneratorConfig(seed=seed, num_procs=14))
+            )
+            path = os.path.join(root, "p%d.ck" % seed)
+            with open(path, "w") as handle:
+                handle.write(source)
+            paths.append(path)
+        return paths
+
+    def test_batch_fleet_matches_plain_run(self):
+        import json
+
+        from repro.service.batch import run_batch
+
+        root = tempfile.mkdtemp()
+        self._write_corpus(root)
+        plain = run_batch(root, jobs=1, cache_dir=None)
+        expected = {
+            r.path: json.dumps(r.result["summary"], sort_keys=True)
+            for r in plain.results
+        }
+        with StoreThread(tempfile.mkdtemp()) as store:
+            client = RemoteSummaryStore(store.host, store.port)
+            with FleetCoordinator() as coordinator:
+                threads = [
+                    WorkerThread(coordinator.host, coordinator.port,
+                                 name="w%d" % i).start()
+                    for i in range(2)
+                ]
+                coordinator.wait_for_workers(2)
+                report = run_batch(root, cache_dir=None, fleet=coordinator,
+                                   remote_store=client)
+                assert report.exit_code == 0
+                for record in report.results:
+                    got = json.dumps(record.result["summary"], sort_keys=True)
+                    assert got == expected[record.path]
+                assert report.fleet_stats is not None
+                assert report.fleet_stats["counters"]["tasks_completed"] > 0
+                assert report.store_stats["stores"] == len(report.results)
+            for thread in threads:
+                thread.join()
+            # Second front-end, cold local cache: every file answers
+            # from the store, bit-identical payloads included.
+            warm = run_batch(root, jobs=1, cache_dir=None, remote_store=client)
+            for record in warm.results:
+                assert record.cached and record.remote
+                got = json.dumps(record.result["summary"], sort_keys=True)
+                assert got == expected[record.path]
+            client.close()
+
+    def test_server_exposes_fleet_in_stats(self):
+        from repro.lang.pretty import pretty
+        from repro.server.client import ServerClient
+        from repro.server.daemon import ServerConfig, ServerThread
+        from repro.workloads.generator import generate_program
+
+        source = pretty(
+            generate_program(GeneratorConfig(seed=81, num_procs=18))
+        )
+        with StoreThread(tempfile.mkdtemp()) as store:
+            config = ServerConfig(
+                port=0,
+                fleet_port=0,
+                fleet_store="%s:%d" % (store.host, store.port),
+            )
+            with ServerThread(config) as handle:
+                fleet = handle.server.fleet
+                assert fleet is not None
+                worker = WorkerThread(fleet.host, fleet.port,
+                                      name="w0").start()
+                fleet.wait_for_workers(1)
+                with ServerClient(port=handle.port) as client:
+                    first = client.request_raw("analyze", source=source,
+                                               shards=4)
+                    assert first["ok"]
+                    snap = client.request_raw("stats")["stats"]
+                    assert snap["fleet"]["live_workers"] == 1
+                    assert snap["remote_store"]["stores"] == 1
+                    assert snap["config"]["fleet_port"] == 0
+            # A fresh daemon sharing only the store serves the same
+            # summary from the store tier.
+            with ServerThread(
+                ServerConfig(port=0, fleet_store="%s:%d"
+                             % (store.host, store.port))
+            ) as handle2:
+                with ServerClient(port=handle2.port) as client:
+                    second = client.request_raw("analyze", source=source,
+                                                shards=4)
+                    assert second["cached"] == "store"
+                    assert second["summary"] == first["summary"]
+            worker.join()

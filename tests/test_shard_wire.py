@@ -12,6 +12,8 @@ exactly what the signed-mask encoding exists for.
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.shard import wire
@@ -53,6 +55,38 @@ def _acyclic_problem() -> ShardProblem:
         cross=[[], [0], [], [1]],
         imports=[9, 17],
         seeds=[1, 2, 4, 8],
+        strips=None,
+        exports=[0, 1],
+    )
+
+
+def _single_node_problem(masked: bool = False, self_loop: bool = False) -> ShardProblem:
+    """The smallest legal shard: one node, optional self-loop."""
+    return ShardProblem(
+        shard_id=1,
+        nodes=[5],
+        succ=[[0] if self_loop else []],
+        cross=[[]],
+        imports=[],
+        seeds=[0b1],
+        strips=[0b10] if masked else None,
+        exports=[0],
+        masked=masked,
+        comp_of=[0] if masked else None,
+        comps=[[0]] if masked else None,
+        comp_bite=[0b10 if self_loop else 0] if masked else None,
+    )
+
+
+def _empty_universe_problem() -> ShardProblem:
+    """All-zero seeds, no imports: every value and mask encodes as 0."""
+    return ShardProblem(
+        shard_id=2,
+        nodes=[3, 4],
+        succ=[[1], []],
+        cross=[[], []],
+        imports=[],
+        seeds=[0, 0],
         strips=None,
         exports=[0, 1],
     )
@@ -112,6 +146,58 @@ class TestMaskPrimitives:
         assert pos == len(out)
 
 
+class TestMaskFuzz:
+    """Deterministic fuzz of the signed-mask codec, independent of the
+    pipeline.  The masked engine composes ``~strips`` terms, so
+    negative masks of arbitrary width are first-class citizens here —
+    along with the degenerate shapes (zero, ~0, empty lists, empty
+    universes) a structured corpus rarely produces."""
+
+    def test_signed_mask_fuzz_round_trip(self):
+        rng = random.Random(0xC001)
+        masks = [0, -1, 1, -2]  # Always include the degenerate corner.
+        for _ in range(500):
+            magnitude = rng.getrandbits(rng.randrange(1, 400))
+            masks.append(magnitude if rng.random() < 0.5 else ~magnitude)
+        for mask in masks:
+            out = bytearray()
+            wire._write_signed_mask(out, mask)
+            decoded, pos = wire._read_signed_mask(bytes(out), 0)
+            assert decoded == mask
+            assert pos == len(out)
+
+    def test_signed_mask_fuzz_concatenated_stream(self):
+        """Masks written back-to-back must read back in sequence —
+        pins that every encoder consumes exactly what it wrote."""
+        rng = random.Random(0xC002)
+        masks = []
+        out = bytearray()
+        for _ in range(200):
+            magnitude = rng.getrandbits(rng.randrange(0, 260))
+            mask = magnitude if rng.random() < 0.5 else ~magnitude
+            masks.append(mask)
+            wire._write_signed_mask(out, mask)
+        blob = bytes(out)
+        pos = 0
+        for expected in masks:
+            decoded, pos = wire._read_signed_mask(blob, pos)
+            assert decoded == expected
+        assert pos == len(blob)
+
+    def test_mask_list_fuzz_round_trip(self):
+        rng = random.Random(0xC003)
+        for _ in range(50):
+            masks = [
+                rng.getrandbits(rng.randrange(0, 300))
+                for _ in range(rng.randrange(0, 20))
+            ]
+            assert wire.decode_masks(wire.encode_masks(masks)) == masks
+
+    def test_all_zero_mask_list(self):
+        masks = [0] * 17
+        assert wire.decode_masks(wire.encode_masks(masks)) == masks
+
+
 class TestSolverEquivalence:
     @pytest.mark.parametrize("masked", [False, True])
     def test_summarize_wire_matches_in_process(self, masked):
@@ -164,6 +250,46 @@ class TestSolverEquivalence:
         assert export_values == [
             value_ref.values[local] for local in problem.exports
         ]
+
+    def test_edge_problems_match_in_process(self):
+        """Degenerate shard shapes — single node (with and without a
+        self-loop), empty universe, no imports/exports — must round
+        trip and solve identically to the in-process functions."""
+        for build in (
+            _single_node_problem,
+            lambda: _single_node_problem(self_loop=True),
+            lambda: _single_node_problem(masked=True, self_loop=True),
+            _empty_universe_problem,
+        ):
+            problem = build()
+            import_values = [0] * len(problem.imports)
+            reference = summarize_shard(build())
+            key, blob = wire.encode_static(problem)
+            summary = wire.decode_summary(
+                wire.summarize_shard_wire(
+                    (key, blob, problem.masked, wire.encode_masks(problem.seeds))
+                ),
+                problem,
+            )
+            assert summary.const == reference.const
+            assert summary.deps == reference.deps
+            back_reference = backsub_shard((build(), import_values))
+            result, export_values = wire.decode_backsub(
+                wire.backsub_shard_wire(
+                    (
+                        key,
+                        blob,
+                        "value",
+                        wire.encode_masks(problem.seeds),
+                        wire.encode_masks(import_values),
+                    )
+                ),
+                problem,
+            )
+            assert result.values == back_reference.values
+            assert export_values == [
+                back_reference.values[i] for i in problem.exports
+            ]
 
     def test_maskless_chain(self):
         problem = _acyclic_problem()
