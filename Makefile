@@ -5,8 +5,9 @@ PY ?= python
 PP := PYTHONPATH=src
 
 .PHONY: test differential shard-differential incremental-differential \
-	bench-smoke bench bench-frontend bench-core bench-incremental \
-	bench-fleet profile server-smoke fleet-smoke
+	lane-differential bench-smoke bench bench-frontend bench-core \
+	bench-incremental bench-fleet bench-lanes profile server-smoke \
+	fleet-smoke
 
 # Tier-1 gate: the full unit/integration/property suite.
 test:
@@ -37,6 +38,14 @@ incremental-differential:
 	$(PP) $(PY) -m pytest -q tests/test_incremental_fuzz.py \
 	    tests/test_incremental.py tests/test_depindex.py
 
+# The effect-lane oracles: every lane value-identical to its
+# standalone reference across the 30-program sweep and the fuzz
+# corpora, one condensation per graph at any lane count, the Dyck
+# precision baseline (ALIAS ⊆ DYCK, never loaded in the fast path),
+# and the v4 lane-section persistence round-trips.
+lane-differential:
+	$(PP) $(PY) -m pytest -q tests/test_lanes.py
+
 # One tiny batch benchmark plus the shard-benchmark smoke (which
 # writes BENCH_shard.json), timing assertions disabled — keeps the
 # benchmark suite import-clean without paying for a real measurement
@@ -53,6 +62,8 @@ bench-smoke:
 	$(PP) $(PY) -m pytest -q benchmarks/test_bench_incremental.py -k smoke \
 	    --benchmark-disable
 	$(PP) $(PY) -m pytest -q benchmarks/test_bench_fleet.py -k smoke \
+	    --benchmark-disable
+	$(PP) $(PY) -m pytest -q benchmarks/test_bench_lanes.py -k smoke \
 	    --benchmark-disable
 
 # The full measured benchmark suite (slow).
@@ -89,6 +100,14 @@ bench-incremental:
 # CK_FLEET_BENCH_SHARDS / CK_FLEET_BENCH_WORKERS.
 bench-fleet:
 	$(PP) $(PY) -m pytest -q benchmarks/test_bench_fleet.py -s
+
+# The effect-lane measurement (E15): writes BENCH_lanes.json at the
+# repo root — 0/1/2/3-lane fused runs vs a standalone sections solve,
+# asserting the sections lane costs < 40% of the separate solve and
+# that per-lane marginal cost is sublinear, one condensation
+# throughout.  Resize with CK_LANE_BENCH_PROCS / CK_LANE_BENCH_REPEATS.
+bench-lanes:
+	$(PP) $(PY) -m pytest -q benchmarks/test_bench_lanes.py -s
 
 # Where does the time go?  Per-phase breakdown + cProfile hot spots on
 # a generated workload (see `ck-analyze profile --help` for knobs).

@@ -14,9 +14,10 @@ Besides the human-readable tables, a run leaves artifacts in ``--out``
 refreshes ``BENCH_core.json`` (fused vs legacy middle end), the E13
 run refreshes ``BENCH_incremental.json`` (demand-driven update vs
 scratch), the E14 run refreshes ``BENCH_fleet.json`` (loopback fleet
-vs process pool), and ``BENCH_all.json`` aggregates per-experiment
-wall times plus the shard, core, incremental, and fleet records — the
-perf-trajectory document CI uploads.
+vs process pool), the E15 run refreshes ``BENCH_lanes.json`` (marginal
+cost per added effect lane), and ``BENCH_all.json`` aggregates
+per-experiment wall times plus the shard, core, incremental, fleet,
+and lane records — the perf-trajectory document CI uploads.
 """
 
 from __future__ import annotations
@@ -535,6 +536,35 @@ def e10_shard(quick: bool):
     return result
 
 
+def e15_lanes(quick: bool):
+    header("E15", "Effect lanes: marginal cost per added lane  [lanes/]")
+    from test_bench_lanes import measure_lanes_benchmark, write_bench_json
+
+    scales = [1000] if quick else [1000, 10000]
+    records = []
+    for num_procs in scales:
+        result = measure_lanes_benchmark(
+            num_procs=num_procs, repeats=1 if quick else 2
+        )
+        records.append(result)
+        print(f"-- {num_procs} procs --")
+        print(f"{'run':>24} {'best(s)':>9} {'delta(s)':>9}")
+        print(f"{'base (MOD+USE)':>24} {result['base_s']:>9.3f} {'-':>9}")
+        print(f"{'+refalias':>24} {result['one_lane_s']:>9.3f} "
+              f"{result['refalias_delta_s']:>9.3f}")
+        print(f"{'+sections':>24} {result['two_lane_s']:>9.3f} "
+              f"{result['sections_delta_s']:>9.3f}")
+        print(f"{'+tracer (pass-through)':>24} {result['three_lane_s']:>9.3f} "
+              f"{result['tracer_delta_s']:>9.3f}")
+        print(f"{'standalone sections':>24} "
+              f"{result['standalone_sections_s']:>9.3f} {'-':>9}")
+        print("-> sections-lane delta is %.0f%% of a standalone sections "
+              "solve; every run condensed the call graph exactly once."
+              % (100.0 * result["sections_fraction"]))
+    write_bench_json(records)
+    return {"schema": "ck-bench-lanes/1", "scales": records}
+
+
 class _Tee(io.TextIOBase):
     """Mirror writes to several streams (stdout + the report buffer)."""
 
@@ -576,6 +606,7 @@ def main() -> int:
         ("E12", lambda: e12_core(args.quick)),
         ("E13", lambda: e13_incremental(args.quick)),
         ("E14", lambda: e14_fleet(args.quick)),
+        ("E15", lambda: e15_lanes(args.quick)),
         ("A1", a1_incremental),
         ("A2", a2_constprop),
         ("A4", a4_lattice_instances),
@@ -591,6 +622,7 @@ def main() -> int:
     core_result = None
     incremental_result = None
     fleet_result = None
+    lanes_result = None
     try:
         for name, run in experiments:
             tick = time.perf_counter()
@@ -604,6 +636,8 @@ def main() -> int:
                 incremental_result = returned
             elif name == "E14":
                 fleet_result = returned
+            elif name == "E15":
+                lanes_result = returned
         print()
     finally:
         sys.stdout = original_stdout
@@ -620,6 +654,7 @@ def main() -> int:
         "core": core_result,
         "incremental": incremental_result,
         "fleet": fleet_result,
+        "lanes": lanes_result,
     }
     with open(out_dir / "BENCH_all.json", "w") as handle:
         json.dump(aggregate, handle, indent=2, sort_keys=True)

@@ -9,9 +9,17 @@
   a length-``Nβ`` bit vector, reproducing the ``O(Nβ·E_C)``-flavoured
   cost the paper's Section 3.2 comparison is about;
 * :mod:`repro.baselines.naive` — per-procedure reachability closure,
-  ``O(N·(N+E))``, an independent oracle for two-level programs.
+  ``O(N·(N+E))``, an independent oracle for two-level programs;
+* :mod:`repro.baselines.dyck` — Dyck-reachability alias baseline, a
+  coarser origin-set closure used only as a differential precision
+  oracle against pair propagation (``ALIAS(q) ⊆ DYCK(q)``).
 """
 
+from repro.baselines.dyck import (
+    compare_precision,
+    compute_dyck_aliases,
+    dyck_origins,
+)
 from repro.baselines.iterative import (
     solve_direct_equation1,
     solve_gmod_iterative,
@@ -28,4 +36,7 @@ __all__ = [
     "solve_rmod_iterative",
     "solve_rmod_swift",
     "solve_gmod_naive",
+    "compare_precision",
+    "compute_dyck_aliases",
+    "dyck_origins",
 ]

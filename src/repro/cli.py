@@ -56,8 +56,15 @@ from repro.lang.semantic import compile_source
 def _cmd_analyze(args: argparse.Namespace) -> int:
     with open(args.file) as handle:
         source = handle.read()
+    lanes = ()
+    if args.lanes:
+        from repro.lanes import parse_lane_names
+
+        lanes = tuple(parse_lane_names(args.lanes))
     resolved = compile_source(source)
-    summary = analyze_side_effects(resolved, gmod_method=args.gmod_method)
+    summary = analyze_side_effects(
+        resolved, gmod_method=args.gmod_method, lanes=lanes
+    )
     if args.dot_callgraph:
         print(summary.call_graph.to_dot())
         return 0
@@ -65,6 +72,29 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(summary.binding_graph.to_dot())
         return 0
     print(summary.report())
+    if lanes:
+        from repro.lanes.driver import lane_payloads
+
+        print("\neffect lanes (one shared condensation):")
+        for name, block in lane_payloads(summary.lanes).items():
+            spent = summary.timings.get("lane.%s" % name, 0.0)
+            if name == "sections":
+                filled = sum(
+                    1 for rendered in block["sites"] if rendered
+                )
+                print(
+                    "  %-10s %s lattice, %d/%d sites with sections (%.3fs)"
+                    % (name, block["lattice"], filled,
+                       len(block["sites"]), spent)
+                )
+            elif name == "refalias":
+                print(
+                    "  %-10s %d alias pairs over %d procedures (%.3fs)"
+                    % (name, block["total_pairs"],
+                       block["domain_procs"], spent)
+                )
+            else:
+                print("  %-10s solved (%.3fs)" % (name, spent))
     if args.sections:
         from repro.core.arena import get_arena
         from repro.sections import analyze_sections
@@ -299,6 +329,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if not os.path.isdir(args.dir) and not os.path.isfile(args.dir):
         print("error: no such file or directory: %s" % args.dir, file=sys.stderr)
         return 1
+    lanes = ()
+    if args.lanes:
+        from repro.lanes import parse_lane_names
+
+        lanes = tuple(parse_lane_names(args.lanes))
     cache_dir = None
     if not args.no_cache:
         base = args.dir if os.path.isdir(args.dir) else os.path.dirname(args.dir) or "."
@@ -342,6 +377,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             shards=args.shards if args.shards else None,
             fleet=fleet,
             remote_store=remote_store,
+            lanes=lanes,
         )
     finally:
         if fleet is not None:
@@ -505,6 +541,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_cmd.add_argument("--lattice", choices=("figure3", "ranges"),
                              default="figure3",
                              help="section lattice instance (with --sections)")
+    analyze_cmd.add_argument(
+        "--lanes", default="",
+        help="extra effect lanes to solve on the shared condensation, "
+        "comma-separated (e.g. sections,refalias)",
+    )
     analyze_cmd.add_argument("--dot-callgraph", action="store_true",
                              help="emit the call multi-graph as Graphviz DOT")
     analyze_cmd.add_argument("--dot-binding", action="store_true",
@@ -641,6 +682,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=0,
         help="solve every file with the sharded subsystem "
              "(0 = monolithic; summaries are bit-identical either way)",
+    )
+    batch_cmd.add_argument(
+        "--lanes", default="",
+        help="extra effect lanes to solve per file, comma-separated "
+             "(e.g. sections,refalias); lane blocks ride the payloads "
+             "and the stats report",
     )
     batch_cmd.add_argument(
         "--fleet", default="",

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 import struct
+import warnings
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.binio import (
@@ -45,8 +46,10 @@ FORMAT_VERSION = 2
 #:
 #: History: 3 = header + string table + tagged body; 4 = appends a
 #: trailer of tagged sections after the body (the dependency index,
-#: :data:`SECTION_DEP_INDEX`, and the analysis server's session
-#: metadata, :data:`SECTION_SESSION_META`).  The writer emits a
+#: :data:`SECTION_DEP_INDEX`, the analysis server's session metadata,
+#: :data:`SECTION_SESSION_META`, and one section per persisted effect
+#: lane, :data:`SECTION_LANE_SECTIONS` /
+#: :data:`SECTION_LANE_REFALIAS`).  The writer emits a
 #: byte-identical v3 container whenever there are no sections, so v3
 #: readers only ever reject files that genuinely carry data they cannot
 #: represent.
@@ -63,6 +66,27 @@ SECTION_DEP_INDEX = 1
 #: serve --state-dir`` next to the index so a restarted daemon can
 #: resume ``update`` verbs for sessions it has never seen in memory.
 SECTION_SESSION_META = 2
+
+#: Section tag of the regular-sections effect lane
+#: (:mod:`repro.lanes.sections_lane` owns the blob codec).
+SECTION_LANE_SECTIONS = 3
+
+#: Section tag of the reference-parameter alias lane
+#: (:mod:`repro.lanes.refalias` owns the blob codec).
+SECTION_LANE_REFALIAS = 4
+
+#: Every trailer tag this reader understands.  Anything else is a
+#: *future* section: skipped loudly-but-safely (one warning, then the
+#: loader degrades to re-deriving whatever the section carried) rather
+#: than rejected — see :func:`split_unknown_sections`.
+KNOWN_SECTION_TAGS = frozenset(
+    {
+        SECTION_DEP_INDEX,
+        SECTION_SESSION_META,
+        SECTION_LANE_SECTIONS,
+        SECTION_LANE_REFALIAS,
+    }
+)
 
 #: First bytes of every binary summary file.
 BINARY_MAGIC = b"CKSB"
@@ -171,30 +195,38 @@ def summary_to_bytes(
     summary: SideEffectSummary,
     include_sections: bool = False,
     include_index: bool = False,
+    include_lanes: bool = False,
 ) -> bytes:
     """Serialize a live summary to the binary container.
 
     ``include_index`` additionally embeds the fine-grained dependency
     index as a v4 trailer section (building and caching it on the
     summary if absent) so a later process can run demand-driven
-    incremental updates without re-deriving it; without it the output
-    is a plain v3 container, byte-identical to earlier writers.
+    incremental updates without re-deriving it.  ``include_lanes``
+    embeds one tagged trailer section per persistable lane the summary
+    was solved with (``summary.lanes``); lanes the analysis never ran
+    are simply absent — a loader re-solves on demand.  Without either
+    flag the output is a plain v3 container, byte-identical to earlier
+    writers.
     """
     payload = summary_to_dict(summary, include_sections)
-    if not include_index:
-        return encode_summary_payload(payload)
-    from repro.core.arena import peek_arena
-    from repro.core.depindex import build_dependency_index, index_to_bytes
+    sections: Dict[int, bytes] = {}
+    if include_lanes and summary.lanes:
+        from repro.lanes.driver import lane_blobs
 
-    index = summary.dep_index
-    if index is None:
-        index = build_dependency_index(
-            summary, arena=peek_arena(summary.resolved)
-        )
-        summary.dep_index = index
-    return encode_summary_payload(
-        payload, sections={SECTION_DEP_INDEX: index_to_bytes(index)}
-    )
+        sections.update(lane_blobs(summary.lanes))
+    if include_index:
+        from repro.core.arena import peek_arena
+        from repro.core.depindex import build_dependency_index, index_to_bytes
+
+        index = summary.dep_index
+        if index is None:
+            index = build_dependency_index(
+                summary, arena=peek_arena(summary.resolved)
+            )
+            summary.dep_index = index
+        sections[SECTION_DEP_INDEX] = index_to_bytes(index)
+    return encode_summary_payload(payload, sections=sections or None)
 
 
 # ---------------------------------------------------------------------------
@@ -430,6 +462,60 @@ def decode_summary_container(data: bytes) -> "Tuple[Dict, Dict[int, bytes]]":
             blob, pos = read_bytes(data, pos)
             sections[tag] = blob
     return payload, sections
+
+
+def split_unknown_sections(
+    sections: Dict[int, bytes], context: str = "binary summary"
+) -> "Tuple[Dict[int, bytes], Dict[int, bytes]]":
+    """Partition trailer sections into ``(known, unknown)`` by
+    :data:`KNOWN_SECTION_TAGS`.
+
+    Unknown tags come from *future* writers (a lane this build does not
+    ship, a new index flavour).  The forward-compat contract is
+    loud-but-safe: one :class:`UnknownSectionWarning` naming the tags,
+    then the caller proceeds with the known sections only and re-solves
+    whatever the skipped data carried.  Never an exception — a newer
+    fleet member must not brick an older reader's cache.
+    """
+    known = {tag: blob for tag, blob in sections.items() if tag in KNOWN_SECTION_TAGS}
+    unknown = {tag: blob for tag, blob in sections.items() if tag not in KNOWN_SECTION_TAGS}
+    if unknown:
+        warnings.warn(
+            "%s carries unknown trailer section tag(s) %s (written by a "
+            "newer toolchain?); skipping them and re-deriving on demand"
+            % (context, sorted(unknown)),
+            UnknownSectionWarning,
+            stacklevel=2,
+        )
+    return known, unknown
+
+
+class UnknownSectionWarning(UserWarning):
+    """A v4 container carried a trailer section this reader does not
+    understand; it was skipped and its content will be re-derived."""
+
+
+def decode_lane_sections(sections: Dict[int, bytes]) -> Dict[str, object]:
+    """Decode every known *lane* trailer section, ignoring non-lane
+    tags.  Value shapes are lane-specific (each lane module owns its
+    codec): ``"sections"`` decodes to its payload dict, ``"refalias"``
+    to its per-procedure partner tables.
+
+    Call :func:`split_unknown_sections` first if the container may come
+    from a newer writer.
+    """
+    out: Dict[str, object] = {}
+    blob = sections.get(SECTION_LANE_SECTIONS)
+    if blob is not None:
+        from repro.lanes.sections_lane import sections_payload_from_blob
+
+        out["sections"] = sections_payload_from_blob(blob)
+    blob = sections.get(SECTION_LANE_REFALIAS)
+    if blob is not None:
+        from repro.lanes.refalias import refalias_tables_from_blob
+
+        out["refalias"] = refalias_tables_from_blob(blob)
+    return out
 
 
 def decode_summary_payload(data: bytes) -> Dict:

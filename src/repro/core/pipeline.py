@@ -102,6 +102,7 @@ def analyze_side_effects(
     gmod_method: str = "auto",
     fused: bool = True,
     arena: Optional[ProgramArena] = None,
+    lanes: Sequence[str] = (),
 ) -> SideEffectSummary:
     """Run the complete analysis.
 
@@ -116,6 +117,17 @@ def analyze_side_effects(
     summary — every set, and every counter tally — is identical.  Pass
     ``arena`` to reuse an existing lowering (otherwise the arena cache
     supplies one keyed on the resolved program).
+
+    ``lanes`` names extra effect lanes (:mod:`repro.lanes`, e.g.
+    ``("sections", "refalias")``) advanced through the same arena after
+    the MOD/USE phases; finalized lane states land in ``summary.lanes``.
+    Lane mode requires the fused path, and resolves ``gmod_method
+    "auto"`` to the condensation-consuming ``"reference"`` solver so
+    the whole run — GMOD phase and every lane — shares **one** cached
+    call-graph condensation (Figure 2's and the multi-level solver's
+    embedded Tarjan-adapted walks are their own pass, which would make
+    a lane run pay two).  An explicitly named method is honored as
+    requested.
     """
     timings: Dict[str, float] = {}
     started = time.perf_counter()
@@ -146,6 +158,9 @@ def analyze_side_effects(
         raise ValueError(
             "gmod_method must be one of %s, got %r" % (GMOD_METHODS, gmod_method)
         )
+    lane_names = list(lanes)
+    if lane_names and not fused:
+        raise ValueError("effect lanes require the fused pipeline (fused=True)")
 
     counter = OpCounter()
     if fused:
@@ -166,12 +181,19 @@ def analyze_side_effects(
 
     method = gmod_method
     if method == "auto":
-        method = "figure2" if resolved.max_nesting_level <= 1 else "multilevel"
+        if lane_names:
+            # Lane mode: the reference solver consumes the arena's
+            # cached condensation, so GMOD and every lane share one
+            # Tarjan pass per graph (see the docstring).
+            method = "reference"
+        else:
+            method = "figure2" if resolved.max_nesting_level <= 1 else "multilevel"
 
     kind_list = list(kinds)
     kind_counters = [OpCounter() for _ in kind_list]
     solutions: Dict[EffectKind, EffectSolution] = {}
     condensations: Optional[Dict[str, int]] = None
+    lane_states: Optional[Dict[str, object]] = None
 
     if fused:
         num_kinds = len(kind_list)
@@ -201,6 +223,15 @@ def analyze_side_effects(
                 mod=mod_rows[k],
                 gmod_method=used_method,
             )
+        if lane_names:
+            from repro.lanes.driver import solve_lanes
+
+            # Before the condensation snapshot: a lane that triggered
+            # an extra pass would show up in ``summary.condensations``,
+            # which the lane framework's counter test pins at one pass
+            # per graph.
+            lane_states = solve_lanes(arena, lane_names, timings)
+            tick = time.perf_counter()
         after = arena.snapshot_condensations()
         condensations = {
             name: count - before.get(name, 0)
@@ -258,6 +289,7 @@ def analyze_side_effects(
         timings=timings,
         kind_counters=dict(zip(kind_list, kind_counters)),
         condensations=condensations,
+        lanes=lane_states,
     )
 
 
@@ -288,6 +320,13 @@ def payload_from_summary(summary: SideEffectSummary) -> Dict:
     # otherwise keeps monolithic payloads byte-identical to before.
     if summary.shard_info is not None:
         payload["shard_info"] = summary.shard_info
+    # Same contract for effect lanes: the ``lanes`` block exists exactly
+    # when the analysis ran with lanes, so lane-less payloads stay
+    # byte-identical to pre-lane writers.
+    if summary.lanes:
+        from repro.lanes.driver import lane_payloads
+
+        payload["lanes"] = lane_payloads(summary.lanes)
     return payload
 
 
@@ -297,6 +336,7 @@ def analyze_source_payload(
     shards: Optional[int] = None,
     shard_jobs: int = 1,
     shard_strategy: str = "greedy",
+    lanes: Sequence[str] = (),
 ) -> Dict:
     """Analyze source text and return a JSON-safe, picklable payload.
 
@@ -309,20 +349,32 @@ def analyze_source_payload(
     (:func:`repro.shard.solve.analyze_side_effects_sharded`, which
     ignores ``gmod_method``); the ``summary`` field of the payload is
     bit-identical either way — only ``timings``/``shard_info`` differ.
+
+    ``lanes`` adds the named effect lanes (:mod:`repro.lanes`) and their
+    ``lanes`` payload block.  Sharded runs solve the lanes on the
+    coordinator's arena after the stitch — lanes ride the whole-program
+    condensation, which the sharded path shares.
     """
+    lane_names = list(lanes)
     if shards is not None:
         from repro.shard.solve import analyze_side_effects_sharded
 
-        return payload_from_summary(
-            analyze_side_effects_sharded(
-                source,
-                num_shards=shards,
-                jobs=shard_jobs,
-                strategy=shard_strategy,
-            )
+        summary = analyze_side_effects_sharded(
+            source,
+            num_shards=shards,
+            jobs=shard_jobs,
+            strategy=shard_strategy,
         )
+        if lane_names:
+            from repro.core.arena import get_arena
+            from repro.lanes.driver import solve_lanes
+
+            summary.lanes = solve_lanes(
+                get_arena(summary.resolved), lane_names, summary.timings
+            )
+        return payload_from_summary(summary)
     return payload_from_summary(
-        analyze_side_effects(source, gmod_method=gmod_method)
+        analyze_side_effects(source, gmod_method=gmod_method, lanes=lane_names)
     )
 
 
@@ -332,6 +384,7 @@ def analyze_file_payload(
     shards: Optional[int] = None,
     shard_jobs: int = 1,
     shard_strategy: str = "greedy",
+    lanes: Sequence[str] = (),
 ) -> Dict:
     """:func:`analyze_source_payload` over a file path (picklable)."""
     with open(path) as handle:
@@ -342,4 +395,5 @@ def analyze_file_payload(
         shards=shards,
         shard_jobs=shard_jobs,
         shard_strategy=shard_strategy,
+        lanes=lanes,
     )

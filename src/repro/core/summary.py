@@ -66,6 +66,12 @@ class SideEffectSummary:
     #: here; serialized only into the v4 binary container's tagged
     #: section, never into the dataclass payload.
     dep_index: Optional[object] = None
+    #: Finalized effect-lane states (:mod:`repro.lanes`) keyed by lane
+    #: name, in request order, when the analysis was run with extra
+    #: lanes; None otherwise.  Lane payloads serialize into the service
+    #: payload's ``lanes`` block and, on request, into per-lane v4
+    #: container trailer sections.
+    lanes: Optional[Dict[str, object]] = None
 
     # -- mask accessors -------------------------------------------------------
 

@@ -30,7 +30,6 @@ from repro.core.bitvec import OpCounter
 from repro.core.local import local_effect_of
 from repro.core.varsets import EffectKind, VariableUniverse
 from repro.graphs.callgraph import CallMultiGraph, build_call_graph
-from repro.graphs.scc import tarjan_scc
 from repro.lang.symbols import CallSite, ProcSymbol, ResolvedProgram
 from repro.sections.descriptors import SectionMap, extended_local_sections
 from repro.sections.lattice import Section
@@ -185,9 +184,16 @@ def analyze_sections(
     if condensation is not None:
         component_of, components = condensation
     else:
-        component_of, components = tarjan_scc(
-            call_graph.num_nodes, call_graph.successors
-        )
+        # Route through the arena's cached condensation instead of a
+        # private Tarjan run: any consumer that already condensed this
+        # program's call graph (the fused pipeline, a lane solve, the
+        # shard partitioner) has paid for the pass, and re-deriving it
+        # here was the one place the one-condensation-per-graph
+        # invariant leaked (the fused+sections dependence tester ran
+        # two passes per program before this).
+        from repro.core.arena import get_arena
+
+        component_of, components = get_arena(resolved).call_condensation()
     component_iterations: List[int] = []
     for comp_index, members in enumerate(components):
         sweeps = 0

@@ -392,6 +392,26 @@ class AnalysisServer:
             )
         return method
 
+    @staticmethod
+    def _lanes(request: Dict[str, Any]) -> tuple:
+        """Validated effect-lane names from the optional ``lanes``
+        field (a comma-joined string or a list of names)."""
+        raw = request.get("lanes")
+        if raw is None or raw == "" or raw == []:
+            return ()
+        from repro.lanes import parse_lane_names
+
+        if isinstance(raw, list):
+            raw = ",".join(str(item) for item in raw)
+        if not isinstance(raw, str):
+            raise ProtocolError(
+                E_BAD_REQUEST, "field 'lanes' must be a string or list of lane names"
+            )
+        try:
+            return tuple(parse_lane_names(raw))
+        except ValueError as exc:
+            raise ProtocolError(E_BAD_REQUEST, str(exc))
+
     # -- session persistence -------------------------------------------------
 
     def _session_state_path(self, name: str) -> str:
@@ -418,16 +438,18 @@ class AnalysisServer:
             )
             summary.dep_index = index
         meta = {"name": session.name, "gmod_method": session.gmod_method,
-                "key": session.key}
-        blob = encode_summary_payload(
-            summary_to_dict(summary),
-            sections={
-                SECTION_DEP_INDEX: index_to_bytes(index),
-                SECTION_SESSION_META: json.dumps(
-                    meta, sort_keys=True
-                ).encode("utf-8"),
-            },
-        )
+                "key": session.key, "lanes": list(session.lanes)}
+        sections = {
+            SECTION_DEP_INDEX: index_to_bytes(index),
+            SECTION_SESSION_META: json.dumps(
+                meta, sort_keys=True
+            ).encode("utf-8"),
+        }
+        if summary.lanes:
+            from repro.lanes.driver import lane_blobs
+
+            sections.update(lane_blobs(summary.lanes))
+        blob = encode_summary_payload(summary_to_dict(summary), sections=sections)
         path = self._session_state_path(session.name)
         tmp = path + ".tmp"
         with open(tmp, "wb") as handle:
@@ -455,6 +477,7 @@ class AnalysisServer:
             SECTION_DEP_INDEX,
             SECTION_SESSION_META,
             decode_summary_container,
+            split_unknown_sections,
         )
 
         path = self._session_state_path(name)
@@ -467,6 +490,12 @@ class AnalysisServer:
             _payload, sections = decode_summary_container(blob)
         except ValueError:
             return None
+        # A state file written by a newer build may carry sections this
+        # reader has never heard of (a future lane, a new index kind) —
+        # warn once and proceed on what we understand.
+        sections, _future = split_unknown_sections(
+            sections, context="session state %r" % name
+        )
         method = "auto"
         meta_blob = sections.get(SECTION_SESSION_META)
         if meta_blob is not None:
@@ -503,14 +532,16 @@ class AnalysisServer:
         source = require_str(request, "source")
         method = self._gmod_method(request)
         shards = self._shards(request)
+        lanes = self._lanes(request)
         session_name = request.get("session")
         if session_name is not None and not isinstance(session_name, str):
             raise ProtocolError(E_BAD_REQUEST, "field 'session' must be a string")
         # The cache key is deliberately blind to ``shards``: the sharded
         # and monolithic solvers produce bit-identical summaries (the
         # differential suite asserts it), so a cached payload answers a
-        # sharded request exactly.
-        key = content_key(source, method)
+        # sharded request exactly.  ``lanes`` does feed the key — a
+        # laned payload carries extra blocks a lane-less one does not.
+        key = content_key(source, method, lanes)
         sleep = self._request_sleep(request)
         shard_jobs = self.config.shard_jobs
 
@@ -555,8 +586,20 @@ class AnalysisServer:
                             jobs=shard_jobs,
                             runner=runner,
                         )
+                        if lanes:
+                            # The sharded solver has no lane support of
+                            # its own; lanes ride the coordinator-side
+                            # arena, same as the batch path.
+                            from repro.core.arena import get_arena
+                            from repro.lanes.driver import solve_lanes
+
+                            live.lanes = solve_lanes(
+                                get_arena(live.resolved), lanes, live.timings
+                            )
                     else:
-                        live = analyze_side_effects(source, gmod_method=method)
+                        live = analyze_side_effects(
+                            source, gmod_method=method, lanes=lanes
+                        )
                     return live, payload_from_summary(live)
 
                 summary, payload = await self._run_heavy(work)
@@ -585,6 +628,8 @@ class AnalysisServer:
         )
         if payload.get("shard_info") is not None:
             response["shard_info"] = payload["shard_info"]
+        if payload.get("lanes") is not None:
+            response["lanes"] = payload["lanes"]
         if session_name is not None:
             assert summary is not None
             existing = self.sessions.get(session_name)
@@ -599,6 +644,7 @@ class AnalysisServer:
                     summary=summary,
                     payload=payload,
                     analyzes=1,
+                    lanes=lanes,
                 )
                 self.sessions.put(session)
             await self._save_session_state(session)
@@ -718,6 +764,20 @@ class AnalysisServer:
             result = sites[site_id]
         elif select == "sites":
             result = summary_dict["call_sites"]
+        elif select == "lanes":
+            result = sorted((session.payload.get("lanes") or {}))
+        elif select == "lane":
+            lane_name = require_str(request, "lane")
+            lane_blocks = session.payload.get("lanes") or {}
+            block = lane_blocks.get(lane_name)
+            if block is None:
+                raise ProtocolError(
+                    E_BAD_REQUEST,
+                    "session %r was not analyzed with lane %r (has: %s); "
+                    "re-analyze with a 'lanes' field"
+                    % (session_name, lane_name, sorted(lane_blocks) or "none"),
+                )
+            result = block
         elif select == "who_modifies":
             variable = require_str(request, "variable")
             kind = request.get("kind", "mod")
@@ -740,8 +800,8 @@ class AnalysisServer:
         else:
             raise ProtocolError(
                 E_BAD_REQUEST,
-                "unknown select %r; expected procedures/proc/site/sites/who_modifies"
-                % select,
+                "unknown select %r; expected procedures/proc/site/sites/"
+                "lanes/lane/who_modifies" % select,
             )
         return ok_response(
             request_id, "query", select=select, session=session_name, result=result

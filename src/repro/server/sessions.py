@@ -35,6 +35,9 @@ class Session:
     created: float = field(default_factory=time.time)
     analyzes: int = 0
     updates: int = 0
+    #: Extra effect lanes this session was analyzed with (lane names,
+    #: request order); () for plain MOD+USE sessions.
+    lanes: tuple = ()
     #: ``UpdateStats`` of the most recent ``update``, as a dict.
     last_update: Optional[Dict] = None
 
@@ -43,6 +46,7 @@ class Session:
             "name": self.name,
             "key": self.key,
             "gmod_method": self.gmod_method,
+            "lanes": list(self.lanes),
             "num_procs": self.summary.resolved.num_procs,
             "analyzes": self.analyzes,
             "updates": self.updates,

@@ -58,10 +58,11 @@ def _analyze_task(task) -> Dict:
     in-process (``shard_jobs=1``) — the batch pool is the only layer
     of process fan-out.
     """
-    path, source, gmod_method, shards = task
+    path, source, gmod_method, shards, lanes = task
     try:
         result = analyze_source_payload(
-            source, gmod_method=gmod_method, shards=shards, shard_jobs=1
+            source, gmod_method=gmod_method, shards=shards, shard_jobs=1,
+            lanes=lanes,
         )
         return {"status": STATUS_OK, "path": path, "result": result}
     except CkError as error:
@@ -130,6 +131,9 @@ class BatchReport:
     cache_stats: Optional[CacheStats] = None
     #: Shard count per file (None = monolithic solver).
     shards: Optional[int] = None
+    #: Extra effect lanes requested for every file (lane names, request
+    #: order); () for plain MOD+USE runs.
+    lanes: tuple = ()
     #: Coordinator snapshot when the run used a fleet (None otherwise).
     fleet_stats: Optional[Dict] = None
     #: Remote summary store client stats (None when no store was used).
@@ -172,6 +176,7 @@ class BatchReport:
             "gmod_method": self.gmod_method,
             "jobs": self.jobs,
             "shards": self.shards,
+            "lanes": list(self.lanes),
             "wall_time": self.wall_time,
             "files": [r.to_dict(include_summaries) for r in self.results],
             "cache": self.cache_stats.to_dict() if self.cache_stats else None,
@@ -199,10 +204,14 @@ def discover_files(root: str, pattern: str = "*.ck") -> List[str]:
     return found
 
 
-def _analyze_fleet_task(path: str, source: str, shards: int, runner) -> Dict:
+def _analyze_fleet_task(
+    path: str, source: str, shards: int, runner, lanes=()
+) -> Dict:
     """Fleet-mode body: solve one file through the sharded pipeline
     with the per-shard maps spread across the fleet.  Same outcome
-    envelope and failure isolation as :func:`_analyze_task`."""
+    envelope and failure isolation as :func:`_analyze_task`.  Lanes
+    ride the coordinator-side arena (the lane masks themselves reuse
+    the shard wire codec, but the lane fixpoints are not fanned out)."""
     from repro.core.pipeline import payload_from_summary
     from repro.shard.solve import analyze_side_effects_sharded
 
@@ -210,6 +219,13 @@ def _analyze_fleet_task(path: str, source: str, shards: int, runner) -> Dict:
         summary = analyze_side_effects_sharded(
             source, num_shards=shards, runner=runner
         )
+        if lanes:
+            from repro.core.arena import get_arena
+            from repro.lanes.driver import solve_lanes
+
+            summary.lanes = solve_lanes(
+                get_arena(summary.resolved), lanes, summary.timings
+            )
         return {
             "status": STATUS_OK,
             "path": path,
@@ -236,6 +252,7 @@ def run_batch(
     shards: Optional[int] = None,
     fleet=None,
     remote_store=None,
+    lanes: Sequence[str] = (),
 ) -> BatchReport:
     """Analyze a corpus; the batch engine's programmatic entry point.
 
@@ -262,11 +279,20 @@ def run_batch(
     :class:`~repro.fleet.RemoteSummaryStore`) is consulted after a
     local cache miss and populated on every fresh result; summaries
     are bit-identical regardless of which tier answered.
+
+    ``lanes`` requests extra effect lanes (:mod:`repro.lanes`) for
+    every file; lane blocks ride the per-file payloads and the cache
+    key, so laned and lane-less runs never serve each other's entries.
     """
     if gmod_method not in GMOD_METHODS:
         raise ValueError(
             "gmod_method must be one of %s, got %r" % (GMOD_METHODS, gmod_method)
         )
+    lanes = tuple(lanes)
+    if lanes:
+        from repro.lanes import validate_lane_names
+
+        validate_lane_names(lanes)
     started = time.perf_counter()
     if isinstance(root, str):
         paths = discover_files(root, pattern)
@@ -292,7 +318,7 @@ def run_batch(
             results.append(record)
             by_path[path] = record
             continue
-        key = content_key(source, gmod_method)
+        key = content_key(source, gmod_method, lanes)
         record = FileResult(path=path, status=STATUS_ERROR, key=key)
         results.append(record)
         by_path[path] = record
@@ -339,14 +365,14 @@ def run_batch(
         for record in work:
             tick = time.perf_counter()
             outcome = _analyze_fleet_task(
-                record.path, sources[record.path], fleet_shards, runner
+                record.path, sources[record.path], fleet_shards, runner, lanes
             )
             _apply(record, outcome, time.perf_counter() - tick)
     elif effective_jobs <= 1:
         for record in work:
             tick = time.perf_counter()
             outcome = _analyze_task(
-                (record.path, sources[record.path], gmod_method, shards)
+                (record.path, sources[record.path], gmod_method, shards, lanes)
             )
             _apply(record, outcome, time.perf_counter() - tick)
     else:
@@ -357,7 +383,7 @@ def run_batch(
                     time.perf_counter(),
                     executor.submit(
                         _analyze_task,
-                        (record.path, sources[record.path], gmod_method, shards),
+                        (record.path, sources[record.path], gmod_method, shards, lanes),
                     ),
                 )
                 for record in work
@@ -387,6 +413,7 @@ def run_batch(
         cache_dir=cache_dir or "",
         cache_stats=cache.stats if cache is not None else None,
         shards=shards,
+        lanes=lanes,
         fleet_stats=fleet.stats() if fleet is not None else None,
         store_stats=(
             remote_store.stats.to_dict() if remote_store is not None else None

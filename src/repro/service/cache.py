@@ -46,11 +46,18 @@ from repro.core.persist import (
 CACHE_SCHEMA_VERSION = 1
 
 
-def content_key(source: str, gmod_method: str = "auto") -> str:
-    """SHA-256 cache key for one program source + solver choice."""
+def content_key(source: str, gmod_method: str = "auto", lanes=()) -> str:
+    """SHA-256 cache key for one program source + solver choice.
+
+    ``lanes`` (extra effect lanes solved alongside MOD+USE) feeds the
+    key only when non-empty, so every pre-lane key — and every on-disk
+    entry hashed from one — stays valid verbatim.
+    """
     hasher = hashlib.sha256()
     hasher.update(b"ck-summary-cache\0")
     hasher.update(("%d\0%d\0%s\0" % (CACHE_SCHEMA_VERSION, FORMAT_VERSION, gmod_method)).encode())
+    if lanes:
+        hasher.update(("lanes=%s\0" % ",".join(lanes)).encode())
     hasher.update(source.encode("utf-8"))
     return hasher.hexdigest()
 

@@ -7,19 +7,46 @@ accounting, and throughput.  The schema is version-stamped so
 downstream dashboards can detect drift the same way the summary cache
 does.
 
+This docstring is the one authoritative catalogue of every top-level
+stats-JSON key (mirrored as a table in the README; the schema-check
+test pins the two against :data:`STATS_KEYS`).
+
 Stats JSON schema (``STATS_SCHEMA_VERSION`` 1)::
 
     {
-      "schema": 1,
+      "schema": 1,            # STATS_SCHEMA_VERSION of the writer
       "corpus": {"root", "files", "ok", "errors", "timeouts",
                  "cached", "analyzed", "procs", "call_sites"},
       "phases": {phase: seconds, ...},        # summed over analyzed files
       "ops": {"bit_vector_steps", "single_bit_steps", "meet_operations"},
-      "cache": {"hits", "misses", "stores", "invalid", "hit_rate"} | null,
+      "cache": {"hits", "misses", "stores", "invalid", "evictions",
+                "hit_rate"} | null,           # null: run had no cache dir
+      "fleet": {...} | null,                  # coordinator snapshot
+      "remote_store": {...} | null,           # store client tallies
+      "lanes": {"requested": [name, ...],     # [] for lane-less runs
+                "per_lane": {name: {"files",  # files carrying the lane
+                                    "seconds"}}},  # summed lane.<name> time
       "throughput": {"wall_time", "files_per_second", "jobs",
                      "analysis_seconds"},
       "files": [per-file records without full summaries]
     }
+
+Key-by-key:
+
+* ``schema`` — :data:`STATS_SCHEMA_VERSION` this document conforms to.
+* ``corpus`` — file/outcome counts plus summed program sizes.
+* ``phases`` — per-phase wall seconds, summed over *analyzed* (non-
+  cached) files; includes ``lane.<name>`` entries when lanes ran.
+* ``ops`` — the paper's operation tallies, summed likewise.
+* ``cache`` — local summary-cache accounting, or null without a cache.
+* ``fleet`` — fleet coordinator snapshot, or null off-fleet.
+* ``remote_store`` — remote summary-store client stats, or null.
+* ``lanes`` — which extra effect lanes the run requested and what they
+  cost: per lane, the number of payloads carrying its block and the
+  summed ``lane.<name>`` solver seconds.
+* ``throughput`` — wall time, files/second, pool width, summed
+  per-file analysis seconds.
+* ``files`` — per-file outcome records (no full summaries).
 """
 
 from __future__ import annotations
@@ -33,6 +60,22 @@ STATS_SCHEMA_VERSION = 1
 
 OP_KEYS = ("bit_vector_steps", "single_bit_steps", "meet_operations")
 
+#: Every top-level key of the stats document, exactly — the module
+#: docstring documents each; the schema-check test asserts the
+#: aggregate emits these and nothing else.
+STATS_KEYS = (
+    "schema",
+    "corpus",
+    "phases",
+    "ops",
+    "cache",
+    "fleet",
+    "remote_store",
+    "lanes",
+    "throughput",
+    "files",
+)
+
 
 def aggregate_stats(report: BatchReport) -> Dict:
     """The corpus-wide statistics document for one batch run."""
@@ -41,17 +84,27 @@ def aggregate_stats(report: BatchReport) -> Dict:
     procs = 0
     call_sites = 0
     analysis_seconds = 0.0
+    per_lane: Dict[str, Dict] = {
+        name: {"files": 0, "seconds": 0.0} for name in report.lanes
+    }
     for record in report.results:
         if record.result is None:
             continue
         procs += record.result["num_procs"]
         call_sites += record.result["num_call_sites"]
+        for name in record.result.get("lanes") or ():
+            per_lane.setdefault(name, {"files": 0, "seconds": 0.0})
+            per_lane[name]["files"] += 1
         if record.cached:
             # A cache hit did no solver work this run; its stored
             # timings/ops describe the original solve, not this one.
             continue
         for phase, seconds in record.result["timings"].items():
             phases[phase] = phases.get(phase, 0.0) + seconds
+            if phase.startswith("lane."):
+                lane_name = phase[len("lane."):]
+                per_lane.setdefault(lane_name, {"files": 0, "seconds": 0.0})
+                per_lane[lane_name]["seconds"] += seconds
         for key in OP_KEYS:
             ops[key] += record.result["ops"][key]
         analysis_seconds += record.result["timings"].get("total", 0.0)
@@ -74,6 +127,10 @@ def aggregate_stats(report: BatchReport) -> Dict:
         "cache": report.cache_stats.to_dict() if report.cache_stats else None,
         "fleet": report.fleet_stats,
         "remote_store": report.store_stats,
+        "lanes": {
+            "requested": list(report.lanes),
+            "per_lane": per_lane,
+        },
         "throughput": {
             "wall_time": report.wall_time,
             "files_per_second": (
@@ -115,6 +172,15 @@ def render_stats(report: BatchReport) -> str:
             stats["throughput"]["jobs"],
         ),
     ]
+    if stats["lanes"]["requested"]:
+        lines.append(
+            "lanes: "
+            + ", ".join(
+                "%s (%d files, %.3fs)"
+                % (name, entry["files"], entry["seconds"])
+                for name, entry in sorted(stats["lanes"]["per_lane"].items())
+            )
+        )
     if stats["cache"] is not None:
         lines.append(
             "cache: %d hits / %d misses (%.0f%% hit rate)"

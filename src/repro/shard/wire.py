@@ -103,6 +103,15 @@ def _read_signed_mask(data: bytes, pos: int) -> Tuple[int, int]:
     return (~mask if flag else mask), pos
 
 
+#: Public names of the signed-mask strip primitives.  The effect-lane
+#: trailer sections (:mod:`repro.lanes`) and any other out-of-tree mask
+#: consumer encode through these, so every mask that crosses a process
+#: or file boundary — shard traffic, fleet frames, lane blobs — shares
+#: one codec.
+write_signed_mask = _write_signed_mask
+read_signed_mask = _read_signed_mask
+
+
 # ---------------------------------------------------------------------------
 # Static problem structure.
 # ---------------------------------------------------------------------------

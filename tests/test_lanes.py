@@ -1,0 +1,639 @@
+"""Effect-lane framework tests.
+
+Three pillars, matching the lane framework's contract:
+
+* **differential identity** — every lane, advanced through the fused
+  multi-lane driver, must be *value-identical* to its standalone
+  reference solver across the 30-program differential sweep and the
+  corpus/fuzz programs (sections vs :func:`analyze_sections`, refalias
+  vs :func:`compute_aliases`);
+* **one condensation** — an N-lane fused run performs exactly one
+  Tarjan-equivalent pass per graph (counter-asserted, including with a
+  third synthetic lane registered just for the test);
+* **persistence** — lane blobs round-trip through the v4 trailer
+  sections, lane-less output stays byte-identical to pre-lane writers,
+  and unknown future sections are skipped loudly-but-safely.
+
+The Dyck-reachability baseline rides along as the precision oracle:
+``ALIAS(q) ⊆ DYCK(q)`` on every program, never the other way.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dyck import compare_precision, compute_dyck_aliases
+from repro.core.aliases import compute_aliases, factor_aliases_fused
+from repro.core.arena import clear_arena_cache, get_arena
+from repro.core.bitvec import OpCounter
+from repro.core.pipeline import analyze_side_effects, payload_from_summary
+from repro.core.varsets import EffectKind
+from repro.lanes import (
+    LANE_NAMES,
+    LaneSpec,
+    get_lane,
+    parse_lane_names,
+    register_lane,
+)
+from repro.lanes.driver import LaneContext, lane_payloads, solve_lanes
+from repro.lanes.refalias import (
+    refalias_tables_from_blob,
+    refalias_tables_to_blob,
+)
+from repro.lanes.sections_lane import (
+    sections_payload_from_blob,
+    sections_payload_to_blob,
+)
+from repro.sections.solver import analyze_sections
+from repro.workloads import corpus
+from repro.workloads.generator import GeneratorConfig, generate_resolved
+
+from tests.test_differential import CONFIGS, _config_id
+
+ALL_LANES = ("sections", "refalias")
+
+
+def _canon(value) -> str:
+    return json.dumps(value, sort_keys=True)
+
+
+def _assert_lanes_match_reference(resolved, summary):
+    """Each lane byte-identical (canonical JSON) to its standalone
+    solver on this program."""
+    # Sections lane vs the standalone Section 6 solver.
+    lane = summary.lanes["sections"]
+    reference = analyze_sections(resolved, EffectKind.MOD)
+    assert lane.grs == reference.grs
+    assert lane.site_sections == reference.site_sections
+    reference_payload = {
+        "lattice": reference.lattice_name,
+        "kind": reference.kind.value,
+        "sites": [
+            reference.describe_site(site) for site in resolved.call_sites
+        ],
+        "nonbottom": lane.to_payload()["nonbottom"],
+    }
+    assert _canon(lane.to_payload()) == _canon(reference_payload)
+
+    # Refalias lane vs Banning pair propagation.
+    ref_lane = summary.lanes["refalias"]
+    oracle = compute_aliases(resolved, summary.universe)
+    assert ref_lane.partner == oracle.partner_mask
+    assert list(ref_lane.domain) == list(oracle.domain_mask)
+    assert ref_lane.pairs() == oracle.pairs
+    # And the pipeline's own aliases (whatever path produced them).
+    assert ref_lane.pairs() == summary.aliases.pairs
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=_config_id)
+def test_lanes_identical_to_standalone_sweep(config):
+    """The 30-program differential sweep, lane edition."""
+    resolved = generate_resolved(config)
+    clear_arena_cache()
+    summary = analyze_side_effects(resolved, lanes=ALL_LANES)
+    # Exactly one condensation per graph, lanes included.
+    assert summary.condensations == {"beta": 1, "call": 1}
+    _assert_lanes_match_reference(resolved, summary)
+    # Dyck baseline: strictly coarser-or-equal, never unsound.
+    report = compare_precision(resolved, summary.aliases, summary.universe)
+    assert report.subset_holds, report.alias_only
+
+
+@pytest.mark.parametrize("name", sorted(corpus.ALL))
+def test_lanes_identical_on_corpus(name, corpus_programs):
+    resolved = corpus_programs[name]
+    clear_arena_cache()
+    summary = analyze_side_effects(resolved, lanes=ALL_LANES)
+    assert summary.condensations == {"beta": 1, "call": 1}
+    _assert_lanes_match_reference(resolved, summary)
+    report = compare_precision(resolved, summary.aliases, summary.universe)
+    assert report.subset_holds, report.alias_only
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_lanes_identical_fuzz(seed):
+    """Generator-driven fuzz: same identity on arbitrary shapes."""
+    config = GeneratorConfig(
+        seed=seed + 9000,
+        num_procs=18,
+        max_depth=3,
+        nesting_prob=0.5,
+        recursion_prob=0.4,
+        prob_arg_global=0.35,
+    )
+    resolved = generate_resolved(config)
+    clear_arena_cache()
+    summary = analyze_side_effects(resolved, lanes=ALL_LANES)
+    assert summary.condensations == {"beta": 1, "call": 1}
+    _assert_lanes_match_reference(resolved, summary)
+
+
+class TestLaneRegistry:
+    def test_builtin_lanes_registered(self):
+        for name in LANE_NAMES:
+            spec = get_lane(name)
+            assert spec.name == name
+            assert spec.direction in ("up", "down")
+
+    def test_unknown_lane_rejected(self):
+        with pytest.raises(ValueError, match="unknown lane"):
+            get_lane("warp")
+
+    def test_parse_lane_names(self):
+        assert parse_lane_names("sections,refalias") == ["sections", "refalias"]
+        assert parse_lane_names(" sections , sections ") == ["sections"]
+        with pytest.raises(ValueError):
+            parse_lane_names("sections,warp")
+
+    def test_lanes_require_fused_pipeline(self):
+        resolved = generate_resolved(GeneratorConfig(seed=1, num_procs=8))
+        with pytest.raises(ValueError, match="fused"):
+            analyze_side_effects(resolved, fused=False, lanes=("sections",))
+
+
+class TestOneCondensation:
+    def test_three_lane_run_single_condensation(self):
+        """Adding a third (synthetic) lane still costs one pass."""
+
+        class TracerLane:
+            direction = "up"
+
+            def __init__(self, arena):
+                self.arena = arena
+                self.components_seen = 0
+
+            def sweep_component(self, comp_index, members, ctx):
+                self.components_seen += 1
+                return False
+
+            def finalize(self, ctx):
+                pass
+
+        try:
+            get_lane("_test_tracer")
+        except ValueError:
+            register_lane(
+                LaneSpec(
+                    name="_test_tracer",
+                    description="test-only tracer lane",
+                    direction="up",
+                    mask_width=lambda arena: 1,
+                    make_state=TracerLane,
+                )
+            )
+        resolved = generate_resolved(
+            GeneratorConfig(seed=31, num_procs=20, max_depth=3,
+                            nesting_prob=0.5, recursion_prob=0.5)
+        )
+        clear_arena_cache()
+        summary = analyze_side_effects(
+            resolved, lanes=("sections", "refalias", "_test_tracer")
+        )
+        assert summary.condensations == {"beta": 1, "call": 1}
+        tracer = summary.lanes["_test_tracer"]
+        arena = get_arena(resolved)
+        _component_of, components = arena.call_condensation()
+        assert tracer.components_seen == len(components)
+        # Still one pass after the lane solve consumed it N times over.
+        assert arena.condensation_counts == {"beta": 1, "call": 1}
+
+    def test_standalone_sections_shares_arena_condensation(self):
+        """Satellite: the standalone sections path no longer runs a
+        private SCC pass — the arena's counter stays at one however
+        many times it is solved."""
+        resolved = generate_resolved(
+            GeneratorConfig(seed=32, num_procs=16, recursion_prob=0.5)
+        )
+        clear_arena_cache()
+        analyze_sections(resolved, EffectKind.MOD)
+        arena = get_arena(resolved)
+        assert arena.condensation_counts == {"call": 1}
+        analyze_sections(resolved, EffectKind.USE)
+        analyze_sections(resolved, EffectKind.MOD)
+        assert arena.condensation_counts == {"call": 1}
+
+
+class TestRefAliasFactoring:
+    def test_lane_masks_feed_fused_factoring(self):
+        """The lane's AliasResult drives ``factor_aliases_fused`` to
+        the same per-site MOD expansion the pipeline computed."""
+        resolved = generate_resolved(
+            GeneratorConfig(seed=33, num_procs=20, max_depth=2,
+                            nesting_prob=0.4, prob_arg_global=0.4)
+        )
+        clear_arena_cache()
+        summary = analyze_side_effects(resolved, lanes=("refalias",))
+        lane_aliases = summary.lanes["refalias"].to_alias_result()
+        arena = get_arena(resolved)
+        solution = summary.solutions[EffectKind.MOD]
+        counters = [OpCounter()]
+        refactored = factor_aliases_fused(
+            [solution.dmod], lane_aliases, arena, 1, counters
+        )
+        assert refactored[0] == solution.mod
+
+
+class TestLanePersistence:
+    def _laned_summary(self):
+        resolved = generate_resolved(
+            GeneratorConfig(seed=34, num_procs=15, max_depth=3,
+                            nesting_prob=0.5, prob_arg_global=0.3)
+        )
+        clear_arena_cache()
+        return resolved, analyze_side_effects(resolved, lanes=ALL_LANES)
+
+    def test_sections_blob_roundtrip(self):
+        _resolved, summary = self._laned_summary()
+        payload = summary.lanes["sections"].to_payload()
+        blob = sections_payload_to_blob(payload)
+        assert sections_payload_from_blob(blob) == payload
+
+    def test_refalias_blob_roundtrip(self):
+        _resolved, summary = self._laned_summary()
+        partner = summary.lanes["refalias"].partner
+        blob = refalias_tables_to_blob(partner)
+        assert refalias_tables_from_blob(blob) == partner
+
+    def test_v4_trailer_roundtrip_and_sectionless_identity(self):
+        from repro.core.persist import (
+            SECTION_LANE_REFALIAS,
+            SECTION_LANE_SECTIONS,
+            decode_lane_sections,
+            decode_summary_container,
+            summary_to_bytes,
+        )
+
+        resolved, summary = self._laned_summary()
+        laned = summary_to_bytes(summary, include_lanes=True)
+        _payload, sections = decode_summary_container(laned)
+        assert set(sections) == {SECTION_LANE_SECTIONS, SECTION_LANE_REFALIAS}
+        decoded = decode_lane_sections(sections)
+        assert decoded["sections"] == summary.lanes["sections"].to_payload()
+        assert decoded["refalias"] == summary.lanes["refalias"].partner
+
+        # Sectionless output is byte-identical to a lane-less solve.
+        clear_arena_cache()
+        plain = analyze_side_effects(resolved)
+        assert summary_to_bytes(summary) == summary_to_bytes(plain)
+
+    def test_unknown_future_section_skipped_loudly(self):
+        """Forward compat: a synthetic future tag warns and degrades,
+        never raises."""
+        from repro.core.persist import (
+            SECTION_LANE_SECTIONS,
+            UnknownSectionWarning,
+            decode_summary_container,
+            encode_summary_payload,
+            split_unknown_sections,
+            summary_to_bytes,
+        )
+
+        _resolved, summary = self._laned_summary()
+        # Re-wrap the real payload with one known and one future tag.
+        from repro.core.persist import decode_summary_payload
+
+        payload = decode_summary_payload(summary_to_bytes(summary))
+        fixture = encode_summary_payload(
+            payload,
+            sections={
+                SECTION_LANE_SECTIONS: summary.lanes["sections"].to_blob(),
+                99: b"\x01future-lane-data",
+            },
+        )
+        decoded_payload, sections = decode_summary_container(fixture)
+        assert decoded_payload == payload
+        assert set(sections) == {SECTION_LANE_SECTIONS, 99}
+        with pytest.warns(UnknownSectionWarning, match=r"\[99\]"):
+            known, unknown = split_unknown_sections(sections)
+        assert set(known) == {SECTION_LANE_SECTIONS}
+        assert unknown == {99: b"\x01future-lane-data"}
+
+    def test_known_sections_do_not_warn(self):
+        import warnings as warnings_module
+
+        from repro.core.persist import (
+            SECTION_DEP_INDEX,
+            SECTION_LANE_REFALIAS,
+            split_unknown_sections,
+        )
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            known, unknown = split_unknown_sections(
+                {SECTION_DEP_INDEX: b"x", SECTION_LANE_REFALIAS: b"y"}
+            )
+        assert len(known) == 2 and not unknown
+
+
+class TestLanePayloadPlumbing:
+    def test_payload_lane_block_only_when_requested(self):
+        resolved = generate_resolved(GeneratorConfig(seed=35, num_procs=12))
+        clear_arena_cache()
+        plain = payload_from_summary(analyze_side_effects(resolved))
+        assert "lanes" not in plain
+        clear_arena_cache()
+        laned = payload_from_summary(
+            analyze_side_effects(resolved, lanes=ALL_LANES)
+        )
+        assert list(laned["lanes"]) == list(ALL_LANES)
+        # The summary block itself is untouched by lanes.
+        assert _canon(laned["summary"]) == _canon(plain["summary"])
+        # The refalias lane block agrees with the summary's aliases.
+        assert laned["lanes"]["refalias"]["pairs"] == laned["summary"]["aliases"]
+
+    def test_lane_timings_recorded(self):
+        resolved = generate_resolved(GeneratorConfig(seed=36, num_procs=12))
+        clear_arena_cache()
+        summary = analyze_side_effects(resolved, lanes=ALL_LANES)
+        for name in ALL_LANES:
+            assert "lane.%s" % name in summary.timings
+        assert summary.timings["lanes"] >= 0.0
+
+    def test_solve_lanes_on_shared_arena(self):
+        """Driving the lane solver directly on an arena that already
+        served a GMOD solve adds no condensation passes.  The warm-up
+        uses the reference method — the same one lane mode forces —
+        because figure2's embedded walk is the one solver whose pass
+        cannot seed the shared cache (different root order)."""
+        resolved = generate_resolved(
+            GeneratorConfig(seed=37, num_procs=14, recursion_prob=0.5)
+        )
+        clear_arena_cache()
+        analyze_side_effects(resolved, gmod_method="reference")
+        arena = get_arena(resolved)
+        before = dict(arena.condensation_counts)
+        states = solve_lanes(arena, ALL_LANES)
+        assert dict(arena.condensation_counts) == before
+        assert list(lane_payloads(states)) == list(ALL_LANES)
+
+    def test_lane_context_sites_by_caller(self):
+        resolved = generate_resolved(GeneratorConfig(seed=38, num_procs=10))
+        clear_arena_cache()
+        ctx = LaneContext.build(get_arena(resolved))
+        flattened = sorted(
+            sid for sids in ctx.sites_by_caller for sid in sids
+        )
+        assert flattened == list(range(resolved.num_call_sites))
+
+
+class TestDyckBaseline:
+    def test_dyck_is_reflexively_coarse(self):
+        """Two formals fed by one actual from unrelated chains: Dyck
+        reports the pair, pair propagation does not."""
+        from repro.lang.semantic import compile_source
+
+        source = """
+program p
+  global g
+
+  proc wide(a, b)
+  begin
+    a := b
+  end
+
+  proc left(x)
+  begin
+    call wide(x, g)
+  end
+
+  proc right(y)
+  begin
+    call wide(g, y)
+  end
+
+begin
+  call left(g)
+  call right(g)
+end
+"""
+        resolved = compile_source(source)
+        clear_arena_cache()
+        summary = analyze_side_effects(resolved)
+        report = compare_precision(resolved, summary.aliases, summary.universe)
+        assert report.subset_holds
+        # The coarse result must be at least as large everywhere.
+        dyck = compute_dyck_aliases(resolved, summary.universe)
+        for pid in range(resolved.num_procs):
+            assert summary.aliases.pairs[pid] <= dyck[pid]
+
+    def test_dyck_never_in_fast_path(self):
+        """The fast path must not import the baseline: analyzing with
+        lanes loads nothing from repro.baselines."""
+        import subprocess
+        import sys
+
+        code = (
+            "import sys\n"
+            "from repro.core.pipeline import analyze_side_effects\n"
+            "from repro.workloads.generator import GeneratorConfig, "
+            "generate_resolved\n"
+            "resolved = generate_resolved(GeneratorConfig(seed=1, "
+            "num_procs=10))\n"
+            "analyze_side_effects(resolved, lanes=('sections', 'refalias'))\n"
+            "assert not any(m.startswith('repro.baselines') "
+            "for m in sys.modules), sorted(\n"
+            "    m for m in sys.modules if m.startswith('repro.baselines'))\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code], check=True, timeout=120
+        )
+
+
+class TestStatsSchema:
+    """Satellite: the stats-JSON document matches the one authoritative
+    key catalogue (:data:`repro.service.stats.STATS_KEYS` + the module
+    docstring), carries the ``lanes`` block, and round-trips through
+    JSON unchanged."""
+
+    def _corpus(self, tmp_path):
+        from repro.workloads.files import write_generated_corpus
+
+        root = tmp_path / "corpus"
+        write_generated_corpus(
+            str(root), 3, base_seed=321,
+            config=GeneratorConfig(num_procs=8, num_globals=4),
+        )
+        return str(root)
+
+    def test_document_matches_key_catalogue(self, tmp_path):
+        from repro.service.batch import run_batch
+        from repro.service.stats import (
+            STATS_KEYS,
+            STATS_SCHEMA_VERSION,
+            aggregate_stats,
+        )
+
+        root = self._corpus(tmp_path)
+        stats = aggregate_stats(run_batch(root, jobs=1, lanes=ALL_LANES))
+        # Exactly the documented keys — nothing undocumented sneaks in,
+        # nothing documented goes missing.
+        assert set(stats) == set(STATS_KEYS)
+        assert list(stats["lanes"]) == ["requested", "per_lane"]
+        assert stats["schema"] == STATS_SCHEMA_VERSION
+        assert stats["lanes"]["requested"] == list(ALL_LANES)
+        per_lane = stats["lanes"]["per_lane"]
+        assert set(per_lane) == set(ALL_LANES)
+        for name in ALL_LANES:
+            assert per_lane[name]["files"] == 3
+            assert per_lane[name]["seconds"] > 0.0
+            # Lane seconds are the summed ``lane.<name>`` phase rows.
+            assert per_lane[name]["seconds"] == pytest.approx(
+                stats["phases"]["lane." + name]
+            )
+
+    def test_laneless_run_has_empty_lane_block(self, tmp_path):
+        from repro.service.batch import run_batch
+        from repro.service.stats import STATS_KEYS, aggregate_stats
+
+        stats = aggregate_stats(run_batch(self._corpus(tmp_path), jobs=1))
+        assert set(stats) == set(STATS_KEYS)  # block present even when off
+        assert stats["lanes"] == {"requested": [], "per_lane": {}}
+
+    def test_cli_round_trip_and_warm_cache_counts(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.service.stats import STATS_KEYS
+
+        root = self._corpus(tmp_path)
+        stats_path = str(tmp_path / "stats.json")
+        assert main(["batch", root, "--jobs", "1",
+                     "--lanes", "sections,refalias",
+                     "--stats-json", stats_path]) == 0
+        out = capsys.readouterr().out
+        assert "lanes: refalias" in out and "sections" in out
+        with open(stats_path) as handle:
+            cold = json.load(handle)
+        assert set(cold) == set(STATS_KEYS)
+        assert cold["lanes"]["requested"] == ["sections", "refalias"]
+        # The file on disk IS the aggregate — a decode/encode round
+        # trip is canonical-identical (everything is plain JSON).
+        assert json.loads(json.dumps(cold, sort_keys=True)) == cold
+
+        # Warm run: every file comes from the cache, yet the cached
+        # payloads still carry their lane blocks, so lane file counts
+        # hold while lane seconds drop to zero (no solver ran).
+        assert main(["batch", root, "--jobs", "1",
+                     "--lanes", "sections,refalias",
+                     "--stats-json", stats_path]) == 0
+        capsys.readouterr()
+        with open(stats_path) as handle:
+            warm = json.load(handle)
+        assert warm["corpus"]["cached"] == 3
+        for name in ALL_LANES:
+            assert warm["lanes"]["per_lane"][name]["files"] == 3
+            assert warm["lanes"]["per_lane"][name]["seconds"] == 0.0
+
+
+class TestServerLanes:
+    """Lane selection over the analysis server: the ``lanes`` request
+    field feeds the cache key, the response and session carry lane
+    blocks, ``query`` exposes them, and ``--state-dir`` persists them
+    as v4 trailer sections."""
+
+    SOURCE = """
+program p
+global g
+global h
+proc leaf(a, b)
+begin
+  a := g
+  g := b
+end
+proc mid(x)
+begin
+  call leaf(x, h)
+end
+begin
+  call mid(g)
+  call leaf(g, h)
+end
+"""
+
+    @pytest.fixture()
+    def server(self):
+        from repro.server import ServerConfig, ServerThread
+
+        with ServerThread(ServerConfig(port=0)) as handle:
+            yield handle
+
+    @pytest.fixture()
+    def client(self, server):
+        from repro.server import ServerClient
+
+        with ServerClient(port=server.port) as c:
+            yield c
+
+    def test_analyze_returns_lane_blocks(self, client):
+        response = client.analyze(self.SOURCE, lanes=["sections", "refalias"])
+        direct = payload_from_summary(
+            analyze_side_effects(self.SOURCE, lanes=ALL_LANES)
+        )
+        assert _canon(response["lanes"]) == _canon(direct["lanes"])
+        # String form parses the same as the list form.
+        again = client.analyze(self.SOURCE, lanes="sections, refalias")
+        assert again["cached"] == "lru"
+
+    def test_lanes_feed_cache_key(self, client):
+        plain = client.analyze(self.SOURCE)
+        assert "lanes" not in plain
+        laned = client.analyze(self.SOURCE, lanes="refalias")
+        assert laned["cached"] is False  # different key than lane-less
+        assert laned["key"] != plain["key"]
+        assert client.analyze(self.SOURCE, lanes="refalias")["cached"] == "lru"
+
+    def test_bad_lanes_field_rejected(self, client):
+        from repro.server import ServerError
+
+        with pytest.raises(ServerError) as excinfo:
+            client.analyze(self.SOURCE, lanes="warp")
+        assert excinfo.value.code == "bad_request"
+        with pytest.raises(ServerError) as excinfo:
+            client.analyze(self.SOURCE, lanes=7)
+        assert excinfo.value.code == "bad_request"
+
+    def test_query_lane_selects(self, client):
+        from repro.server import ServerError
+
+        client.analyze(self.SOURCE, session="laned", lanes="sections,refalias")
+        listed = client.query("laned", "lanes")
+        assert listed["result"] == ["refalias", "sections"]
+        block = client.query("laned", "lane", lane="sections")["result"]
+        direct = payload_from_summary(
+            analyze_side_effects(self.SOURCE, lanes=ALL_LANES)
+        )
+        assert _canon(block) == _canon(direct["lanes"]["sections"])
+
+        client.analyze(self.SOURCE, session="plain")
+        assert client.query("plain", "lanes")["result"] == []
+        with pytest.raises(ServerError) as excinfo:
+            client.query("plain", "lane", lane="sections")
+        assert "re-analyze with a 'lanes' field" in str(excinfo.value)
+
+    def test_state_file_carries_lane_sections(self, tmp_path):
+        from repro.core.persist import (
+            SECTION_LANE_REFALIAS,
+            SECTION_LANE_SECTIONS,
+            decode_lane_sections,
+            decode_summary_container,
+        )
+        from repro.server import ServerClient, ServerConfig, ServerThread
+
+        with ServerThread(
+            ServerConfig(port=0, state_dir=str(tmp_path))
+        ) as handle:
+            with ServerClient(port=handle.port) as c:
+                c.analyze(self.SOURCE, session="laned", lanes=list(ALL_LANES))
+            path = handle.server._session_state_path("laned")
+        with open(path, "rb") as fh:
+            _payload, sections = decode_summary_container(fh.read())
+        assert SECTION_LANE_SECTIONS in sections
+        assert SECTION_LANE_REFALIAS in sections
+        decoded = decode_lane_sections(sections)
+        reference = analyze_side_effects(self.SOURCE, lanes=ALL_LANES)
+        assert _canon(decoded["sections"]) == _canon(
+            reference.lanes["sections"].to_payload()
+        )
