@@ -5,9 +5,9 @@ PY ?= python
 PP := PYTHONPATH=src
 
 .PHONY: test differential shard-differential incremental-differential \
-	lane-differential bench-smoke bench bench-frontend bench-core \
-	bench-incremental bench-fleet bench-lanes profile server-smoke \
-	fleet-smoke
+	lane-differential backend-differential bench-smoke bench \
+	bench-frontend bench-core bench-incremental bench-fleet \
+	bench-lanes profile server-smoke fleet-smoke
 
 # Tier-1 gate: the full unit/integration/property suite.
 test:
@@ -46,6 +46,14 @@ incremental-differential:
 lane-differential:
 	$(PP) $(PY) -m pytest -q tests/test_lanes.py
 
+# The bit-plane backend oracles: chooser gates, NumPy-less fallback,
+# byte-identity fuzz across backends, .cka arena-image round-trips,
+# and the backend axis of the fused differential sweep.  Passes with
+# or without NumPy installed (vectorized cases skip without it).
+backend-differential:
+	$(PP) $(PY) -m pytest -q tests/test_bitplane.py \
+	    tests/test_fused_differential.py
+
 # One tiny batch benchmark plus the shard-benchmark smoke (which
 # writes BENCH_shard.json), timing assertions disabled — keeps the
 # benchmark suite import-clean without paying for a real measurement
@@ -77,10 +85,12 @@ bench:
 bench-frontend:
 	$(PP) $(PY) -m pytest -q benchmarks/test_bench_frontend.py -s
 
-# The fused middle-end measurement (E12): writes BENCH_core.json at
-# the repo root and asserts the ≥1.5x fused-vs-legacy solve and ≥1.25x
-# end-to-end claims on the 10k workload.  Resize with
-# CK_CORE_BENCH_PROCS / CK_CORE_BENCH_REPEATS.
+# The fused middle-end measurement (E12 + E16): writes BENCH_core.json
+# at the repo root and asserts the ≥1.5x fused-vs-legacy solve and
+# ≥1.25x end-to-end claims on the 10k workload, plus the backend
+# matrix (bigint / numpy / auto at low and high density) and the
+# mmap-vs-pickle warm-start claim.  Resize with CK_CORE_BENCH_PROCS /
+# CK_CORE_BENCH_REPEATS; CK_CORE_BENCH_50K=1 adds the 50k matrix row.
 bench-core:
 	$(PP) $(PY) -m pytest -q benchmarks/test_bench_core.py -s
 

@@ -22,10 +22,31 @@ reported, and each path's summary is dropped before the other path
 runs — at 10k scale a retained summary holds hundreds of MB of masks
 and its heap pressure alone visibly taxes the successor measurement.
 
+**E16 — backend matrix and warm starts.**  The same record carries:
+
+* ``backends`` — the solver backends (``bigint`` / ``numpy`` / ``auto``)
+  on the same workloads, at low and high interprocedural density per
+  scale, each measured *cold* (arena rebuilt per round) and *warm*
+  (one arena reused, plane caches intact).  Claims: ``auto`` never
+  loses to ``bigint`` by more than 5% (+10 ms timer grace) on any
+  recorded cell, and the vectorized backend wins ≥1.5x on at least
+  one solve phase at the dense 10k workload **on a warm arena** — the
+  lowering cost (levelized structures, initial-state planes) is
+  per-arena and one-time, so server sessions and ``.cka`` warm starts
+  run in the warm regime.  An explicit ``numpy`` run whose transient
+  plane budget would exceed ``CK_BENCH_PLANE_CAP_MB`` (default 2048)
+  is recorded as skipped instead of run — no silent truncation, no
+  benchmark OOM.
+* ``warm_start`` — loading the dense 10k arena from its memory-mapped
+  ``.cka`` image vs unpickling the equivalent pickle blob vs a cold
+  build.  Claim: mmap ≥5x faster than unpickling.
+
 The result is written to ``BENCH_core.json`` at the repo root.
 
 Environment knobs: ``CK_CORE_BENCH_PROCS`` (default 10000) and
-``CK_CORE_BENCH_REPEATS`` (default 3) resize the slow test.
+``CK_CORE_BENCH_REPEATS`` (default 3) resize the slow test;
+``CK_CORE_BENCH_50K=1`` adds the (slow to generate) 50k row to the
+backend matrix.
 """
 
 from __future__ import annotations
@@ -42,10 +63,19 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(REPO_ROOT))
 
-from repro.core.arena import clear_arena_cache
+from repro.core import bitplane
+from repro.core.arena import (
+    arena_from_image,
+    arena_image_nbytes,
+    clear_arena_cache,
+    get_arena,
+    load_arena_image,
+    write_arena_image,
+)
 from repro.core.pipeline import analyze_side_effects
 from repro.lang.pretty import pretty
 from repro.workloads.generator import (
+    GeneratorConfig,
     generate_program,
     generate_resolved,
     large_scale_config,
@@ -171,6 +201,233 @@ def measure_end_to_end(num_procs: int, num_globals: int) -> Dict:
     return record
 
 
+# ---------------------------------------------------------------------------
+# E16: the backend matrix and zero-copy warm starts.
+# ---------------------------------------------------------------------------
+
+#: Hard cap on the transient plane footprint an *explicit* ``numpy``
+#: benchmark run may allocate.  ``auto`` carries its own budget gate,
+#: but the benchmark forces ``numpy`` unconditionally — without this a
+#: wide-sparse 50k workload would allocate tens of GB of planes.
+PLANE_CAP_BYTES = (
+    int(os.environ.get("CK_BENCH_PLANE_CAP_MB", "2048")) * 1024 * 1024
+)
+
+BACKEND_MATRIX = ("bigint",) + (
+    ("numpy",) if bitplane.HAVE_NUMPY else ()
+) + ("auto",)
+
+
+def _dense_config(num_procs: int, num_globals: int) -> GeneratorConfig:
+    """The density-*high* workload: every variable is a global or a
+    formal, so the whole universe is interprocedurally shared and the
+    plane rows are population-dense — the regime the chooser's density
+    gate is meant to admit."""
+    return GeneratorConfig(
+        seed=DEFAULT_SEED,
+        num_procs=num_procs,
+        num_globals=num_globals,
+        max_depth=1,
+        scale_free=True,
+        formals_range=(0, 1),
+        locals_range=(0, 0),
+        calls_per_proc_range=(2, 5),
+        globals_modified_per_proc=2.0,
+        allow_recursion=True,
+        recursion_prob=0.05,
+        control_flow_prob=0.0,
+    )
+
+
+def _measure_backend(resolved, backend: str, repeats: int) -> Dict:
+    """Best-of-``repeats`` fused solve on one backend, measured twice
+    over: *cold* rounds rebuild the arena every time (same methodology
+    as :func:`_measure_path`), *warm* rounds reuse one arena so the
+    cached plane structures survive — the regime a server session or a
+    ``.cka`` warm start lives in, and the one where the vectorized
+    kernels' one-time lowering cost is already paid."""
+    best_total = float("inf")
+    best_timings: Dict[str, float] = {}
+    warm_total = float("inf")
+    warm_timings: Dict[str, float] = {}
+    plan = backend
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            clear_arena_cache()
+            tick = time.perf_counter()
+            summary = analyze_side_effects(resolved, backend=backend)
+            elapsed = time.perf_counter() - tick
+            if elapsed < best_total:
+                best_total = elapsed
+                best_timings = dict(summary.timings)
+            plan = summary.backend
+            del summary
+        # Warm rounds: one arena build up front, then solve-only laps
+        # (plane caches and levelized structures persist between laps).
+        clear_arena_cache()
+        arena = get_arena(resolved)
+        analyze_side_effects(resolved, backend=backend, arena=arena)
+        for _ in range(repeats):
+            tick = time.perf_counter()
+            summary = analyze_side_effects(resolved, backend=backend, arena=arena)
+            elapsed = time.perf_counter() - tick
+            if elapsed < warm_total:
+                warm_total = elapsed
+                warm_timings = dict(summary.timings)
+            del summary
+        del arena
+    finally:
+        gc.enable()
+        clear_arena_cache()
+    return {
+        "plan": plan,
+        "total_s": best_total,
+        "solve_s": sum(best_timings.get(phase, 0.0) for phase in SOLVE_PHASES),
+        "timings": {
+            phase: best_timings[phase]
+            for phase in REPORT_PHASES
+            if phase in best_timings
+        },
+        "warm_total_s": warm_total,
+        "warm_solve_s": sum(
+            warm_timings.get(phase, 0.0) for phase in SOLVE_PHASES
+        ),
+        "warm_timings": {
+            phase: warm_timings[phase]
+            for phase in REPORT_PHASES
+            if phase in warm_timings
+        },
+    }
+
+
+def measure_backend_cell(resolved, repeats: int) -> Dict:
+    """Every backend on one workload, with speedups vs the big-int
+    column (overall solve and per phase)."""
+    clear_arena_cache()
+    plane_budget = bitplane.plane_budget_bytes(get_arena(resolved), 2)
+    clear_arena_cache()
+    cell: Dict = {"plane_budget_bytes": plane_budget, "backends": {}}
+    for backend in BACKEND_MATRIX:
+        if backend == "numpy" and plane_budget > PLANE_CAP_BYTES:
+            cell["backends"][backend] = {
+                "skipped": "plane budget %d bytes exceeds the %d-byte"
+                " benchmark cap" % (plane_budget, PLANE_CAP_BYTES)
+            }
+            continue
+        cell["backends"][backend] = _measure_backend(resolved, backend, repeats)
+    base = cell["backends"]["bigint"]
+    for backend, record in cell["backends"].items():
+        if "skipped" in record or backend == "bigint":
+            continue
+        record["solve_speedup_vs_bigint"] = base["solve_s"] / max(
+            record["solve_s"], 1e-9
+        )
+        record["total_speedup_vs_bigint"] = base["total_s"] / max(
+            record["total_s"], 1e-9
+        )
+        record["phase_speedup_vs_bigint"] = {
+            phase: base["timings"][phase] / max(record["timings"][phase], 1e-9)
+            for phase in SOLVE_PHASES
+            if phase in base["timings"] and phase in record["timings"]
+        }
+        record["warm_phase_speedup_vs_bigint"] = {
+            phase: base["warm_timings"][phase]
+            / max(record["warm_timings"][phase], 1e-9)
+            for phase in SOLVE_PHASES
+            if phase in base["warm_timings"]
+            and phase in record["warm_timings"]
+        }
+    return cell
+
+
+def measure_backend_matrix(
+    scales: Tuple[Tuple[str, int, int], ...], repeats: int
+) -> Dict:
+    """``{scale: {density: cell}}`` over low- and high-density
+    workloads at every requested scale."""
+    matrix: Dict = {}
+    for label, num_procs, num_globals in scales:
+        row: Dict = {}
+        for density, config in (
+            ("low", _config_for(num_procs, num_globals)),
+            ("high", _dense_config(num_procs, max(num_globals // 2, 50))),
+        ):
+            resolved = generate_resolved(config)
+            cell = measure_backend_cell(resolved, repeats)
+            cell["workload"] = {
+                "num_procs": num_procs,
+                "num_globals": config.num_globals,
+                "num_variables": len(resolved.variables),
+                "num_call_sites": resolved.num_call_sites,
+                "density": density,
+            }
+            row[density] = cell
+            del resolved
+            clear_arena_cache()
+        matrix[label] = row
+    return matrix
+
+
+def measure_warm_start(num_procs: int, num_globals: int) -> Dict:
+    """Cold arena build vs unpickling vs the memory-mapped ``.cka``
+    image, on the dense workload (the one whose image is affordable —
+    mask rows are fixed-width, so density is what keeps it compact)."""
+    import pickle
+    import tempfile
+
+    resolved = generate_resolved(_dense_config(num_procs, num_globals))
+
+    clear_arena_cache()
+    gc.collect()
+    tick = time.perf_counter()
+    arena = get_arena(resolved)
+    cold_build_s = time.perf_counter() - tick
+
+    # The resolved program rides the pickle (deep AST → deep recursion).
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 200_000))
+    try:
+        blob = pickle.dumps(arena, protocol=pickle.HIGHEST_PROTOCOL)
+        gc.collect()
+        tick = time.perf_counter()
+        clone = pickle.loads(blob)
+        unpickle_s = time.perf_counter() - tick
+        del clone
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "arena.cka")
+        write_arena_image(arena, path, digest=b"bench")
+        image_bytes = os.path.getsize(path)
+        gc.collect()
+        tick = time.perf_counter()
+        image = load_arena_image(path)
+        warm = arena_from_image(resolved, image, expect_digest=b"bench")
+        mmap_load_s = time.perf_counter() - tick
+        warm._arena_image.close()
+        del warm
+
+    clear_arena_cache()
+    return {
+        "workload": {
+            "num_procs": num_procs,
+            "num_globals": num_globals,
+            "num_variables": len(resolved.variables),
+        },
+        "cold_build_s": cold_build_s,
+        "unpickle_s": unpickle_s,
+        "mmap_load_s": mmap_load_s,
+        "pickle_bytes": len(blob),
+        "image_bytes": image_bytes,
+        "image_bytes_estimate": arena_image_nbytes(arena),
+        "mmap_speedup_vs_pickle": unpickle_s / max(mmap_load_s, 1e-9),
+        "mmap_speedup_vs_cold": cold_build_s / max(mmap_load_s, 1e-9),
+    }
+
+
 def measure_core_benchmark(
     scales: Tuple[Tuple[str, int, int], ...] = (
         ("1k", 1000, 200),
@@ -178,10 +435,12 @@ def measure_core_benchmark(
     ),
     repeats: int = 3,
     end_to_end: bool = True,
+    backend_scales: Optional[Tuple[Tuple[str, int, int], ...]] = None,
+    warm_start_procs: Optional[int] = None,
 ) -> Dict:
     """Run every middle-end measurement; returns the BENCH record."""
     result: Dict = {
-        "schema": "ck-bench-core/1",
+        "schema": "ck-bench-core/2",
         "repeats": repeats,
         "scales": {},
     }
@@ -190,6 +449,14 @@ def measure_core_benchmark(
     if end_to_end:
         last_label, last_procs, last_globals = scales[-1]
         result["end_to_end"] = measure_end_to_end(last_procs, last_globals)
+    if backend_scales is None:
+        backend_scales = scales
+    result["backends"] = measure_backend_matrix(backend_scales, repeats)
+    if warm_start_procs is None:
+        warm_start_procs = scales[-1][1]
+    result["warm_start"] = measure_warm_start(
+        warm_start_procs, max(scales[-1][2] // 2, 50)
+    )
     return result
 
 
@@ -226,8 +493,16 @@ def test_core_bench_smoke():
     assert scale["fused"]["solve_s"] > 0
     assert scale["condensations"] == {"beta": 1, "call": 1}
     assert scale["condensations_warm"] == {"call": 1}
+    # The backend matrix and warm-start blocks ride the same record.
+    for density in ("low", "high"):
+        cell = result["backends"]["smoke"][density]
+        for backend in BACKEND_MATRIX:
+            assert backend in cell["backends"], (density, backend)
+    warm = result["warm_start"]
+    assert warm["unpickle_s"] > 0 and warm["mmap_load_s"] > 0
+    assert warm["image_bytes_estimate"] <= warm["image_bytes"]
     path = write_bench_json(result)
-    assert json.loads(path.read_text())["schema"] == "ck-bench-core/1"
+    assert json.loads(path.read_text())["schema"] == "ck-bench-core/2"
 
 
 def test_core_bench_10k():
@@ -238,12 +513,15 @@ def test_core_bench_10k():
     num_procs = int(os.environ.get("CK_CORE_BENCH_PROCS", DEFAULT_PROCS))
     repeats = int(os.environ.get("CK_CORE_BENCH_REPEATS", 3))
     big_label = "10k" if num_procs == DEFAULT_PROCS else str(num_procs)
+    scales = (
+        ("1k", 1000, 200),
+        (big_label, num_procs, DEFAULT_GLOBALS),
+    )
+    backend_scales = scales
+    if os.environ.get("CK_CORE_BENCH_50K") == "1":
+        backend_scales = scales + (("50k", 50_000, 1024),)
     result = measure_core_benchmark(
-        scales=(
-            ("1k", 1000, 200),
-            (big_label, num_procs, DEFAULT_GLOBALS),
-        ),
-        repeats=repeats,
+        scales=scales, repeats=repeats, backend_scales=backend_scales
     )
     write_bench_json(result)
     big = result["scales"][big_label]
@@ -272,3 +550,53 @@ def test_core_bench_10k():
             assert speedup >= 1.25, (
                 "end-to-end only %.2fx the recorded baseline" % speedup
             )
+
+    # E16 claims.  ``auto`` may never lose meaningfully to ``bigint``
+    # on any recorded cell — its whole job is to pick the winner.  The
+    # 10 ms absolute grace keeps sub-100ms cells (1k scale) from
+    # flaking on timer noise alone.
+    for label, row in result["backends"].items():
+        for density, cell in row.items():
+            auto = cell["backends"]["auto"]
+            base = cell["backends"]["bigint"]
+            assert auto["total_s"] <= base["total_s"] * 1.05 + 0.010, (
+                "auto loses to bigint at %s/%s: %.3fs vs %.3fs"
+                % (label, density, auto["total_s"], base["total_s"])
+            )
+    if bitplane.HAVE_NUMPY and num_procs == DEFAULT_PROCS:
+        # The kernel claim is a *warm-arena* claim: the levelized
+        # structures and initial-state planes are per-arena caches, so
+        # a cold solve pays a one-time lowering cost that the server's
+        # sessions and the ``.cka`` warm starts amortize away.  On a
+        # warm arena the vectorized RMOD kernel must win ≥1.5x.
+        dense = result["backends"][big_label]["high"]["backends"]["numpy"]
+        best_phase = max(dense["warm_phase_speedup_vs_bigint"].values())
+        print(
+            "dense 10k warm-arena phase speedups (numpy vs bigint): %s"
+            % ", ".join(
+                "%s %.2fx" % (phase, ratio)
+                for phase, ratio in sorted(
+                    dense["warm_phase_speedup_vs_bigint"].items()
+                )
+            )
+        )
+        assert best_phase >= 1.5, (
+            "vectorized backend best warm-arena phase speedup only"
+            " %.2fx at the dense 10k workload" % best_phase
+        )
+        warm = result["warm_start"]
+        print(
+            "warm start @%s: cold %.3fs unpickle %.3fs mmap %.4fs"
+            " (%.1fx vs pickle)"
+            % (
+                big_label,
+                warm["cold_build_s"],
+                warm["unpickle_s"],
+                warm["mmap_load_s"],
+                warm["mmap_speedup_vs_pickle"],
+            )
+        )
+        assert warm["mmap_speedup_vs_pickle"] >= 5.0, (
+            "mmap warm start only %.2fx faster than unpickling"
+            % warm["mmap_speedup_vs_pickle"]
+        )

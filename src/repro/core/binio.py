@@ -1,23 +1,33 @@
 """Low-level binary encoding primitives shared by the serialization
 fast paths.
 
-Two consumers: the versioned binary summary container
-(:mod:`repro.core.persist`, format v3) and the shard boundary-summary
-wire format (:mod:`repro.shard.wire`).  Both speak the same dialect —
-unsigned LEB128 varints, zigzag-mapped signed ints, and big-int bit
-masks as little-endian minimal-length byte strings — so a byte layout
-debugged once works everywhere.
+Three consumers: the versioned binary summary container
+(:mod:`repro.core.persist`, format v3), the shard boundary-summary
+wire format (:mod:`repro.shard.wire`), and the ``.cka`` arena image
+(:mod:`repro.core.arena`).  All speak the same dialect — unsigned
+LEB128 varints, zigzag-mapped signed ints, and big-int bit masks as
+little-endian minimal-length byte strings — so a byte layout debugged
+once works everywhere.
 
 Bit masks are the workhorse: the analysis represents variable sets as
 arbitrary-precision ints, and ``int.to_bytes``/``int.from_bytes`` move
 those to and from the wire entirely inside CPython's C layer.  A
 2000-variable dense mask is a 250-byte blob, not a 20 kB JSON name
 list.
+
+The *aligned raw section* helpers at the bottom serve the arena image:
+fixed-width little-endian rows (``int32`` index tables, 64-bit-limb
+mask rows) starting on an 8-byte boundary, so a reader may interpret a
+memory-mapped section in place — ``numpy.frombuffer`` over the mapped
+buffer is a zero-copy view, and the big-int materialization is one
+``int.from_bytes`` per row over a memoryview slice.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+import sys
+from array import array
+from typing import List, Sequence, Tuple
 
 
 def write_varint(out: bytearray, value: int) -> None:
@@ -152,3 +162,72 @@ def read_bytes(data, pos: int) -> Tuple[bytes, int]:
     length, pos = read_varint(data, pos)
     end = pos + length
     return bytes(data[pos:end]), end
+
+
+# ---------------------------------------------------------------------------
+# Aligned raw sections (the ``.cka`` arena image's building blocks).
+# ---------------------------------------------------------------------------
+
+#: Every raw section starts on this boundary so 64-bit views over a
+#: memory-mapped file are aligned loads.
+SECTION_ALIGN = 8
+
+
+def pad_to_alignment(out: bytearray, align: int = SECTION_ALIGN) -> None:
+    """Zero-pad ``out`` so the next byte lands on an ``align`` boundary."""
+    remainder = len(out) % align
+    if remainder:
+        out += b"\0" * (align - remainder)
+
+
+def aligned(pos: int, align: int = SECTION_ALIGN) -> int:
+    """``pos`` rounded up to the next ``align`` boundary."""
+    remainder = pos % align
+    return pos + (align - remainder) if remainder else pos
+
+
+def write_i32_section(out: bytearray, values: Sequence[int]) -> None:
+    """Append an aligned raw section of little-endian ``int32`` values."""
+    pad_to_alignment(out)
+    packed = array("i", values)
+    if packed.itemsize != 4:  # pragma: no cover - no 4-byte int C type
+        raise OverflowError("platform lacks a 4-byte array int type")
+    if sys.byteorder != "little":  # pragma: no cover - big-endian host
+        packed.byteswap()
+    out += packed.tobytes()
+
+
+def read_i32_section(buffer, offset: int, count: int) -> List[int]:
+    """Materialize an ``int32`` raw section as a plain int list (one
+    C-level bulk conversion, no per-element Python arithmetic)."""
+    packed = array("i")
+    packed.frombytes(bytes(buffer[offset : offset + count * 4]))
+    if sys.byteorder != "little":  # pragma: no cover - big-endian host
+        packed.byteswap()
+    return packed.tolist()
+
+
+def write_mask_section(
+    out: bytearray, masks: Sequence[int], words: int
+) -> None:
+    """Append an aligned raw section of fixed-width mask rows: each
+    row is ``words`` little-endian 64-bit limbs — the exact limb layout
+    both ``int.to_bytes(..., "little")`` and a ``uint64`` NumPy plane
+    row use, so either consumer reads the section without rewriting."""
+    pad_to_alignment(out)
+    nbytes = words * 8
+    out += b"".join(mask.to_bytes(nbytes, "little") for mask in masks)
+
+
+def read_mask_section(
+    buffer, offset: int, rows: int, words: int
+) -> List[int]:
+    """Materialize a mask-row section as big-ints — one
+    ``int.from_bytes`` per row over a shared memoryview (no NumPy
+    required; a plane consumer views the same bytes in place)."""
+    nbytes = words * 8
+    view = memoryview(buffer)[offset : offset + rows * nbytes]
+    return [
+        int.from_bytes(view[row * nbytes : (row + 1) * nbytes], "little")
+        for row in range(rows)
+    ]

@@ -526,12 +526,50 @@ def decode_summary_payload(data: bytes) -> Dict:
     return payload
 
 
-def loads_summary_payload(data: bytes) -> Dict:
+def loads_summary_payload(data) -> Dict:
     """Decode a serialized summary payload from either format: the v3
-    binary container (sniffed by magic) or the legacy v2 JSON text."""
+    binary container (sniffed by magic) or the legacy v2 JSON text.
+    ``data`` may be any byte buffer — ``bytes``, a ``memoryview``, or a
+    memory-mapped file (see :func:`load_summary_container_file`)."""
     if is_binary_summary(data):
         return decode_summary_payload(data)
-    return json.loads(data.decode("utf-8"))
+    return json.loads(bytes(data).decode("utf-8"))
+
+
+def load_summary_container_file(path: str) -> "Tuple[Dict, Dict[int, bytes]]":
+    """Decode a container file through ``mmap``: the decoder walks the
+    mapped pages in place, so only the bytes a section actually touches
+    are read — a v4 file whose trailer (dependency index, lane blobs)
+    dwarfs its body decodes without pulling the whole file through a
+    read buffer first.  Falls back to a plain read where mmap is
+    unavailable (empty files, exotic filesystems).
+
+    Returns ``(payload, sections)`` like :func:`decode_summary_container`,
+    and understands the legacy JSON form (``(payload, {})``).
+    """
+    import mmap
+
+    with open(path, "rb") as handle:
+        try:
+            buffer = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            data = handle.read()
+            if is_binary_summary(data):
+                return decode_summary_container(data)
+            return json.loads(data.decode("utf-8")), {}
+        try:
+            if is_binary_summary(buffer):
+                return decode_summary_container(buffer)
+            return json.loads(bytes(buffer).decode("utf-8")), {}
+        finally:
+            buffer.close()
+
+
+def load_summary_payload_file(path: str) -> Dict:
+    """The payload dict of a container file, mmap-decoded (trailer
+    sections skipped).  See :func:`load_summary_container_file`."""
+    payload, _ = load_summary_container_file(path)
+    return payload
 
 
 class LoadedSummary:

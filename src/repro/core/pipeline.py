@@ -103,6 +103,7 @@ def analyze_side_effects(
     fused: bool = True,
     arena: Optional[ProgramArena] = None,
     lanes: Sequence[str] = (),
+    backend: str = "auto",
 ) -> SideEffectSummary:
     """Run the complete analysis.
 
@@ -117,6 +118,20 @@ def analyze_side_effects(
     summary — every set, and every counter tally — is identical.  Pass
     ``arena`` to reuse an existing lowering (otherwise the arena cache
     supplies one keyed on the resolved program).
+
+    ``backend`` selects the dense-phase mask representation on the
+    fused path: ``"bigint"`` (the Python big-int solvers),
+    ``"numpy"`` (every dense phase on the vectorized bit-plane kernels
+    of :mod:`repro.core.bitplane`; falls back to big-ints with a
+    one-line warning when NumPy is absent), or ``"auto"`` (default —
+    per workload by measured mask density and universe width, see
+    :func:`repro.core.bitplane.auto_backend`; resolves to the
+    ``"hybrid"`` plan — vectorized RMOD, big-int mask phases — when
+    the plane gates pass).  Every backend produces the identical
+    summary down to the OpCounter tallies; only the wall-clock
+    changes.  ``summary.backend`` records the plan that ran.  The
+    legacy path (``fused=False``) is big-int only and rejects an
+    explicit ``backend="numpy"``.
 
     ``lanes`` names extra effect lanes (:mod:`repro.lanes`, e.g.
     ``("sections", "refalias")``) advanced through the same arena after
@@ -161,6 +176,16 @@ def analyze_side_effects(
     lane_names = list(lanes)
     if lane_names and not fused:
         raise ValueError("effect lanes require the fused pipeline (fused=True)")
+    from repro.core import bitplane
+
+    if backend not in bitplane.BACKENDS:
+        raise ValueError(
+            "backend must be one of %s, got %r" % (bitplane.BACKENDS, backend)
+        )
+    if backend == "numpy" and not fused:
+        raise ValueError(
+            "backend='numpy' requires the fused pipeline (fused=True)"
+        )
 
     counter = OpCounter()
     if fused:
@@ -195,24 +220,58 @@ def analyze_side_effects(
     condensations: Optional[Dict[str, int]] = None
     lane_states: Optional[Dict[str, object]] = None
 
+    backend_used = "bigint"
     if fused:
         num_kinds = len(kind_list)
+        backend_used = bitplane.resolve_backend(arena, num_kinds, backend)
         before = arena.snapshot_condensations()
-        rmod_results, rmod_bits = solve_rmod_fused(arena, kind_list, kind_counters)
+        if backend_used in ("numpy", "hybrid"):
+            rmod_results, rmod_bits = bitplane.solve_rmod_numpy(
+                arena, kind_list, kind_counters
+            )
+        else:
+            rmod_results, rmod_bits = solve_rmod_fused(
+                arena, kind_list, kind_counters
+            )
         tick = _mark("rmod", tick)
         imod_plus_rows = compute_imod_plus_fused(
             arena, rmod_bits, kind_list, kind_counters
         )
         tick = _mark("imod_plus", tick)
-        gmod_rows, used_method = _solve_gmod_fused(
-            method, arena, imod_plus_rows, num_kinds, kind_counters
-        )
-        tick = _mark("gmod", tick)
-        dmod_rows = compute_dmod_fused(arena, gmod_rows, kind_list, kind_counters)
-        mod_rows = factor_aliases_fused(
-            dmod_rows, aliases, arena, num_kinds, kind_counters
-        )
-        tick = _mark("dmod", tick)
+        if backend_used == "numpy":
+            plane_ctx = bitplane.PlaneContext(arena, num_kinds)
+            gmod_planes, gmod_rows = bitplane.solve_gmod_numpy(
+                plane_ctx, method, imod_plus_rows, num_kinds, kind_counters
+            )
+            used_method = method
+            tick = _mark("gmod", tick)
+            dmod_planes = bitplane.compute_dmod_numpy(
+                plane_ctx, gmod_planes, kind_list, kind_counters
+            )
+            dmod_rows = [
+                bitplane.plane_to_masks(plane) for plane in dmod_planes
+            ]
+            mod_rows = bitplane.factor_aliases_numpy(
+                plane_ctx,
+                dmod_planes,
+                dmod_rows,
+                aliases,
+                num_kinds,
+                kind_counters,
+            )
+            tick = _mark("dmod", tick)
+        else:
+            gmod_rows, used_method = _solve_gmod_fused(
+                method, arena, imod_plus_rows, num_kinds, kind_counters
+            )
+            tick = _mark("gmod", tick)
+            dmod_rows = compute_dmod_fused(
+                arena, gmod_rows, kind_list, kind_counters
+            )
+            mod_rows = factor_aliases_fused(
+                dmod_rows, aliases, arena, num_kinds, kind_counters
+            )
+            tick = _mark("dmod", tick)
         for k, kind in enumerate(kind_list):
             solutions[kind] = EffectSolution(
                 kind=kind,
@@ -290,6 +349,7 @@ def analyze_side_effects(
         kind_counters=dict(zip(kind_list, kind_counters)),
         condensations=condensations,
         lanes=lane_states,
+        backend=backend_used,
     )
 
 
@@ -337,6 +397,7 @@ def analyze_source_payload(
     shard_jobs: int = 1,
     shard_strategy: str = "greedy",
     lanes: Sequence[str] = (),
+    backend: str = "auto",
 ) -> Dict:
     """Analyze source text and return a JSON-safe, picklable payload.
 
@@ -354,6 +415,10 @@ def analyze_source_payload(
     ``lanes`` payload block.  Sharded runs solve the lanes on the
     coordinator's arena after the stitch — lanes ride the whole-program
     condensation, which the sharded path shares.
+
+    ``backend`` selects the dense-phase mask representation (see
+    :func:`analyze_side_effects`); the payload is byte-identical either
+    way.  Sharded runs ignore it — the shard solver is big-int only.
     """
     lane_names = list(lanes)
     if shards is not None:
@@ -374,7 +439,9 @@ def analyze_source_payload(
             )
         return payload_from_summary(summary)
     return payload_from_summary(
-        analyze_side_effects(source, gmod_method=gmod_method, lanes=lane_names)
+        analyze_side_effects(
+            source, gmod_method=gmod_method, lanes=lane_names, backend=backend
+        )
     )
 
 
@@ -385,6 +452,7 @@ def analyze_file_payload(
     shard_jobs: int = 1,
     shard_strategy: str = "greedy",
     lanes: Sequence[str] = (),
+    backend: str = "auto",
 ) -> Dict:
     """:func:`analyze_source_payload` over a file path (picklable)."""
     with open(path) as handle:
@@ -396,4 +464,5 @@ def analyze_file_payload(
         shard_jobs=shard_jobs,
         shard_strategy=shard_strategy,
         lanes=lanes,
+        backend=backend,
     )

@@ -72,6 +72,14 @@ class SideEffectSummary:
     #: payload's ``lanes`` block and, on request, into per-lane v4
     #: container trailer sections.
     lanes: Optional[Dict[str, object]] = None
+    #: Solve plan that produced the dense phases: ``"bigint"`` (the
+    #: big-int fused/legacy solvers), ``"numpy"`` (every dense phase on
+    #: the vectorized bit-plane kernels, :mod:`repro.core.bitplane`) or
+    #: ``"hybrid"`` (vectorized RMOD, big-int mask phases — what
+    #: ``backend="auto"`` picks on plane-friendly workloads).
+    #: Informational — the sets and counters are identical either way;
+    #: not serialized.
+    backend: str = "bigint"
 
     # -- mask accessors -------------------------------------------------------
 

@@ -1,0 +1,418 @@
+"""The vectorized bit-plane backend and its zero-copy warm starts.
+
+Three subsystems under test:
+
+* the **backend chooser** — :func:`repro.core.bitplane.auto_backend`'s
+  density/width/budget gates, the ``auto`` → ``hybrid`` plan mapping,
+  and the ImportError-free fallback when NumPy is absent;
+* the **plane shims** — ``masks_to_plane``/``plane_to_masks`` must be
+  exact inverses, and every backend must produce byte-identical
+  serialized summaries (a hypothesis fuzz drives random programs
+  through all three request values);
+* the **``.cka`` arena image** — write → mmap → rebuild must reproduce
+  the arena field for field and analysis for analysis, refuse stale
+  digests and foreign bytes, and (with NumPy) pre-populate the plane
+  cache with zero-copy views over the mapped buffer.
+
+The heavyweight perf claims (speedups, warm-start ratios) live in
+``benchmarks/test_bench_core.py``; this module pins *correctness* at
+sizes the tier-1 suite can afford.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitplane
+from repro.core.arena import (
+    ARENA_IMAGE_MAGIC,
+    ArenaImage,
+    arena_from_image,
+    arena_image_nbytes,
+    clear_arena_cache,
+    get_arena,
+    load_arena_image,
+    write_arena_image,
+)
+from repro.core.persist import (
+    encode_summary_payload,
+    load_summary_container_file,
+    load_summary_payload_file,
+    summary_to_bytes,
+)
+from repro.core.pipeline import analyze_side_effects
+from repro.workloads.generator import GeneratorConfig, generate_resolved
+
+requires_numpy = pytest.mark.skipif(
+    not bitplane.HAVE_NUMPY, reason="NumPy not installed"
+)
+
+BACKEND_REQUESTS = ("bigint", "auto") + (
+    ("numpy",) if bitplane.HAVE_NUMPY else ()
+)
+
+
+def _small_resolved(seed=5, procs=12, depth=1):
+    return generate_resolved(
+        GeneratorConfig(seed=seed, num_procs=procs, num_globals=6, max_depth=depth)
+    )
+
+
+def _nested_resolved():
+    return generate_resolved(
+        GeneratorConfig(
+            seed=9, num_procs=14, num_globals=5, max_depth=3, nesting_prob=0.7
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# The chooser.
+# ---------------------------------------------------------------------------
+
+
+class TestChooser:
+    def test_small_program_stays_bigint(self):
+        """Corpus-sized programs never clear the row floor — the tier-1
+        suite runs big-ints under ``auto`` by construction."""
+        arena = get_arena(_small_resolved())
+        assert bitplane.auto_backend(arena, 2) == "bigint"
+        assert bitplane.resolve_backend(arena, 2, "auto") == "bigint"
+
+    @requires_numpy
+    def test_relaxed_gates_choose_numpy(self):
+        arena = get_arena(_small_resolved())
+        assert (
+            bitplane.auto_backend(
+                arena, 2, min_rows=0, density_threshold=0.0
+            )
+            == "numpy"
+        )
+
+    @requires_numpy
+    def test_width_gate(self):
+        arena = get_arena(_small_resolved())
+        assert (
+            bitplane.auto_backend(
+                arena, 2, min_rows=0, density_threshold=0.0, max_words=0
+            )
+            == "bigint"
+        )
+
+    @requires_numpy
+    def test_budget_gate(self):
+        arena = get_arena(_small_resolved())
+        assert (
+            bitplane.auto_backend(
+                arena, 2, min_rows=0, density_threshold=0.0, budget_bytes=0
+            )
+            == "bigint"
+        )
+
+    @requires_numpy
+    def test_density_gate(self):
+        """A threshold above 1.0 is unsatisfiable — every universe has
+        shared density ≤ 1 — so the gate must always fire."""
+        arena = get_arena(_small_resolved())
+        assert (
+            bitplane.auto_backend(
+                arena, 2, min_rows=0, density_threshold=1.01
+            )
+            == "bigint"
+        )
+
+    def test_kind_count_gates(self):
+        """A plane packs at most 64 kind slots per word; zero kinds is
+        degenerate.  Both refuse the planes."""
+        arena = get_arena(_small_resolved())
+        assert bitplane.auto_backend(arena, 0) == "bigint"
+        assert bitplane.auto_backend(arena, 65) == "bigint"
+
+    def test_shared_density_bounds(self):
+        arena = get_arena(_small_resolved())
+        assert 0.0 <= bitplane.shared_density(arena) <= 1.0
+
+    @requires_numpy
+    def test_auto_resolves_to_hybrid(self, monkeypatch):
+        """When the gates pass, ``auto`` runs the hybrid plan: RMOD on
+        the kernels, the mask phases on big-ints."""
+        monkeypatch.setattr(bitplane, "AUTO_MIN_ROWS", 0)
+        monkeypatch.setattr(bitplane, "AUTO_DENSITY_THRESHOLD", 0.0)
+        arena = get_arena(_small_resolved())
+        assert bitplane.resolve_backend(arena, 2, "auto") == "hybrid"
+
+    def test_unknown_backend_rejected(self):
+        arena = get_arena(_small_resolved())
+        with pytest.raises(ValueError, match="backend"):
+            bitplane.resolve_backend(arena, 2, "cuda")
+
+    def test_numpy_unavailable_warns_once_and_falls_back(self, monkeypatch):
+        """An explicit ``backend="numpy"`` on a NumPy-less install must
+        degrade to big-ints with exactly one RuntimeWarning — never an
+        ImportError."""
+        monkeypatch.setattr(bitplane, "HAVE_NUMPY", False)
+        monkeypatch.setattr(bitplane, "_warned_unavailable", False)
+        arena = get_arena(_small_resolved())
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert bitplane.resolve_backend(arena, 2, "numpy") == "bigint"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # A second warning would raise.
+            assert bitplane.resolve_backend(arena, 2, "numpy") == "bigint"
+        # And ``auto`` silently stays on big-ints.
+        assert bitplane.auto_backend(arena, 2) == "bigint"
+
+    def test_pipeline_records_fallback_plan(self, monkeypatch):
+        """End to end: the summary records the plan that *ran*, not the
+        one requested."""
+        monkeypatch.setattr(bitplane, "HAVE_NUMPY", False)
+        monkeypatch.setattr(bitplane, "_warned_unavailable", True)
+        resolved = _small_resolved()
+        summary = analyze_side_effects(resolved, backend="numpy")
+        assert summary.backend == "bigint"
+
+    def test_pipeline_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            analyze_side_effects(_small_resolved(), backend="fpga")
+
+    def test_legacy_path_rejects_numpy_backend(self):
+        with pytest.raises(ValueError, match="fused"):
+            analyze_side_effects(
+                _small_resolved(), fused=False, backend="numpy"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Plane shims.
+# ---------------------------------------------------------------------------
+
+
+@requires_numpy
+class TestPlaneShims:
+    @given(
+        masks=st.lists(
+            st.integers(min_value=0, max_value=(1 << 192) - 1), max_size=24
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mask_plane_round_trip(self, masks):
+        plane = bitplane.masks_to_plane(masks, 3)
+        assert plane.shape == (len(masks), 3)
+        assert bitplane.plane_to_masks(plane) == masks
+
+    def test_empty_plane(self):
+        assert bitplane.plane_to_masks(bitplane.masks_to_plane([], 4)) == []
+
+
+# ---------------------------------------------------------------------------
+# Backend byte-identity fuzz.
+# ---------------------------------------------------------------------------
+
+
+class TestBackendIdentity:
+    @given(
+        seed=st.integers(min_value=0, max_value=9999),
+        procs=st.integers(min_value=3, max_value=24),
+        num_globals=st.integers(min_value=1, max_value=10),
+        depth=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_backends_byte_identical(self, seed, procs, num_globals, depth):
+        """Same program, every backend request value → the *serialized*
+        summaries agree byte for byte (sets and tallies both ride the
+        container, so this subsumes set equality)."""
+        resolved = generate_resolved(
+            GeneratorConfig(
+                seed=seed,
+                num_procs=procs,
+                num_globals=num_globals,
+                max_depth=depth,
+            )
+        )
+        blobs = {
+            backend: summary_to_bytes(
+                analyze_side_effects(resolved, backend=backend)
+            )
+            for backend in BACKEND_REQUESTS
+        }
+        assert len(set(blobs.values())) == 1, sorted(blobs)
+
+    @requires_numpy
+    def test_hybrid_plan_byte_identical(self):
+        """Force ``auto`` → hybrid on a small program and pin it against
+        the big-int run."""
+        resolved = _nested_resolved()
+        base = summary_to_bytes(analyze_side_effects(resolved, backend="bigint"))
+        saved = (bitplane.AUTO_MIN_ROWS, bitplane.AUTO_DENSITY_THRESHOLD)
+        bitplane.AUTO_MIN_ROWS = 0
+        bitplane.AUTO_DENSITY_THRESHOLD = 0.0
+        try:
+            summary = analyze_side_effects(resolved, backend="auto")
+            assert summary.backend == "hybrid"
+            assert summary_to_bytes(summary) == base
+        finally:
+            bitplane.AUTO_MIN_ROWS, bitplane.AUTO_DENSITY_THRESHOLD = saved
+
+
+# ---------------------------------------------------------------------------
+# The .cka arena image.
+# ---------------------------------------------------------------------------
+
+
+def _image_path(tmp_path):
+    return str(tmp_path / "arena.cka")
+
+
+class TestArenaImage:
+    def _round_trip(self, resolved, tmp_path, digest=b"rev-1"):
+        clear_arena_cache()
+        arena = get_arena(resolved)
+        path = _image_path(tmp_path)
+        write_arena_image(arena, path, digest=digest)
+        image = load_arena_image(path)
+        rebuilt = arena_from_image(resolved, image, expect_digest=digest)
+        return arena, rebuilt, path
+
+    @pytest.mark.parametrize("maker", [_small_resolved, _nested_resolved])
+    def test_round_trip_fields_and_analysis(self, maker, tmp_path):
+        resolved = maker()
+        arena, rebuilt, path = self._round_trip(resolved, tmp_path)
+        assert rebuilt.width == arena.width
+        assert rebuilt.call_csr.heads == arena.call_csr.heads
+        assert rebuilt.call_csr.succ == arena.call_csr.succ
+        assert rebuilt.beta_csr.heads == arena.beta_csr.heads
+        assert rebuilt.beta_csr.succ == arena.beta_csr.succ
+        assert rebuilt.site_caller == arena.site_caller
+        assert rebuilt.site_callee == arena.site_callee
+        assert rebuilt.site_ref_heads == arena.site_ref_heads
+        assert rebuilt.ref_base_uid == arena.ref_base_uid
+        assert rebuilt.site_lmod == arena.site_lmod
+        assert rebuilt.site_luse == arena.site_luse
+        assert rebuilt._strip == arena._strip
+        assert rebuilt.universe.global_mask == arena.universe.global_mask
+        assert rebuilt.universe.local_mask == arena.universe.local_mask
+        assert rebuilt.universe.formal_mask == arena.universe.formal_mask
+        assert rebuilt.local.imod == arena.local.imod
+        assert rebuilt.local.iuse == arena.local.iuse
+        # The rebuilt arena answers every backend identically to the
+        # built one.
+        base = summary_to_bytes(
+            analyze_side_effects(resolved, arena=arena, backend="bigint")
+        )
+        for backend in BACKEND_REQUESTS:
+            redo = summary_to_bytes(
+                analyze_side_effects(resolved, arena=rebuilt, backend=backend)
+            )
+            assert redo == base, backend
+        rebuilt._arena_image.close()
+
+    def test_size_estimate_tracks_file(self, tmp_path):
+        resolved = _small_resolved()
+        arena, _rebuilt, path = self._round_trip(resolved, tmp_path)
+        estimate = arena_image_nbytes(arena)
+        actual = os.path.getsize(path)
+        # The estimator ignores the (small, bounded) header + padding.
+        assert estimate <= actual <= estimate + 4096
+
+    def test_digest_mismatch_refused(self, tmp_path):
+        resolved = _small_resolved()
+        clear_arena_cache()
+        arena = get_arena(resolved)
+        path = _image_path(tmp_path)
+        write_arena_image(arena, path, digest=b"rev-1")
+        with load_arena_image(path) as image:
+            with pytest.raises(ValueError, match="digest"):
+                arena_from_image(resolved, image, expect_digest=b"rev-2")
+
+    def test_foreign_bytes_refused(self, tmp_path):
+        path = _image_path(tmp_path)
+        with open(path, "wb") as handle:
+            handle.write(b"definitely not an arena image")
+        with pytest.raises(ValueError):
+            load_arena_image(path)
+
+    def test_version_drift_refused(self, tmp_path):
+        resolved = _small_resolved()
+        clear_arena_cache()
+        write_arena_image(get_arena(resolved), _image_path(tmp_path))
+        with open(_image_path(tmp_path), "r+b") as handle:
+            handle.seek(len(ARENA_IMAGE_MAGIC))
+            handle.write(b"\xff\xff")  # Future version.
+        with pytest.raises(ValueError, match="version"):
+            load_arena_image(_image_path(tmp_path))
+
+    def test_wrong_program_refused(self, tmp_path):
+        """An image for one program cannot dress up another: the
+        shape check fires even without a digest."""
+        clear_arena_cache()
+        write_arena_image(
+            get_arena(_small_resolved(procs=12)), _image_path(tmp_path)
+        )
+        other = _small_resolved(procs=13)
+        with load_arena_image(_image_path(tmp_path)) as image:
+            with pytest.raises(ValueError):
+                arena_from_image(other, image)
+
+    @requires_numpy
+    def test_mapped_image_prepopulates_plane_cache(self, tmp_path):
+        resolved = _small_resolved()
+        _arena, rebuilt, _path = self._round_trip(resolved, tmp_path)
+        cache = bitplane.arena_plane_cache(rebuilt)
+        for key in ("strip", "site_lmod", "site_luse", "initial_mod",
+                    "initial_use"):
+            assert key in cache, key
+        # Zero-copy: the planes view the mapped buffer, they do not own
+        # their data.
+        assert cache["strip"].base is not None
+        rebuilt._arena_image.close()
+
+    def test_image_excluded_from_pickle(self, tmp_path):
+        import pickle
+
+        resolved = _small_resolved()
+        _arena, rebuilt, _path = self._round_trip(resolved, tmp_path)
+        clone = pickle.loads(pickle.dumps(rebuilt))
+        assert getattr(clone, "_arena_image", None) is None
+        assert clone.call_csr.heads == rebuilt.call_csr.heads
+        rebuilt._arena_image.close()
+
+
+# ---------------------------------------------------------------------------
+# The mmap container loader.
+# ---------------------------------------------------------------------------
+
+
+class TestContainerLoader:
+    def test_payload_round_trip(self, tmp_path):
+        payload = {"answer": 42, "sets": [1, 2, 3], "name": "x"}
+        path = str(tmp_path / "payload.ckb")
+        with open(path, "wb") as handle:
+            handle.write(encode_summary_payload(payload))
+        assert load_summary_payload_file(path) == payload
+        loaded, sections = load_summary_container_file(path)
+        assert loaded == payload
+        assert sections == {}
+
+    def test_legacy_json_round_trip(self, tmp_path):
+        path = str(tmp_path / "legacy.json")
+        with open(path, "w") as handle:
+            handle.write('{"answer": 42}')
+        assert load_summary_payload_file(path) == {"answer": 42}
+        loaded, sections = load_summary_container_file(path)
+        assert loaded == {"answer": 42}
+        assert sections == {}
+
+    def test_missing_file_is_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_summary_payload_file(str(tmp_path / "absent.ckb"))
+
+    def test_garbage_is_valueerror(self, tmp_path):
+        path = str(tmp_path / "torn.ckb")
+        with open(path, "wb") as handle:
+            handle.write(b"\x00\x01garbage")
+        with pytest.raises(ValueError):
+            load_summary_payload_file(path)

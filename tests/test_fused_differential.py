@@ -39,13 +39,11 @@ def _methods_for(resolved):
     return methods
 
 
-def _assert_fused_identical(resolved, method):
-    fused = analyze_side_effects(resolved, gmod_method=method, fused=True)
-    legacy = analyze_side_effects(resolved, gmod_method=method, fused=False)
+def _assert_summaries_identical(fused, legacy, resolved, tag_base):
     for kind in KINDS:
         fast = fused.solutions[kind]
         slow = legacy.solutions[kind]
-        tag = (method, kind)
+        tag = tag_base + (kind,)
         assert fast.rmod.node_value == slow.rmod.node_value, (tag, "RMOD")
         assert fast.rmod.proc_mask == slow.rmod.proc_mask, (tag, "RMOD mask")
         assert fast.imod_plus == slow.imod_plus, (tag, "IMOD+")
@@ -59,10 +57,22 @@ def _assert_fused_identical(resolved, method):
         assert fused.kind_counters[kind] == legacy.kind_counters[kind], (
             tag, fused.kind_counters[kind], legacy.kind_counters[kind]
         )
-    assert fused.counter == legacy.counter, method
+    assert fused.counter == legacy.counter, tag_base
     for site in resolved.call_sites:
-        assert fused.mod(site) == legacy.mod(site), (method, site)
-        assert fused.use(site) == legacy.use(site), (method, site)
+        assert fused.mod(site) == legacy.mod(site), (tag_base, site)
+        assert fused.use(site) == legacy.use(site), (tag_base, site)
+
+
+def _assert_fused_identical(resolved, method):
+    fused = analyze_side_effects(resolved, gmod_method=method, fused=True)
+    legacy = analyze_side_effects(resolved, gmod_method=method, fused=False)
+    _assert_summaries_identical(fused, legacy, resolved, (method, "legacy"))
+    # The backend axis: every dense-phase backend — the vectorized
+    # bit planes and the per-workload chooser — must reproduce the
+    # big-int fused run bit for bit, OpCounter tallies included.
+    for backend in ("numpy", "auto"):
+        alt = analyze_side_effects(resolved, gmod_method=method, backend=backend)
+        _assert_summaries_identical(alt, fused, resolved, (method, backend))
 
 
 @pytest.mark.parametrize("config", CONFIGS, ids=_config_id)
