@@ -4,7 +4,8 @@
 PY ?= python
 PP := PYTHONPATH=src
 
-.PHONY: test differential shard-differential incremental-differential \
+.PHONY: test differential shard-differential partition-differential \
+	incremental-differential \
 	lane-differential backend-differential bench-smoke bench \
 	bench-frontend bench-core bench-incremental bench-fleet \
 	bench-lanes profile server-smoke fleet-smoke
@@ -29,6 +30,16 @@ differential:
 shard-differential:
 	$(PP) $(PY) -m pytest -q tests/test_shard.py tests/test_shard_equivalence.py \
 	    tests/test_shard_wire.py
+
+# The structure-aware partitioner oracles: separator-tree structural
+# invariants (SCCs never split, callee-first waves, sound scopes, a
+# well-formed tree), boundary-variable quality vs greedy over the
+# 30-program sweep and the 10k scale-free workload, and the shard
+# equivalence fuzz asserting byte-identity across every --partition
+# mode at shard counts 1/2/4/8.
+partition-differential:
+	$(PP) $(PY) -m pytest -q tests/test_separator.py \
+	    tests/test_shard_equivalence.py
 
 # The incremental-engine oracle: randomized edit-sequence fuzzing
 # (byte-identity against scratch on both solver paths after every

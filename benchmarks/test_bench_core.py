@@ -584,6 +584,25 @@ def test_core_bench_10k():
             "vectorized backend best warm-arena phase speedup only"
             " %.2fx at the dense 10k workload" % best_phase
         )
+        # The stacked GMOD quotient sweep (all kind planes in one
+        # gather/reduceat per level) must be measured on every recorded
+        # numpy cell — and must stay within sanity of the big-int
+        # column, whose skew-exploiting ints are hard to beat on the
+        # gmod phase at this width.
+        for label, row in result["backends"].items():
+            for density, cell in row.items():
+                record = cell["backends"]["numpy"]
+                if "skipped" in record:
+                    continue
+                for speedups in (
+                    record["phase_speedup_vs_bigint"],
+                    record["warm_phase_speedup_vs_bigint"],
+                ):
+                    assert "gmod" in speedups, (label, density)
+                    assert speedups["gmod"] > 0.1, (
+                        "stacked gmod sweep collapsed at %s/%s: %.3fx"
+                        % (label, density, speedups["gmod"])
+                    )
         warm = result["warm_start"]
         print(
             "warm start @%s: cold %.3fs unpickle %.3fs mmap %.4fs"

@@ -116,6 +116,131 @@ def _run_sharded(inputs, shards: int, jobs: int, strategy: str):
     return out, rmod_stats, gmod_stats, beta_plan, call_plan
 
 
+def _build_systems(inputs, shards: int, strategy: str):
+    """Partition both graphs and build their sharded systems; returns
+    them plus the build wall-clock (the plan is program-structure
+    capital — a server session or incremental driver builds it once and
+    reuses it across solves)."""
+    resolved, universe, call_graph, binding_graph, local = inputs
+    tick = time.perf_counter()
+    beta_plan = partition_graph(
+        binding_graph.num_formals, binding_graph.successors, shards, strategy
+    )
+    call_plan = partition_graph(
+        call_graph.num_nodes, call_graph.successors, shards, strategy
+    )
+    beta_system = ShardedSystem(
+        binding_graph.num_formals, binding_graph.successors, None, beta_plan
+    )
+    call_system = ShardedSystem(
+        call_graph.num_nodes,
+        call_graph.successors,
+        universe.local_mask,
+        call_plan,
+        carrier=narrow_carrier(resolved, universe),
+    )
+    build_s = time.perf_counter() - tick
+    return beta_plan, call_plan, beta_system, call_system, build_s
+
+
+def _warm_solve(inputs, beta_system, call_system, jobs: int):
+    """One solve lap over prebuilt systems (the warm-plan regime)."""
+    resolved, universe, call_graph, binding_graph, local = inputs
+    out = {}
+    rmod_stats, gmod_stats = HierarchicalStats(), HierarchicalStats()
+    with ShardRunner(jobs) as runner:
+        for kind in KINDS:
+            counter = OpCounter()
+            rmod, stats = solve_rmod_sharded(
+                binding_graph, local, kind, beta_system, runner, counter
+            )
+            rmod_stats.accumulate(stats)
+            imod_plus = compute_imod_plus(resolved, local, rmod, kind, counter)
+            gmod, stats = solve_gmod_sharded(
+                call_graph, imod_plus, universe, kind, call_system, runner,
+                counter
+            )
+            gmod_stats.accumulate(stats)
+            out[kind] = (rmod.proc_mask, gmod)
+    return out, rmod_stats, gmod_stats
+
+
+def measure_partition_comparison(
+    inputs, reference, shards: int, jobs: int, repeats: int
+) -> Dict:
+    """Greedy vs separator on **warm plans**: partition + system build
+    happen once per strategy (recorded as ``plan_build_s``), then the
+    timed laps reuse them — the shape a server session, the batch
+    driver's plan cache, or the incremental engine actually runs in.
+    Byte-identity vs the monolithic reference is asserted on every lap
+    of every strategy at both job counts.
+    """
+    block: Dict = {
+        "shards": shards,
+        "jobs": jobs,
+        "methodology": "warm-plan: partition+systems built once per "
+        "strategy and reused across solve laps; the top-level "
+        "sequential/parallel records above time the cold path instead. "
+        "The monolithic baseline is re-timed here, interleaved with the "
+        "laps, so speedups compare like-for-like process conditions",
+    }
+    gc.disable()
+    try:
+        # Re-time the monolithic solve under the same heap and
+        # scheduler conditions as the laps below — a baseline captured
+        # minutes earlier in the run is not comparable.
+        best_mono = float("inf")
+        for _ in range(repeats):
+            gc.collect()
+            tick = time.perf_counter()
+            out = _run_monolithic(inputs)
+            best_mono = min(best_mono, time.perf_counter() - tick)
+            for kind in KINDS:
+                assert out[kind] == reference[kind], ("monolithic", kind)
+        block["monolithic_s"] = best_mono
+
+        for strategy in ("greedy", "separator"):
+            beta_plan, call_plan, beta_system, call_system, build_s = (
+                _build_systems(inputs, shards, strategy)
+            )
+            best_seq = best_par = float("inf")
+            rmod_stats = gmod_stats = None
+            for _ in range(repeats):
+                gc.collect()
+                tick = time.perf_counter()
+                out, rmod_stats, gmod_stats = _warm_solve(
+                    inputs, beta_system, call_system, 1
+                )
+                best_seq = min(best_seq, time.perf_counter() - tick)
+                for kind in KINDS:
+                    assert out[kind] == reference[kind], (strategy, 1, kind)
+
+                gc.collect()
+                tick = time.perf_counter()
+                out, _, _ = _warm_solve(inputs, beta_system, call_system, jobs)
+                best_par = min(best_par, time.perf_counter() - tick)
+                for kind in KINDS:
+                    assert out[kind] == reference[kind], (strategy, jobs, kind)
+            block[strategy] = {
+                "plan_build_s": build_s,
+                "solve_sequential_s": best_seq,
+                "solve_parallel_s": best_par,
+                "speedup_sequential_vs_monolithic": best_mono / best_seq,
+                "speedup_parallel_vs_monolithic": best_mono / best_par,
+                "boundary_rmod": rmod_stats.boundary_nodes,
+                "boundary_gmod": gmod_stats.boundary_nodes,
+                "boundary_total": (
+                    rmod_stats.boundary_nodes + gmod_stats.boundary_nodes
+                ),
+                "beta_plan": beta_plan.to_dict(),
+                "call_plan": call_plan.to_dict(),
+                "identical": True,
+            }
+    finally:
+        gc.enable()
+    return block
+
+
 def measure_shard_benchmark(
     num_procs: int = DEFAULT_PROCS,
     num_globals: int = DEFAULT_GLOBALS,
@@ -193,8 +318,15 @@ def measure_shard_benchmark(
     finally:
         gc.enable()
 
+    seq = par = None
+    gc.collect()
+    comparison = measure_partition_comparison(
+        inputs, reference, shards, parallel_jobs, repeats
+    )
+
     return {
         "schema": "ck-bench-shard/1",
+        "separator": comparison,
         "workload": {
             "num_procs": resolved.num_procs,
             "num_call_sites": resolved.num_call_sites,
@@ -244,6 +376,11 @@ def test_shard_bench_smoke():
     assert result["identical"]
     assert result["monolithic_s"] > 0
     assert result["rmod_stats"]["num_shards"] >= 1
+    for strategy in ("greedy", "separator"):
+        entry = result["separator"][strategy]
+        assert entry["identical"]
+        assert entry["solve_sequential_s"] > 0
+    assert "separator" in result["separator"]["separator"]["call_plan"]
     path = write_bench_json(result)
     assert json.loads(path.read_text())["schema"] == "ck-bench-shard/1"
 
@@ -270,4 +407,25 @@ def test_shard_bench_10k():
     assert result["sharded_parallel_s"] < result["monolithic_s"], (
         "sharded-parallel (%.3fs) did not beat monolithic (%.3fs)"
         % (result["sharded_parallel_s"], result["monolithic_s"])
+    )
+    sep = result["separator"]["separator"]
+    greedy = result["separator"]["greedy"]
+    print(
+        "partition comparison @%d shards: boundary greedy %d vs"
+        " separator %d; warm solve greedy %.3fs vs separator %.3fs"
+        " (%.2fx vs monolithic at %d jobs)"
+        % (shards, greedy["boundary_total"], sep["boundary_total"],
+           greedy["solve_parallel_s"], sep["solve_parallel_s"],
+           sep["speedup_parallel_vs_monolithic"], jobs)
+    )
+    # The structure claims: the separator tree stitches through fewer
+    # boundary variables than greedy, and its warm-plan solve beats
+    # the monolithic wall-clock with real headroom.
+    assert sep["boundary_total"] < greedy["boundary_total"], (
+        "separator boundary %d not below greedy %d"
+        % (sep["boundary_total"], greedy["boundary_total"])
+    )
+    assert sep["speedup_parallel_vs_monolithic"] >= 1.7, (
+        "separator warm-plan speedup only %.2fx"
+        % sep["speedup_parallel_vs_monolithic"]
     )

@@ -245,6 +245,16 @@ def _cmd_shard(args: argparse.Namespace) -> int:
                plan["cut_edges"], plan["num_edges"],
                plan["num_components"], plan["largest_component"])
         )
+        sep = plan.get("separator")
+        if sep:
+            print(
+                "  %-20s tree %d nodes (depth %d), %d wave(s)"
+                " (width %d), boundary %d%s"
+                % ("  separator", sep["tree_nodes"], sep["tree_depth"],
+                   sep["num_waves"], sep["max_wave_width"],
+                   sep["boundary_total"],
+                   " [greedy fallback]" if sep["fallback"] else "")
+            )
     for key in ("rmod", "gmod"):
         stats = info.get(key)
         if not stats:
@@ -420,6 +430,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             fleet=fleet,
             remote_store=remote_store,
             lanes=lanes,
+            partition=args.partition,
         )
     finally:
         if fleet is not None:
@@ -531,6 +542,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         fields["gmod_method"] = args.gmod_method
     if args.shards is not None:
         fields["shards"] = args.shards
+    if args.partition:
+        fields["partition"] = args.partition
     try:
         with ServerClient(
             port=args.port, host=args.host, timeout=args.timeout
@@ -738,6 +751,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(0 = monolithic; summaries are bit-identical either way)",
     )
     batch_cmd.add_argument(
+        "--partition", choices=("separator", "greedy", "chunk"),
+        default="greedy",
+        help="shard partitioner strategy (with --shards; summaries are"
+             " bit-identical across strategies)",
+    )
+    batch_cmd.add_argument(
         "--lanes", default="",
         help="extra effect lanes to solve per file, comma-separated "
              "(e.g. sections,refalias); lane blocks ride the payloads "
@@ -777,8 +796,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard worker processes (0 = one per CPU, 1 = in-process)",
     )
     shard_cmd.add_argument(
-        "--strategy", choices=("greedy", "chunk"), default="greedy",
-        help="partitioner strategy (default: greedy edge-cut)",
+        "--partition", "--strategy", dest="strategy",
+        choices=("separator", "greedy", "chunk"), default="greedy",
+        help="partitioner strategy: separator (nested dissection with"
+             " wave schedule), greedy edge-cut (default), or chunk"
+             " (contiguous topological)",
     )
     shard_cmd.add_argument(
         "--stats-json", action="store_true",
@@ -888,6 +910,11 @@ def build_parser() -> argparse.ArgumentParser:
     query_cmd.add_argument(
         "--shards", type=int, default=None,
         help="solve with the sharded subsystem (analyze verb)",
+    )
+    query_cmd.add_argument(
+        "--partition", default="",
+        choices=("", "separator", "greedy", "chunk"),
+        help="shard partitioner strategy (with --shards)",
     )
     query_cmd.set_defaults(func=_cmd_query)
 

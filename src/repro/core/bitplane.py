@@ -587,15 +587,42 @@ class _QuotientStructure:
             self.single_degrees[lv] = deg
 
 
-def _sweep_singletons(plane_rows, strip_plane, nodes, dst, starts):
+def _sweep_singletons(plane_stack, strip_plane, nodes, dst, starts):
     """One batched equation-(4) application for a level's singleton
-    components: returns (new_rows, old_rows) for change detection."""
-    contrib = plane_rows[dst] & strip_plane[dst]
-    reduced = _np.bitwise_or.reduceat(contrib, starts, axis=0)
-    old = plane_rows[nodes]
+    components, across **every** kind plane at once.
+
+    ``plane_stack`` is the (kinds × nodes × words) volume from
+    :func:`_stack_planes`: the kind axis leads, so one gather and one
+    ``reduceat`` replace the former per-plane Python loop.  Returns
+    (new, old) of shape (kinds, len(nodes), words) for change
+    detection."""
+    contrib = plane_stack[:, dst, :] & strip_plane[dst]
+    reduced = _np.bitwise_or.reduceat(contrib, starts, axis=1)
+    old = plane_stack[:, nodes, :]
     new = old | reduced
-    plane_rows[nodes] = new
+    plane_stack[:, nodes, :] = new
     return new, old
+
+
+def _stack_planes(rows, words):
+    """The kind planes as one contiguous (kinds × nodes × words) volume
+    plus its per-kind views.  The views write through, so the scalar
+    big-int patches (multi-member components) and the stacked singleton
+    sweeps see the same memory.  Lowered in one shot — same single copy
+    as the per-plane :func:`masks_to_plane` path, not a stack-of-planes
+    recopy."""
+    if not rows:
+        return None, []
+    nbytes = words * 8
+    buf = b"".join(
+        mask.to_bytes(nbytes, "little") for row in rows for mask in row
+    )
+    stacked = (
+        _np.frombuffer(buf, dtype="<u8")
+        .reshape(len(rows), len(rows[0]), words)
+        .astype(_np.uint64, copy=True)
+    )
+    return stacked, [stacked[k] for k in range(len(rows))]
 
 
 def _solve_reference_component(
@@ -702,16 +729,13 @@ def solve_gmod_figure2_numpy(
 
     strip_plane = ctx.strip_plane()
     strip_ints = arena.strip_masks()
-    planes = [
-        masks_to_plane(row, ctx.words) for row in imod_plus_rows
-    ]
+    stacked, planes = _stack_planes(imod_plus_rows, ctx.words)
     for lv in range(quotient.max_level + 1):
         edges = quotient.single_edges.get(lv)
         if edges is not None:
             dst, starts = edges
             nodes = quotient.single_nodes[lv]
-            for plane in planes:
-                _sweep_singletons(plane, strip_plane, nodes, dst, starts)
+            _sweep_singletons(stacked, strip_plane, nodes, dst, starts)
         for comp_index in quotient.multis.get(lv, ()):
             _solve_reference_component(
                 planes, arena, quotient.components[comp_index], strip_ints
@@ -748,7 +772,7 @@ def solve_gmod_reference_numpy(
         ctx.cache["quotient_call"] = quotient
     strip_plane = ctx.strip_plane()
     strip_ints = arena.strip_masks()
-    planes = [masks_to_plane(row, ctx.words) for row in imod_plus_rows]
+    stacked, planes = _stack_planes(imod_plus_rows, ctx.words)
 
     for lv in range(quotient.max_level + 1):
         edges = quotient.single_edges.get(lv)
@@ -760,13 +784,16 @@ def solve_gmod_reference_numpy(
                 if len(starts)
                 else np.zeros(0, dtype=np.int64)
             )
-            for k, plane in enumerate(planes):
-                new, old = _sweep_singletons(
-                    plane, strip_plane, nodes, dst, starts
-                )
-                changed = np.any(new != old, axis=1)
-                counters[k].bit_vector_steps += int(
-                    degrees.sum() + degrees[changed].sum()
+            new, old = _sweep_singletons(
+                stacked, strip_plane, nodes, dst, starts
+            )
+            # Change rows per (kind, node); the per-kind charge is the
+            # legacy loop's exact ``degree × (1 + changed)``.
+            changed = np.any(new != old, axis=2)
+            degree_sum = int(degrees.sum())
+            for k in range(len(planes)):
+                counters[k].bit_vector_steps += degree_sum + int(
+                    degrees[changed[k]].sum()
                 )
         # Zero-degree singletons: the legacy loop runs one sweep that
         # cannot change anything and charges degree_total == 0 — no

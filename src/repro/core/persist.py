@@ -75,6 +75,11 @@ SECTION_LANE_SECTIONS = 3
 #: (:mod:`repro.lanes.refalias` owns the blob codec).
 SECTION_LANE_REFALIAS = 4
 
+#: Section tag of the USE-kind regular-sections lane (same codec as
+#: :data:`SECTION_LANE_SECTIONS`; the payload's ``kind`` field tells
+#: the two apart).
+SECTION_LANE_SECTIONS_USE = 5
+
 #: Every trailer tag this reader understands.  Anything else is a
 #: *future* section: skipped loudly-but-safely (one warning, then the
 #: loader degrades to re-deriving whatever the section carried) rather
@@ -85,6 +90,7 @@ KNOWN_SECTION_TAGS = frozenset(
         SECTION_SESSION_META,
         SECTION_LANE_SECTIONS,
         SECTION_LANE_REFALIAS,
+        SECTION_LANE_SECTIONS_USE,
     }
 )
 
@@ -515,6 +521,11 @@ def decode_lane_sections(sections: Dict[int, bytes]) -> Dict[str, object]:
         from repro.lanes.refalias import refalias_tables_from_blob
 
         out["refalias"] = refalias_tables_from_blob(blob)
+    blob = sections.get(SECTION_LANE_SECTIONS_USE)
+    if blob is not None:
+        from repro.lanes.sections_lane import sections_payload_from_blob
+
+        out["sections-use"] = sections_payload_from_blob(blob)
     return out
 
 

@@ -76,8 +76,9 @@ class _Task:
 
 class _Worker:
     __slots__ = ("wid", "name", "reader", "writer", "deque", "inflight",
-                 "has_static", "wake", "reply", "last_seen", "retired",
-                 "tasks_done", "steals", "pump_task", "reader_task")
+                 "has_static", "prefetched", "wake", "reply", "last_seen",
+                 "retired", "tasks_done", "steals", "pump_task",
+                 "reader_task")
 
     def __init__(self, wid: int, name: str, reader, writer):
         self.wid = wid
@@ -87,6 +88,9 @@ class _Worker:
         self.deque: deque = deque()
         self.inflight: Dict[int, _Task] = {}
         self.has_static: set = set()
+        #: Shas this worker holds *only* because of a prefetch push; a
+        #: dispatch that lands on one is a prefetch hit (counted once).
+        self.prefetched: set = set()
         self.wake = asyncio.Event()
         self.reply: Optional[asyncio.Future] = None
         self.last_seen = time.monotonic()
@@ -133,6 +137,8 @@ class FleetCoordinator:
             "task_timeouts": 0,
             "workers_connected": 0,
             "workers_lost": 0,
+            "prefetch_pushed": 0,
+            "prefetch_hits": 0,
         }
         self._workers: Dict[int, _Worker] = {}
         self._worker_ids = itertools.count(1)
@@ -356,6 +362,13 @@ class FleetCoordinator:
                 if task.sha not in worker.has_static:
                     blob = task.blob
                     worker.has_static.add(task.sha)
+                elif task.sha in worker.prefetched:
+                    # First task to land on a prefetched blob: the push
+                    # saved this dispatch a re-ship.  Later tasks would
+                    # have hit the cache anyway, so count each push at
+                    # most once.
+                    worker.prefetched.discard(task.sha)
+                    self.counters["prefetch_hits"] += 1
                 proto.write_frame(
                     worker.writer,
                     proto.OP_TASK,
@@ -412,6 +425,7 @@ class FleetCoordinator:
             # the next send re-ships it.  Not a real failure: no retry
             # charged, the task just goes around again.
             worker.has_static.discard(task.sha)
+            worker.prefetched.discard(task.sha)
             self._requeue(task, prefer=worker)
             return
         task.attempts += 1
@@ -508,6 +522,44 @@ class FleetCoordinator:
             self._sha_by_key[wire_key] = sha
         return sha
 
+    def prefetch(self, statics: Sequence[Tuple[int, bytes]]) -> None:
+        """Push ``(wire key, static blob)`` pairs to idle workers.
+
+        Called by the solver between waves: the next wave's
+        content-addressed blobs travel while the current wave computes,
+        so its task frames reference hashes the workers already hold.
+        Fire-and-forget — a failed push costs nothing (the task frame
+        re-ships the blob as usual) and a dispatch that lands on a
+        pushed blob counts as a ``prefetch_hits`` in :meth:`stats`.
+        """
+        if self._loop is None or self._closing:
+            return
+        pairs = [
+            (self.sha_of(key, blob), blob) for key, blob in statics
+        ]
+        asyncio.run_coroutine_threadsafe(self._prefetch(pairs), self._loop)
+
+    async def _prefetch(self, pairs) -> None:
+        for worker in list(self._workers.values()):
+            if worker.retired or worker.inflight or worker.deque:
+                continue  # Busy: its channel is carrying task traffic.
+            for sha, blob in pairs:
+                if sha in worker.has_static:
+                    continue
+                try:
+                    proto.write_frame(
+                        worker.writer,
+                        proto.OP_PREFETCH,
+                        proto.encode_prefetch(sha, blob),
+                    )
+                    await worker.writer.drain()
+                except (ConnectionError, OSError):
+                    self._retire(worker)
+                    break
+                worker.has_static.add(sha)
+                worker.prefetched.add(sha)
+                self.counters["prefetch_pushed"] += 1
+
     def run_tasks(
         self,
         specs: Sequence[Tuple[int, bytes, bytes, bytes]],
@@ -569,6 +621,9 @@ class FleetRunner:
         self.coordinator = coordinator
         self.map_times: Dict[str, float] = {}
         self.span_times: Dict[str, float] = {}
+        #: A fleet is explicitly provisioned — always fan waves out,
+        #: unlike the local pool's size-gated dispatch.
+        self.min_fanout_nodes = 0
 
     @property
     def jobs(self) -> int:
@@ -583,6 +638,11 @@ class FleetRunner:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def prefetch(self, statics: Sequence[Tuple[int, bytes]]) -> None:
+        """Wave-ahead warm-up: push the next wave's static blobs to
+        idle workers (see :meth:`FleetCoordinator.prefetch`)."""
+        self.coordinator.prefetch(statics)
 
     @staticmethod
     def _spec(coordinator: FleetCoordinator, kind: int, item) -> Tuple:
@@ -600,12 +660,14 @@ class FleetRunner:
         items: Sequence,
         label: str = "map",
         decode: Optional[Callable] = None,
+        nodes: Optional[int] = None,
     ) -> List:
         tick = time.perf_counter()
         kind = _KIND_OF.get(fn)
         if (
             kind is None
             or len(items) <= 1
+            or (nodes is not None and nodes < self.min_fanout_nodes)
             or self.coordinator.live_worker_count() == 0
         ):
             # Non-wire payloads (single-shard plans) and empty fleets

@@ -50,6 +50,7 @@ OP_ERROR = 5  # worker → coordinator: varint task id + utf-8 message
 OP_PING = 6  # coordinator → worker: opaque 8-byte nonce
 OP_PONG = 7  # worker → coordinator: the nonce echoed
 OP_SHUTDOWN = 8  # coordinator → worker: drain and exit
+OP_PREFETCH = 9  # coordinator → worker: 32-byte sha + varint len + blob
 
 # -- store channel opcodes ---------------------------------------------------
 OP_GET = 16  # client → store: key bytes
@@ -229,6 +230,27 @@ def decode_backsub_args(args: bytes) -> Tuple[str, bytes, bytes]:
     pos += length
     length, pos = read_varint(args, pos)
     return emit, seeds_blob, args[pos : pos + length]
+
+
+def encode_prefetch(static_sha: bytes, static_blob: bytes) -> bytes:
+    """A static blob pushed ahead of the tasks that will reference it.
+
+    Workers that predate this opcode ignore the frame (the task frame
+    still carries the blob on first reference), so prefetch needs no
+    protocol version bump — it is an optimisation, not a contract.
+    """
+    out = bytearray()
+    out += static_sha
+    write_varint(out, len(static_blob))
+    out += static_blob
+    return bytes(out)
+
+
+def decode_prefetch(payload: bytes) -> Tuple[bytes, bytes]:
+    """``(static_sha, static_blob)``."""
+    sha = payload[:32]
+    length, pos = read_varint(payload, 32)
+    return sha, payload[pos : pos + length]
 
 
 def encode_result(task_id: int, blob: bytes) -> bytes:

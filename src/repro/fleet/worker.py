@@ -127,6 +127,12 @@ class FleetWorker:
                     continue
                 if op == proto.OP_SHUTDOWN:
                     return
+                if op == proto.OP_PREFETCH:
+                    # A wave-ahead static blob: cache it so the tasks
+                    # that reference it decode without a re-ship.
+                    sha, blob = proto.decode_prefetch(payload)
+                    self._register_static(sha, blob)
+                    continue
                 if op != proto.OP_TASK:
                     continue  # Forward-compatible: ignore unknown frames.
                 received += 1

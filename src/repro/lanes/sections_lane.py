@@ -290,3 +290,19 @@ SECTIONS_LANE = register_lane(
         section_tag=3,  # == repro.core.persist.SECTION_LANE_SECTIONS
     )
 )
+
+#: The same delta-driven solver over the USE seeds: which array regions
+#: a call may *read*.  :class:`SectionsLaneState` is kind-parametric —
+#: only the local extraction differs — so the USE lane is a second
+#: registration, not a second solver.
+SECTIONS_USE_LANE = register_lane(
+    LaneSpec(
+        name="sections-use",
+        description="Section 6 regular sections (Figure 3 lattice, USE), "
+        "delta-driven on the shared condensation",
+        direction="up",
+        mask_width=lambda arena: arena.width,
+        make_state=lambda arena: SectionsLaneState(arena, EffectKind.USE),
+        section_tag=5,  # == repro.core.persist.SECTION_LANE_SECTIONS_USE
+    )
+)

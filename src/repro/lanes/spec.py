@@ -122,4 +122,4 @@ def _ensure_builtin() -> None:
 
 
 #: Names of the shipped lanes, for CLI help and docs.
-LANE_NAMES = ("sections", "refalias")
+LANE_NAMES = ("sections", "refalias", "sections-use")

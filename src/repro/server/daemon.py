@@ -392,6 +392,22 @@ class AnalysisServer:
         return shards
 
     @staticmethod
+    def _partition(request: Dict[str, Any]) -> str:
+        """Shard partitioner strategy from the optional ``partition``
+        field (used with ``shards``; summaries are bit-identical
+        across strategies, so it never feeds the cache key)."""
+        from repro.shard.partition import STRATEGIES
+
+        strategy = request.get("partition", "greedy")
+        if strategy not in STRATEGIES:
+            raise ProtocolError(
+                E_BAD_REQUEST,
+                "field 'partition' must be one of %s, got %r"
+                % (STRATEGIES, strategy),
+            )
+        return strategy
+
+    @staticmethod
     def _gmod_method(request: Dict[str, Any]) -> str:
         method = request.get("gmod_method", "auto")
         if method not in GMOD_METHODS:
@@ -605,6 +621,7 @@ class AnalysisServer:
         source = require_str(request, "source")
         method = self._gmod_method(request)
         shards = self._shards(request)
+        partition = self._partition(request)
         lanes = self._lanes(request)
         session_name = request.get("session")
         if session_name is not None and not isinstance(session_name, str):
@@ -657,6 +674,7 @@ class AnalysisServer:
                             source,
                             num_shards=shards,
                             jobs=shard_jobs,
+                            strategy=partition,
                             runner=runner,
                         )
                         if lanes:

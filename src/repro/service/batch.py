@@ -58,11 +58,11 @@ def _analyze_task(task) -> Dict:
     in-process (``shard_jobs=1``) — the batch pool is the only layer
     of process fan-out.
     """
-    path, source, gmod_method, shards, lanes = task
+    path, source, gmod_method, shards, lanes, partition = task
     try:
         result = analyze_source_payload(
             source, gmod_method=gmod_method, shards=shards, shard_jobs=1,
-            lanes=lanes,
+            shard_strategy=partition, lanes=lanes,
         )
         return {"status": STATUS_OK, "path": path, "result": result}
     except CkError as error:
@@ -205,7 +205,8 @@ def discover_files(root: str, pattern: str = "*.ck") -> List[str]:
 
 
 def _analyze_fleet_task(
-    path: str, source: str, shards: int, runner, lanes=()
+    path: str, source: str, shards: int, runner, lanes=(),
+    partition: str = "greedy",
 ) -> Dict:
     """Fleet-mode body: solve one file through the sharded pipeline
     with the per-shard maps spread across the fleet.  Same outcome
@@ -217,7 +218,7 @@ def _analyze_fleet_task(
 
     try:
         summary = analyze_side_effects_sharded(
-            source, num_shards=shards, runner=runner
+            source, num_shards=shards, runner=runner, strategy=partition
         )
         if lanes:
             from repro.core.arena import get_arena
@@ -253,6 +254,7 @@ def run_batch(
     fleet=None,
     remote_store=None,
     lanes: Sequence[str] = (),
+    partition: str = "greedy",
 ) -> BatchReport:
     """Analyze a corpus; the batch engine's programmatic entry point.
 
@@ -283,6 +285,11 @@ def run_batch(
     ``lanes`` requests extra effect lanes (:mod:`repro.lanes`) for
     every file; lane blocks ride the per-file payloads and the cache
     key, so laned and lane-less runs never serve each other's entries.
+
+    ``partition`` selects the shard partitioner strategy (with
+    ``shards``/``fleet``): ``"greedy"``, ``"chunk"``, or
+    ``"separator"``.  Like ``shards`` itself it does not enter the
+    cache key — summaries are bit-identical across strategies.
     """
     if gmod_method not in GMOD_METHODS:
         raise ValueError(
@@ -365,14 +372,16 @@ def run_batch(
         for record in work:
             tick = time.perf_counter()
             outcome = _analyze_fleet_task(
-                record.path, sources[record.path], fleet_shards, runner, lanes
+                record.path, sources[record.path], fleet_shards, runner,
+                lanes, partition,
             )
             _apply(record, outcome, time.perf_counter() - tick)
     elif effective_jobs <= 1:
         for record in work:
             tick = time.perf_counter()
             outcome = _analyze_task(
-                (record.path, sources[record.path], gmod_method, shards, lanes)
+                (record.path, sources[record.path], gmod_method, shards,
+                 lanes, partition)
             )
             _apply(record, outcome, time.perf_counter() - tick)
     else:
@@ -383,7 +392,8 @@ def run_batch(
                     time.perf_counter(),
                     executor.submit(
                         _analyze_task,
-                        (record.path, sources[record.path], gmod_method, shards, lanes),
+                        (record.path, sources[record.path], gmod_method,
+                         shards, lanes, partition),
                     ),
                 )
                 for record in work

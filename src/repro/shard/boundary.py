@@ -61,6 +61,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.bitvec import iter_bits
 from repro.graphs.scc import tarjan_scc
 
 
@@ -337,6 +338,53 @@ def _summarize_masked(
                 const[node] = acc_const
                 changed = True
     return const, deps, steps
+
+
+def stitch_tree(
+    problems: List["ShardProblem"],
+    summaries: List["ShardSummary"],
+    hierarchy,
+) -> Tuple[Dict[int, int], int]:
+    """Boundary solve along a separator tree's wave schedule.
+
+    The flat stitch (:func:`repro.shard.solve._stitch`) builds one
+    global dependency system over *every* boundary node and runs Tarjan
+    over it.  A separator plan already knows more: its
+    :class:`~repro.shard.separator.PartitionHierarchy` carries a
+    callee-first wave schedule over an acyclic shard quotient, and each
+    tree node's ``boundary`` set names exactly the carriers its
+    separator introduces.  So the stitch decomposes into one small step
+    per shard, bottom-up along the tree: when a shard's wave comes up,
+    every import it consumes was exported by a deeper wave and is
+    final, so its own exports resolve in a single masked-OR sweep —
+    each step touches only that shard's summaries and its separator's
+    carriers, never a global system.
+
+    Returns the same ``node id → value`` map as the flat stitch (both
+    compute the unique least solution of the same acyclic boundary
+    system), plus a step tally.
+    """
+    value_at: Dict[int, int] = {}
+    steps = 0
+    for wave in hierarchy.waves:
+        for shard_id in wave:
+            problem = problems[shard_id]
+            summary = summaries[shard_id]
+            imports = problem.imports
+            for local in problem.exports:
+                acc = summary.const[local]
+                entry = summary.deps[local]
+                if problem.masked:
+                    for import_index, mask in entry.items():
+                        acc |= value_at[imports[import_index]] & mask
+                        steps += 1
+                else:
+                    for import_index in iter_bits(entry):
+                        acc |= value_at[imports[import_index]]
+                        steps += 1
+                value_at[problem.nodes[local]] = acc
+                steps += 1
+    return value_at, steps
 
 
 def backsub_shard(task: Tuple[ShardProblem, List[int]]) -> BacksubResult:

@@ -14,7 +14,7 @@ the shard quotient graph is not (the greedy strategy may produce
 quotient cycles; a cycle among boundary *nodes* would require an SCC
 spanning two shards, which the partitioner forbids).
 
-Two strategies:
+Three strategies:
 
 * ``"greedy"`` — components are scanned in topological order (callers
   first) and each is placed on the shard that already owns the most of
@@ -23,6 +23,13 @@ Two strategies:
 * ``"chunk"`` — contiguous topological chunks of roughly equal node
   weight.  The shard quotient graph is then itself acyclic; this is
   the predictable fallback.
+* ``"separator"`` — nested dissection along thin hub separators
+  (:mod:`repro.shard.separator`): the plan carries a
+  :class:`~repro.shard.separator.PartitionHierarchy` (separator tree,
+  wave schedule, caller scopes) and its quotient is always acyclic
+  with wave *width* — mutually independent leaf shards share a wave,
+  which is what unlocks real parallel speedup.  Falls back to the
+  greedy assignment when no thin cut exists.
 
 Edge cases are first-class: an empty graph yields one empty shard, a
 single requested shard yields the trivial plan, more shards than
@@ -38,7 +45,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.graphs.scc import condense
 
-STRATEGIES = ("greedy", "chunk")
+STRATEGIES = ("greedy", "chunk", "separator")
 
 
 @dataclass
@@ -65,6 +72,10 @@ class ShardPlan:
     #: derive shard-local SCC structure without re-running Tarjan.
     #: None for hand-built plans; excluded from :meth:`to_dict`.
     condensation: Optional[object] = None
+    #: Separator tree + wave schedule + caller scopes
+    #: (:class:`~repro.shard.separator.PartitionHierarchy`); only set
+    #: by the ``"separator"`` strategy.
+    hierarchy: Optional[object] = None
 
     @property
     def num_shards(self) -> int:
@@ -73,7 +84,7 @@ class ShardPlan:
 
     def to_dict(self) -> Dict:
         sizes = [len(members) for members in self.shards]
-        return {
+        out = {
             "requested_shards": self.requested_shards,
             "num_shards": self.num_shards,
             "strategy": self.strategy,
@@ -84,6 +95,9 @@ class ShardPlan:
             "largest_component": self.largest_component,
             "shard_sizes": sizes,
         }
+        if self.hierarchy is not None:
+            out["separator"] = self.hierarchy.to_dict()
+        return out
 
 
 def _count_edges(num_nodes: int, successors: Sequence[Sequence[int]]) -> int:
@@ -170,6 +184,13 @@ def partition_graph(
             num_components=0,
             largest_component=0,
             quotient=[[]],
+        )
+
+    if strategy == "separator":
+        from repro.shard.separator import build_separator_plan
+
+        return build_separator_plan(
+            num_nodes, successors, num_shards, condensation=condensation
         )
 
     cond = condensation if condensation is not None else condense(num_nodes, successors)

@@ -25,14 +25,30 @@ from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
+#: Below this many graph nodes in a shard wave, fanning the wave over
+#: the pool costs more in payload pickling and round-trips than the
+#: in-worker compute is worth — the wave runs in-process instead.
+#: Callers that need the pooled path regardless (wire-codec coverage
+#: tests) pass ``min_fanout_nodes=0``.
+DEFAULT_MIN_FANOUT_NODES = 20000
+
 
 class ShardRunner:
     """Maps worker functions over per-shard payloads, in order."""
 
-    def __init__(self, jobs: Optional[int] = None):
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        min_fanout_nodes: Optional[int] = None,
+    ):
         if jobs is None or jobs <= 0:
             jobs = os.cpu_count() or 1
         self.jobs = jobs
+        self.min_fanout_nodes = (
+            DEFAULT_MIN_FANOUT_NODES
+            if min_fanout_nodes is None
+            else min_fanout_nodes
+        )
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_broken = False
         #: Wall seconds per named map call (folded into phase stats).
@@ -70,6 +86,7 @@ class ShardRunner:
         items: Sequence[_T],
         label: str = "map",
         decode: Optional[Callable[[_R, int], object]] = None,
+        nodes: Optional[int] = None,
     ) -> List[_R]:
         """Apply ``fn`` to every item, preserving order.
 
@@ -77,13 +94,21 @@ class ShardRunner:
         more than one item); falls back to in-process execution
         otherwise or when the pool cannot be created.
 
+        ``nodes``, when given, is the total graph-node count behind the
+        payloads — below ``min_fanout_nodes`` the map runs in-process,
+        the same economics as the wave gate in the sharded solver.
+
         ``decode``, when given, post-processes each raw result in the
         parent (``decode(result, index)``) — the wire codec's blobs
         become real result objects *before* the span accounting reads
         their ``elapsed``.
         """
         tick = time.perf_counter()
-        if self.jobs <= 1 or len(items) <= 1:
+        if (
+            self.jobs <= 1
+            or len(items) <= 1
+            or (nodes is not None and nodes < self.min_fanout_nodes)
+        ):
             results = [fn(item) for item in items]
         else:
             pool = self._ensure_pool()
@@ -108,3 +133,15 @@ class ShardRunner:
         )
         self.span_times[label] = self.span_times.get(label, 0.0) + span
         return results
+
+    # -- wave scheduling hints ----------------------------------------------
+
+    def prefetch(self, statics: Sequence) -> None:
+        """Hint that these ``(key, blob)`` statics will be mapped soon.
+
+        The local pool ships statics inside task payloads, so there is
+        nothing to warm — a no-op here.  The fleet runner overrides
+        this to push the *next* wave's content-addressed static blobs
+        to idle workers while the current wave computes.
+        """
+        return None

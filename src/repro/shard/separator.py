@@ -1,0 +1,754 @@
+"""Separator-tree (nested dissection) partitioning of the solver graphs.
+
+The greedy and chunk strategies (:mod:`repro.shard.partition`) optimize
+edge cut or contiguity, but neither exploits the *shape* real call
+graphs have: small treedepth, hub-concentrated connectivity, and thin
+multiresolution cut points.  This module dissects along those cuts,
+working at SCC-component granularity throughout (never splitting an
+SCC — the invariant every shard consumer relies on):
+
+* **Disconnected regions** split for free: the undirected connected
+  *islands* of a region have no edges between them in either
+  direction, so any packing of islands into shards adds zero cut.
+  Budget is allocated weight-proportionally — a dominant island takes
+  a multi-shard share of its own and recurses, the small ones are
+  LPT-packed into the remaining bins.
+* **Connected regions** are cut along *layer bands*: components take
+  longest-path levels over the region's DAG (every edge strictly
+  increases the level — the BFS-layering family of balanced
+  separators), the region splits at the level boundary with the
+  fewest crossing boundary variables inside a weight-balance window,
+  and an FM-style refinement pass then migrates components across the
+  boundary (only moves that keep every edge early→late are feasible)
+  to shrink the crossing set further — the thinness score.  Edges
+  only ever cross from the early band to the late one, so *any*
+  downstream grouping keeps the shard quotient acyclic.  Each band
+  recurses: bands shatter into islands (hub connectivity becomes
+  inter-band cut, not intra-band glue), islands pack or band again —
+  that binary recursion *is* the separator tree.
+* When a connected region has **no thin cut** (no refined boundary
+  under :data:`MAX_SEPARATOR_FRACTION` in any balance window), the
+  root falls back to the greedy plan; an interior region falls back
+  to contiguous topological chunks, which preserve the global wave
+  structure.
+
+A final repair pass contracts any nontrivial quotient SCC (unreachable
+by construction, kept as a guard), so ``quotient_acyclic`` is an
+invariant of every non-fallback separator plan.
+
+The emitted :class:`PartitionHierarchy` carries the tree (per-node
+boundary-variable sets — exactly the carriers a stitch at that node
+touches), the wave schedule (callee-first shard batches — what
+:meth:`ShardedSystem._solve_waves` and the fleet coordinator execute),
+and per-shard caller *scopes* (which shards may contain callers of a
+shard's members — what the incremental engine uses to bound
+invalidation-region scans, persisted in the dependency index).
+
+Byte-identity is never at stake here: any component-respecting
+assignment yields the same least solution; the partition only shapes
+where the work happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.graphs.scc import condense, tarjan_scc
+
+#: Crossing boundary variables above this fraction of the region's
+#: weight means "no thin cut exists here".
+MAX_SEPARATOR_FRACTION = 0.30
+#: Weight-balance windows for the band boundary, tried in order.
+BALANCE_WINDOWS = ((0.30, 0.70), (0.15, 0.85))
+#: An island at least this multiple of the ideal shard weight gets a
+#: dedicated multi-shard budget instead of sharing an LPT bin.
+DOMINANT_ISLAND_FACTOR = 1.5
+#: FM-style boundary refinement sweeps per cut.
+REFINE_PASSES = 4
+#: Recursion guard for pathological towers.
+MAX_DEPTH = 12
+
+#: Tree-node kinds (persisted as small ints in the dependency index).
+KIND_REGION = 0  # Connected region split into two layer bands.
+KIND_GROUP = 1  # Disconnected region split into island groups.
+KIND_LEAF = 3  # Owns exactly one shard.
+
+KIND_NAMES = {
+    KIND_REGION: "region",
+    KIND_GROUP: "group",
+    KIND_LEAF: "leaf",
+}
+
+
+@dataclass
+class HierarchyNode:
+    """One node of the separator tree."""
+
+    node_id: int
+    parent: int  # -1 for the root.
+    kind: int
+    #: Shard this node owns (-1 for interior nodes, which own none).
+    shard_id: int
+    depth: int = 0
+    weight: int = 0
+    children: List[int] = field(default_factory=list)
+    #: Graph nodes exported across this node's separator: endpoints of
+    #: cross-shard edges whose two shards meet at this node.  A stitch
+    #: for this node touches exactly these carriers.  Empty on leaves
+    #: and usually on :data:`KIND_GROUP` nodes (islands share no
+    #: edges).
+    boundary: List[int] = field(default_factory=list)
+
+
+@dataclass
+class PartitionHierarchy:
+    """The separator tree plus the schedules derived from it."""
+
+    nodes: List[HierarchyNode]
+    #: shard id → tree node owning it.
+    node_of_shard: List[int]
+    #: Callee-first shard batches: every shard's imports are owned by
+    #: strictly earlier waves.  Empty when the quotient is cyclic
+    #: (fallback plans only).
+    waves: List[List[int]]
+    #: shard id → sorted shard ids whose members may call into it
+    #: (quotient predecessors + itself).  Sound for any edit that keeps
+    #: a procedure's call sites unchanged — the incremental engine's
+    #: region scans are bounded by these.
+    scopes: List[List[int]]
+    #: The plan is a relabeled greedy plan (no thin cut existed).
+    fallback: bool = False
+    #: Shards merged away by the acyclicity repair pass.
+    merged_shards: int = 0
+    #: Root cut's crossing boundary variables / root region weight
+    #: (0 when the root was disconnected or the plan is a fallback).
+    separator_score: float = 0.0
+
+    @property
+    def max_wave_width(self) -> int:
+        return max((len(wave) for wave in self.waves), default=0)
+
+    def to_dict(self) -> Dict:
+        return {
+            "fallback": self.fallback,
+            "tree_nodes": len(self.nodes),
+            "tree_depth": max((n.depth for n in self.nodes), default=0),
+            "merged_shards": self.merged_shards,
+            "separator_score": self.separator_score,
+            "num_waves": len(self.waves),
+            "max_wave_width": self.max_wave_width,
+            "boundary_total": sum(len(n.boundary) for n in self.nodes),
+        }
+
+
+def _comp_graph(
+    cond, successors: Sequence[Sequence[int]]
+) -> Tuple[List[List[int]], List[List[int]]]:
+    """Deduplicated component-level successor and predecessor lists."""
+    num_comps = cond.num_components
+    comp_of = cond.component_of
+    succ_sets: List[Set[int]] = [set() for _ in range(num_comps)]
+    for comp_index, members in enumerate(cond.components):
+        bucket = succ_sets[comp_index]
+        for node in members:
+            for q in successors[node]:
+                target = comp_of[q]
+                if target != comp_index:
+                    bucket.add(target)
+    comp_succ = [sorted(bucket) for bucket in succ_sets]
+    pred_sets: List[Set[int]] = [set() for _ in range(num_comps)]
+    for comp_index, targets in enumerate(comp_succ):
+        for target in targets:
+            pred_sets[target].add(comp_index)
+    return comp_succ, [sorted(bucket) for bucket in pred_sets]
+
+
+def build_separator_plan(
+    num_nodes: int,
+    successors: Sequence[Sequence[int]],
+    num_shards: int,
+    condensation=None,
+):
+    """Build a ``strategy="separator"`` :class:`ShardPlan`.
+
+    Returns a plan whose ``hierarchy`` field is a
+    :class:`PartitionHierarchy`; when no thin cut exists at the root
+    the plan's *assignment* is the greedy one (``hierarchy.fallback``
+    is set) so separator never does worse than greedy.
+    """
+    from repro.shard import partition as _partition
+
+    cond = (
+        condensation
+        if condensation is not None
+        else condense(num_nodes, successors)
+    )
+    num_comps = cond.num_components
+    comp_w = [len(members) for members in cond.components]
+    comp_succ, comp_pred = _comp_graph(cond, successors)
+    effective = max(1, min(num_shards, num_comps))
+
+    tree_nodes: List[HierarchyNode] = []
+    node_of_shard: List[int] = []
+    shard_comps: List[List[int]] = []  # shard id → component ids.
+    root_score: List[float] = []  # First connected cut's thinness.
+
+    # Flat per-component scratch arrays, generation-stamped so the
+    # recursion never rebuilds sets: ``region_tag[c] == generation``
+    # means "c is in the region currently being processed".
+    region_tag = [0] * num_comps
+    generation = [0]
+    seen_arr = [0] * num_comps
+    level_arr = [0] * num_comps
+    fp_stamp = [0] * num_comps
+    fp_val = [0] * num_comps
+    side_arr = [0] * num_comps  # 1 = early band, 2 = late band.
+    epc_arr = [0] * num_comps  # Early-side in-region pred count.
+    topo_pos = [0] * num_comps  # Global topological rank per comp.
+    for pos, c in enumerate(cond.topological_order()):
+        topo_pos[c] = pos
+
+    def mark_region(region: List[int]) -> int:
+        generation[0] += 1
+        g = generation[0]
+        for c in region:
+            region_tag[c] = g
+        return g
+
+    def new_node(parent: int, kind: int, comps: List[int]) -> int:
+        node_id = len(tree_nodes)
+        depth = 0 if parent < 0 else tree_nodes[parent].depth + 1
+        weight = sum(comp_w[c] for c in comps)
+        if kind == KIND_LEAF:
+            shard_id = len(shard_comps)
+            shard_comps.append(comps)
+            node_of_shard.append(node_id)
+        else:
+            shard_id = -1
+        tree_nodes.append(
+            HierarchyNode(
+                node_id=node_id,
+                parent=parent,
+                kind=kind,
+                shard_id=shard_id,
+                depth=depth,
+                weight=weight,
+            )
+        )
+        if parent >= 0:
+            tree_nodes[parent].children.append(node_id)
+        return node_id
+
+    def islands_of(region: List[int]) -> List[List[int]]:
+        """Undirected connected components of the region (flood fill
+        over successor + predecessor adjacency, scratch-array based)."""
+        g = mark_region(region)
+        islands: List[List[int]] = []
+        for start in region:  # Region order keeps this deterministic.
+            if seen_arr[start] == g:
+                continue
+            seen_arr[start] = g
+            stack = [start]
+            members = [start]
+            while stack:
+                c = stack.pop()
+                for d in comp_succ[c]:
+                    if region_tag[d] == g and seen_arr[d] != g:
+                        seen_arr[d] = g
+                        stack.append(d)
+                        members.append(d)
+                for d in comp_pred[c]:
+                    if region_tag[d] == g and seen_arr[d] != g:
+                        seen_arr[d] = g
+                        stack.append(d)
+                        members.append(d)
+            members.sort()
+            islands.append(members)
+        return islands
+
+    def weight_of(comps: List[int]) -> int:
+        return sum(comp_w[c] for c in comps)
+
+    def lpt_pack(islands: List[List[int]], bins: int) -> List[List[List[int]]]:
+        """Pack islands into ``bins`` groups of islands, heaviest first."""
+        order = sorted(
+            range(len(islands)),
+            key=lambda i: (-weight_of(islands[i]), i),
+        )
+        packs: List[List[List[int]]] = [[] for _ in range(bins)]
+        weights = [0] * bins
+        for index in order:
+            best = min(range(bins), key=lambda b: (weights[b], b))
+            packs[best].append(islands[index])
+            weights[best] += weight_of(islands[index])
+        return [pack for pack in packs if pack]
+
+    def refine_cut(
+        region: List[int], g: int, total: int, low: float, high: float
+    ) -> int:
+        """FM-style boundary refinement.
+
+        Operates on ``side_arr`` (1 = early, 2 = late, valid where
+        ``region_tag == g``): migrates components across the band
+        boundary when that shrinks the crossing boundary-variable set,
+        keeping the early-band weight fraction inside ``[low, high]``.
+        A component may move early→late only when all its in-region
+        successors are late, and late→early only when all its
+        in-region preds are early — so every edge stays early→late and
+        the quotient stays acyclic.  Returns the final crossing count.
+        """
+        early_w = 0
+        for c in region:
+            if side_arr[c] == 1:
+                early_w += comp_w[c]
+            else:
+                # epc[c] for late c: in-region preds currently early.
+                count = 0
+                for p in comp_pred[c]:
+                    if region_tag[p] == g and side_arr[p] == 1:
+                        count += 1
+                epc_arr[c] = count
+        for _ in range(REFINE_PASSES):
+            moved = False
+            for c in region:
+                w = comp_w[c]
+                if side_arr[c] == 1:
+                    blocked = False
+                    for d in comp_succ[c]:
+                        if region_tag[d] == g and side_arr[d] == 1:
+                            blocked = True
+                            break
+                    if blocked or (early_w - w) / total < low:
+                        continue
+                    gain = 0
+                    for p in comp_pred[c]:
+                        if region_tag[p] == g and side_arr[p] == 1:
+                            gain -= 1  # c becomes a crossing export.
+                            break
+                    for d in comp_succ[c]:
+                        if region_tag[d] == g and epc_arr[d] == 1:
+                            gain += 1  # c was d's only early pred.
+                    if gain <= 0:
+                        continue
+                    side_arr[c] = 2
+                    early_w -= w
+                    for d in comp_succ[c]:
+                        if region_tag[d] == g:
+                            epc_arr[d] -= 1
+                    count = 0
+                    for p in comp_pred[c]:
+                        if region_tag[p] == g and side_arr[p] == 1:
+                            count += 1
+                    epc_arr[c] = count
+                    moved = True
+                else:
+                    blocked = False
+                    for p in comp_pred[c]:
+                        if region_tag[p] == g and side_arr[p] == 2:
+                            blocked = True
+                            break
+                    if blocked or (early_w + w) / total > high:
+                        continue
+                    gain = 1 if epc_arr[c] > 0 else 0
+                    for d in comp_succ[c]:
+                        if (
+                            region_tag[d] == g
+                            and side_arr[d] == 2
+                            and epc_arr[d] == 0
+                        ):
+                            gain -= 1  # d becomes a crossing export.
+                    if gain <= 0:
+                        continue
+                    side_arr[c] = 1
+                    early_w += w
+                    for d in comp_succ[c]:
+                        if region_tag[d] == g and side_arr[d] == 2:
+                            epc_arr[d] += 1
+                    moved = True
+            if not moved:
+                break
+        crossing = 0
+        for d in region:
+            if side_arr[d] == 2 and epc_arr[d] > 0:
+                crossing += 1
+        return crossing
+
+    def band_cut(
+        region: List[int],
+    ) -> Optional[Tuple[List[int], List[int], float]]:
+        """Thinnest balanced layer cut of a connected region.
+
+        Levels are longest-path layers over the region's component DAG
+        (every edge strictly increases the level).  The boundary after
+        level ``l`` is scored by its crossing boundary *variables* —
+        the distinct components exported across it; the cheapest
+        boundary inside a weight-balance window is then FM-refined.
+        Returns ``(early_band, late_band, score)`` or None when no
+        refined boundary is thin enough.
+        """
+        g = mark_region(region)
+        order = sorted(region, key=topo_pos.__getitem__)
+        for c in region:
+            level_arr[c] = 0
+        max_level = 0
+        for c in order:
+            base = level_arr[c] + 1
+            for d in comp_succ[c]:
+                if region_tag[d] == g and level_arr[d] < base:
+                    level_arr[d] = base
+                    if base > max_level:
+                        max_level = base
+        if max_level == 0:
+            return None
+        # Crossing boundary variables per boundary, by difference
+        # array: component d is exported across every boundary from
+        # its earliest in-region predecessor's level up to
+        # ``level_arr[d] - 1``.
+        crossing = [0] * (max_level + 1)
+        for c in order:
+            lc = level_arr[c]
+            for d in comp_succ[c]:
+                if region_tag[d] != g:
+                    continue
+                if fp_stamp[d] != g or lc < fp_val[d]:
+                    fp_stamp[d] = g
+                    fp_val[d] = lc
+        for d in region:
+            if fp_stamp[d] != g:
+                continue
+            start, end = fp_val[d], level_arr[d]
+            if start < end:  # Exported across boundaries start..end-1.
+                crossing[start] += 1
+                crossing[end] -= 1
+        for l in range(1, max_level + 1):
+            crossing[l] += crossing[l - 1]
+        level_weight = [0] * (max_level + 1)
+        for c in region:
+            level_weight[level_arr[c]] += comp_w[c]
+        total = sum(level_weight)
+        prefix = [0] * (max_level + 1)
+        acc = 0
+        for l in range(max_level + 1):
+            acc += level_weight[l]
+            prefix[l] = acc
+        cap = max(1, int(total * MAX_SEPARATOR_FRACTION))
+        for low, high in BALANCE_WINDOWS:
+            best_l = -1
+            best_x = None
+            for l in range(max_level):  # Boundary after level l.
+                frac = prefix[l] / total
+                if frac < low or frac > high:
+                    continue
+                if best_x is None or crossing[l] < best_x:
+                    best_x = crossing[l]
+                    best_l = l
+            if best_l < 0:
+                continue
+            for c in region:
+                side_arr[c] = 1 if level_arr[c] <= best_l else 2
+            refined = refine_cut(region, g, total, low, high)
+            if refined > cap:
+                continue
+            early = [c for c in region if side_arr[c] == 1]
+            late = [c for c in region if side_arr[c] == 2]
+            return early, late, refined / total
+        return None
+
+    def chunk_leaves(region: List[int], budget: int, parent: int) -> None:
+        """Topologically contiguous leaf chunks — the in-recursion
+        fallback when a region has no thin cut (edges between chunks
+        only run forward, so the global wave structure survives)."""
+        ordered = sorted(region, key=topo_pos.__getitem__)
+        total = weight_of(ordered)
+        bins = max(1, min(budget, len(ordered)))
+        chunk: List[int] = []
+        placed_total = 0
+        shard = 0
+        for index, c in enumerate(ordered):
+            remaining = len(ordered) - index
+            if chunk and shard < bins - 1 and (
+                placed_total >= (shard + 1) * total / bins
+                or remaining == bins - shard
+            ):
+                new_node(parent, KIND_LEAF, sorted(chunk))
+                chunk = []
+                shard += 1
+            chunk.append(c)
+            placed_total += comp_w[c]
+        if chunk:
+            new_node(parent, KIND_LEAF, sorted(chunk))
+
+    def leaf_or_recurse(
+        members: List[int], budget: int, parent: int, depth: int
+    ) -> None:
+        if budget <= 1 or len(members) <= 1:
+            new_node(parent, KIND_LEAF, members)
+        else:
+            dissect(members, budget, parent, depth)
+
+    def dissect(region: List[int], budget: int, parent: int, depth: int) -> None:
+        if budget <= 1 or len(region) <= 1 or depth >= MAX_DEPTH:
+            new_node(parent, KIND_LEAF, sorted(region))
+            return
+        islands = islands_of(region)
+        if len(islands) > 1:
+            total = weight_of(region)
+            ideal = total / budget
+            by_weight = sorted(
+                range(len(islands)),
+                key=lambda i: (-weight_of(islands[i]), i),
+            )
+            # Dominant islands take a dedicated, weight-proportional
+            # multi-shard budget; the rest LPT-pack into what's left.
+            dedicated = [
+                i
+                for i in by_weight
+                if weight_of(islands[i]) >= DOMINANT_ISLAND_FACTOR * ideal
+            ]
+            taken = set(dedicated)
+            small = [i for i in by_weight if i not in taken]
+            avail = budget - (1 if small else 0)
+            ded_budget: List[int] = []
+            for rank, i in enumerate(dedicated):
+                rest = len(dedicated) - rank - 1
+                share = int(weight_of(islands[i]) / ideal + 0.5)
+                b = max(1, min(share, avail - rest))
+                ded_budget.append(b)
+                avail -= b
+            small_bins = budget - sum(ded_budget)
+            packs: List[List[List[int]]] = []
+            pack_budget: List[int] = []
+            if small:
+                packs = lpt_pack(
+                    [islands[i] for i in small], min(len(small), small_bins)
+                )
+                pack_budget = [1] * len(packs)
+                spare = small_bins - len(packs)
+                heavy = sorted(
+                    range(len(packs)),
+                    key=lambda i: (
+                        -sum(weight_of(isle) for isle in packs[i]),
+                        i,
+                    ),
+                )
+                while spare > 0:
+                    for i in heavy:
+                        if spare <= 0:
+                            break
+                        pack_budget[i] += 1
+                        spare -= 1
+            elif ded_budget:
+                ded_budget[0] += budget - sum(ded_budget)
+            group_node = new_node(parent, KIND_GROUP, sorted(region))
+            for i, b in zip(dedicated, ded_budget):
+                leaf_or_recurse(sorted(islands[i]), b, group_node, depth + 1)
+            for pack, b in zip(packs, pack_budget):
+                members = sorted(c for isle in pack for c in isle)
+                leaf_or_recurse(members, b, group_node, depth + 1)
+            return
+        cut = band_cut(region)
+        if cut is None:
+            chunk_leaves(region, budget, parent)
+            return
+        early, late, score = cut
+        if not root_score:
+            root_score.append(score)
+        region_node = new_node(parent, KIND_REGION, sorted(region))
+        early_w, late_w = weight_of(early), weight_of(late)
+        early_budget = max(
+            1,
+            min(
+                budget - 1,
+                int(budget * early_w / max(early_w + late_w, 1) + 0.5),
+            ),
+        )
+        dissect(early, early_budget, region_node, depth + 1)
+        dissect(late, budget - early_budget, region_node, depth + 1)
+
+    # ------------------------------------------------------------------
+    # Root dispatch.
+    # ------------------------------------------------------------------
+    all_comps = list(range(num_comps))
+    if effective == 1:
+        new_node(-1, KIND_LEAF, all_comps)
+    else:
+        root_islands = islands_of(all_comps)
+        if len(root_islands) == 1 and band_cut(all_comps) is None:
+            # No thin cut at the root: greedy assignment, separator
+            # label, fallback hierarchy.
+            plan = _partition.partition_graph(
+                num_nodes, successors, num_shards, "greedy", condensation=cond
+            )
+            plan.strategy = "separator"
+            plan.hierarchy = _fallback_hierarchy(plan)
+            return plan
+        dissect(all_comps, effective, -1, 0)
+
+    shard_of = [-1] * num_nodes
+    for shard_id, comps in enumerate(shard_comps):
+        for c in comps:
+            for node in cond.components[c]:
+                shard_of[node] = shard_id
+
+    plan = _partition._finish_plan(
+        num_shards,
+        "separator",
+        num_nodes,
+        successors,
+        shard_of,
+        len(shard_comps),
+        num_comps,
+        max(comp_w) if comp_w else 0,
+        cond,
+    )
+
+    # Repair: contract any nontrivial quotient SCC.  Unreachable by
+    # construction (cross-shard edges follow band order or island
+    # disjointness), kept as a guard — the contracted quotient is the
+    # condensation of the old one, hence acyclic.
+    merged = 0
+    _qcomp_of, qcomps = tarjan_scc(plan.num_shards, plan.quotient)
+    if any(len(comp) > 1 for comp in qcomps):
+        merged = plan.num_shards - len(qcomps)
+        remap = [0] * plan.num_shards
+        for new_id, comp in enumerate(qcomps):
+            for old_id in comp:
+                remap[old_id] = new_id
+        shard_of = [remap[s] for s in shard_of]
+        plan = _partition._finish_plan(
+            num_shards,
+            "separator",
+            num_nodes,
+            successors,
+            shard_of,
+            len(qcomps),
+            num_comps,
+            max(comp_w) if comp_w else 0,
+            cond,
+        )
+        new_node_of_shard = [-1] * len(qcomps)
+        for node in tree_nodes:
+            if node.shard_id >= 0:
+                node.shard_id = remap[node.shard_id]
+                if new_node_of_shard[node.shard_id] < 0:
+                    new_node_of_shard[node.shard_id] = node.node_id
+        node_of_shard = new_node_of_shard
+
+    hierarchy = PartitionHierarchy(
+        nodes=tree_nodes,
+        node_of_shard=node_of_shard,
+        waves=_waves_of(plan),
+        scopes=_scopes_of(plan),
+        merged_shards=merged,
+        separator_score=root_score[0] if root_score else 0.0,
+    )
+    _attach_boundaries(hierarchy, plan, num_nodes, successors)
+    plan.hierarchy = hierarchy
+    return plan
+
+
+def _waves_of(plan) -> List[List[int]]:
+    """Callee-first shard batches of an acyclic quotient ([] if cyclic)."""
+    num_shards = plan.num_shards
+    _comp_of, comps = tarjan_scc(num_shards, plan.quotient)
+    if any(len(comp) > 1 for comp in comps):
+        return []
+    depth = [0] * num_shards
+    for comp in comps:  # Reverse topological: sinks first.
+        shard_id = comp[0]
+        best = 0
+        for succ in plan.quotient[shard_id]:
+            if depth[succ] >= best:
+                best = depth[succ] + 1
+        depth[shard_id] = best
+    waves: List[List[int]] = [[] for _ in range(max(depth) + 1)]
+    for shard_id, d in enumerate(depth):
+        waves[d].append(shard_id)
+    return waves
+
+
+def _scopes_of(plan) -> List[List[int]]:
+    """Per shard: sorted shards whose members may call into it."""
+    preds: List[Set[int]] = [set() for _ in range(plan.num_shards)]
+    for shard_id, targets in enumerate(plan.quotient):
+        for target in targets:
+            preds[target].add(shard_id)
+    return [
+        sorted(preds[shard_id] | {shard_id})
+        for shard_id in range(plan.num_shards)
+    ]
+
+
+def _attach_boundaries(
+    hierarchy: PartitionHierarchy,
+    plan,
+    num_nodes: int,
+    successors: Sequence[Sequence[int]],
+) -> None:
+    """Assign every exported node to the tree node whose separator it
+    crosses (the LCA of the two shards' tree nodes)."""
+    nodes = hierarchy.nodes
+    node_of_shard = hierarchy.node_of_shard
+    if not nodes:
+        return
+
+    def lca(a: int, b: int) -> int:
+        while a != b:
+            if nodes[a].depth >= nodes[b].depth:
+                a = nodes[a].parent
+            else:
+                b = nodes[b].parent
+            if a < 0 or b < 0:
+                return 0
+        return a
+
+    lca_of_pair: Dict[Tuple[int, int], int] = {}
+    buckets: Dict[int, Set[int]] = {}
+    shard_of = plan.shard_of
+    for node in range(num_nodes):
+        s = shard_of[node]
+        for q in successors[node]:
+            t = shard_of[q]
+            if t == s:
+                continue
+            pair = (s, t)
+            owner = lca_of_pair.get(pair)
+            if owner is None:
+                owner = lca(node_of_shard[s], node_of_shard[t])
+                lca_of_pair[pair] = owner
+            buckets.setdefault(owner, set()).add(q)
+    for owner, exported in buckets.items():
+        nodes[owner].boundary = sorted(exported)
+
+
+def _fallback_hierarchy(plan) -> PartitionHierarchy:
+    """A single-level hierarchy wrapping a greedy fallback assignment."""
+    root = HierarchyNode(
+        node_id=0,
+        parent=-1,
+        kind=KIND_GROUP,
+        shard_id=-1,
+        weight=plan.num_nodes,
+    )
+    leaves = []
+    node_of_shard = []
+    for shard_id in range(plan.num_shards):
+        leaf = HierarchyNode(
+            node_id=shard_id + 1,
+            parent=0,
+            kind=KIND_LEAF,
+            shard_id=shard_id,
+            depth=1,
+            weight=len(plan.shards[shard_id]),
+        )
+        root.children.append(leaf.node_id)
+        leaves.append(leaf)
+        node_of_shard.append(leaf.node_id)
+    return PartitionHierarchy(
+        nodes=[root] + leaves,
+        node_of_shard=node_of_shard,
+        waves=_waves_of(plan),
+        scopes=_scopes_of(plan),
+        fallback=True,
+    )

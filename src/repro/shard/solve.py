@@ -51,6 +51,7 @@ from repro.shard.boundary import (
     ShardSummary,
     _solve_concrete,
     backsub_shard,
+    stitch_tree,
     summarize_shard,
 )
 from repro.shard import wire
@@ -116,7 +117,15 @@ def _stitch(
     SCC invariant; the sweep still runs through Tarjan so a violation
     would converge (and be caught by the differential tests) instead
     of corrupting results silently.
+
+    Separator plans skip the global system entirely: their hierarchy's
+    wave schedule decomposes the stitch into one small step per shard
+    (:func:`repro.shard.boundary.stitch_tree`), bottom-up along the
+    tree, each touching only that separator's carriers.
     """
+    hierarchy = getattr(plan, "hierarchy", None)
+    if hierarchy is not None and not hierarchy.fallback and hierarchy.waves:
+        return stitch_tree(problems, summaries, hierarchy)
     boundary: List[int] = sorted(
         {node for problem in problems for node in problem.imports}
     )
@@ -451,22 +460,43 @@ class ShardedSystem:
         stats.masked_shards = sum(1 for p in problems if p.masked)
         stats.boundary_nodes = sum(len(p.exports) for p in problems)
 
-        if runner.jobs <= 1 and self.have_boundary and self.quotient_acyclic:
-            # One worker and an acyclic shard quotient: the summaries
-            # and the stitch buy nothing — solve shards in reverse
-            # topological quotient order, each reading final import
-            # values straight off already-solved shards.  One concrete
-            # pass over every shard, same least solution.
+        # Fan out only when a pool exists, there is more than one shard
+        # to feed it, *and* the graph is big enough that per-task wire
+        # encoding plus pool round-trips cost less than the in-worker
+        # compute they buy (same economics as the per-wave gate in
+        # ``_solve_waves``; fleets advertise ``min_fanout_nodes=0``).
+        fanout = (
+            runner.jobs > 1
+            and len(problems) > 1
+            and self.num_nodes >= runner.min_fanout_nodes
+        )
+        if not fanout and self.have_boundary and self.quotient_acyclic:
+            # No pool worth engaging and an acyclic shard quotient: the
+            # summaries and the stitch buy nothing — solve shards in
+            # reverse topological quotient order, each reading final
+            # import values straight off already-solved shards.  One
+            # concrete pass over every shard, same least solution.
             return self._solve_direct(stats, emit)
 
-        use_wire = runner.jobs > 1 and len(problems) > 1
-        if use_wire and self.quotient_acyclic:
+        use_wire = fanout
+        hierarchy = getattr(plan, "hierarchy", None)
+        serial_chain = (
+            hierarchy is not None
+            and not hierarchy.fallback
+            and bool(hierarchy.waves)
+            and hierarchy.max_wave_width <= 1
+        )
+        if use_wire and self.quotient_acyclic and not serial_chain:
             # A pool *and* an acyclic quotient: concrete solves in
             # topological waves — independent shards of a wave fan out
             # over the pool with final import values, so the symbolic
             # summarize phase (a second full solve's worth of work) is
             # never paid.  Same least solution as the direct path.
             return self._solve_waves(stats, emit, runner)
+        # A separator plan whose waves are all singletons (a serial
+        # chain) gains nothing from wave dispatch — summarize every
+        # shard at once, tree-stitch, back-substitute every shard at
+        # once: full fan-out on both heavy phases instead of none.
 
         statics = self._wire_statics() if use_wire else None
         seed_blobs = (
@@ -491,13 +521,17 @@ class ShardedSystem:
                         for index, problem in enumerate(problems)
                     ],
                     label="summarize",
+                    nodes=self.num_nodes,
                     decode=lambda blob, index: wire.decode_summary(
                         blob, problems[index]
                     ),
                 )
             else:
                 summaries = runner.map(
-                    summarize_shard, problems, label="summarize"
+                    summarize_shard,
+                    problems,
+                    label="summarize",
+                    nodes=self.num_nodes,
                 )
             stats.summarize_time = time.perf_counter() - tick
             stats.summarize_span = max(s.elapsed for s in summaries)
@@ -527,6 +561,7 @@ class ShardedSystem:
                     for index, problem in enumerate(problems)
                 ],
                 label="backsub",
+                nodes=self.num_nodes,
                 decode=lambda blob, index: wire.decode_backsub(
                     blob, problems[index]
                 )[0],
@@ -539,6 +574,7 @@ class ShardedSystem:
                     for problem in problems
                 ],
                 label="backsub",
+                nodes=self.num_nodes,
             )
         stats.backsub_time = time.perf_counter() - tick
         stats.backsub_span = max(r.elapsed for r in results)
@@ -566,20 +602,26 @@ class ShardedSystem:
         tick = time.perf_counter()
         plan = self.plan
         problems = self.problems
-        # Depth per shard: sinks at 0.  quotient_comps is in reverse
-        # topological order (all singletons here), so every quotient
-        # successor's depth is final before its importer's is set.
-        depth = [0] * len(problems)
-        for comp in self.quotient_comps:
-            shard_id = comp[0]
-            best = 0
-            for succ in plan.quotient[shard_id]:
-                if depth[succ] >= best:
-                    best = depth[succ] + 1
-            depth[shard_id] = best
-        waves: List[List[int]] = [[] for _ in range(max(depth) + 1)]
-        for shard_id, d in enumerate(depth):
-            waves[d].append(shard_id)
+        hierarchy = getattr(plan, "hierarchy", None)
+        if hierarchy is not None and hierarchy.waves:
+            # Separator plans carry the callee-first wave schedule.
+            waves = hierarchy.waves
+        else:
+            # Depth per shard: sinks at 0.  quotient_comps is in
+            # reverse topological order (all singletons here), so
+            # every quotient successor's depth is final before its
+            # importer's is set.
+            depth = [0] * len(problems)
+            for comp in self.quotient_comps:
+                shard_id = comp[0]
+                best = 0
+                for succ in plan.quotient[shard_id]:
+                    if depth[succ] >= best:
+                        best = depth[succ] + 1
+                depth[shard_id] = best
+            waves = [[] for _ in range(max(depth) + 1)]
+            for shard_id, d in enumerate(depth):
+                waves[d].append(shard_id)
 
         statics = None
         #: Final P value per exported global node id.
@@ -587,8 +629,13 @@ class ShardedSystem:
         out = [0] * self.num_nodes
         steps = 0
         span = 0.0
-        for wave in waves:
-            if len(wave) == 1 or runner.jobs <= 1:
+        for wave_index, wave in enumerate(waves):
+            wave_nodes = sum(len(problems[s].nodes) for s in wave)
+            if (
+                len(wave) == 1
+                or runner.jobs <= 1
+                or wave_nodes < runner.min_fanout_nodes
+            ):
                 for shard_id in wave:
                     problem = problems[shard_id]
                     imports = [value_at[node] for node in problem.imports]
@@ -613,6 +660,13 @@ class ShardedSystem:
                 continue
             if statics is None:
                 statics = self._wire_statics()
+            if wave_index + 1 < len(waves):
+                # Warm the next wave's static blobs while this wave
+                # computes (no-op locally; the fleet runner pushes
+                # them to idle workers).
+                runner.prefetch(
+                    [statics[s] for s in waves[wave_index + 1]]
+                )
             exports_of: Dict[int, List[int]] = {}
 
             def _decode(blob: bytes, index: int, wave=wave) -> BacksubResult:

@@ -20,6 +20,7 @@ from repro.core.depindex import (
     index_from_bytes,
     index_to_bytes,
 )
+from repro.shard.separator import KIND_LEAF
 from repro.core.incremental import (
     incremental_update,
     incremental_update_from_index,
@@ -147,3 +148,101 @@ class TestRestoredIndexUpdates:
         assert stats.region_procs <= stats.total_procs
         assert 0.0 <= stats.reuse_fraction <= 1.0
         assert stats.to_dict()["index_reloaded"] is True
+
+
+def _two_island_source(length: int = 40) -> str:
+    """Two disjoint call chains under one main: edits in island ``a``
+    can never affect island ``b``, so a tree-scoped caller scan has a
+    real region to cut away."""
+    lines = ["program islands", "  global ga", "  global gb",
+             "  global gc", ""]
+    for side in ("a", "b"):
+        for i in range(1, length + 1):
+            lines.append("  proc %s%d()" % (side, i))
+            lines.append("  begin")
+            if i < length:
+                lines.append("    call %s%d()" % (side, i + 1))
+            else:
+                lines.append("    g%s := 1" % side)
+            lines.append("  end")
+            lines.append("")
+    lines += ["begin", "  call a1()", "  call b1()", "end"]
+    return "\n".join(lines) + "\n"
+
+
+class TestSeparatorTreeTrailer:
+    """The version-2 trailer: the call-graph separator tree ships with
+    the index and bounds the incremental caller scan."""
+
+    def test_tree_fields_populated_and_sound(self):
+        _summary, index = _indexed_summary(pretty(generate_program(NESTED)))
+        num_procs = len(index.proc_names)
+        assert index.tree_parent is not None
+        assert len(index.tree_parent) == len(index.tree_kind)
+        assert index.tree_parent.count(-1) == 1  # One root.
+        num_shards = len(index.tree_node_of_shard)
+        assert len(index.tree_scopes) == num_shards
+        assert len(index.tree_shard_of_pid) == num_procs
+        assert all(0 <= s < num_shards for s in index.tree_shard_of_pid)
+        for shard_id, node_id in enumerate(index.tree_node_of_shard):
+            assert index.tree_kind[node_id] == KIND_LEAF
+        for shard_id, scope in enumerate(index.tree_scopes):
+            assert shard_id in scope  # Every shard is in its own scope.
+            assert all(0 <= s < num_shards for s in scope)
+
+    def test_version_1_blob_reads_with_tree_fields_none(self):
+        from dataclasses import replace
+
+        _summary, index = _indexed_summary(patterns.chain(5))
+        bare = replace(index, tree_parent=None, tree_kind=None,
+                       tree_node_of_shard=None, tree_shard_of_pid=None,
+                       tree_scopes=None)
+        blob = bytearray(index_to_bytes(bare))
+        assert blob[-1] == 0  # The tree-absent presence byte.
+        # A version-1 blob is exactly this minus the trailer.
+        blob[len(INDEX_MAGIC)] = 1
+        again = index_from_bytes(bytes(blob[:-1]))
+        assert again == bare
+        # And the presence byte alone round-trips a tree-less v2 blob.
+        assert index_from_bytes(index_to_bytes(bare)) == bare
+
+    def test_tree_scoped_update_bounds_the_caller_scan(self):
+        base = _two_island_source(40)
+        edited = base.replace("ga := 1", "ga := 1\n    gc := 1")
+        assert edited != base
+        old, index = _indexed_summary(base)
+        reloaded, stats = incremental_update_from_index(
+            index_from_bytes(index_to_bytes(index)),
+            compile_source(edited), reloaded=True)
+        assert summary_to_bytes(reloaded) == summary_to_bytes(
+            analyze_side_effects(edited))
+        # The edit lives in island ``a``; the persisted tree proves
+        # island ``b``'s shards are outside every affected scope, so
+        # the reverse-adjacency build skips them.
+        assert stats.tree_scoped
+        assert 0 < stats.tree_scan_procs < stats.total_procs
+        assert stats.to_dict()["tree_scan_procs"] == stats.tree_scan_procs
+
+    def test_tree_scoped_update_matches_full_scan_region(self):
+        """Tree-scoped and unscoped paths must agree on the re-solve
+        region and the bytes — the tree only prunes the scan."""
+        base = _two_island_source(12)
+        edited = base.replace("ga := 1", "ga := 1\n    gc := 1")
+        old, index = _indexed_summary(base)
+        blob = index_to_bytes(index)
+
+        from dataclasses import replace
+
+        scoped, scoped_stats = incremental_update_from_index(
+            index_from_bytes(blob), compile_source(edited), reloaded=True)
+        stripped = replace(
+            index_from_bytes(blob), tree_parent=None, tree_kind=None,
+            tree_node_of_shard=None, tree_shard_of_pid=None,
+            tree_scopes=None)
+        full, full_stats = incremental_update_from_index(
+            stripped, compile_source(edited), reloaded=True)
+
+        assert summary_to_bytes(scoped) == summary_to_bytes(full)
+        assert not full_stats.tree_scoped
+        assert full_stats.tree_scan_procs in (0, full_stats.total_procs)
+        assert scoped_stats.region_procs == full_stats.region_procs

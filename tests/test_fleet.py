@@ -13,6 +13,7 @@ kill scenario with real worker *processes* and SIGKILL.
 from __future__ import annotations
 
 import tempfile
+import time
 
 import pytest
 
@@ -208,6 +209,64 @@ class TestFleetIdentity:
             runner = FleetRunner(coordinator)
             doubled = runner.map(lambda x: x * 2, [1, 2, 3], label="other")
             assert doubled == [2, 4, 6]
+
+    def test_prefetch_pushes_then_first_dispatch_hits(self, corpus):
+        """Push the solver's static blobs to an idle worker ahead of
+        time; the first task frame referencing each pushed sha must be
+        counted as a prefetch hit (and the blob not re-shipped)."""
+        from repro.core.arena import get_arena
+        from repro.shard.partition import partition_graph
+        from repro.shard.solve import ShardedSystem, narrow_carrier
+
+        resolved, expected = corpus[0]
+        # Replicate the solver's own system construction: encode_static
+        # is deterministic over the problem structure, so these blobs
+        # hash to the shas the solve below will reference.
+        arena = get_arena(resolved)
+        beta_plan = partition_graph(
+            arena.binding_graph.num_formals,
+            arena.binding_graph.successors, 4, "greedy",
+            condensation=arena.beta_condense_full(),
+        )
+        call_plan = partition_graph(
+            arena.call_graph.num_nodes,
+            arena.call_graph.successors, 4, "greedy",
+            condensation=arena.call_condense_full(),
+        )
+        beta_system = ShardedSystem(
+            arena.binding_graph.num_formals,
+            arena.binding_graph.successors, None, beta_plan,
+        )
+        call_system = ShardedSystem(
+            arena.call_graph.num_nodes, arena.call_graph.successors,
+            arena.universe.local_mask, call_plan,
+            carrier=narrow_carrier(resolved, arena.universe),
+        )
+        statics = list(beta_system._wire_statics())
+        statics += list(call_system._wire_statics())
+
+        with FleetCoordinator() as coordinator:
+            thread = WorkerThread(coordinator.host, coordinator.port,
+                                  name="w0").start()
+            assert coordinator.wait_for_workers(1) == 1
+            coordinator.prefetch(statics)
+            deadline = time.monotonic() + 10.0
+            while (coordinator.counters["prefetch_pushed"] == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            counters = coordinator.stats()["counters"]
+            assert 0 < counters["prefetch_pushed"] <= len(statics)
+            assert counters["prefetch_hits"] == 0
+
+            runner = FleetRunner(coordinator)
+            sharded = analyze_side_effects_sharded(
+                resolved, num_shards=4, strategy="greedy", runner=runner
+            )
+            assert canonical(sharded) == expected
+            counters = coordinator.stats()["counters"]
+            assert counters["tasks_dispatched"] > 0
+            assert 1 <= counters["prefetch_hits"] <= counters["prefetch_pushed"]
+        thread.join()
 
 
 # ---------------------------------------------------------------------------

@@ -54,7 +54,7 @@ from repro.workloads.generator import GeneratorConfig, generate_resolved
 
 from tests.test_differential import CONFIGS, _config_id
 
-ALL_LANES = ("sections", "refalias")
+ALL_LANES = ("sections", "refalias", "sections-use")
 
 
 def _canon(value) -> str:
@@ -78,6 +78,14 @@ def _assert_lanes_match_reference(resolved, summary):
         "nonbottom": lane.to_payload()["nonbottom"],
     }
     assert _canon(lane.to_payload()) == _canon(reference_payload)
+
+    # The USE-seeded sections lane vs the same standalone solver run
+    # with ``EffectKind.USE`` — one solver, two registrations.
+    use_lane = summary.lanes["sections-use"]
+    use_reference = analyze_sections(resolved, EffectKind.USE)
+    assert use_lane.grs == use_reference.grs
+    assert use_lane.site_sections == use_reference.site_sections
+    assert use_lane.to_payload()["kind"] == EffectKind.USE.value
 
     # Refalias lane vs Banning pair propagation.
     ref_lane = summary.lanes["refalias"]
@@ -147,6 +155,7 @@ class TestLaneRegistry:
     def test_parse_lane_names(self):
         assert parse_lane_names("sections,refalias") == ["sections", "refalias"]
         assert parse_lane_names(" sections , sections ") == ["sections"]
+        assert parse_lane_names("sections-use") == ["sections-use"]
         with pytest.raises(ValueError):
             parse_lane_names("sections,warp")
 
@@ -263,6 +272,7 @@ class TestLanePersistence:
         from repro.core.persist import (
             SECTION_LANE_REFALIAS,
             SECTION_LANE_SECTIONS,
+            SECTION_LANE_SECTIONS_USE,
             decode_lane_sections,
             decode_summary_container,
             summary_to_bytes,
@@ -271,10 +281,17 @@ class TestLanePersistence:
         resolved, summary = self._laned_summary()
         laned = summary_to_bytes(summary, include_lanes=True)
         _payload, sections = decode_summary_container(laned)
-        assert set(sections) == {SECTION_LANE_SECTIONS, SECTION_LANE_REFALIAS}
+        assert set(sections) == {
+            SECTION_LANE_SECTIONS,
+            SECTION_LANE_REFALIAS,
+            SECTION_LANE_SECTIONS_USE,
+        }
         decoded = decode_lane_sections(sections)
         assert decoded["sections"] == summary.lanes["sections"].to_payload()
         assert decoded["refalias"] == summary.lanes["refalias"].partner
+        assert (decoded["sections-use"]
+                == summary.lanes["sections-use"].to_payload())
+        assert decoded["sections-use"]["kind"] == "use"
 
         # Sectionless output is byte-identical to a lane-less solve.
         clear_arena_cache()
@@ -501,14 +518,14 @@ class TestStatsSchema:
         root = self._corpus(tmp_path)
         stats_path = str(tmp_path / "stats.json")
         assert main(["batch", root, "--jobs", "1",
-                     "--lanes", "sections,refalias",
+                     "--lanes", ",".join(ALL_LANES),
                      "--stats-json", stats_path]) == 0
         out = capsys.readouterr().out
         assert "lanes: refalias" in out and "sections" in out
         with open(stats_path) as handle:
             cold = json.load(handle)
         assert set(cold) == set(STATS_KEYS)
-        assert cold["lanes"]["requested"] == ["sections", "refalias"]
+        assert cold["lanes"]["requested"] == list(ALL_LANES)
         # The file on disk IS the aggregate — a decode/encode round
         # trip is canonical-identical (everything is plain JSON).
         assert json.loads(json.dumps(cold, sort_keys=True)) == cold
@@ -517,7 +534,7 @@ class TestStatsSchema:
         # payloads still carry their lane blocks, so lane file counts
         # hold while lane seconds drop to zero (no solver ran).
         assert main(["batch", root, "--jobs", "1",
-                     "--lanes", "sections,refalias",
+                     "--lanes", ",".join(ALL_LANES),
                      "--stats-json", stats_path]) == 0
         capsys.readouterr()
         with open(stats_path) as handle:
@@ -568,13 +585,13 @@ end
             yield c
 
     def test_analyze_returns_lane_blocks(self, client):
-        response = client.analyze(self.SOURCE, lanes=["sections", "refalias"])
+        response = client.analyze(self.SOURCE, lanes=list(ALL_LANES))
         direct = payload_from_summary(
             analyze_side_effects(self.SOURCE, lanes=ALL_LANES)
         )
         assert _canon(response["lanes"]) == _canon(direct["lanes"])
         # String form parses the same as the list form.
-        again = client.analyze(self.SOURCE, lanes="sections, refalias")
+        again = client.analyze(self.SOURCE, lanes=", ".join(ALL_LANES))
         assert again["cached"] == "lru"
 
     def test_lanes_feed_cache_key(self, client):
@@ -630,8 +647,11 @@ end
             path = handle.server._session_state_path("laned")
         with open(path, "rb") as fh:
             _payload, sections = decode_summary_container(fh.read())
+        from repro.core.persist import SECTION_LANE_SECTIONS_USE
+
         assert SECTION_LANE_SECTIONS in sections
         assert SECTION_LANE_REFALIAS in sections
+        assert SECTION_LANE_SECTIONS_USE in sections
         decoded = decode_lane_sections(sections)
         reference = analyze_side_effects(self.SOURCE, lanes=ALL_LANES)
         assert _canon(decoded["sections"]) == _canon(

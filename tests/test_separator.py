@@ -1,0 +1,170 @@
+"""Partition-quality invariants for the separator-tree strategy.
+
+The separator plan's contract has two halves.  *Structural*: the
+assignment respects SCCs (no strongly connected region spans shards),
+the hierarchy is a well-formed tree whose leaves own the shards, the
+wave schedule is callee-first over an acyclic quotient, and the scopes
+are exactly quotient-predecessors-plus-self.  *Quality*: the stitch
+that bottom-up tree solving performs is bounded by the boundary
+variables the cut exposes, so across the 30-program differential
+corpus — and strictly on the 10k scale-free workload — the separator
+assignment must not expose more boundary than greedy does.
+
+Every invariant here is checked on **both** solver graphs (the call
+multi-graph and the binding graph β), fallback plans included: a
+fallback still carries waves/scopes, it just inherits the greedy
+assignment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+import pytest
+
+from repro.graphs.binding import build_binding_graph
+from repro.graphs.callgraph import build_call_graph
+from repro.graphs.scc import condense
+from repro.shard.partition import partition_graph
+from repro.shard.separator import KIND_LEAF, KIND_NAMES
+from repro.workloads.generator import (
+    generate_resolved,
+    large_scale_config,
+)
+from tests.test_differential import CONFIGS, _config_id
+
+SHARDS = 4
+
+
+def _graphs(resolved):
+    call_graph = build_call_graph(resolved)
+    binding_graph = build_binding_graph(resolved)
+    return (
+        ("call", call_graph.num_nodes, call_graph.successors),
+        ("beta", binding_graph.num_formals, binding_graph.successors),
+    )
+
+
+def boundary_vars(plan, successors: Sequence[Sequence[int]]) -> int:
+    """Distinct cross-shard edge targets: the carriers every stitch
+    (flat boundary system or separator tree) must resolve."""
+    shard_of = plan.shard_of
+    seen: Set[int] = set()
+    for node in range(plan.num_nodes):
+        s = shard_of[node]
+        for target in successors[node]:
+            if shard_of[target] != s:
+                seen.add(target)
+    return len(seen)
+
+
+def check_separator_plan(num_nodes: int, successors, plan) -> None:
+    """Every structural invariant of one separator plan."""
+    assert plan.strategy == "separator"
+    assert len(plan.shard_of) == num_nodes
+    assert all(0 <= s < plan.num_shards for s in plan.shard_of)
+
+    # Whole SCCs, never split.
+    cond = condense(num_nodes, successors)
+    for members in cond.components:
+        shards = {plan.shard_of[node] for node in members}
+        assert len(shards) == 1, "SCC spans shards %s" % sorted(shards)
+
+    hierarchy = plan.hierarchy
+    assert hierarchy is not None
+    nodes = hierarchy.nodes
+
+    # Tree shape: exactly one root, valid parents, mutual
+    # parent/children links, one leaf per shard.
+    roots = [n for n in nodes if n.parent == -1]
+    assert len(roots) == 1
+    for node in nodes:
+        assert node.kind in KIND_NAMES
+        if node.parent != -1:
+            assert node.node_id in nodes[node.parent].children
+            assert node.depth == nodes[node.parent].depth + 1
+        for child in node.children:
+            assert nodes[child].parent == node.node_id
+    assert len(hierarchy.node_of_shard) == plan.num_shards
+    for shard_id, node_id in enumerate(hierarchy.node_of_shard):
+        leaf = nodes[node_id]
+        assert leaf.kind == KIND_LEAF
+        assert leaf.shard_id == shard_id
+
+    # Scopes: quotient predecessors + self, sorted.
+    preds: List[Set[int]] = [set() for _ in range(plan.num_shards)]
+    for shard_id, targets in enumerate(plan.quotient):
+        for target in targets:
+            preds[target].add(shard_id)
+    assert hierarchy.scopes == [
+        sorted(preds[s] | {s}) for s in range(plan.num_shards)
+    ]
+
+    # Waves: empty only when the quotient is cyclic (fallback plans);
+    # otherwise a callee-first partition of the shard ids.
+    if hierarchy.waves:
+        flat = [s for wave in hierarchy.waves for s in wave]
+        assert sorted(flat) == list(range(plan.num_shards))
+        wave_of = {}
+        for index, wave in enumerate(hierarchy.waves):
+            for shard_id in wave:
+                wave_of[shard_id] = index
+        for node in range(num_nodes):
+            s = plan.shard_of[node]
+            for target in successors[node]:
+                t = plan.shard_of[target]
+                if t != s:
+                    assert wave_of[t] < wave_of[s], (
+                        "callee shard %d (wave %d) not before caller"
+                        " shard %d (wave %d)"
+                        % (t, wave_of[t], s, wave_of[s])
+                    )
+    else:
+        assert hierarchy.fallback
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=_config_id)
+def test_separator_invariants_on_differential_corpus(config):
+    resolved = generate_resolved(config)
+    for _label, num_nodes, successors in _graphs(resolved):
+        for shards in (2, SHARDS):
+            plan = partition_graph(
+                num_nodes, successors, shards, strategy="separator"
+            )
+            check_separator_plan(num_nodes, successors, plan)
+
+
+def test_separator_boundary_not_worse_than_greedy_on_corpus():
+    """Aggregate stitch size across the 30-program sweep: the separator
+    assignment must not expose more boundary variables than greedy."""
+    totals = {"greedy": 0, "separator": 0}
+    for config in CONFIGS:
+        resolved = generate_resolved(config)
+        for _label, num_nodes, successors in _graphs(resolved):
+            for strategy in ("greedy", "separator"):
+                plan = partition_graph(
+                    num_nodes, successors, SHARDS, strategy=strategy
+                )
+                totals[strategy] += boundary_vars(plan, successors)
+    assert totals["separator"] <= totals["greedy"], totals
+
+
+def test_separator_beats_greedy_on_scale_free_10k():
+    """The tentpole quality claim: on the 10k scale-free workload the
+    separator cut exposes *strictly* fewer boundary variables than
+    greedy, on both solver graphs combined, without falling back."""
+    config = large_scale_config(10_000, seed=11, num_globals=2000,
+                                locals_range=(8, 12))
+    resolved = generate_resolved(config)
+    totals = {"greedy": 0, "separator": 0}
+    for _label, num_nodes, successors in _graphs(resolved):
+        for strategy in ("greedy", "separator"):
+            plan = partition_graph(
+                num_nodes, successors, SHARDS, strategy=strategy
+            )
+            if strategy == "separator":
+                check_separator_plan(num_nodes, successors, plan)
+                assert not plan.hierarchy.fallback
+                assert plan.hierarchy.waves
+            totals[strategy] += boundary_vars(plan, successors)
+    assert totals["separator"] < totals["greedy"], totals

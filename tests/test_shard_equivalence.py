@@ -66,11 +66,30 @@ def test_fuzz_sweep_all_shard_counts(config):
     resolved = generate_resolved(config)
     expected = canonical(analyze_side_effects(resolved))
     for index, shards in enumerate(SHARD_COUNTS):
-        strategy = ("greedy", "chunk")[index % 2]
+        # Rotate through every --partition mode; the (index + seed)
+        # stagger covers each (mode, shard-count) pair across the sweep.
+        strategy = ("greedy", "chunk", "separator")[
+            (index + config.seed) % 3
+        ]
         sharded = analyze_side_effects_sharded(
             resolved, num_shards=shards, strategy=strategy
         )
         assert canonical(sharded) == expected, (shards, strategy)
+
+
+@pytest.mark.parametrize(
+    "config", _FUZZ_CONFIGS[::5], ids=lambda c: "fuzz-seed%d" % c.seed
+)
+def test_fuzz_separator_all_shard_counts(config):
+    """The separator strategy specifically, at every shard count: the
+    tree-stitched solve must be byte-identical to the monolithic one."""
+    resolved = generate_resolved(config)
+    expected = canonical(analyze_side_effects(resolved))
+    for shards in SHARD_COUNTS:
+        sharded = analyze_side_effects_sharded(
+            resolved, num_shards=shards, strategy="separator"
+        )
+        assert canonical(sharded) == expected, shards
 
 
 @pytest.mark.parametrize("jobs", [2])
@@ -84,7 +103,7 @@ def test_three_phase_pool_path_matches(jobs):
     ):
         resolved = generate_resolved(config)
         expected = canonical(analyze_side_effects(resolved))
-        for strategy in ("greedy", "chunk"):
+        for strategy in ("greedy", "chunk", "separator"):
             sharded = analyze_side_effects_sharded(
                 resolved, num_shards=4, jobs=jobs, strategy=strategy
             )
